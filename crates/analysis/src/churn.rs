@@ -1,0 +1,193 @@
+//! A stochastic M/M/N subscriber-churn simulator (§3.2.2's model),
+//! validating the closed forms in [`crate::ChurnModel`] and feeding the
+//! epoch-cost comparison with realistic join/leave traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::models::ChurnModel;
+
+/// One membership change in a churn trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Subscriber `id` became active.
+    Join(u64),
+    /// Subscriber `id` became inactive.
+    Leave(u64),
+}
+
+/// Result of a churn simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTrace {
+    /// Timestamped events `(time, event)`.
+    pub events: Vec<(f64, ChurnEvent)>,
+    /// Time-weighted average number of active subscribers.
+    pub avg_active: f64,
+    /// Joins per unit time.
+    pub join_rate: f64,
+    /// Final active-set size.
+    pub final_active: usize,
+}
+
+/// Simulates the M/M/N model with Gillespie's algorithm: each inactive
+/// subscriber joins at rate λ, each active one leaves at rate µ.
+///
+/// # Panics
+///
+/// Panics when the model has no subscribers or non-positive rates.
+pub fn simulate_churn(model: &ChurnModel, horizon: f64, seed: u64) -> ChurnTrace {
+    assert!(model.n >= 1.0, "need at least one subscriber");
+    assert!(
+        model.lambda > 0.0 && model.mu > 0.0,
+        "rates must be positive"
+    );
+    let n = model.n as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut active: Vec<bool> = vec![false; n as usize];
+    let mut active_count = 0usize;
+    let mut t = 0.0f64;
+    let mut events = Vec::new();
+    let mut weighted_active = 0.0f64;
+    let mut joins = 0u64;
+
+    while t < horizon {
+        let inactive = n as usize - active_count;
+        let join_rate = model.lambda * inactive as f64;
+        let leave_rate = model.mu * active_count as f64;
+        let total = join_rate + leave_rate;
+        if total <= 0.0 {
+            break;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let dt = -u.ln() / total;
+        if t + dt > horizon {
+            weighted_active += active_count as f64 * (horizon - t);
+            break;
+        }
+        weighted_active += active_count as f64 * dt;
+        t += dt;
+
+        let is_join = rng.gen_range(0.0..total) < join_rate;
+        if is_join {
+            // Pick a uniformly random inactive subscriber.
+            let mut pick = rng.gen_range(0..inactive);
+            for (id, a) in active.iter_mut().enumerate() {
+                if !*a {
+                    if pick == 0 {
+                        *a = true;
+                        active_count += 1;
+                        joins += 1;
+                        events.push((t, ChurnEvent::Join(id as u64)));
+                        break;
+                    }
+                    pick -= 1;
+                }
+            }
+        } else {
+            let mut pick = rng.gen_range(0..active_count);
+            for (id, a) in active.iter_mut().enumerate() {
+                if *a {
+                    if pick == 0 {
+                        *a = false;
+                        active_count -= 1;
+                        events.push((t, ChurnEvent::Leave(id as u64)));
+                        break;
+                    }
+                    pick -= 1;
+                }
+            }
+        }
+    }
+
+    ChurnTrace {
+        avg_active: weighted_active / horizon,
+        join_rate: joins as f64 / horizon,
+        final_active: active_count,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ChurnModel {
+        ChurnModel {
+            n: 400.0,
+            lambda: 1.0,
+            mu: 3.0,
+        }
+    }
+
+    #[test]
+    fn steady_state_matches_closed_form() {
+        let m = model();
+        // Long horizon so the transient from the all-inactive start fades.
+        let trace = simulate_churn(&m, 200.0, 11);
+        let expect_active = m.active_subscribers(); // 100
+        assert!(
+            (trace.avg_active - expect_active).abs() / expect_active < 0.08,
+            "avg_active={} expected≈{expect_active}",
+            trace.avg_active
+        );
+        let expect_joins = m.join_rate(); // 300/unit time
+        assert!(
+            (trace.join_rate - expect_joins).abs() / expect_joins < 0.08,
+            "join_rate={} expected≈{expect_joins}",
+            trace.join_rate
+        );
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let trace = simulate_churn(&model(), 5.0, 3);
+        // Events are time-ordered and the running balance matches.
+        let mut last_t = 0.0;
+        let mut balance = 0i64;
+        for (t, e) in &trace.events {
+            assert!(*t >= last_t);
+            last_t = *t;
+            match e {
+                ChurnEvent::Join(_) => balance += 1,
+                ChurnEvent::Leave(_) => balance -= 1,
+            }
+            assert!(balance >= 0);
+        }
+        assert_eq!(balance as usize, trace.final_active);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_churn(&model(), 3.0, 9);
+        let b = simulate_churn(&model(), 3.0, 9);
+        assert_eq!(a, b);
+        let c = simulate_churn(&model(), 3.0, 10);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn no_subscriber_joins_twice_without_leaving() {
+        let trace = simulate_churn(&model(), 4.0, 5);
+        let mut active = std::collections::HashSet::new();
+        for (_, e) in &trace.events {
+            match e {
+                ChurnEvent::Join(id) => assert!(active.insert(*id), "double join of {id}"),
+                ChurnEvent::Leave(id) => assert!(active.remove(id), "leave of inactive {id}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rates_rejected() {
+        simulate_churn(
+            &ChurnModel {
+                n: 10.0,
+                lambda: 0.0,
+                mu: 1.0,
+            },
+            1.0,
+            0,
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Analytical models, synthetic workload generation and statistics for
+//! the PSGuard evaluation.
+//!
+//! Three pieces:
+//!
+//! * model-level functions ([`nakt_max_costs`], [`nakt_avg_costs`],
+//!   [`kdc_costs`], [`subscriber_costs`], [`cost_ratio_lower_bound`],
+//!   [`ChurnModel`]) — the closed forms of §3.2.2 behind Tables 1–6;
+//! * [`Workload`] — the §5.2 synthetic workload: 128 Zipf-popular topics
+//!   (32 plain / numeric / category / string), Gaussian subscription
+//!   ranges, 256-byte payloads;
+//! * [`summarize`] / [`percentile`] / [`TextTable`] — the statistics and
+//!   fixed-width rendering used by every `tableN`/`figN` harness binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod models;
+mod samplers;
+mod stats;
+mod workload;
+
+pub use churn::{simulate_churn, ChurnEvent, ChurnTrace};
+pub use models::{
+    cost_ratio_lower_bound, kdc_costs, nakt_avg_costs, nakt_max_costs, subscriber_costs,
+    ChurnModel, KdcCostRow, NaktCosts, SubscriberCostRow,
+};
+pub use samplers::{gaussian, gaussian_clamped, ZipfSampler};
+pub use stats::{percentile, summarize, Summary, TextTable};
+pub use workload::{CategoryTree, TopicKind, TopicSpec, Workload, WorkloadConfig};

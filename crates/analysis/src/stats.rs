@@ -1,0 +1,179 @@
+//! Small statistics helpers and fixed-width table rendering for the
+//! bench harness (every `tableN`/`figN` binary prints through these).
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes summary statistics; an empty sample yields zeros.
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    Summary {
+        n,
+        mean,
+        std_dev: var.sqrt(),
+        min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) by nearest-rank on a copy of the sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let idx = ((p.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
+    v[idx]
+}
+
+/// A fixed-width text table, printed row by row — the output format of
+/// the experiment harness.
+///
+/// # Example
+///
+/// ```
+/// use psguard_analysis::TextTable;
+///
+/// let mut t = TextTable::new(&["R", "# Keys", "Key Gen (µs)"]);
+/// t.row(&["10^2", "12", "23.66"]);
+/// let s = t.render();
+/// assert!(s.contains("# Keys"));
+/// assert!(s.contains("23.66"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (missing cells render empty; extra cells are kept).
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of formatted floats (2 decimal places).
+    pub fn row_f64(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.2}")));
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (w, h) in widths.iter_mut().zip(&self.headers) {
+            *w = (*w).max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = width.saturating_sub(cell.chars().count());
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+                if i + 1 < cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["alpha", "1"]);
+        t.row_f64("beta", &[1.23456]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+        assert!(lines[3].contains("1.23"));
+    }
+}

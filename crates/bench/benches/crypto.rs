@@ -1,0 +1,60 @@
+//! Microbenchmarks of the cryptographic primitives — the per-operation
+//! costs that Tables 1–2 and Figure 5 are built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psguard_crypto::{
+    cbc_decrypt, cbc_encrypt, hmac_sha1, prf, prf_verify, Aes128, DeriveKey, Md5, Sha1,
+};
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = [0xabu8; 64];
+    c.bench_function("sha1_64B", |b| b.iter(|| Sha1::digest(black_box(&data))));
+    c.bench_function("md5_64B", |b| b.iter(|| Md5::digest(black_box(&data))));
+    c.bench_function("hmac_sha1_64B", |b| {
+        b.iter(|| hmac_sha1(black_box(b"key"), black_box(&data)))
+    });
+}
+
+fn bench_key_derivation_step(c: &mut Criterion) {
+    let key = DeriveKey::from_bytes(b"node");
+    c.bench_function("child_derivation_H", |b| {
+        b.iter(|| black_box(&key).child(1))
+    });
+    c.bench_function("kh_root_derivation", |b| {
+        b.iter(|| black_box(&key).kh(b"age"))
+    });
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let cipher = Aes128::new(&[7u8; 16]);
+    let mut block = [0u8; 16];
+    c.bench_function("aes128_block", |b| {
+        b.iter(|| cipher.encrypt_block(black_box(&mut block)))
+    });
+    let iv = [0u8; 16];
+    let payload = vec![0u8; 256];
+    c.bench_function("aes128_cbc_encrypt_256B", |b| {
+        b.iter(|| cbc_encrypt(&cipher, &iv, black_box(&payload)))
+    });
+    let ct = cbc_encrypt(&cipher, &iv, &payload);
+    c.bench_function("aes128_cbc_decrypt_256B", |b| {
+        b.iter(|| cbc_decrypt(&cipher, &iv, black_box(&ct)).expect("valid"))
+    });
+}
+
+fn bench_tokenization(c: &mut Criterion) {
+    let token = prf(b"master", b"topic");
+    let tag = prf(token.as_bytes(), b"nonce-bytes-0123");
+    c.bench_function("token_match_prf_verify", |b| {
+        b.iter(|| prf_verify(black_box(&token), black_box(b"nonce-bytes-0123"), &tag))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_key_derivation_step,
+    bench_aes,
+    bench_tokenization
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Baseline (subscriber-group) benchmarks: join cost growth with the
+//! active population, direct vs LKH rekeying — the microbench view of
+//! Figures 3–5's macro trends.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psguard_groupkey::{LkhTree, RekeyStrategy, SubscriberGroupManager};
+use psguard_model::IntRange;
+
+fn bench_join_cost_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_join_after_n");
+    for n in [8u64, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut mgr = SubscriberGroupManager::new(
+                        IntRange::new(0, 1023).expect("valid"),
+                        RekeyStrategy::Direct,
+                        b"bench",
+                    );
+                    for s in 0..n {
+                        mgr.join(s, IntRange::new(200, 800).expect("valid"));
+                    }
+                    mgr
+                },
+                |mut mgr| {
+                    black_box(mgr.join(u64::MAX, IntRange::new(300, 700).expect("valid")))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_lkh_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rekey_strategy");
+    for (label, strategy) in [("direct", RekeyStrategy::Direct), ("lkh", RekeyStrategy::Lkh)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mgr = SubscriberGroupManager::new(
+                    IntRange::new(0, 255).expect("valid"),
+                    strategy,
+                    b"bench",
+                );
+                let mut msgs = 0u64;
+                for s in 0..64u64 {
+                    msgs += mgr.join(s, IntRange::new(10, 240).expect("valid")).total_messages();
+                }
+                black_box(msgs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lkh_tree_ops(c: &mut Criterion) {
+    c.bench_function("lkh_join_at_1024", |b| {
+        b.iter_batched(
+            || {
+                let mut tree = LkhTree::new(b"bench");
+                for m in 0..1024 {
+                    tree.join(m);
+                }
+                tree
+            },
+            |mut tree| black_box(tree.join(u64::MAX)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_join_cost_growth,
+    bench_lkh_vs_direct,
+    bench_lkh_tree_ops
+);
+criterion_main!(benches);

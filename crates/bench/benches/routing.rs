@@ -1,0 +1,74 @@
+//! Secure-routing benchmarks: tokenized matching and multi-path
+//! machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psguard_crypto::prf;
+use psguard_routing::{
+    simulate, zipf_frequencies, AttackSimConfig, MultipathTree, RoutableTag, SecureEvent,
+    SecureFilter,
+};
+use psguard_siena::FilterSemantics;
+
+fn bench_secure_match(c: &mut Criterion) {
+    let token = prf(b"master", b"topic");
+    let filter = SecureFilter {
+        token,
+        constraints: vec![psguard_model::Constraint::new(
+            "age",
+            psguard_model::Op::Ge(10),
+        )],
+    };
+    let event = SecureEvent {
+        tag: RoutableTag::with_nonce(&token, [7u8; 16]),
+        event: psguard_model::Event::builder("")
+            .attr("age", 42i64)
+            .payload(vec![0u8; 256])
+            .build(),
+        iv: [0u8; 16],
+        epoch: 0,
+        mac: [0u8; 20],
+    };
+    c.bench_function("secure_filter_match_hit", |b| {
+        b.iter(|| FilterSemantics::matches(black_box(&filter), black_box(&event)))
+    });
+    let other = SecureFilter {
+        token: prf(b"master", b"other"),
+        constraints: vec![],
+    };
+    c.bench_function("secure_filter_match_miss", |b| {
+        b.iter(|| FilterSemantics::matches(black_box(&other), black_box(&event)))
+    });
+}
+
+fn bench_multipath(c: &mut Criterion) {
+    let tree = MultipathTree::new(10, 3).expect("valid");
+    let leaf = tree.leaf_digits(777);
+    c.bench_function("variant_path_depth3", |b| {
+        b.iter(|| tree.variant_path(black_box(&leaf), 7).expect("valid"))
+    });
+    let freqs = zipf_frequencies(128, 0.9);
+    c.bench_function("paths_per_token_128", |b| {
+        b.iter(|| MultipathTree::paths_per_token(black_box(&freqs), 10))
+    });
+}
+
+fn bench_attack_sim(c: &mut Criterion) {
+    let config = AttackSimConfig {
+        arity: 8,
+        depth: 3,
+        token_freqs: zipf_frequencies(64, 0.9),
+        ind_max: 5,
+        events: 10_000,
+        seed: 1,
+    };
+    c.bench_function("attack_sim_10k_events", |b| {
+        b.iter(|| simulate(black_box(&config)).expect("valid"))
+    });
+    let obs = simulate(&config).expect("valid");
+    c.bench_function("collusive_entropy_estimate", |b| {
+        b.iter(|| obs.collusive_s_app(black_box(0.2), 3))
+    });
+}
+
+criterion_group!(benches, bench_secure_match, bench_multipath, bench_attack_sim);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Broker-substrate benchmarks: matching throughput, the covering
+//! optimization ablation, and the wire codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+use psguard_siena::{Broker, Peer, SubscriptionTable, Wire};
+
+fn filters(n: usize) -> Vec<Filter> {
+    (0..n)
+        .map(|i| {
+            Filter::for_topic(format!("topic{:02}", i % 16)).with(Constraint::new(
+                "x",
+                Op::InRange(
+                    IntRange::new((i % 50) as i64, (i % 50 + 30) as i64).expect("valid"),
+                ),
+            ))
+        })
+        .collect()
+}
+
+fn bench_broker_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_publish");
+    for n in [16usize, 64, 256] {
+        let mut broker: Broker<Filter> = Broker::new(true);
+        for (i, f) in filters(n).into_iter().enumerate() {
+            broker.subscribe(Peer::Local(i as u32), f);
+        }
+        let event = Event::builder("topic05").attr("x", 20i64).build();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &event, |b, e| {
+            b.iter(|| broker.publish(Peer::Parent, black_box(e.clone())))
+        });
+    }
+    group.finish();
+}
+
+/// Covering ablation: how much upstream table growth the covering test
+/// suppresses when many subscribers share interests.
+fn bench_covering_ablation(c: &mut Criterion) {
+    // 256 subscriptions over 16 distinct filters.
+    let subs: Vec<Filter> = (0..256)
+        .map(|i| Filter::for_topic(format!("t{}", i % 16)))
+        .collect();
+    c.bench_function("table_insert_with_covering_256", |b| {
+        b.iter(|| {
+            let mut table: SubscriptionTable<Filter> = SubscriptionTable::new();
+            let mut forwarded = 0u32;
+            for (i, f) in subs.iter().enumerate() {
+                if table.insert(Peer::Local(i as u32), f.clone()) {
+                    forwarded += 1;
+                }
+            }
+            black_box(forwarded) // 16 with covering; 256 without
+        })
+    });
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let event = Event::builder("stocks")
+        .publisher("nasdaq")
+        .attr("price", 95i64)
+        .attr("sym", "GOOG")
+        .payload(vec![0u8; 256])
+        .build();
+    c.bench_function("wire_encode_event_256B", |b| {
+        b.iter(|| black_box(&event).to_bytes())
+    });
+    let bytes = event.to_bytes();
+    c.bench_function("wire_decode_event_256B", |b| {
+        b.iter(|| Event::from_bytes(black_box(&bytes)).expect("valid"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_broker_publish,
+    bench_covering_ablation,
+    bench_wire_codec
+);
+criterion_main!(benches);

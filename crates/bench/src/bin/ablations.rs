@@ -1,0 +1,109 @@
+//! Ablations of PSGuard's design choices (DESIGN.md §6):
+//!
+//! 1. **NAKT arity** — the paper proves binary trees minimize
+//!    authorization keys; measure keys per grant for a ∈ {2, 4, 8, 16}.
+//! 2. **Path assignment** — `ind_t ∝ λ_t` vs. a uniform `ind_max` per
+//!    token: uniform replication costs the same overlay but flattens
+//!    nothing.
+//! 3. **Redundant parallel routing** — the paper's fault-tolerance
+//!    extension: delivery rate vs. replica count under message-dropping
+//!    routers.
+//! 4. **Covering optimization** — upstream subscription-table size with
+//!    and without covering-based suppression.
+
+use psguard_analysis::TextTable;
+use psguard_keys::Nakt;
+use psguard_model::{Filter, IntRange};
+use psguard_routing::{
+    apparent_entropy, entropy_bits, zipf_frequencies, MultipathTree, PathAssignment,
+    RedundantRouter,
+};
+use psguard_siena::{Peer, SubscriptionTable};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Arity ablation.
+    // ------------------------------------------------------------------
+    println!("Ablation 1: NAKT arity (range 0..4095, subscription (100, 3000))\n");
+    let q = IntRange::new(100, 3000).expect("valid");
+    let mut t = TextTable::new(&["arity", "max keys (bound)", "keys for (100,3000)", "tree depth"]);
+    for a in [2u8, 4, 8, 16] {
+        let nakt = Nakt::with_arity(IntRange::new(0, 4095).expect("valid"), 1, a).expect("valid");
+        let cover = nakt.canonical_cover(&q).expect("in range");
+        t.row(&[
+            &a.to_string(),
+            &nakt.max_auth_keys().to_string(),
+            &cover.len().to_string(),
+            &nakt.depth().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Binary trees minimize the worst-case key count (§3.1's optimality\nclaim); higher arity shortens derivation paths but inflates grants.\n");
+
+    // ------------------------------------------------------------------
+    // 2. Path-assignment ablation.
+    // ------------------------------------------------------------------
+    println!("Ablation 2: ind_t proportional to popularity vs uniform (128 Zipf tokens)\n");
+    let freqs = zipf_frequencies(128, 0.9);
+    let mut t = TextTable::new(&[
+        "ind_max",
+        "S_app proportional",
+        "S_app uniform",
+        "gain (bits)",
+    ]);
+    for ind in [1u8, 2, 5, 10] {
+        let p = apparent_entropy(&freqs, ind, PathAssignment::Proportional);
+        let u = apparent_entropy(&freqs, ind, PathAssignment::Uniform);
+        t.row(&[
+            &ind.to_string(),
+            &format!("{p:.2}"),
+            &format!("{u:.2}"),
+            &format!("{:.2}", p - u),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "True entropy = {:.2} bits. Uniform replication rescales the whole\ndistribution (no hiding); only popularity-proportional assignment\nflattens what routers observe.\n",
+        entropy_bits(&freqs)
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Redundant parallel routing (fault-tolerance extension).
+    // ------------------------------------------------------------------
+    println!("Ablation 3: parallel replicas vs malicious dropping routers (ind = 5)\n");
+    let tree = MultipathTree::new(5, 3).expect("valid");
+    let leaf = tree.leaf_digits(42);
+    let mut t = TextTable::new(&["replicas", "drop 5%", "drop 15%", "drop 30%", "bandwidth"]);
+    for replicas in 1..=5u8 {
+        let router = RedundantRouter::new(tree.clone(), 5, replicas).expect("valid");
+        let mut cells = vec![replicas.to_string()];
+        for drop in [0.05, 0.15, 0.30] {
+            let r = router
+                .simulate_drops(&leaf, drop, 20_000, 7)
+                .expect("valid leaf");
+            cells.push(format!("{:.1}%", r.delivery_rate() * 100.0));
+        }
+        cells.push(format!("{replicas}x"));
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        t.row(&refs);
+    }
+    println!("{}", t.render());
+    println!("Each extra replica rides a vertex-disjoint path (Theorem 4.2), so\ndelivery probability compounds while bandwidth grows linearly.\n");
+
+    // ------------------------------------------------------------------
+    // 4. Covering ablation.
+    // ------------------------------------------------------------------
+    println!("Ablation 4: covering-based subscription suppression\n");
+    let mut table: SubscriptionTable<Filter> = SubscriptionTable::new();
+    let mut forwarded = 0u32;
+    let n = 256;
+    for i in 0..n {
+        if table.insert(Peer::Local(i), Filter::for_topic(format!("t{}", i % 16))) {
+            forwarded += 1;
+        }
+    }
+    println!(
+        "{n} subscriptions over 16 topics: {forwarded} forwarded upstream with\ncovering, {n} without — a {:.0}x reduction in upstream table growth,\nwhich is what keeps the Figure 9 overlays scalable.",
+        n as f64 / forwarded as f64
+    );
+}

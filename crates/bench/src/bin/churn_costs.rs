@@ -1,0 +1,118 @@
+//! Messaging-cost comparison under realistic subscriber churn — the
+//! dynamic version of §3.2.2's quantitative analysis (which Tables 5–6
+//! bound analytically).
+//!
+//! An M/M/N churn trace drives both schemes over one epoch: every join
+//! costs PSGuard one grant (log₂φ keys, zero messages to others) while
+//! the subscriber-group baseline splits interval groups and rekeys every
+//! overlapping member; leaves are lazily revoked at the epoch boundary.
+
+use psguard_analysis::{
+    cost_ratio_lower_bound, simulate_churn, ChurnEvent, ChurnModel, TextTable,
+};
+use psguard_bench::hash_cost_us;
+use psguard_groupkey::{RekeyReport, RekeyStrategy, SubscriberGroupManager};
+use psguard_keys::{EpochId, Kdc, OpCounter, Schema, TopicScope};
+use psguard_model::{Constraint, Filter, IntRange, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    const R: i64 = 1024;
+    const PHI: i64 = 100;
+    let hash_us = hash_cost_us();
+    println!(
+        "Churn-driven cost comparison (R = {R}, phi_R = {PHI}, one epoch)\n"
+    );
+
+    let schema = Schema::builder()
+        .numeric("v", IntRange::new(0, R - 1).expect("valid"), 1)
+        .expect("valid nakt")
+        .build();
+    let kdc = Kdc::from_seed(b"churn");
+
+    let mut table = TextTable::new(&[
+        "N (population)",
+        "avg active NS",
+        "joins",
+        "PSGuard keys sent",
+        "Group keys sent",
+        "measured ratio",
+        "analytic lower bound",
+    ]);
+
+    for n in [50.0f64, 100.0, 200.0, 400.0] {
+        let model = ChurnModel {
+            n,
+            lambda: 1.0,
+            mu: 3.0,
+        };
+        let trace = simulate_churn(&model, 4.0, 42);
+        let mut rng = StdRng::seed_from_u64(9);
+
+        let mut mgr = SubscriberGroupManager::new(
+            IntRange::new(0, R - 1).expect("valid"),
+            RekeyStrategy::Direct,
+            b"churn",
+        );
+        let mut group_total = RekeyReport::default();
+        let mut ps_keys_sent = 0u64;
+        let mut ps_gen_hashes = 0u64;
+        let mut joins = 0u64;
+
+        // A stable range per subscriber id, drawn once.
+        let mut range_of = std::collections::HashMap::new();
+        for (_, event) in &trace.events {
+            match event {
+                ChurnEvent::Join(id) => {
+                    joins += 1;
+                    let lo = *range_of
+                        .entry(*id)
+                        .or_insert_with(|| rng.gen_range(0..(R - PHI)));
+                    let range = IntRange::new(lo, lo + PHI - 1).expect("valid");
+
+                    // Baseline join.
+                    group_total.merge(&mgr.join(*id, range));
+
+                    // PSGuard join: one stateless grant.
+                    let f = Filter::for_topic("w")
+                        .with(Constraint::new("v", Op::InRange(range)));
+                    let mut ops = OpCounter::new();
+                    let grant = kdc
+                        .grant(&schema, &f, EpochId(0), &TopicScope::Shared, &mut ops)
+                        .expect("grantable");
+                    ps_keys_sent += grant.key_count() as u64;
+                    ps_gen_hashes += ops.total();
+                }
+                ChurnEvent::Leave(id) => {
+                    // Lazy revocation on both sides; the baseline pays at
+                    // the epoch boundary below.
+                    mgr.leave_lazy(*id);
+                }
+            }
+        }
+        // Epoch boundary: the baseline purges departed members.
+        group_total.merge(&mgr.epoch_rekey());
+
+        let group_keys = group_total.total_messages();
+        let ratio = group_keys as f64 / ps_keys_sent.max(1) as f64;
+        table.row(&[
+            &format!("{n:.0}"),
+            &format!("{:.1}", trace.avg_active),
+            &joins.to_string(),
+            &ps_keys_sent.to_string(),
+            &group_keys.to_string(),
+            &format!("{ratio:.2}x"),
+            &format!(
+                "{:.2}x",
+                cost_ratio_lower_bound(trace.avg_active, R as f64, PHI as f64)
+            ),
+        ]);
+        let _ = ps_gen_hashes as f64 * hash_us; // KDC compute, reported by fig5
+    }
+
+    println!("{}", table.render());
+    println!("The measured ratio sits at or above the §3.2.2 analytical lower bound");
+    println!("(uniform ranges are the baseline's best case), and grows with the");
+    println!("active population while PSGuard's per-join cost stays log2(phi).");
+}

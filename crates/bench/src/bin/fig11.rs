@@ -1,0 +1,37 @@
+//! Figure 11 — throughput and latency on the 30-broker overlay vs. the
+//! subscriber key-cache size, under a temporal-locality (stock-quote)
+//! stream. Caching intermediate NAKT keys recovers most of PSGuard's
+//! key-derivation overhead.
+
+use psguard_analysis::TextTable;
+use psguard_bench::perf::run_cache_sweep;
+
+fn main() {
+    println!("Figure 11: Key Caching (30 broker nodes, 32 subscribers)\n");
+    let points = run_cache_sweep(&[0, 1, 2, 4, 8, 16, 32, 64], 11);
+
+    let mut table = TextTable::new(&[
+        "Cache (KB)",
+        "Decrypt cost (µs/event)",
+        "Throughput (events/s)",
+        "Latency (ms)",
+    ]);
+    for p in &points {
+        table.row(&[
+            &format!("{}", p.cache_kb),
+            &format!("{}", p.decrypt_us),
+            &format!("{:.0}", p.throughput_eps),
+            &format!("{:.1}", p.latency_ms),
+        ]);
+    }
+    println!("{}", table.render());
+    let first = points.first().expect("sweep");
+    let last = points.last().expect("sweep");
+    println!(
+        "cache 0 KB -> {} µs/decrypt; cache 64 KB -> {} µs/decrypt",
+        first.decrypt_us, last.decrypt_us
+    );
+    println!("\nShape check (paper): with a 64 KB cache the derivation overhead");
+    println!("nearly vanishes (throughput 10.8% -> 2.2% below Siena; latency");
+    println!("5.7% -> 1.5% above), leaving AES as the dominant crypto cost.");
+}

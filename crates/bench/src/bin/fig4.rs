@@ -1,0 +1,31 @@
+//! Figure 4 — average number of keys per publisher vs. the number of
+//! subscribers NS, PSGuard vs SubscriberGroup. A PSGuard publisher holds
+//! one topic key per topic; a subscriber-group publisher must hold every
+//! group key of every topic it publishes on.
+
+use psguard_analysis::TextTable;
+use psguard_bench::keymgmt::{run_key_management, NS_SWEEP};
+
+fn main() {
+    println!("Figure 4: Num Keys per Publisher vs NS (publisher on all 128 topics)\n");
+    let mut table = TextTable::new(&[
+        "NS",
+        "PSGuard",
+        "SubscriberGroup (subset, cap 2^12)",
+        "SubscriberGroup (interval)",
+        "subset ratio",
+    ]);
+    for ns in NS_SWEEP {
+        let s = run_key_management(ns, 42);
+        table.row(&[
+            &format!("{ns}"),
+            &format!("{:.0}", s.psguard_keys_per_pub),
+            &format!("{:.0}", s.group_keys_per_pub),
+            &format!("{:.0}", s.group_keys_per_pub_interval),
+            &format!("{:.1}x", s.group_keys_per_pub / s.psguard_keys_per_pub),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape check (paper): PSGuard constant in NS; SubscriberGroup grows");
+    println!("with NS (more subscribers -> more interval groups per topic).");
+}

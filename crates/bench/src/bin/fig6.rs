@@ -1,0 +1,34 @@
+//! Figure 6 — secure content-based routing under a NON-COLLUSIVE
+//! setting: apparent entropy Sapp vs. the maximum number of independent
+//! paths (1..=5), against Smax and Sact. 128 Zipf tokens.
+
+use psguard_analysis::TextTable;
+use psguard_routing::{simulate, zipf_frequencies, AttackSimConfig};
+
+fn main() {
+    println!("Figure 6: Secure Content-Based Routing, Non-Collusive Setting\n");
+    let freqs = zipf_frequencies(128, 0.9);
+    let mut table = TextTable::new(&["Max Ind Paths", "Smax (bits)", "Sapp (bits)", "Sact (bits)"]);
+    for ind in 1..=5u8 {
+        let obs = simulate(&AttackSimConfig {
+            arity: 8,
+            depth: 3,
+            token_freqs: freqs.clone(),
+            ind_max: ind,
+            events: 200_000,
+            seed: 6,
+        })
+        .expect("valid config");
+        let r = obs.report(0.0, 0);
+        table.row(&[
+            &format!("{ind}"),
+            &format!("{:.2}", r.s_max),
+            &format!("{:.2}", r.s_app),
+            &format!("{:.2}", r.s_act),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape check (paper): Sapp rises with ind and is within ~10% of Smax");
+    println!("at ind = 5, while Sact stays constant. The lower Sapp is, the more a");
+    println!("curious router can infer from token frequencies.");
+}

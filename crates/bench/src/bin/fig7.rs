@@ -1,0 +1,44 @@
+//! Figure 7 — secure content-based routing under a COLLUSIVE setting:
+//! apparent entropy vs. the fraction of colluding routing nodes
+//! (ind_max = 5, 128 Zipf tokens). Coalition draws are averaged over
+//! several seeds.
+
+use psguard_analysis::TextTable;
+use psguard_routing::{simulate, zipf_frequencies, AttackSimConfig};
+
+fn main() {
+    println!("Figure 7: Secure Content-Based Routing, Collusive Setting (ind_max = 5)\n");
+    let obs = simulate(&AttackSimConfig {
+        arity: 8,
+        depth: 3,
+        token_freqs: zipf_frequencies(128, 0.9),
+        ind_max: 5,
+        events: 200_000,
+        seed: 7,
+    })
+    .expect("valid config");
+
+    let mut table = TextTable::new(&[
+        "Colluding Fraction",
+        "Smax (bits)",
+        "Sapp (bits)",
+        "Sact (bits)",
+    ]);
+    for f in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let s_app = if f == 0.0 {
+            obs.non_collusive_s_app()
+        } else {
+            (0..10).map(|s| obs.collusive_s_app(f, s)).sum::<f64>() / 10.0
+        };
+        table.row(&[
+            &format!("{f:.1}"),
+            &format!("{:.2}", obs.s_max()),
+            &format!("{s_app:.2}"),
+            &format!("{:.2}", obs.s_act()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape check (paper): entropy decreases as more routers collude; at");
+    println!("full collusion the coalition recovers the true distribution (Sact).");
+    println!("At realistic collusion (10-20%) Sapp remains well above Sact.");
+}

@@ -1,0 +1,37 @@
+//! Figure 8 — cost of constructing the multi-path event-dissemination
+//! network vs. ind_max, normalized to ind_max = 1. Only popular tokens
+//! are provisioned many paths (ind_t = τ·λ_t capped), so the cost
+//! saturates.
+
+use psguard_analysis::TextTable;
+use psguard_routing::{zipf_frequencies, MultipathTree};
+
+fn main() {
+    println!("Figure 8: Cost of Constructing a Multi-Path Event Routing Network\n");
+    let tree = MultipathTree::new(10, 3).expect("valid tree");
+    let freqs = zipf_frequencies(128, 0.9);
+    let base = tree.construction_cost(&freqs, 1);
+
+    let mut table = TextTable::new(&[
+        "Max Ind Paths",
+        "Normalized construction cost",
+        "Tokens at ind_max",
+        "Tokens with < 2 paths",
+    ]);
+    for ind in 1..=10u8 {
+        let cost = tree.construction_cost(&freqs, ind) / base;
+        let per_token = MultipathTree::paths_per_token(&freqs, ind);
+        let at_cap = per_token.iter().filter(|&&p| p == ind).count();
+        let below2 = per_token.iter().filter(|&&p| p < 2).count();
+        table.row(&[
+            &format!("{ind}"),
+            &format!("{cost:.2}"),
+            &format!("{at_cap}"),
+            &format!("{below2}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape check (paper): cost grows sub-linearly and saturates; only the");
+    println!("most popular tokens use all ind_max paths while many tokens use fewer");
+    println!("than two. Paper: ind_max = 5 costs ~3x the ind_max = 1 overlay.");
+}

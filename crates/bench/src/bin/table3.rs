@@ -1,0 +1,32 @@
+//! Table 3 — KDC costs per subscriber join: PSGuard vs SubscriberGroup
+//! (analytical model of §3.2.2, parameterized like the paper's tables:
+//! NS = 10³, R = 10⁴, φR = 100).
+
+use psguard_analysis::{kdc_costs, TextTable};
+
+fn main() {
+    let (ns, r, phi) = (1e3, 1e4, 1e2);
+    println!("Table 3: KDC Costs per join (NS = 10^3, R = 10^4, phi_R = 10^2)\n");
+
+    let rows = kdc_costs(ns, r, phi);
+    let mut table = TextTable::new(&[
+        "Scheme",
+        "Join Message (keys)",
+        "Join Compute (hashes)",
+        "Storage (keys)",
+        "Stateless",
+    ]);
+    for row in &rows {
+        table.row(&[
+            row.scheme,
+            &format!("{:.2}", row.join_messages),
+            &format!("{:.2}", row.join_compute_hashes),
+            &format!("{:.0}", row.storage_keys),
+            if row.stateless { "Yes" } else { "No" },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Symbolic forms (paper Table 3):");
+    println!("  PSGuard:         log2(phi)   H*2*log2(phi)   1        Yes");
+    println!("  SubscriberGroup: 6*NS*phi/R  -               2*NS     No");
+}

@@ -1,0 +1,36 @@
+//! Table 4 — per-subscriber costs: PSGuard vs SubscriberGroup
+//! (analytical model of §3.2.2; NS = 10³, R = 10⁴, φR = 100).
+
+use psguard_analysis::{subscriber_costs, TextTable};
+
+fn main() {
+    let (ns, r, phi) = (1e3, 1e4, 1e2);
+    println!("Table 4: Subscriber Costs (NS = 10^3, R = 10^4, phi_R = 10^2)\n");
+
+    let rows = subscriber_costs(ns, r, phi);
+    let mut table = TextTable::new(&[
+        "Scheme",
+        "Join Msg (new sub)",
+        "Join Msg (active subs)",
+        "Storage (keys)",
+        "Event Processing",
+    ]);
+    for row in &rows {
+        let event = if row.event_hashes > 0.0 {
+            format!("D + {:.2} H", row.event_hashes)
+        } else {
+            "D".to_string()
+        };
+        table.row(&[
+            row.scheme,
+            &format!("{:.2}", row.join_messages_new),
+            &format!("{:.2}", row.join_messages_active),
+            &format!("{:.2}", row.storage_keys),
+            &event,
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Symbolic forms (paper Table 4):");
+    println!("  PSGuard:         log2(phi)     -             log2(phi)     D + H*log2(phi)");
+    println!("  SubscriberGroup: 2*NS*phi/R    4*NS*phi/R    2*NS*phi/R    D");
+}

@@ -1,0 +1,22 @@
+//! Table 6 — theoretical lower bound on the messaging-cost ratio
+//! `C_subscribergroup : C_psguard` vs. subscriber count `NS`
+//! (φR = 100, R = 10⁴).
+
+use psguard_analysis::{cost_ratio_lower_bound, TextTable};
+
+fn main() {
+    let (r, phi) = (1e4, 1e2);
+    println!("Table 6: Theoretical Lower Bound on cost ratio (phi_R = 100, R = 10^4)\n");
+
+    let mut table = TextTable::new(&["NS", "C_subscribergroup : C_psguard"]);
+    for exp in [1i32, 2, 3, 4] {
+        let ns = 10f64.powi(exp);
+        table.row(&[
+            &format!("10^{exp}"),
+            &format!("{:.2}", cost_ratio_lower_bound(ns, r, phi)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: 0.09, 0.90, 9.04, 90.36 — the crossover: group key");
+    println!("management can win only for very small subscriber populations.");
+}

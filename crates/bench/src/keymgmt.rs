@@ -1,0 +1,232 @@
+//! The key-management comparison experiment behind Figures 3–5: PSGuard
+//! vs the subscriber-group baseline under the §5.2 workload, swept over
+//! the number of subscribers `NS`.
+
+use std::collections::HashMap;
+
+use psguard_groupkey::{RekeyReport, RekeyStrategy, SubscriberGroupManager};
+use psguard_keys::OpCounter;
+
+use crate::{aes_block_us, baseline_interval, hash_cost_us, PaperSetup};
+
+/// Measured quantities for one subscriber-count `NS`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyMgmtSample {
+    /// Number of active subscribers.
+    pub ns: u32,
+    /// Average authorization keys per subscriber, PSGuard (Figure 3).
+    pub psguard_keys_per_sub: f64,
+    /// Average keys per subscriber, SubscriberGroup with subset groups
+    /// capped at 2^12 per topic — the paper's \[13\]-style baseline
+    /// (Figure 3).
+    pub group_keys_per_sub: f64,
+    /// Average keys per subscriber under a charitable interval-group
+    /// baseline (groups only for the subscriber sets that can actually
+    /// occur for range subscriptions).
+    pub group_keys_per_sub_interval: f64,
+    /// Keys a publisher must hold, PSGuard (Figure 4): one topic key per
+    /// published topic.
+    pub psguard_keys_per_pub: f64,
+    /// Keys a publisher must hold, SubscriberGroup (Figure 4): every
+    /// group key of every topic it publishes on (subset model, capped).
+    pub group_keys_per_pub: f64,
+    /// Publisher keys under the interval-group baseline.
+    pub group_keys_per_pub_interval: f64,
+    /// Average KDC compute per join in milliseconds, PSGuard (Figure 5).
+    pub psguard_kdc_ms: f64,
+    /// Average KDC compute per join in milliseconds, SubscriberGroup.
+    pub group_kdc_ms: f64,
+    /// Average KDC network per join in KB, PSGuard (Figure 5).
+    pub psguard_kdc_kb: f64,
+    /// Average KDC network per join in KB, SubscriberGroup.
+    pub group_kdc_kb: f64,
+}
+
+/// Runs the §5.2 key-management experiment for one subscriber count.
+/// Every subscriber makes 32 subscriptions over the 128 Zipf topics; the
+/// baseline maintains interval groups per topic.
+pub fn run_key_management(ns: u32, seed: u64) -> KeyMgmtSample {
+    let hash_us = hash_cost_us();
+    let aes_us = aes_block_us();
+    let mut setup = PaperSetup::new(seed);
+
+    // One baseline manager per topic, lazily created.
+    let mut managers: HashMap<String, SubscriberGroupManager> = HashMap::new();
+    let kinds: HashMap<String, psguard_analysis::TopicKind> = setup
+        .workload
+        .topics()
+        .iter()
+        .map(|t| (t.name.clone(), t.kind))
+        .collect();
+
+    let mut ps_keys_per_sub = Vec::new();
+    let mut ps_gen_ops_per_join: Vec<f64> = Vec::new();
+    let mut ps_keys_per_join: Vec<f64> = Vec::new();
+    let mut group_reports: Vec<RekeyReport> = Vec::new();
+    let mut group_sub_topics: Vec<Vec<(String, psguard_model::IntRange)>> = Vec::new();
+
+    for s in 0..ns {
+        // PSGuard side.
+        let mut sub = setup.ps.subscriber(format!("s{s}"));
+        let filters = setup.workload.subscriptions(32);
+        for f in &filters {
+            let mut ops = OpCounter::new();
+            let grant = setup
+                .ps
+                .kdc()
+                .grant(
+                    setup.ps.schema(),
+                    f,
+                    psguard_keys::EpochId(0),
+                    &psguard_keys::TopicScope::Shared,
+                    &mut ops,
+                )
+                .expect("workload filters grantable");
+            ps_gen_ops_per_join.push(ops.total() as f64);
+            ps_keys_per_join.push(grant.key_count() as f64);
+            sub.install_grant(
+                setup.ps.routing_token(f.topic().expect("topic")),
+                f.clone(),
+                grant,
+            );
+        }
+        ps_keys_per_sub.push(sub.key_count() as f64);
+
+        // Baseline side: the same filters become interval-group joins.
+        let mut my_topics = Vec::new();
+        for f in &filters {
+            let topic = f.topic().expect("topic").to_owned();
+            let kind = kinds[&topic];
+            let interval = baseline_interval(f, kind);
+            let mgr = managers.entry(topic.clone()).or_insert_with(|| {
+                let whole = baseline_interval(&psguard_model::Filter::for_topic(&topic), kind);
+                SubscriberGroupManager::new(whole, RekeyStrategy::Direct, topic.as_bytes())
+            });
+            group_reports.push(mgr.join(s as u64, interval));
+            my_topics.push((topic, interval));
+        }
+        group_sub_topics.push(my_topics);
+    }
+
+    // Figure 3 quantities. The paper's baseline (\[13\]) binds keys to
+    // *subscriber subsets*: with k co-subscribers on a topic, a subscriber
+    // belongs to up to 2^(k−1) potential recipient groups. We cap the
+    // per-topic count at 2^12 (a key-caching bound), as any real system
+    // would.
+    const SUBSET_CAP: f64 = 4096.0;
+    let ps_avg_keys =
+        ps_keys_per_sub.iter().sum::<f64>() / ps_keys_per_sub.len().max(1) as f64;
+    let topic_pop: HashMap<&String, u32> = {
+        let mut m = HashMap::new();
+        for topics in &group_sub_topics {
+            for (t, _) in topics {
+                *m.entry(t).or_insert(0u32) += 1;
+            }
+        }
+        m
+    };
+    let group_avg_keys = {
+        let mut totals = Vec::new();
+        for topics in group_sub_topics.iter() {
+            let mut k = 0.0f64;
+            for (topic, _) in topics {
+                let co = topic_pop[topic].max(1);
+                k += 2f64.powi(co.saturating_sub(1) as i32).min(SUBSET_CAP);
+            }
+            totals.push(k);
+        }
+        totals.iter().sum::<f64>() / totals.len().max(1) as f64
+    };
+    let group_avg_keys_interval = {
+        let mut totals = Vec::new();
+        for (s, topics) in group_sub_topics.iter().enumerate() {
+            let mut k = 0u64;
+            for (topic, _) in topics {
+                k += managers[topic].keys_per_subscriber(s as u64);
+            }
+            totals.push(k as f64);
+        }
+        totals.iter().sum::<f64>() / totals.len().max(1) as f64
+    };
+    let group_pub_keys_interval: f64 = managers
+        .values()
+        .map(|m| m.publisher_key_count() as f64)
+        .sum();
+
+    // Figure 4: a publisher publishing on all topics needs every group
+    // key that could encrypt one of its events.
+    let ps_pub_keys = setup.workload.topics().len() as f64;
+    let group_pub_keys: f64 = topic_pop
+        .values()
+        .map(|&k| (2f64.powi(k as i32) - 1.0).min(SUBSET_CAP))
+        .sum();
+
+    // Figure 5: average per-join KDC cost.
+    let joins = group_reports.len().max(1) as f64;
+    let ps_gen_avg = ps_gen_ops_per_join.iter().sum::<f64>() / joins;
+    let ps_keys_avg = ps_keys_per_join.iter().sum::<f64>() / joins;
+    let group_total = group_reports
+        .iter()
+        .fold(RekeyReport::default(), |acc, r| acc + *r);
+    // Group compute: one hash per generated key plus one AES block per
+    // wrapped key delivery.
+    let group_compute_us = (group_total.keys_generated as f64 * hash_us
+        + group_total.encryptions as f64 * aes_us)
+        / joins;
+    let group_net_bytes = group_total.network_bytes() as f64 / joins;
+
+    KeyMgmtSample {
+        ns,
+        psguard_keys_per_sub: ps_avg_keys,
+        group_keys_per_sub: group_avg_keys,
+        group_keys_per_sub_interval: group_avg_keys_interval,
+        psguard_keys_per_pub: ps_pub_keys,
+        group_keys_per_pub: group_pub_keys,
+        group_keys_per_pub_interval: group_pub_keys_interval,
+        psguard_kdc_ms: ps_gen_avg * hash_us / 1000.0,
+        group_kdc_ms: group_compute_us / 1000.0,
+        psguard_kdc_kb: ps_keys_avg * 32.0 / 1024.0,
+        group_kdc_kb: group_net_bytes / 1024.0,
+    }
+}
+
+/// The paper's NS sweep for Figures 3–5.
+pub const NS_SWEEP: [u32; 5] = [2, 4, 8, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psguard_keys_flat_group_keys_grow() {
+        let small = run_key_management(4, 1);
+        let large = run_key_management(32, 1);
+        // PSGuard: per-subscriber keys independent of NS (within noise).
+        let rel = (large.psguard_keys_per_sub - small.psguard_keys_per_sub).abs()
+            / small.psguard_keys_per_sub;
+        assert!(rel < 0.25, "psguard keys should be ~flat: {small:?} vs {large:?}");
+        // Baseline: grows substantially with NS.
+        assert!(
+            large.group_keys_per_sub > 1.5 * small.group_keys_per_sub,
+            "group keys should grow: {} -> {}",
+            small.group_keys_per_sub,
+            large.group_keys_per_sub
+        );
+        // And the paper's headline: at NS = 32 the baseline holds many
+        // more keys than PSGuard.
+        assert!(large.group_keys_per_sub > 2.0 * large.psguard_keys_per_sub);
+    }
+
+    #[test]
+    fn kdc_load_flat_vs_growing() {
+        let small = run_key_management(4, 2);
+        let large = run_key_management(32, 2);
+        assert!(
+            large.group_kdc_kb > small.group_kdc_kb,
+            "group KDC network must grow with NS"
+        );
+        let rel =
+            (large.psguard_kdc_kb - small.psguard_kdc_kb).abs() / small.psguard_kdc_kb.max(1e-9);
+        assert!(rel < 0.25, "psguard KDC network ~flat");
+    }
+}

@@ -1,0 +1,43 @@
+//! Constant-time comparison for secret material.
+
+/// Compares two byte slices in time independent of where they differ.
+///
+/// Returns `false` immediately (and safely — length is public information)
+/// when the lengths differ.
+///
+/// # Example
+///
+/// ```
+/// assert!(psguard_crypto::ct_eq(b"abc", b"abc"));
+/// assert!(!psguard_crypto::ct_eq(b"abc", b"abd"));
+/// assert!(!psguard_crypto::ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse without branching on the value.
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+}

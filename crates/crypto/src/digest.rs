@@ -1,0 +1,89 @@
+//! A minimal streaming digest abstraction shared by [`crate::Md5`] and
+//! [`crate::Sha1`], and consumed generically by [`crate::Hmac`].
+
+/// A cryptographic hash function with a streaming (init/update/finalize) API.
+///
+/// Implementations buffer input into 64-byte blocks and run their
+/// compression function per block, exactly like the reference
+/// implementations in RFC 1321 / RFC 3174.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::{Digest, Sha1};
+///
+/// let mut hasher = Sha1::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// let streamed = hasher.finalize();
+/// assert_eq!(streamed, Sha1::digest(b"hello world"));
+/// ```
+pub trait Digest: Clone {
+    /// Digest output size in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block size in bytes (64 for MD5 and SHA-1).
+    const BLOCK_LEN: usize;
+
+    /// Creates a fresh hasher in its initial state.
+    fn new() -> Self;
+
+    /// Absorbs `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest.
+    ///
+    /// The returned vector has exactly [`Digest::OUTPUT_LEN`] bytes.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience over `new` → `update` → `finalize`.
+    fn digest_vec(data: &[u8]) -> Vec<u8> {
+        let mut d = Self::new();
+        d.update(data);
+        d.finalize()
+    }
+}
+
+/// Serializes the 64-bit message bit-length in the byte order the algorithm
+/// requires and appends the standard `0x80 … 0x00` Merkle–Damgård padding.
+///
+/// Returns the padding block(s) to feed through `update`.
+pub(crate) fn md_padding(message_len_bytes: u64, little_endian: bool) -> Vec<u8> {
+    let bit_len = message_len_bytes.wrapping_mul(8);
+    // Pad to 56 mod 64 then append the 8-byte length.
+    let rem = (message_len_bytes % 64) as usize;
+    let pad_len = if rem < 56 { 56 - rem } else { 120 - rem };
+    let mut pad = Vec::with_capacity(pad_len + 8);
+    pad.push(0x80);
+    pad.resize(pad_len, 0);
+    if little_endian {
+        pad.extend_from_slice(&bit_len.to_le_bytes());
+    } else {
+        pad.extend_from_slice(&bit_len.to_be_bytes());
+    }
+    pad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_length_is_multiple_of_block() {
+        for len in 0..300u64 {
+            let pad = md_padding(len, false);
+            assert_eq!((len as usize + pad.len()) % 64, 0, "len={len}");
+            assert!(pad.len() >= 9);
+            assert_eq!(pad[0], 0x80);
+        }
+    }
+
+    #[test]
+    fn padding_encodes_bit_length() {
+        let pad = md_padding(3, true);
+        let tail: [u8; 8] = pad[pad.len() - 8..].try_into().unwrap();
+        assert_eq!(u64::from_le_bytes(tail), 24);
+        let pad = md_padding(3, false);
+        let tail: [u8; 8] = pad[pad.len() - 8..].try_into().unwrap();
+        assert_eq!(u64::from_be_bytes(tail), 24);
+    }
+}

@@ -1,0 +1,194 @@
+//! HMAC (RFC 2104), generic over any [`Digest`].
+//!
+//! HMAC-SHA1 instantiates the paper's keyed pseudo-random function `KH`
+//! (rooting the key hierarchies) and the tokenization PRF `F`.
+
+use crate::digest::Digest;
+use crate::md5::Md5;
+use crate::sha1::Sha1;
+
+/// Streaming HMAC computation generic over the underlying hash.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::{Hmac, Sha1};
+///
+/// let mut mac = Hmac::<Sha1>::new(b"key");
+/// mac.update(b"The quick brown fox ");
+/// mac.update(b"jumps over the lazy dog");
+/// let tag = mac.finalize();
+/// assert_eq!(tag.len(), 20);
+/// ```
+#[derive(Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest> std::fmt::Debug for Hmac<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hmac").finish_non_exhaustive()
+    }
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance keyed with `key`.
+    ///
+    /// Keys longer than the hash block size are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let block = D::BLOCK_LEN;
+        let mut key_block = vec![0u8; block];
+        if key.len() > block {
+            let hashed = D::digest_vec(key);
+            key_block[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner = D::new();
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+
+        let mut outer = D::new();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        outer.update(&opad);
+
+        Self { inner, outer }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes the MAC and returns the tag ([`Digest::OUTPUT_LEN`] bytes).
+    pub fn finalize(mut self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+}
+
+/// One-shot HMAC over any digest.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::{hmac, Sha1};
+/// let tag = hmac::<Sha1>(b"key", b"message");
+/// assert_eq!(tag.len(), 20);
+/// ```
+pub fn hmac<D: Digest>(key: &[u8], message: &[u8]) -> Vec<u8> {
+    let mut mac = Hmac::<D>::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// One-shot HMAC-SHA1 (the paper's `KH` and `F`).
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> [u8; 20] {
+    let v = hmac::<Sha1>(key, message);
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&v);
+    out
+}
+
+/// One-shot HMAC-MD5 (the paper's alternative `KH`).
+pub fn hmac_md5(key: &[u8], message: &[u8]) -> [u8; 16] {
+    let v = hmac::<Md5>(key, message);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 test vectors for HMAC-SHA1.
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case2() {
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac_sha1(&key, &data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case6_long_key() {
+        let key = [0xaau8; 80];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    // RFC 2202 test vectors for HMAC-MD5.
+    #[test]
+    fn rfc2202_md5_case1() {
+        let key = [0x0bu8; 16];
+        assert_eq!(hex(&hmac_md5(&key, b"Hi There")), "9294727a3638bb1c13f48ef8158bfc9d");
+    }
+
+    #[test]
+    fn rfc2202_md5_case2() {
+        assert_eq!(
+            hex(&hmac_md5(b"Jefe", b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let expect = hmac_sha1(b"key", b"hello world");
+        let mut mac = Hmac::<Sha1>::new(b"key");
+        mac.update(b"hello");
+        mac.update(b" world");
+        assert_eq!(mac.finalize(), expect.to_vec());
+    }
+
+    #[test]
+    fn key_exactly_block_size() {
+        let key = [0x42u8; 64];
+        // Must not be rehashed: check against the definition directly.
+        let tag = hmac_sha1(&key, b"msg");
+        let manual = {
+            use crate::digest::Digest;
+            use crate::sha1::Sha1;
+            let ipad: Vec<u8> = key.iter().map(|b| b ^ 0x36).collect();
+            let opad: Vec<u8> = key.iter().map(|b| b ^ 0x5c).collect();
+            let mut inner = <Sha1 as Digest>::new();
+            inner.update(&ipad);
+            inner.update(b"msg");
+            let id = inner.finalize();
+            let mut outer = <Sha1 as Digest>::new();
+            outer.update(&opad);
+            outer.update(&id);
+            outer.finalize()
+        };
+        assert_eq!(tag.to_vec(), manual);
+    }
+}

@@ -1,0 +1,206 @@
+//! MD5 (RFC 1321), implemented from the specification.
+//!
+//! The paper lists MD5 as an alternative instantiation of the one-way hash
+//! `H` (and HMAC-MD5 for `KH`). We provide it so the key hierarchy can be
+//! benchmarked under either hash, mirroring the paper's choice.
+
+use crate::digest::{md_padding, Digest};
+
+/// Streaming MD5 hasher.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::Md5;
+///
+/// let d = Md5::digest(b"abc");
+/// assert_eq!(d[0], 0x90);
+/// assert_eq!(d.len(), 16);
+/// ```
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl std::fmt::Debug for Md5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Md5")
+            .field("total_len", &self.total_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        <Self as Digest>::new()
+    }
+}
+
+/// Per-round shift amounts (RFC 1321 §3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants `T[i] = floor(2^32 * |sin(i+1)|` (RFC 1321 §3.4).
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+impl Md5 {
+    /// One-shot MD5 digest returning a fixed-size array.
+    pub fn digest(data: &[u8]) -> [u8; 16] {
+        let mut s = <Self as Digest>::new();
+        Digest::update(&mut s, data);
+        let v = Digest::finalize(s);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | ((!b) & d), i),
+                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let temp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+
+    fn absorb(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            } else {
+                // Buffer still partial and input exhausted.
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let block: [u8; 64] = chunk.try_into().unwrap();
+            self.compress(&block);
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffer_len = rem.len();
+    }
+}
+
+impl Digest for Md5 {
+    const OUTPUT_LEN: usize = 16;
+    const BLOCK_LEN: usize = 64;
+
+    fn new() -> Self {
+        Self {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.absorb(data);
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let pad = md_padding(self.total_len, true);
+        self.absorb(&pad);
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = Vec::with_capacity(16);
+        for word in self.state {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_suite() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex(&Md5::digest(input)), want);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(200).collect();
+        let expect = Md5::digest(&data);
+        for split in [0usize, 1, 63, 64, 65, 100, 199, 200] {
+            let mut s = <Md5 as Digest>::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(Digest::finalize(s), expect.to_vec(), "split={split}");
+        }
+    }
+}

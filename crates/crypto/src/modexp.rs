@@ -1,0 +1,111 @@
+//! Modular arithmetic in `Z_p`: exponentiation by squaring (§5.1 of the
+//! paper lists it among the prototype's cryptographic building blocks,
+//! computing results in `O(log² p)` time).
+
+/// Modular multiplication `a·b mod m` without overflow (via `u128`).
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod m` by repeated squaring.
+///
+/// # Panics
+///
+/// Panics when `m == 0`. `m == 1` yields 0 for every input.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::mod_exp;
+/// // Fermat: a^(p−1) ≡ 1 (mod p) for prime p ∤ a.
+/// assert_eq!(mod_exp(2, 1_000_000_006, 1_000_000_007), 1);
+/// ```
+pub fn mod_exp(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem (`m` must be prime and
+/// `a` not a multiple of `m`). Returns `None` when `a ≡ 0 (mod m)`.
+pub fn mod_inv_prime(a: u64, m: u64) -> Option<u64> {
+    if a.is_multiple_of(m) {
+        return None;
+    }
+    Some(mod_exp(a, m - 2, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: u64 = 1_000_000_007; // prime
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(mod_exp(2, 10, 1_000_000), 1024);
+        assert_eq!(mod_exp(3, 0, 7), 1);
+        assert_eq!(mod_exp(0, 5, 7), 0);
+        assert_eq!(mod_exp(5, 5, 1), 0);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        for a in [2u64, 3, 65_537, 123_456_789] {
+            assert_eq!(mod_exp(a, P - 1, P), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_for_small_inputs() {
+        for base in 0..20u64 {
+            for exp in 0..12u64 {
+                for m in 1..15u64 {
+                    let mut naive = if m == 1 { 0 } else { 1 % m };
+                    for _ in 0..exp {
+                        naive = naive * base % m;
+                    }
+                    assert_eq!(mod_exp(base, exp, m), naive, "{base}^{exp} mod {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_overflow_near_u64_max() {
+        let m = u64::MAX - 58; // large odd modulus
+        let r = mod_exp(u64::MAX - 1, 3, m);
+        assert!(r < m);
+        // Consistency: (x^3) == (x^2)·x.
+        let x = u64::MAX - 1;
+        let x2 = mod_mul(x % m, x % m, m);
+        assert_eq!(r, mod_mul(x2, x % m, m));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for a in [1u64, 2, 999, 123_456_789] {
+            let inv = mod_inv_prime(a, P).expect("invertible");
+            assert_eq!(mod_mul(a, inv, P), 1, "a={a}");
+        }
+        assert_eq!(mod_inv_prime(P, P), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_modulus_panics() {
+        mod_exp(2, 2, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The tokenization PRF `F` (Song–Wagner–Perrig searchable encryption).
+//!
+//! The KDC issues a topic token `T(w) = F_{rk(KDC)}(w)`. A publisher tags an
+//! event with `⟨r, F_{T(w)}(r)⟩` for a fresh nonce `r`, and a broker holding
+//! the subscription token `tok` tests `F_tok(r) == match` — learning only
+//! whether the event matches, never the topic `w` itself.
+
+use crate::ct_eq;
+use crate::hmac::hmac_sha1;
+
+/// Length in bytes of a PRF output / routing token.
+pub const TOKEN_LEN: usize = 20;
+
+/// A routing token: either a subscription token `T(w)` or an event match
+/// value `F_{T(w)}(r)`.
+///
+/// Tokens are pseudonymous but not secret from the broker that matches on
+/// them, so normal `Debug`/`Ord`/`Hash` are provided; equality used for
+/// *matching* should go through [`prf_verify`], which is constant time.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::{prf, prf_verify, Token};
+///
+/// let master = b"rk(KDC)";
+/// let token = prf(master, b"cancerTrail");
+/// let r = b"random nonce";
+/// let tag = prf(token.as_bytes(), r);
+/// assert!(prf_verify(&token, r, &tag));
+/// assert!(!prf_verify(&token, b"other nonce", &tag));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token([u8; TOKEN_LEN]);
+
+impl Token {
+    /// Wraps raw token bytes.
+    pub fn from_raw(raw: [u8; TOKEN_LEN]) -> Self {
+        Token(raw)
+    }
+
+    /// Raw token bytes.
+    pub fn as_bytes(&self) -> &[u8; TOKEN_LEN] {
+        &self.0
+    }
+
+    /// Short hex fingerprint for diagnostics.
+    pub fn fingerprint(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Token({}…)", self.fingerprint())
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::Token;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl Serialize for Token {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serde::Serialize::serialize(&self.0[..], serializer)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Token {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let v: Vec<u8> = Deserialize::deserialize(deserializer)?;
+            let arr: [u8; 20] = v
+                .try_into()
+                .map_err(|_| serde::de::Error::custom("token must be 20 bytes"))?;
+            Ok(Token(arr))
+        }
+    }
+}
+
+/// The PRF `F`: HMAC-SHA1 keyed by `key`.
+pub fn prf(key: &[u8], data: &[u8]) -> Token {
+    Token(hmac_sha1(key, data))
+}
+
+/// Verifies an event's routable attribute `⟨r, match⟩` against a
+/// subscription token, in constant time: `F_tok(r) == match`.
+pub fn prf_verify(token: &Token, r: &[u8], matched: &Token) -> bool {
+    let expect = prf(token.as_bytes(), r);
+    ct_eq(expect.as_bytes(), matched.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_succeeds_for_correct_token() {
+        let token = prf(b"master", b"stockQuote");
+        let r = b"nonce-123";
+        let tag = prf(token.as_bytes(), r);
+        assert!(prf_verify(&token, r, &tag));
+    }
+
+    #[test]
+    fn match_fails_for_wrong_token() {
+        let token = prf(b"master", b"stockQuote");
+        let other = prf(b"master", b"weather");
+        let r = b"nonce-123";
+        let tag = prf(token.as_bytes(), r);
+        assert!(!prf_verify(&other, r, &tag));
+    }
+
+    #[test]
+    fn match_fails_for_replayed_nonce_with_other_tag() {
+        let token = prf(b"master", b"stockQuote");
+        let tag1 = prf(token.as_bytes(), b"r1");
+        assert!(!prf_verify(&token, b"r2", &tag1));
+    }
+
+    #[test]
+    fn distinct_topics_distinct_tokens() {
+        let a = prf(b"master", b"topicA");
+        let b = prf(b"master", b"topicB");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn token_debug_is_fingerprint_only() {
+        let t = prf(b"k", b"w");
+        assert!(format!("{t:?}").starts_with("Token("));
+    }
+}

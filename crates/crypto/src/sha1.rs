@@ -1,0 +1,213 @@
+//! SHA-1 (RFC 3174 / FIPS 180-1), implemented from the specification.
+//!
+//! SHA-1 instantiates the paper's one-way hash `H` used for hierarchical
+//! child-key derivation and, through HMAC, the keyed hash `KH` and PRF `F`.
+
+use crate::digest::{md_padding, Digest};
+
+/// Streaming SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::Sha1;
+///
+/// let d = Sha1::digest(b"abc");
+/// assert_eq!(
+///     d,
+///     [
+///         0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e, 0x25, 0x71, 0x78, 0x50,
+///         0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d
+///     ]
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl std::fmt::Debug for Sha1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sha1")
+            .field("total_len", &self.total_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        <Self as Digest>::new()
+    }
+}
+
+const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+impl Sha1 {
+    /// One-shot SHA-1 digest returning a fixed-size array.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut s = <Self as Digest>::new();
+        Digest::update(&mut s, data);
+        let v = Digest::finalize(s);
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+
+    fn absorb(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            } else {
+                // Buffer still partial and input exhausted.
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let block: [u8; 64] = chunk.try_into().unwrap();
+            self.compress(&block);
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffer_len = rem.len();
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = 20;
+    const BLOCK_LEN: usize = 64;
+
+    fn new() -> Self {
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.absorb(data);
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let pad = md_padding(self.total_len, false);
+        // absorb() updates total_len, but the length is already latched in `pad`.
+        self.absorb(&pad);
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = Vec::with_capacity(20);
+        for word in self.state {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 3174 and FIPS 180-1 test vectors.
+    #[test]
+    fn rfc3174_abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn rfc3174_two_block() {
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn rfc3174_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        let expect = Sha1::digest(&data);
+        for split in 0..data.len() {
+            let mut s = <Sha1 as Digest>::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(Digest::finalize(s), expect.to_vec(), "split={split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Exercise the 55/56/64-byte padding boundaries.
+        for len in [55usize, 56, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xABu8; len];
+            let mut s = <Sha1 as Digest>::new();
+            for b in &data {
+                s.update(std::slice::from_ref(b));
+            }
+            assert_eq!(Digest::finalize(s), Sha1::digest(&data).to_vec(), "len={len}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The subscriber-group key-management **baseline** that PSGuard is
+//! evaluated against (§3.2, Figures 3–5, Tables 3–6).
+//!
+//! Traditional secure group communication binds keys to groups of
+//! subscribers. Under a content-based subscription model every event can
+//! go to a different subscriber subset — up to `2^NS` groups — and every
+//! join/leave triggers key updates to overlapping subscribers. This crate
+//! implements that design faithfully so the comparison is fair:
+//!
+//! * [`SubscriberGroupManager`] — elementary-interval groups over a numeric
+//!   range, with join/leave/epoch-rekey cost accounting;
+//! * [`LkhTree`] — Logical Key Hierarchy rekeying (`O(log n)` messages), an
+//!   optional optimization ([`RekeyStrategy::Lkh`]);
+//! * [`RekeyReport`] — the message/key/encryption counts reported in the
+//!   paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use psguard_groupkey::{RekeyStrategy, SubscriberGroupManager};
+//! use psguard_model::IntRange;
+//!
+//! let mut mgr = SubscriberGroupManager::new(
+//!     IntRange::new(0, 255).unwrap(),
+//!     RekeyStrategy::Lkh,
+//!     b"seed",
+//! );
+//! let mut total_messages = 0;
+//! for s in 0..32 {
+//!     total_messages += mgr.join(s, IntRange::new(100, 160).unwrap()).total_messages();
+//! }
+//! // Group-key cost grows with the subscriber count — the effect PSGuard
+//! // eliminates.
+//! assert!(total_messages > 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lkh;
+mod manager;
+mod report;
+
+pub use lkh::LkhTree;
+pub use manager::{RekeyStrategy, SubscriberGroupManager, SubscriberId};
+pub use report::RekeyReport;

@@ -1,0 +1,200 @@
+//! A Logical Key Hierarchy (LKH) tree (Wallner/Wong-style group rekeying).
+//!
+//! LKH is the standard optimization for group key management: members sit
+//! at the leaves of a binary tree; each node holds a key; a member knows
+//! the keys on its root path. Rekeying after a membership change costs
+//! `O(log n)` messages instead of `O(n)`. The subscriber-group baseline can
+//! run with or without LKH ([`crate::RekeyStrategy`]), which is one of the
+//! ablations in the bench harness.
+
+use psguard_crypto::DeriveKey;
+
+use crate::report::RekeyReport;
+
+/// A binary LKH tree over a dynamic member set.
+///
+/// Members are identified by opaque `u64` ids. The tree is maintained as a
+/// vector of leaves plus per-level node keys; removal swaps in the last
+/// leaf (standard compact-array technique), so the tree stays balanced.
+///
+/// # Example
+///
+/// ```
+/// use psguard_groupkey::LkhTree;
+///
+/// let mut tree = LkhTree::new(b"group-seed");
+/// let r1 = tree.join(1);
+/// let r2 = tree.join(2);
+/// assert!(r2.keys_generated >= 1);
+/// let gk_before = tree.group_key().clone();
+/// tree.leave(1);
+/// assert_ne!(tree.group_key(), &gk_before); // forward secrecy
+/// ```
+#[derive(Debug, Clone)]
+pub struct LkhTree {
+    seed: DeriveKey,
+    version: u64,
+    leaves: Vec<u64>,
+    group_key: DeriveKey,
+}
+
+impl LkhTree {
+    /// Creates an empty tree with a deterministic key seed.
+    pub fn new(seed: &[u8]) -> Self {
+        let seed = DeriveKey::from_bytes(seed);
+        let group_key = seed.kh(b"v0");
+        LkhTree {
+            seed,
+            version: 0,
+            leaves: Vec::new(),
+            group_key,
+        }
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Whether `member` belongs to the group.
+    pub fn contains(&self, member: u64) -> bool {
+        self.leaves.contains(&member)
+    }
+
+    /// The current group (data-encryption) key.
+    pub fn group_key(&self) -> &DeriveKey {
+        &self.group_key
+    }
+
+    /// Depth of the (conceptually complete) tree for the current size.
+    pub fn depth(&self) -> u32 {
+        let n = self.leaves.len().max(1) as u64;
+        64 - (n - 1).leading_zeros()
+    }
+
+    /// Number of node keys the server stores: `2n − 1` for `n` members.
+    pub fn server_key_count(&self) -> u64 {
+        match self.leaves.len() as u64 {
+            0 => 0,
+            n => 2 * n - 1,
+        }
+    }
+
+    /// Number of keys one member holds: its root path, `⌈log2 n⌉ + 1`.
+    pub fn member_key_count(&self) -> u64 {
+        self.depth() as u64 + 1
+    }
+
+    fn ratchet(&mut self) {
+        self.version += 1;
+        self.group_key = self.seed.kh(format!("v{}", self.version).as_bytes());
+    }
+
+    /// Adds a member, ratcheting every key on its root path (backward
+    /// secrecy: the newcomer cannot read earlier traffic).
+    ///
+    /// Rekey cost: the path has `depth` node keys; each new node key is
+    /// delivered encrypted under its two children (2 encryptions/messages
+    /// per node), and the newcomer receives its full path.
+    pub fn join(&mut self, member: u64) -> RekeyReport {
+        if self.contains(member) {
+            return RekeyReport::default();
+        }
+        self.leaves.push(member);
+        self.ratchet();
+        let d = self.depth() as u64;
+        RekeyReport {
+            messages_to_members: 2 * d,
+            keys_to_newcomer: d + 1,
+            keys_generated: d + 1,
+            encryptions: 2 * d + (d + 1),
+        }
+    }
+
+    /// Removes a member, ratcheting its root path (forward secrecy: the
+    /// leaver cannot read later traffic). Returns `None` when the member
+    /// was not in the group.
+    pub fn leave(&mut self, member: u64) -> Option<RekeyReport> {
+        let idx = self.leaves.iter().position(|&m| m == member)?;
+        self.leaves.swap_remove(idx);
+        self.ratchet();
+        let d = self.depth() as u64;
+        Some(RekeyReport {
+            messages_to_members: 2 * d,
+            keys_to_newcomer: 0,
+            keys_generated: d + 1,
+            encryptions: 2 * d,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_costs_grow_logarithmically() {
+        let mut tree = LkhTree::new(b"s");
+        let mut last_messages = 0;
+        for m in 0..1024 {
+            let r = tree.join(m);
+            last_messages = r.total_messages();
+        }
+        assert_eq!(tree.len(), 1024);
+        // depth of 1024-leaf tree = 10 → ~2*10 + 11 messages.
+        assert!(last_messages <= 2 * 10 + 11, "messages={last_messages}");
+        assert_eq!(tree.member_key_count(), 11);
+        assert_eq!(tree.server_key_count(), 2 * 1024 - 1);
+    }
+
+    #[test]
+    fn duplicate_join_is_free() {
+        let mut tree = LkhTree::new(b"s");
+        tree.join(1);
+        let r = tree.join(1);
+        assert_eq!(r.total_messages(), 0);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn leave_changes_group_key() {
+        let mut tree = LkhTree::new(b"s");
+        tree.join(1);
+        tree.join(2);
+        let before = tree.group_key().clone();
+        let r = tree.leave(2).unwrap();
+        assert!(r.keys_generated > 0);
+        assert_ne!(tree.group_key(), &before);
+        assert!(tree.leave(99).is_none());
+    }
+
+    #[test]
+    fn join_changes_group_key() {
+        let mut tree = LkhTree::new(b"s");
+        tree.join(1);
+        let before = tree.group_key().clone();
+        tree.join(2);
+        assert_ne!(tree.group_key(), &before);
+    }
+
+    #[test]
+    fn independent_groups_have_independent_keys() {
+        let mut a = LkhTree::new(b"a");
+        let mut b = LkhTree::new(b"b");
+        a.join(1);
+        b.join(1);
+        assert_ne!(a.group_key(), b.group_key());
+    }
+
+    #[test]
+    fn empty_tree_counts() {
+        let tree = LkhTree::new(b"s");
+        assert!(tree.is_empty());
+        assert_eq!(tree.server_key_count(), 0);
+    }
+}

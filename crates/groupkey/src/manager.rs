@@ -1,0 +1,483 @@
+//! The subscriber-group key-management baseline (§3.2 of the paper,
+//! following Opyrchal–Prakash).
+//!
+//! Group keys are bound to *sets of subscribers*. For range subscriptions
+//! on a numeric attribute, the active subscriptions partition the value
+//! space into elementary segments, each with its own group (the example in
+//! §3.2.1: S1 on (20,30) and S2 on (25,40) yield G1 = {S1}, G2 = {S1,S2},
+//! G3 = {S2}). Every join splits segments and forces key updates to every
+//! member of every affected group — the cost PSGuard eliminates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use psguard_crypto::DeriveKey;
+use psguard_model::IntRange;
+
+use crate::lkh::LkhTree;
+use crate::report::RekeyReport;
+
+/// How rekey messages are delivered within one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RekeyStrategy {
+    /// Unicast the new group key to each member (`O(n)` messages).
+    Direct,
+    /// LKH broadcast (`O(log n)` messages) — the classic optimization.
+    Lkh,
+}
+
+/// A subscriber identifier.
+pub type SubscriberId = u64;
+
+#[derive(Debug, Clone)]
+struct Segment {
+    range: IntRange,
+    members: BTreeSet<SubscriberId>,
+    tree: LkhTree,
+}
+
+impl Segment {
+    fn new(seed: &DeriveKey, counter: u64, range: IntRange) -> Self {
+        Segment {
+            range,
+            members: BTreeSet::new(),
+            tree: LkhTree::new(
+                &[seed.as_bytes().as_slice(), &counter.to_be_bytes()].concat(),
+            ),
+        }
+    }
+}
+
+/// The baseline group-key manager for one numeric attribute.
+///
+/// # Example
+///
+/// ```
+/// use psguard_groupkey::{RekeyStrategy, SubscriberGroupManager};
+/// use psguard_model::IntRange;
+///
+/// let mut mgr = SubscriberGroupManager::new(
+///     IntRange::new(0, 99).unwrap(),
+///     RekeyStrategy::Direct,
+///     b"seed",
+/// );
+/// mgr.join(1, IntRange::new(20, 30).unwrap());
+/// let report = mgr.join(2, IntRange::new(25, 40).unwrap());
+/// assert!(report.total_messages() > 0); // overlapping join forces rekeys
+/// assert_eq!(mgr.segment_count(), 3);   // G1, G2, G3 from the paper
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubscriberGroupManager {
+    range: IntRange,
+    strategy: RekeyStrategy,
+    master: DeriveKey,
+    counter: u64,
+    subs: BTreeMap<SubscriberId, IntRange>,
+    departed: BTreeSet<SubscriberId>,
+    segments: Vec<Segment>,
+}
+
+impl SubscriberGroupManager {
+    /// Creates a manager over the attribute range.
+    pub fn new(range: IntRange, strategy: RekeyStrategy, seed: &[u8]) -> Self {
+        SubscriberGroupManager {
+            range,
+            strategy,
+            master: DeriveKey::from_bytes(seed),
+            counter: 0,
+            subs: BTreeMap::new(),
+            departed: BTreeSet::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Number of active subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Number of elementary segments (groups).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Keys the server must store (all group keys; LKH trees count their
+    /// internal nodes too).
+    pub fn server_key_count(&self) -> u64 {
+        match self.strategy {
+            RekeyStrategy::Direct => self.segments.len() as u64,
+            RekeyStrategy::Lkh => self.segments.iter().map(|s| s.tree.server_key_count()).sum(),
+        }
+    }
+
+    /// Keys one subscriber holds: one (or a path, under LKH) per segment
+    /// overlapping its range. This is the quantity in Figure 3.
+    pub fn keys_per_subscriber(&self, s: SubscriberId) -> u64 {
+        self.segments
+            .iter()
+            .filter(|seg| seg.members.contains(&s))
+            .map(|seg| match self.strategy {
+                RekeyStrategy::Direct => 1,
+                RekeyStrategy::Lkh => seg.tree.member_key_count(),
+            })
+            .sum()
+    }
+
+    /// Average keys per active subscriber.
+    pub fn avg_keys_per_subscriber(&self) -> f64 {
+        if self.subs.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.subs.keys().map(|&s| self.keys_per_subscriber(s)).sum();
+        total as f64 / self.subs.len() as f64
+    }
+
+    /// Keys a publisher must hold to encrypt for any event value: one per
+    /// group (Figure 4).
+    pub fn publisher_key_count(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// The group key used to encrypt an event carrying value `v`, or
+    /// `None` when no subscriber covers `v` (nothing to deliver).
+    pub fn group_key_for_value(&self, v: i64) -> Option<&DeriveKey> {
+        self.segments
+            .iter()
+            .find(|seg| seg.range.contains(v))
+            .map(|seg| seg.tree.group_key())
+    }
+
+    /// Whether subscriber `s` can decrypt an event carrying value `v`.
+    pub fn can_decrypt(&self, s: SubscriberId, v: i64) -> bool {
+        self.segments
+            .iter()
+            .any(|seg| seg.range.contains(v) && seg.members.contains(&s))
+    }
+
+    fn fresh_segment(&mut self, range: IntRange) -> Segment {
+        self.counter += 1;
+        Segment::new(&self.master, self.counter, range)
+    }
+
+    /// Rekeys one segment after a membership change, costing per strategy.
+    fn rekey_cost(&self, seg: &Segment) -> RekeyReport {
+        let n = seg.members.len() as u64;
+        match self.strategy {
+            RekeyStrategy::Direct => RekeyReport {
+                messages_to_members: n,
+                keys_to_newcomer: 0,
+                keys_generated: 1,
+                encryptions: n,
+            },
+            RekeyStrategy::Lkh => {
+                let d = seg.tree.depth() as u64;
+                RekeyReport {
+                    messages_to_members: 2 * d,
+                    keys_to_newcomer: 0,
+                    keys_generated: d + 1,
+                    encryptions: 2 * d,
+                }
+            }
+        }
+    }
+
+    /// Splits any segment straddling `boundary` (values < boundary vs ≥).
+    /// Both halves keep the member set; both must be rekeyed (members can
+    /// otherwise decrypt across the split), which the returned report
+    /// charges.
+    fn split_at(&mut self, boundary: i64) -> RekeyReport {
+        let mut report = RekeyReport::default();
+        let mut i = 0;
+        while i < self.segments.len() {
+            let seg_range = self.segments[i].range;
+            if seg_range.lo() < boundary && boundary <= seg_range.hi() {
+                let members = self.segments[i].members.clone();
+                let left_r = IntRange::new(seg_range.lo(), boundary - 1).expect("non-empty");
+                let right_r = IntRange::new(boundary, seg_range.hi()).expect("non-empty");
+                let mut left = self.fresh_segment(left_r);
+                let mut right = self.fresh_segment(right_r);
+                for &m in &members {
+                    left.tree.join(m);
+                    right.tree.join(m);
+                }
+                left.members = members.clone();
+                right.members = members;
+                report.merge(&self.rekey_cost(&left));
+                report.merge(&self.rekey_cost(&right));
+                report.keys_generated += 2;
+                self.segments.splice(i..=i, [left, right]);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        report
+    }
+
+    /// A subscriber joins with a range (replacing any previous
+    /// subscription it held). Returns the full rekey cost: the paper's
+    /// `3·NS_overlap`-message phenomenon emerges from segment splitting
+    /// plus per-segment rekeys plus key delivery to the newcomer.
+    pub fn join(&mut self, s: SubscriberId, range: IntRange) -> RekeyReport {
+        let mut replace_cost = RekeyReport::default();
+        if self.subs.contains_key(&s) || self.departed.contains(&s) {
+            // Re-subscription (possibly after a lazy leave): evict the old
+            // range first so membership reflects exactly the latest
+            // subscription.
+            replace_cost = self.leave_immediate(s);
+        }
+        let Some(range) = range.clamp_to(&self.range) else {
+            return replace_cost;
+        };
+        self.subs.insert(s, range);
+        self.departed.remove(&s);
+
+        let mut report = replace_cost;
+        report.merge(&self.split_at(range.lo()));
+        report.merge(&self.split_at(range.hi() + 1));
+
+        // Walk segments inside the range, adding the newcomer; collect gaps.
+        let mut covered: Vec<IntRange> = Vec::new();
+        let mut rekeys = RekeyReport::default();
+        for i in 0..self.segments.len() {
+            let seg_range = self.segments[i].range;
+            if range.covers(&seg_range) {
+                self.segments[i].members.insert(s);
+                self.segments[i].tree.join(s);
+                let cost = self.rekey_cost(&self.segments[i]);
+                rekeys.merge(&cost);
+                // The newcomer receives this segment's (new) key.
+                rekeys.keys_to_newcomer += match self.strategy {
+                    RekeyStrategy::Direct => 1,
+                    RekeyStrategy::Lkh => self.segments[i].tree.member_key_count(),
+                };
+                covered.push(seg_range);
+            }
+        }
+        report.merge(&rekeys);
+
+        // Create singleton segments for the uncovered gaps.
+        covered.sort_by_key(|r| r.lo());
+        let mut cursor = range.lo();
+        let mut gaps = Vec::new();
+        for c in &covered {
+            if c.lo() > cursor {
+                gaps.push(IntRange::new(cursor, c.lo() - 1).expect("gap non-empty"));
+            }
+            cursor = c.hi() + 1;
+        }
+        if cursor <= range.hi() {
+            gaps.push(IntRange::new(cursor, range.hi()).expect("tail gap"));
+        }
+        for gap in gaps {
+            let mut seg = self.fresh_segment(gap);
+            seg.members.insert(s);
+            seg.tree.join(s);
+            report.keys_generated += 1;
+            report.keys_to_newcomer += 1;
+            self.segments.push(seg);
+        }
+        self.segments.sort_by_key(|seg| seg.range.lo());
+        report
+    }
+
+    /// Marks a subscriber as departed (lazy revocation: actual rekeying is
+    /// deferred to [`SubscriberGroupManager::epoch_rekey`]).
+    pub fn leave_lazy(&mut self, s: SubscriberId) {
+        if self.subs.remove(&s).is_some() {
+            self.departed.insert(s);
+        }
+    }
+
+    /// Immediately evicts a subscriber, rekeying every group it belonged
+    /// to (eager revocation).
+    pub fn leave_immediate(&mut self, s: SubscriberId) -> RekeyReport {
+        self.subs.remove(&s);
+        self.departed.remove(&s);
+        let mut report = RekeyReport::default();
+        for i in 0..self.segments.len() {
+            if self.segments[i].members.remove(&s) {
+                self.segments[i].tree.leave(s);
+                let cost = self.rekey_cost(&self.segments[i]);
+                report.merge(&cost);
+            }
+        }
+        self.segments.retain(|seg| !seg.members.is_empty());
+        report
+    }
+
+    /// Epoch-boundary rekey (lazy revocation): departed members are purged
+    /// and every group they touched is rekeyed.
+    pub fn epoch_rekey(&mut self) -> RekeyReport {
+        let departed: Vec<SubscriberId> = self.departed.iter().copied().collect();
+        self.departed.clear();
+        let mut report = RekeyReport::default();
+        for s in departed {
+            for i in 0..self.segments.len() {
+                if self.segments[i].members.remove(&s) {
+                    self.segments[i].tree.leave(s);
+                    let cost = self.rekey_cost(&self.segments[i]);
+                    report.merge(&cost);
+                }
+            }
+        }
+        self.segments.retain(|seg| !seg.members.is_empty());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> SubscriberGroupManager {
+        SubscriberGroupManager::new(
+            IntRange::new(0, 99).unwrap(),
+            RekeyStrategy::Direct,
+            b"seed",
+        )
+    }
+
+    #[test]
+    fn paper_section_321_example() {
+        // S1 on (20, 30); then S2 on (25, 40) → G1 (20,24)={S1},
+        // G2 (25,30)={S1,S2}, G3 (31,40)={S2}.
+        let mut m = mgr();
+        m.join(1, IntRange::new(20, 30).unwrap());
+        assert_eq!(m.segment_count(), 1);
+        let r = m.join(2, IntRange::new(25, 40).unwrap());
+        assert_eq!(m.segment_count(), 3);
+        // S1 now holds keys for two groups, S2 for two.
+        assert_eq!(m.keys_per_subscriber(1), 2);
+        assert_eq!(m.keys_per_subscriber(2), 2);
+        // S1 had to be updated (split rekeys) → messages to members > 0.
+        assert!(r.messages_to_members > 0);
+        assert!(r.keys_to_newcomer > 0);
+    }
+
+    #[test]
+    fn decryption_respects_groups() {
+        let mut m = mgr();
+        m.join(1, IntRange::new(20, 30).unwrap());
+        m.join(2, IntRange::new(25, 40).unwrap());
+        assert!(m.can_decrypt(1, 22));
+        assert!(!m.can_decrypt(2, 22));
+        assert!(m.can_decrypt(1, 27) && m.can_decrypt(2, 27));
+        assert!(!m.can_decrypt(1, 35) && m.can_decrypt(2, 35));
+        assert!(m.group_key_for_value(50).is_none());
+    }
+
+    #[test]
+    fn disjoint_joins_are_cheap() {
+        let mut m = mgr();
+        m.join(1, IntRange::new(0, 9).unwrap());
+        let r = m.join(2, IntRange::new(50, 59).unwrap());
+        // No overlap: no messages to existing members.
+        assert_eq!(r.messages_to_members, 0);
+        assert_eq!(r.keys_to_newcomer, 1);
+        assert_eq!(m.segment_count(), 2);
+    }
+
+    #[test]
+    fn identical_ranges_share_one_group() {
+        let mut m = mgr();
+        m.join(1, IntRange::new(10, 19).unwrap());
+        m.join(2, IntRange::new(10, 19).unwrap());
+        assert_eq!(m.segment_count(), 1);
+        assert_eq!(m.keys_per_subscriber(1), 1);
+        assert!(m.can_decrypt(1, 15) && m.can_decrypt(2, 15));
+    }
+
+    #[test]
+    fn messaging_cost_grows_with_overlapping_subscribers() {
+        let mut m = mgr();
+        let mut last = 0;
+        for s in 0..20 {
+            let r = m.join(s, IntRange::new(40, 60).unwrap());
+            last = r.total_messages();
+        }
+        // With 19 existing members in the overlapping group, the 20th join
+        // must message many of them.
+        assert!(last >= 19, "messages={last}");
+    }
+
+    #[test]
+    fn immediate_leave_rekeys_and_prunes() {
+        let mut m = mgr();
+        m.join(1, IntRange::new(0, 9).unwrap());
+        m.join(2, IntRange::new(5, 14).unwrap());
+        let r = m.leave_immediate(2);
+        assert!(r.keys_generated > 0);
+        assert!(!m.can_decrypt(2, 7));
+        assert!(m.can_decrypt(1, 7));
+        // Segment (10, 14) had only S2 → pruned.
+        assert_eq!(m.segment_count(), 2);
+    }
+
+    #[test]
+    fn lazy_leave_defers_until_epoch() {
+        let mut m = mgr();
+        m.join(1, IntRange::new(0, 9).unwrap());
+        m.join(2, IntRange::new(0, 9).unwrap());
+        m.leave_lazy(2);
+        // Still able to decrypt until the epoch boundary (lazy revocation).
+        assert!(m.can_decrypt(2, 5));
+        let r = m.epoch_rekey();
+        assert!(r.keys_generated > 0);
+        assert!(!m.can_decrypt(2, 5));
+        assert!(m.can_decrypt(1, 5));
+        // Second epoch rekey is a no-op.
+        assert_eq!(m.epoch_rekey().total_messages(), 0);
+    }
+
+    #[test]
+    fn lkh_strategy_reduces_messages_for_large_groups() {
+        let range = IntRange::new(0, 99).unwrap();
+        let mut direct =
+            SubscriberGroupManager::new(range, RekeyStrategy::Direct, b"a");
+        let mut lkh = SubscriberGroupManager::new(range, RekeyStrategy::Lkh, b"b");
+        let mut d_total = 0;
+        let mut l_total = 0;
+        for s in 0..256 {
+            d_total += direct.join(s, IntRange::new(10, 90).unwrap()).total_messages();
+            l_total += lkh.join(s, IntRange::new(10, 90).unwrap()).total_messages();
+        }
+        assert!(
+            l_total < d_total,
+            "LKH ({l_total}) should beat direct ({d_total})"
+        );
+    }
+
+    #[test]
+    fn out_of_range_subscription_ignored() {
+        let mut m = mgr();
+        let r = m.join(1, IntRange::new(500, 600).unwrap());
+        assert_eq!(r.total_messages(), 0);
+        assert_eq!(m.segment_count(), 0);
+    }
+
+    #[test]
+    fn segments_partition_subscribed_space() {
+        let mut m = mgr();
+        let ranges = [(0, 30), (10, 50), (20, 80), (60, 99), (5, 95)];
+        for (i, (lo, hi)) in ranges.iter().enumerate() {
+            m.join(i as u64, IntRange::new(*lo, *hi).unwrap());
+        }
+        // Segments must be sorted, disjoint and non-empty.
+        let mut prev_hi = i64::MIN;
+        for seg in &m.segments {
+            assert!(seg.range.lo() > prev_hi);
+            assert!(!seg.members.is_empty());
+            prev_hi = seg.range.hi();
+        }
+        // Every subscriber can decrypt exactly its own range.
+        for (i, (lo, hi)) in ranges.iter().enumerate() {
+            for v in 0..100i64 {
+                assert_eq!(
+                    m.can_decrypt(i as u64, v),
+                    v >= *lo && v <= *hi,
+                    "s={i} v={v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Cost reports for group-key operations — the quantities behind
+//! Figures 3–5 and Tables 3–6.
+
+/// Cost incurred by one membership operation (join/leave/rekey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RekeyReport {
+    /// Key-delivery messages sent to existing members.
+    pub messages_to_members: u64,
+    /// Keys delivered to the joining subscriber.
+    pub keys_to_newcomer: u64,
+    /// Fresh keys generated at the server.
+    pub keys_generated: u64,
+    /// Symmetric encryptions performed at the server (wrapping new keys).
+    pub encryptions: u64,
+}
+
+impl RekeyReport {
+    /// Total key-delivery messages (the paper's messaging cost).
+    pub fn total_messages(&self) -> u64 {
+        self.messages_to_members + self.keys_to_newcomer
+    }
+
+    /// Network bytes, assuming 20-byte keys plus a 12-byte header per
+    /// delivery.
+    pub fn network_bytes(&self) -> u64 {
+        self.total_messages() * 32
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &RekeyReport) {
+        self.messages_to_members += other.messages_to_members;
+        self.keys_to_newcomer += other.keys_to_newcomer;
+        self.keys_generated += other.keys_generated;
+        self.encryptions += other.encryptions;
+    }
+}
+
+impl std::ops::Add for RekeyReport {
+    type Output = RekeyReport;
+
+    fn add(mut self, rhs: RekeyReport) -> RekeyReport {
+        self.merge(&rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_bytes() {
+        let r = RekeyReport {
+            messages_to_members: 4,
+            keys_to_newcomer: 2,
+            keys_generated: 3,
+            encryptions: 5,
+        };
+        assert_eq!(r.total_messages(), 6);
+        assert_eq!(r.network_bytes(), 6 * 32);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = RekeyReport {
+            messages_to_members: 1,
+            keys_to_newcomer: 1,
+            keys_generated: 1,
+            encryptions: 1,
+        };
+        let b = a + a;
+        assert_eq!(b.total_messages(), 4);
+        assert_eq!(b.keys_generated, 2);
+    }
+}

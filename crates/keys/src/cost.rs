@@ -1,0 +1,102 @@
+//! Operation-cost accounting for key generation and derivation.
+//!
+//! Tables 1 and 2 of the paper report key-management costs in microseconds;
+//! the underlying unit is the number of hash (`H`) and keyed-hash (`KH`)
+//! invocations. Every derivation routine in this crate threads an
+//! [`OpCounter`] so experiments can report exact operation counts, and the
+//! bench harness converts them to wall-clock time.
+
+/// Counts primitive operations performed during key management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounter {
+    /// One-way hash (`H`) invocations — child-key derivations.
+    pub hash_ops: u64,
+    /// Keyed hash (`KH`) invocations — hierarchy-root derivations.
+    pub kh_ops: u64,
+}
+
+impl OpCounter {
+    /// A fresh, zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` one-way hash operations.
+    pub fn add_hash(&mut self, n: u64) {
+        self.hash_ops += n;
+    }
+
+    /// Records `n` keyed-hash operations.
+    pub fn add_kh(&mut self, n: u64) {
+        self.kh_ops += n;
+    }
+
+    /// Total primitive operations (`H` and `KH` cost about the same: one or
+    /// two compression-function calls).
+    pub fn total(&self) -> u64 {
+        self.hash_ops + self.kh_ops
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.hash_ops += other.hash_ops;
+        self.kh_ops += other.kh_ops;
+    }
+}
+
+impl std::ops::Add for OpCounter {
+    type Output = OpCounter;
+
+    fn add(self, rhs: OpCounter) -> OpCounter {
+        OpCounter {
+            hash_ops: self.hash_ops + rhs.hash_ops,
+            kh_ops: self.kh_ops + rhs.kh_ops,
+        }
+    }
+}
+
+impl std::fmt::Display for OpCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} H + {} KH", self.hash_ops, self.kh_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut c = OpCounter::new();
+        c.add_hash(3);
+        c.add_kh(2);
+        assert_eq!(c.total(), 5);
+        c.merge(&OpCounter {
+            hash_ops: 1,
+            kh_ops: 0,
+        });
+        assert_eq!(c.hash_ops, 4);
+    }
+
+    #[test]
+    fn add_operator() {
+        let a = OpCounter {
+            hash_ops: 1,
+            kh_ops: 2,
+        };
+        let b = OpCounter {
+            hash_ops: 10,
+            kh_ops: 20,
+        };
+        assert_eq!((a + b).total(), 33);
+    }
+
+    #[test]
+    fn display() {
+        let c = OpCounter {
+            hash_ops: 7,
+            kh_ops: 1,
+        };
+        assert_eq!(c.to_string(), "7 H + 1 KH");
+    }
+}

@@ -1,0 +1,163 @@
+//! Epoch-based subscription lifetimes and lazy revocation (§2.1, §3.1).
+//!
+//! Every authorization is valid for exactly one epoch. At an epoch
+//! boundary the KDC's topic key ratchets (the epoch number is mixed into
+//! `K(w)`), so stale grants can no longer derive fresh event keys — the
+//! "lazy revocation" of group-key systems, without any rekey messages.
+//!
+//! To avoid flash crowds at epoch boundaries, boundaries are spread
+//! per topic ([`EpochSchedule::offset_for`]); the schedule can also adapt
+//! the epoch length per topic from subscription history
+//! ([`EpochSchedule::adaptive_len`]).
+
+/// An epoch number for some topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EpochId(pub u64);
+
+impl EpochId {
+    /// The following epoch.
+    pub fn next(self) -> EpochId {
+        EpochId(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for EpochId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch{}", self.0)
+    }
+}
+
+/// Per-topic epoch scheduling.
+///
+/// # Example
+///
+/// ```
+/// use psguard_keys::{EpochId, EpochSchedule};
+///
+/// let sched = EpochSchedule::new(3_600_000); // one hour
+/// let e = sched.epoch_at("cancerTrail", 7_200_000);
+/// assert!(e >= EpochId(1));
+/// // Different topics roll over at different instants.
+/// let off_a = sched.offset_for("topicA");
+/// let off_b = sched.offset_for("topicB");
+/// assert!(off_a < 3_600_000 && off_b < 3_600_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSchedule {
+    len_ms: u64,
+}
+
+impl EpochSchedule {
+    /// Creates a schedule with the given base epoch length in
+    /// milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len_ms == 0`.
+    pub fn new(len_ms: u64) -> Self {
+        assert!(len_ms > 0, "epoch length must be positive");
+        EpochSchedule { len_ms }
+    }
+
+    /// The base epoch length.
+    pub fn len_ms(&self) -> u64 {
+        self.len_ms
+    }
+
+    /// A deterministic per-topic phase offset in `[0, len_ms)`, spreading
+    /// epoch boundaries across topics (an FNV-1a hash of the topic name).
+    pub fn offset_for(&self, topic: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in topic.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h % self.len_ms
+    }
+
+    /// The epoch holding instant `now_ms` for `topic`.
+    pub fn epoch_at(&self, topic: &str, now_ms: u64) -> EpochId {
+        EpochId((now_ms + self.offset_for(topic)) / self.len_ms)
+    }
+
+    /// Milliseconds until `topic`'s next epoch boundary after `now_ms`.
+    pub fn until_next_boundary(&self, topic: &str, now_ms: u64) -> u64 {
+        let shifted = now_ms + self.offset_for(topic);
+        self.len_ms - (shifted % self.len_ms)
+    }
+
+    /// Adapts the epoch length from subscription history: topics with high
+    /// churn (many subscriptions per epoch) get shorter epochs so pricing
+    /// and revocation track demand; quiet topics get longer epochs. The
+    /// result is clamped to `[len/4, len*4]`.
+    ///
+    /// The paper leaves the concrete policy open ("outside the scope");
+    /// this simple inverse-proportional rule reproduces the intent.
+    pub fn adaptive_len(&self, recent_subscriptions_per_epoch: &[u64]) -> u64 {
+        if recent_subscriptions_per_epoch.is_empty() {
+            return self.len_ms;
+        }
+        let avg = recent_subscriptions_per_epoch.iter().sum::<u64>()
+            / recent_subscriptions_per_epoch.len() as u64;
+        // Target ~16 subscriptions per epoch.
+        let scaled = if avg == 0 {
+            self.len_ms * 4
+        } else {
+            self.len_ms * 16 / avg.max(1)
+        };
+        scaled.clamp(self.len_ms / 4, self.len_ms * 4).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_advance_with_time() {
+        let s = EpochSchedule::new(1000);
+        let e0 = s.epoch_at("t", 0);
+        let e1 = s.epoch_at("t", 5000);
+        assert!(e1 > e0);
+        assert_eq!(e0.next().0, e0.0 + 1);
+    }
+
+    #[test]
+    fn offsets_are_stable_and_spread() {
+        let s = EpochSchedule::new(3_600_000);
+        assert_eq!(s.offset_for("a"), s.offset_for("a"));
+        // Among many topics at least two distinct offsets exist.
+        let offsets: std::collections::HashSet<u64> =
+            (0..50).map(|i| s.offset_for(&format!("topic{i}"))).collect();
+        assert!(offsets.len() > 10, "offsets too clustered: {}", offsets.len());
+    }
+
+    #[test]
+    fn boundary_countdown_consistent() {
+        let s = EpochSchedule::new(1000);
+        let now = 12_345;
+        let dt = s.until_next_boundary("t", now);
+        assert!((1..=1000).contains(&dt));
+        let before = s.epoch_at("t", now + dt - 1);
+        let after = s.epoch_at("t", now + dt);
+        assert_eq!(after.0, before.0 + 1);
+    }
+
+    #[test]
+    fn adaptive_len_scales_inverse_to_churn() {
+        let s = EpochSchedule::new(1000);
+        let busy = s.adaptive_len(&[64, 64, 64]);
+        let quiet = s.adaptive_len(&[1, 1]);
+        assert!(busy < quiet);
+        assert_eq!(s.adaptive_len(&[]), 1000);
+        // Clamped into [250, 4000].
+        assert!(busy >= 250);
+        assert!(quiet <= 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        EpochSchedule::new(0);
+    }
+}

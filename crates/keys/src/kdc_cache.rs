@@ -1,0 +1,264 @@
+//! A caching front for the KDC (§5.1): "for a KDC with limited computing
+//! power, one could cache the derived keys to trade-off computing power
+//! with main memory utilization."
+//!
+//! Because the KDC is a pure function of `(master, request)`, whole
+//! grants are cacheable by request. The cache is bounded LRU; being a
+//! pure memo, replicas may cache independently without any coherence.
+
+use std::collections::{BTreeMap, HashMap};
+
+use psguard_model::Filter;
+
+use crate::cost::OpCounter;
+use crate::epoch::EpochId;
+use crate::grant::Grant;
+use crate::kdc::{Kdc, KdcError, TopicScope};
+use crate::schema::Schema;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GrantCacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that required derivation.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+/// An LRU-memoizing wrapper around [`Kdc`].
+///
+/// # Example
+///
+/// ```
+/// use psguard_keys::{CachedKdc, EpochId, Kdc, OpCounter, Schema, TopicScope};
+/// use psguard_model::Filter;
+///
+/// let mut kdc = CachedKdc::new(Kdc::from_seed(b"m"), 128);
+/// let schema = Schema::new();
+/// let f = Filter::for_topic("w");
+/// let mut ops = OpCounter::new();
+/// let a = kdc.grant(&schema, &f, EpochId(0), &TopicScope::Shared, &mut ops).unwrap();
+/// let before = ops.total();
+/// let b = kdc.grant(&schema, &f, EpochId(0), &TopicScope::Shared, &mut ops).unwrap();
+/// assert_eq!(a, b);
+/// assert_eq!(ops.total(), before); // second answer cost nothing
+/// assert_eq!(kdc.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct CachedKdc {
+    kdc: Kdc,
+    capacity: usize,
+    map: HashMap<String, (Grant, u64)>,
+    order: BTreeMap<u64, String>,
+    tick: u64,
+    stats: GrantCacheStats,
+}
+
+impl CachedKdc {
+    /// Wraps a KDC with a grant cache holding up to `capacity` grants.
+    /// `capacity == 0` disables caching (pure passthrough).
+    pub fn new(kdc: Kdc, capacity: usize) -> Self {
+        CachedKdc {
+            kdc,
+            capacity,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            stats: GrantCacheStats::default(),
+        }
+    }
+
+    /// The wrapped (stateless) KDC.
+    pub fn inner(&self) -> &Kdc {
+        &self.kdc
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> GrantCacheStats {
+        self.stats
+    }
+
+    /// Number of cached grants.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn request_key(filter: &Filter, epoch: EpochId, scope: &TopicScope) -> String {
+        let scope_tag = match scope {
+            TopicScope::Shared => "shared".to_owned(),
+            TopicScope::Publisher(p) => format!("pub:{p}"),
+        };
+        format!("{filter}|{epoch}|{scope_tag}")
+    }
+
+    /// Like [`Kdc::grant`], but memoized. Cache hits cost zero hash
+    /// operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KdcError`] (errors are not cached).
+    pub fn grant(
+        &mut self,
+        schema: &Schema,
+        filter: &Filter,
+        epoch: EpochId,
+        scope: &TopicScope,
+        ops: &mut OpCounter,
+    ) -> Result<Grant, KdcError> {
+        let key = Self::request_key(filter, epoch, scope);
+        if let Some((grant, tick)) = self.map.get(&key) {
+            let grant = grant.clone();
+            let old = *tick;
+            self.order.remove(&old);
+            self.tick += 1;
+            self.order.insert(self.tick, key.clone());
+            self.map.get_mut(&key).expect("just found").1 = self.tick;
+            self.stats.hits += 1;
+            return Ok(grant);
+        }
+        self.stats.misses += 1;
+        let grant = self.kdc.grant(schema, filter, epoch, scope, ops)?;
+        if self.capacity > 0 {
+            while self.map.len() >= self.capacity {
+                let Some((&oldest, _)) = self.order.iter().next() else {
+                    break;
+                };
+                let victim = self.order.remove(&oldest).expect("present");
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+            self.tick += 1;
+            self.order.insert(self.tick, key.clone());
+            self.map.insert(key, (grant.clone(), self.tick));
+        }
+        Ok(grant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::{Constraint, IntRange, Op};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .numeric("age", IntRange::new(0, 255).expect("valid"), 1)
+            .expect("valid nakt")
+            .build()
+    }
+
+    fn filter(lo: i64) -> Filter {
+        Filter::for_topic("w").with(Constraint::new("age", Op::Ge(lo)))
+    }
+
+    #[test]
+    fn hit_skips_derivation() {
+        let mut kdc = CachedKdc::new(Kdc::from_seed(b"m"), 16);
+        let s = schema();
+        let mut ops = OpCounter::new();
+        let a = kdc
+            .grant(&s, &filter(10), EpochId(0), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        let cost_first = ops.total();
+        assert!(cost_first > 0);
+        let b = kdc
+            .grant(&s, &filter(10), EpochId(0), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ops.total(), cost_first, "hit must cost nothing");
+        assert_eq!(kdc.stats().hits, 1);
+        assert_eq!(kdc.stats().misses, 1);
+    }
+
+    #[test]
+    fn distinct_requests_distinct_entries() {
+        let mut kdc = CachedKdc::new(Kdc::from_seed(b"m"), 16);
+        let s = schema();
+        let mut ops = OpCounter::new();
+        let base = kdc
+            .grant(&s, &filter(10), EpochId(0), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        // Different epoch and different scope must not hit.
+        let other_epoch = kdc
+            .grant(&s, &filter(10), EpochId(1), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        assert_ne!(base, other_epoch);
+        let other_scope = kdc
+            .grant(
+                &s,
+                &filter(10),
+                EpochId(0),
+                &TopicScope::Publisher("P".into()),
+                &mut ops,
+            )
+            .unwrap();
+        assert_ne!(base, other_scope);
+        assert_eq!(kdc.stats().misses, 3);
+        assert_eq!(kdc.len(), 3);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut kdc = CachedKdc::new(Kdc::from_seed(b"m"), 2);
+        let s = schema();
+        let mut ops = OpCounter::new();
+        for lo in [1i64, 2, 3] {
+            kdc.grant(&s, &filter(lo), EpochId(0), &TopicScope::Shared, &mut ops)
+                .unwrap();
+        }
+        assert_eq!(kdc.len(), 2);
+        assert_eq!(kdc.stats().evictions, 1);
+        // The oldest (lo=1) was evicted: requesting it again misses.
+        kdc.grant(&s, &filter(1), EpochId(0), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        assert_eq!(kdc.stats().misses, 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_passthrough() {
+        let mut kdc = CachedKdc::new(Kdc::from_seed(b"m"), 0);
+        let s = schema();
+        let mut ops = OpCounter::new();
+        kdc.grant(&s, &filter(1), EpochId(0), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        kdc.grant(&s, &filter(1), EpochId(0), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        assert!(kdc.is_empty());
+        assert_eq!(kdc.stats().hits, 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let mut kdc = CachedKdc::new(Kdc::from_seed(b"m"), 4);
+        let s = schema();
+        let mut ops = OpCounter::new();
+        let bad = Filter::any();
+        assert!(kdc
+            .grant(&s, &bad, EpochId(0), &TopicScope::Shared, &mut ops)
+            .is_err());
+        assert!(kdc.is_empty());
+        assert_eq!(kdc.stats().misses, 1);
+    }
+
+    #[test]
+    fn cached_grants_match_stateless_kdc() {
+        let plain = Kdc::from_seed(b"m");
+        let mut cached = CachedKdc::new(plain.replicate(), 8);
+        let s = schema();
+        let mut ops = OpCounter::new();
+        let via_cache = cached
+            .grant(&s, &filter(42), EpochId(2), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        let direct = plain
+            .grant(&s, &filter(42), EpochId(2), &TopicScope::Shared, &mut ops)
+            .unwrap();
+        assert_eq!(via_cache, direct);
+    }
+}

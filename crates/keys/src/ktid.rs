@@ -1,0 +1,199 @@
+//! Key-tree identifiers (`ktid`): positions in an a-ary key tree.
+//!
+//! The paper maps a numeric value `v` to an `m`-digit identifier
+//! `ktid(v)` — the path from the root of the NAKT to the leaf cell holding
+//! `v`. Internal nodes are identified by proper prefixes. The fundamental
+//! operation is the *prefix test*: a subscriber holding the key for
+//! `ktid_φ` can derive the key for `ktid_α` iff `ktid_φ` is a prefix of
+//! `ktid_α`.
+
+/// A path in an a-ary key tree, as digits from the root. The empty path is
+/// the root element `Ø`.
+///
+/// # Example
+///
+/// ```
+/// use psguard_keys::Ktid;
+///
+/// // Figure 1: value 22 in R=(0,31), lc=4 lives at ktid 101.
+/// let event = Ktid::from_digits([1, 0, 1]);
+/// let auth = Ktid::from_digits([1]);
+/// assert!(auth.is_prefix_of(&event));
+/// assert_eq!(auth.suffix_of(&event).unwrap(), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ktid(Vec<u8>);
+
+impl Ktid {
+    /// The root element `Ø`.
+    pub fn root() -> Self {
+        Ktid(Vec::new())
+    }
+
+    /// Builds an identifier from digits, root-first.
+    pub fn from_digits(digits: impl IntoIterator<Item = u8>) -> Self {
+        Ktid(digits.into_iter().collect())
+    }
+
+    /// Builds the depth-`m` identifier of leaf cell `index` in an `arity`-ary
+    /// tree (most-significant digit first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= arity^m` or `arity < 2`.
+    pub fn from_leaf_index(index: u64, m: usize, arity: u8) -> Self {
+        assert!(arity >= 2, "arity must be at least 2");
+        let capacity = (arity as u128).pow(m as u32);
+        assert!(
+            (index as u128) < capacity,
+            "leaf index {index} out of range for depth {m} arity {arity}"
+        );
+        let mut digits = vec![0u8; m];
+        let mut rem = index;
+        for d in digits.iter_mut().rev() {
+            *d = (rem % arity as u64) as u8;
+            rem /= arity as u64;
+        }
+        Ktid(digits)
+    }
+
+    /// Interprets the digits as a leaf/cell index (root digit most
+    /// significant) in an `arity`-ary tree.
+    pub fn to_index(&self, arity: u8) -> u64 {
+        self.0
+            .iter()
+            .fold(0u64, |acc, &d| acc * arity as u64 + d as u64)
+    }
+
+    /// Number of digits (depth below the root).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The digits, root-first.
+    pub fn digits(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Child identifier `self ‖ digit`.
+    pub fn child(&self, digit: u8) -> Self {
+        let mut v = self.0.clone();
+        v.push(digit);
+        Ktid(v)
+    }
+
+    /// Parent identifier, or `None` at the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(Ktid(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other` — the paper's
+    /// derivability test.
+    pub fn is_prefix_of(&self, other: &Ktid) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The digits of `other` below `self`, or `None` when `self` is not a
+    /// prefix. This is the path a subscriber hashes down during key
+    /// derivation.
+    pub fn suffix_of<'a>(&self, other: &'a Ktid) -> Option<&'a [u8]> {
+        self.is_prefix_of(other).then(|| &other.0[self.0.len()..])
+    }
+
+    /// The range of leaf-cell indices covered by this subtree in a tree of
+    /// total depth `m` and the given arity: `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.depth() > m`.
+    pub fn leaf_span(&self, m: usize, arity: u8) -> (u64, u64) {
+        assert!(self.depth() <= m, "ktid deeper than the tree");
+        let below = (m - self.depth()) as u32;
+        let width = (arity as u64).pow(below);
+        let lo = self.to_index(arity) * width;
+        (lo, lo + width - 1)
+    }
+}
+
+impl std::fmt::Display for Ktid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("Ø");
+        }
+        for d in &self.0 {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_value_22() {
+        // R=(0,31), lc=4 → 8 cells, m=3; cell of 22 = 22/4 = 5 = 0b101.
+        let ktid = Ktid::from_leaf_index(5, 3, 2);
+        assert_eq!(ktid, Ktid::from_digits([1, 0, 1]));
+        assert_eq!(ktid.to_string(), "101");
+        assert_eq!(ktid.to_index(2), 5);
+    }
+
+    #[test]
+    fn root_properties() {
+        let root = Ktid::root();
+        assert_eq!(root.depth(), 0);
+        assert_eq!(root.to_string(), "Ø");
+        assert!(root.is_prefix_of(&Ktid::from_digits([1, 1])));
+        assert_eq!(root.parent(), None);
+    }
+
+    #[test]
+    fn prefix_and_suffix() {
+        let a = Ktid::from_digits([1]);
+        let b = Ktid::from_digits([1, 0, 1]);
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert_eq!(a.suffix_of(&b).unwrap(), &[0, 1]);
+        assert!(b.suffix_of(&a).is_none());
+        // Siblings are not prefixes.
+        let c = Ktid::from_digits([0]);
+        assert!(!c.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn leaf_span_binary() {
+        // ktid=1 in a depth-3 binary tree covers cells 4..=7 (values 16..=31
+        // with lc=4, matching the paper's (16, 31) example).
+        let k = Ktid::from_digits([1]);
+        assert_eq!(k.leaf_span(3, 2), (4, 7));
+        assert_eq!(Ktid::root().leaf_span(3, 2), (0, 7));
+        assert_eq!(Ktid::from_digits([1, 0, 1]).leaf_span(3, 2), (5, 5));
+    }
+
+    #[test]
+    fn arity_4_roundtrip() {
+        for idx in 0..64u64 {
+            let k = Ktid::from_leaf_index(idx, 3, 4);
+            assert_eq!(k.to_index(4), idx);
+            assert_eq!(k.leaf_span(3, 4), (idx, idx));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leaf_index_out_of_range_panics() {
+        Ktid::from_leaf_index(8, 3, 2);
+    }
+
+    #[test]
+    fn child_parent_invert() {
+        let k = Ktid::from_digits([0, 1]);
+        assert_eq!(k.child(1).parent().unwrap(), k);
+    }
+}

@@ -1,0 +1,56 @@
+//! Content model for the PSGuard reproduction: events, attribute values,
+//! subscription filters, the Siena *covering* relation and event matching.
+//!
+//! The model follows §2.1 of the paper (which in turn mirrors Siena):
+//!
+//! * an **event** is a set of attribute/value pairs, e.g.
+//!   `⟨⟨topic, cancerTrail⟩, ⟨age, 25⟩, ⟨patientRecord, record⟩⟩`;
+//! * a **filter** is a conjunction of constraints, e.g.
+//!   `⟨⟨topic, EQ, cancerTrail⟩, ⟨age, >, 20⟩⟩`;
+//! * a **subscription** is a disjunction of filters (the paper's companion
+//!   technical report combines per-attribute constraints with ∧ and ∨);
+//! * a filter `f` **covers** `f'` when every event matching `f'` also
+//!   matches `f` — brokers use covering to suppress redundant subscription
+//!   forwarding.
+//!
+//! The four attribute families evaluated in §5.2 are all present: plain
+//! topics (keyword equality), numeric attributes (ranges), category
+//! attributes (ontology subtrees) and string attributes (prefix matching).
+//!
+//! # Example
+//!
+//! ```
+//! use psguard_model::{AttrValue, Constraint, Event, Filter, Op};
+//!
+//! let event = Event::builder("cancerTrail")
+//!     .attr("age", AttrValue::Int(25))
+//!     .payload(b"record".to_vec())
+//!     .build();
+//!
+//! let filter = Filter::for_topic("cancerTrail")
+//!     .with(Constraint::new("age", Op::Gt(20)));
+//! assert!(filter.matches(&event));
+//!
+//! let narrower = Filter::for_topic("cancerTrail")
+//!     .with(Constraint::new("age", Op::Gt(30)));
+//! assert!(!narrower.matches(&event));
+//! assert!(filter.covers(&narrower));
+//! assert!(!narrower.covers(&filter));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod category;
+mod event;
+mod filter;
+mod range;
+mod subscription;
+mod value;
+
+pub use category::CategoryPath;
+pub use event::{Event, EventBuilder, EventId};
+pub use filter::{Constraint, Filter, Op};
+pub use range::IntRange;
+pub use subscription::Subscription;
+pub use value::{AttrName, AttrValue};

@@ -1,0 +1,118 @@
+//! Property tests for the covering relation across all operator
+//! families: soundness w.r.t. matching, and partial-order structure.
+
+use proptest::prelude::*;
+use psguard_model::{AttrValue, CategoryPath, Constraint, Event, Filter, IntRange, Op};
+
+/// A strategy over operators of every family on attribute "a".
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..60).prop_map(|v| Op::Eq(AttrValue::Int(v))),
+        (0i64..60).prop_map(Op::Lt),
+        (0i64..60).prop_map(Op::Le),
+        (0i64..60).prop_map(Op::Gt),
+        (0i64..60).prop_map(Op::Ge),
+        (0i64..50, 1i64..10).prop_map(|(lo, w)| Op::InRange(
+            IntRange::new(lo, lo + w).expect("valid")
+        )),
+        "[ab]{0,4}".prop_map(Op::StrPrefix),
+        "[ab]{0,4}".prop_map(Op::StrSuffix),
+        prop::collection::vec(0u32..3, 0..4)
+            .prop_map(|p| Op::CategoryIn(CategoryPath::from_indices(p))),
+        "[ab]{0,4}".prop_map(|s| Op::Eq(AttrValue::Str(s))),
+        prop::collection::vec(0u32..3, 0..4)
+            .prop_map(|p| Op::Eq(AttrValue::Category(CategoryPath::from_indices(p)))),
+    ]
+}
+
+/// A strategy over values that the operators above might match.
+fn value_strategy() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (0i64..60).prop_map(AttrValue::Int),
+        "[ab]{0,5}".prop_map(AttrValue::Str),
+        prop::collection::vec(0u32..3, 0..5)
+            .prop_map(|p| AttrValue::Category(CategoryPath::from_indices(p))),
+    ]
+}
+
+proptest! {
+    /// Soundness: a.covers(b) implies match(b) ⊆ match(a) on samples.
+    #[test]
+    fn covering_is_sound(
+        a in op_strategy(),
+        b in op_strategy(),
+        values in prop::collection::vec(value_strategy(), 24),
+    ) {
+        if a.covers(&b) {
+            for v in values {
+                if b.matches(&v) {
+                    prop_assert!(a.matches(&v), "{a:?} covers {b:?} but {v:?} matches only b");
+                }
+            }
+        }
+    }
+
+    /// Reflexivity on operators that can match at all.
+    #[test]
+    fn covering_is_reflexive(a in op_strategy()) {
+        prop_assert!(a.covers(&a), "{a:?} must cover itself");
+    }
+
+    /// Transitivity on samples: a⊒b and b⊒c → a⊒c (checked semantically:
+    /// a must cover everything c matches).
+    #[test]
+    fn covering_is_transitively_sound(
+        a in op_strategy(),
+        b in op_strategy(),
+        c in op_strategy(),
+        values in prop::collection::vec(value_strategy(), 16),
+    ) {
+        if a.covers(&b) && b.covers(&c) {
+            for v in values {
+                if c.matches(&v) {
+                    prop_assert!(a.matches(&v));
+                }
+            }
+        }
+    }
+
+    /// Filter-level covering with conjunctions stays sound.
+    #[test]
+    fn filter_covering_sound(
+        ops_a in prop::collection::vec(op_strategy(), 0..3),
+        ops_b in prop::collection::vec(op_strategy(), 0..3),
+        values in prop::collection::vec(value_strategy(), 16),
+    ) {
+        let mut fa = Filter::for_topic("t");
+        for (i, op) in ops_a.into_iter().enumerate() {
+            fa = fa.with(Constraint::new(format!("a{i}"), op));
+        }
+        let mut fb = Filter::for_topic("t");
+        for (i, op) in ops_b.into_iter().enumerate() {
+            fb = fb.with(Constraint::new(format!("a{i}"), op));
+        }
+        if fa.covers(&fb) {
+            for (i, v) in values.iter().enumerate() {
+                // Build an event with all constrained attributes set to v.
+                let mut e = Event::builder("t");
+                for k in 0..3 {
+                    e = e.attr(format!("a{k}"), v.clone());
+                }
+                let e = e.id(psguard_model::EventId(i as u64)).build();
+                if fb.matches(&e) {
+                    prop_assert!(fa.matches(&e));
+                }
+            }
+        }
+    }
+
+    /// Topic mismatch always blocks both matching and covering.
+    #[test]
+    fn topic_is_a_hard_gate(op in op_strategy(), v in value_strategy()) {
+        let f = Filter::for_topic("t1").with(Constraint::new("a", op.clone()));
+        let e = Event::builder("t2").attr("a", v).build();
+        prop_assert!(!f.matches(&e));
+        let g = Filter::for_topic("t2").with(Constraint::new("a", op));
+        prop_assert!(!f.covers(&g));
+    }
+}

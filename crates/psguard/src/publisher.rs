@@ -1,0 +1,293 @@
+//! The publisher: derives event keys from topic keys and encrypts
+//! payloads before events enter the (untrusted) broker overlay.
+
+use std::collections::HashMap;
+
+use psguard_crypto::{cbc_encrypt, Aes128, Token};
+use psguard_crypto::DeriveKey;
+use psguard_keys::{
+    combine_master, event_key_addresses, mac_key, part_from_topic_key, AuthKey, EpochId,
+    EventKeyAddress, KeyCache, KeyScope, Ktid, OpCounter, Schema,
+};
+use psguard_model::Event;
+use psguard_routing::{RoutableTag, SecureEvent};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::error::PublishError;
+
+/// A per-(topic, epoch) publishing credential issued by the KDC: the
+/// topic key `K(w)` (or `K_P(w)`) and the routing token `T(w)`.
+#[derive(Debug, Clone)]
+pub struct PublisherCredential {
+    /// The topic `w`.
+    pub topic: String,
+    /// The epoch the key is valid for.
+    pub epoch: u64,
+    /// The topic key rooting every per-attribute hierarchy.
+    pub topic_key: DeriveKey,
+    /// The routing token used to tag events.
+    pub token: Token,
+}
+
+/// A publishing principal.
+///
+/// Obtain via [`crate::PsGuard::publisher`] and authorize per topic with
+/// [`crate::PsGuard::authorize_publisher`].
+#[derive(Debug)]
+pub struct Publisher {
+    name: String,
+    schema: Schema,
+    credentials: HashMap<(String, u64), PublisherCredential>,
+    rng: StdRng,
+    ops: OpCounter,
+    cache: KeyCache,
+}
+
+impl Publisher {
+    pub(crate) fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let name = name.into();
+        // Deterministic per-name seed keeps tests reproducible; IVs and
+        // nonces must be unpredictable to brokers, not to the test
+        // harness.
+        let seed = psguard_crypto::h(name.as_bytes());
+        Publisher {
+            name,
+            schema,
+            credentials: HashMap::new(),
+            rng: StdRng::seed_from_u64(u64::from_be_bytes(
+                seed[..8].try_into().expect("8 bytes"),
+            )),
+            ops: OpCounter::new(),
+            // Publisher-side derived-key cache (§3.2.3 applies to
+            // "the KDC, the publishers and the subscribers").
+            cache: KeyCache::new(64 * 1024),
+        }
+    }
+
+    /// Publisher-side key-cache statistics.
+    pub fn cache_stats(&self) -> psguard_keys::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Derives one per-attribute key part, routing numeric parts through
+    /// the publisher's key cache (consecutive events with nearby values
+    /// share long NAKT prefixes).
+    fn derive_part(
+        &mut self,
+        topic_key: &psguard_crypto::DeriveKey,
+        epoch: u64,
+        addr: &EventKeyAddress,
+    ) -> DeriveKey {
+        if let EventKeyAddress::Numeric { attr, ktid } = addr {
+            self.ops.add_kh(1);
+            let auth = AuthKey {
+                scope: KeyScope::Numeric {
+                    attr: attr.clone(),
+                    ktid: Ktid::root(),
+                },
+                key: topic_key.kh(attr.as_bytes()),
+                epoch: EpochId(epoch),
+            };
+            if let Some(k) = self.cache.derive_numeric_cached(&auth, ktid, &mut self.ops) {
+                return k;
+            }
+        }
+        part_from_topic_key(topic_key, &self.schema, addr, &mut self.ops)
+    }
+
+    /// The publisher's principal name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs a credential (called by the service facade).
+    pub fn install_credential(&mut self, credential: PublisherCredential) {
+        self.credentials
+            .insert((credential.topic.clone(), credential.epoch), credential);
+    }
+
+    /// Cumulative key-derivation cost since creation.
+    pub fn ops(&self) -> OpCounter {
+        self.ops
+    }
+
+    /// Encrypts and tags an event for dissemination during `epoch`.
+    ///
+    /// The returned [`SecureEvent`] carries the routable attributes in the
+    /// clear (brokers match on them), the topic only as a pseudonymous
+    /// tag, and the payload as AES-128-CBC ciphertext under `K(e)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PublishError::UnknownTopic`] without a credential for
+    ///   `(topic, epoch)`;
+    /// * [`PublishError::EventKey`] when the event violates the schema.
+    pub fn publish(&mut self, event: &Event, epoch: u64) -> Result<SecureEvent, PublishError> {
+        let credential = self
+            .credentials
+            .get(&(event.topic().to_owned(), epoch))
+            .ok_or_else(|| PublishError::UnknownTopic {
+                topic: event.topic().to_owned(),
+            })?
+            .clone();
+
+        // K(e): fold the per-attribute event keys (numeric parts go
+        // through the publisher's key cache).
+        let addrs = event_key_addresses(&self.schema, event)?;
+        let parts: Vec<DeriveKey> = addrs
+            .iter()
+            .map(|a| self.derive_part(&credential.topic_key, epoch, a))
+            .collect();
+        let master = combine_master(&parts, &mut self.ops);
+        let key = master.content_key();
+
+        // Encrypt the payload, then MAC ⟨iv ‖ ciphertext⟩ so receivers can
+        // verify key agreement and integrity before decrypting.
+        let mut iv = [0u8; 16];
+        self.rng.fill_bytes(&mut iv);
+        let ciphertext = cbc_encrypt(&Aes128::new(key.as_bytes()), &iv, event.payload());
+        let mk = mac_key(&master, &mut self.ops);
+        let mut mac_input = iv.to_vec();
+        mac_input.extend_from_slice(&ciphertext);
+        self.ops.add_kh(1);
+        let mac = psguard_crypto::kh(mk.as_bytes(), &mac_input);
+
+        // Strip the plaintext topic; brokers see only the tag.
+        let mut routed = Event::builder("")
+            .id(event.id())
+            .publisher(event.publisher());
+        for (name, value) in event.attrs() {
+            routed = routed.attr(name.clone(), value.clone());
+        }
+        let routed = routed.payload(ciphertext).build();
+
+        Ok(SecureEvent {
+            tag: RoutableTag::new(&credential.token, &mut self.rng),
+            event: routed,
+            iv,
+            epoch,
+            mac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_keys::{EpochId, Kdc, TopicScope};
+    use psguard_model::IntRange;
+
+    fn publisher_with_credential() -> (Publisher, Kdc) {
+        let schema = Schema::builder()
+            .numeric("age", IntRange::new(0, 255).unwrap(), 1)
+            .unwrap()
+            .build();
+        let kdc = Kdc::from_seed(b"seed");
+        let mut p = Publisher::new("P", schema);
+        let mut ops = OpCounter::new();
+        p.install_credential(PublisherCredential {
+            topic: "w".into(),
+            epoch: 0,
+            topic_key: kdc.topic_key("w", EpochId(0), &TopicScope::Shared, &mut ops),
+            token: kdc.routing_token("w"),
+        });
+        (p, kdc)
+    }
+
+    #[test]
+    fn publish_encrypts_and_strips_topic() {
+        let (mut p, kdc) = publisher_with_credential();
+        let e = Event::builder("w")
+            .attr("age", 30i64)
+            .payload(b"top secret".to_vec())
+            .build();
+        let secure = p.publish(&e, 0).unwrap();
+        assert_eq!(secure.event.topic(), "");
+        assert_ne!(secure.event.payload(), b"top secret");
+        assert!(secure.event.payload().len() >= 16);
+        // Tag matches the topic token.
+        assert!(secure.tag.matches(&kdc.routing_token("w")));
+        // Routable attribute remains visible for in-network matching.
+        assert_eq!(secure.event.attr("age").and_then(|v| v.as_int()), Some(30));
+    }
+
+    #[test]
+    fn missing_credential_is_an_error() {
+        let (mut p, _) = publisher_with_credential();
+        let e = Event::builder("other").payload(vec![1]).build();
+        assert!(matches!(
+            p.publish(&e, 0),
+            Err(PublishError::UnknownTopic { .. })
+        ));
+        // Also wrong epoch for a known topic.
+        let e = Event::builder("w").payload(vec![1]).build();
+        assert!(matches!(
+            p.publish(&e, 7),
+            Err(PublishError::UnknownTopic { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_violation_is_an_error() {
+        let (mut p, _) = publisher_with_credential();
+        let e = Event::builder("w")
+            .attr("age", "not numeric")
+            .payload(vec![1])
+            .build();
+        assert!(matches!(p.publish(&e, 0), Err(PublishError::EventKey(_))));
+    }
+
+    #[test]
+    fn distinct_events_get_distinct_ivs_and_nonces() {
+        let (mut p, _) = publisher_with_credential();
+        let e = Event::builder("w").attr("age", 1i64).payload(vec![7]).build();
+        let a = p.publish(&e, 0).unwrap();
+        let b = p.publish(&e, 0).unwrap();
+        assert_ne!(a.iv, b.iv);
+        assert_ne!(a.tag.nonce, b.tag.nonce);
+        assert_ne!(a.tag.tag, b.tag.tag);
+    }
+
+    #[test]
+    fn publisher_cache_kicks_in_on_locality() {
+        let (mut p, _) = publisher_with_credential();
+        for v in [100i64, 101, 100, 102, 101] {
+            let e = Event::builder("w").attr("age", v).payload(vec![1]).build();
+            p.publish(&e, 0).unwrap();
+        }
+        let stats = p.cache_stats();
+        assert!(stats.hits + stats.partial_hits > 0, "{stats:?}");
+        assert!(stats.hash_ops_saved > 0);
+    }
+
+    #[test]
+    fn cached_and_uncached_publishes_agree() {
+        // The same event published twice (cache cold, then warm) must
+        // produce ciphertexts that decrypt under the same grant.
+        use crate::{PsGuard, PsGuardConfig};
+        let schema = Schema::builder()
+            .numeric("age", IntRange::new(0, 255).unwrap(), 1)
+            .unwrap()
+            .build();
+        let ps = PsGuard::new(b"seed2", schema, PsGuardConfig::default());
+        let mut publisher = ps.publisher("P");
+        ps.authorize_publisher(&mut publisher, "w", 0);
+        let mut sub = ps.subscriber("S");
+        ps.authorize_subscriber(&mut sub, &psguard_model::Filter::for_topic("w"), 0)
+            .unwrap();
+        let e = Event::builder("w").attr("age", 77i64).payload(b"x".to_vec()).build();
+        let first = publisher.publish(&e, 0).unwrap();
+        let second = publisher.publish(&e, 0).unwrap();
+        assert_eq!(sub.decrypt(&first).unwrap().payload(), b"x");
+        assert_eq!(sub.decrypt(&second).unwrap().payload(), b"x");
+    }
+
+    #[test]
+    fn ops_accumulate() {
+        let (mut p, _) = publisher_with_credential();
+        let e = Event::builder("w").attr("age", 1i64).payload(vec![7]).build();
+        p.publish(&e, 0).unwrap();
+        assert!(p.ops().total() > 0);
+    }
+}

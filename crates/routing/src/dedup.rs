@@ -1,0 +1,160 @@
+//! Duplicate suppression for redundant multi-path delivery.
+//!
+//! When events ride several vertex-disjoint paths in parallel
+//! ([`crate::RedundantRouter`]), subscribers receive up to `replicas`
+//! copies. A bounded sliding window over `(publisher, event id)` pairs
+//! suppresses the duplicates without unbounded memory.
+
+use std::collections::{HashSet, VecDeque};
+
+/// A bounded first-seen filter over event identities.
+///
+/// # Example
+///
+/// ```
+/// use psguard_routing::DedupWindow;
+///
+/// let mut window = DedupWindow::new(128);
+/// assert!(window.first_seen("pub-a", 1));
+/// assert!(!window.first_seen("pub-a", 1)); // duplicate copy
+/// assert!(window.first_seen("pub-b", 1)); // different publisher
+/// ```
+#[derive(Debug, Clone)]
+pub struct DedupWindow {
+    capacity: usize,
+    seen: HashSet<(String, u64)>,
+    order: VecDeque<(String, u64)>,
+    duplicates: u64,
+    accepted: u64,
+}
+
+impl DedupWindow {
+    /// Creates a window remembering up to `capacity` identities
+    /// (`capacity == 0` disables suppression: everything is "first").
+    pub fn new(capacity: usize) -> Self {
+        DedupWindow {
+            capacity,
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+            duplicates: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Whether this `(publisher, id)` pair is new; records it if so.
+    pub fn first_seen(&mut self, publisher: &str, id: u64) -> bool {
+        if self.capacity == 0 {
+            self.accepted += 1;
+            return true;
+        }
+        let key = (publisher.to_owned(), id);
+        if self.seen.contains(&key) {
+            self.duplicates += 1;
+            return false;
+        }
+        if self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert(key.clone());
+        self.order.push_back(key);
+        self.accepted += 1;
+        true
+    }
+
+    /// Identities currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Copies suppressed so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// First copies accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppresses_replicas() {
+        let mut w = DedupWindow::new(16);
+        // Three parallel copies of the same event: one delivery.
+        assert!(w.first_seen("P", 7));
+        assert!(!w.first_seen("P", 7));
+        assert!(!w.first_seen("P", 7));
+        assert_eq!(w.accepted(), 1);
+        assert_eq!(w.duplicates(), 2);
+    }
+
+    #[test]
+    fn distinct_identities_pass() {
+        let mut w = DedupWindow::new(16);
+        assert!(w.first_seen("P", 1));
+        assert!(w.first_seen("P", 2));
+        assert!(w.first_seen("Q", 1));
+        assert_eq!(w.accepted(), 3);
+        assert_eq!(w.duplicates(), 0);
+    }
+
+    #[test]
+    fn window_expires_oldest() {
+        let mut w = DedupWindow::new(2);
+        assert!(w.first_seen("P", 1));
+        assert!(w.first_seen("P", 2));
+        assert!(w.first_seen("P", 3)); // evicts (P,1)
+        assert_eq!(w.len(), 2);
+        // (P,1) fell out of the window: seen "again" as first.
+        assert!(w.first_seen("P", 1));
+        // (P,3) is still remembered.
+        assert!(!w.first_seen("P", 3));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut w = DedupWindow::new(0);
+        assert!(w.first_seen("P", 1));
+        assert!(w.first_seen("P", 1));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_with_redundant_router() {
+        use crate::multipath::MultipathTree;
+        use crate::redundant::RedundantRouter;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // 3 replicas per event; the subscriber must still see each event
+        // exactly once.
+        let tree = MultipathTree::new(5, 2).unwrap();
+        let router = RedundantRouter::new(tree, 5, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut window = DedupWindow::new(64);
+        for event_id in 0..50u64 {
+            let copies = router.choose_paths(&mut rng).len() as u64;
+            assert_eq!(copies, 3);
+            let mut delivered = 0;
+            for _ in 0..copies {
+                if window.first_seen("P", event_id) {
+                    delivered += 1;
+                }
+            }
+            assert_eq!(delivered, 1, "event {event_id}");
+        }
+        assert_eq!(window.accepted(), 50);
+        assert_eq!(window.duplicates(), 100);
+    }
+}

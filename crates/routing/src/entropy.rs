@@ -1,0 +1,113 @@
+//! Entropy metrics for measuring information leakage (§4.2).
+//!
+//! The paper quantifies what curious routing nodes can infer by the
+//! entropy of the token-frequency distribution they observe:
+//! `S = −Σ_t λ_t·log₂(λ_t)`. The lower the observed entropy, the sharper
+//! the attacker's inference. `S_max = log₂|Γ|` is the ideal (uniform)
+//! case; `S_act` is the entropy of the true frequencies.
+
+/// Shannon entropy (bits) of a (possibly unnormalized) non-negative count
+/// or frequency vector. Zero entries are skipped; an all-zero input has
+/// entropy 0.
+///
+/// # Example
+///
+/// ```
+/// use psguard_routing::entropy_bits;
+/// assert_eq!(entropy_bits(&[1.0, 1.0, 1.0, 1.0]), 2.0);
+/// assert_eq!(entropy_bits(&[5.0, 0.0]), 0.0);
+/// ```
+pub fn entropy_bits(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().filter(|&&w| w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// The maximum entropy for `n` tokens: `log₂ n` bits.
+pub fn max_entropy_bits(n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        (n as f64).log2()
+    }
+}
+
+/// Zipf-like frequencies over `n` tokens with exponent `s`, normalized to
+/// sum to 1 — the popularity model of the paper's workload (§5.2).
+pub fn zipf_frequencies(n: usize, s: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|v| v / total).collect()
+}
+
+/// Entropy report for one observer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntropyReport {
+    /// `S_max = log₂|Γ|`.
+    pub s_max: f64,
+    /// Entropy of the true token frequencies.
+    pub s_act: f64,
+    /// Entropy as observed by the (coalition of) routing nodes.
+    pub s_app: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_max() {
+        let u = vec![0.25; 4];
+        assert!((entropy_bits(&u) - 2.0).abs() < 1e-12);
+        assert_eq!(max_entropy_bits(4), 2.0);
+    }
+
+    #[test]
+    fn skew_lowers_entropy() {
+        let skewed = [0.9, 0.05, 0.03, 0.02];
+        assert!(entropy_bits(&skewed) < 2.0);
+        assert!(entropy_bits(&skewed) > 0.0);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = entropy_bits(&[1.0, 2.0, 3.0]);
+        let b = entropy_bits(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[0.0, 0.0]), 0.0);
+        assert_eq!(entropy_bits(&[7.0]), 0.0);
+        assert_eq!(max_entropy_bits(0), 0.0);
+    }
+
+    #[test]
+    fn zipf_is_normalized_and_decreasing() {
+        let f = zipf_frequencies(128, 0.9);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for w in f.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Zipf entropy sits strictly between 0 and S_max.
+        let h = entropy_bits(&f);
+        assert!(h > 0.0 && h < max_entropy_bits(128));
+    }
+
+    #[test]
+    fn zipf_s0_is_uniform() {
+        let f = zipf_frequencies(16, 0.0);
+        assert!((entropy_bits(&f) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Tokenized events and filters for secure content-based routing (§4.1).
+//!
+//! The topic of an event is never routed in the clear. Instead (following
+//! Song–Wagner–Perrig searchable encryption):
+//!
+//! * the KDC gives subscribers of topic `w` the token `T(w) = F_rk(w)`;
+//! * a publisher tags each event with `⟨r, F_{T(w)}(r)⟩` for a fresh nonce
+//!   `r`;
+//! * a broker holding subscription token `tok` matches by testing
+//!   `F_tok(r) == match`.
+//!
+//! The broker learns *that* the event matched one of its registered
+//! subscriptions — nothing about `w` itself. Non-topic routable attributes
+//! (e.g. a numeric `age`) stay visible for in-network range matching; the
+//! secret payload is AES-encrypted under the hierarchy key.
+
+use psguard_crypto::{prf, prf_verify, Token};
+use psguard_model::{Constraint, Event, Filter};
+use psguard_siena::FilterSemantics;
+use rand::RngCore;
+
+/// The routable tag on a secure event: `⟨r, F_{T(w)}(r)⟩`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RoutableTag {
+    /// The fresh nonce `r`.
+    pub nonce: [u8; 16],
+    /// The match value `F_{T(w)}(r)`.
+    pub tag: Token,
+}
+
+impl RoutableTag {
+    /// Publisher-side: tags an event under topic token `T(w)`.
+    pub fn new(topic_token: &Token, rng: &mut impl RngCore) -> Self {
+        let mut nonce = [0u8; 16];
+        rng.fill_bytes(&mut nonce);
+        RoutableTag {
+            nonce,
+            tag: prf(topic_token.as_bytes(), &nonce),
+        }
+    }
+
+    /// Deterministic construction from an explicit nonce (tests, replay).
+    pub fn with_nonce(topic_token: &Token, nonce: [u8; 16]) -> Self {
+        RoutableTag {
+            nonce,
+            tag: prf(topic_token.as_bytes(), &nonce),
+        }
+    }
+
+    /// Broker-side: does this tag match a subscription token? Constant
+    /// time in the comparison.
+    pub fn matches(&self, subscription_token: &Token) -> bool {
+        prf_verify(subscription_token, &self.nonce, &self.tag)
+    }
+}
+
+/// A secure event as routed by brokers: pseudonymous topic tag, plaintext
+/// routable attributes, encrypted payload.
+///
+/// The inner [`Event`]'s topic field is replaced by the empty string
+/// before routing — brokers must not see `w`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureEvent {
+    /// The topic tag `⟨r, F_{T(w)}(r)⟩`.
+    pub tag: RoutableTag,
+    /// Routable attributes (plaintext) and the *encrypted* payload.
+    pub event: Event,
+    /// CBC initialization vector for the payload.
+    pub iv: [u8; 16],
+    /// The epoch the payload was encrypted under.
+    pub epoch: u64,
+    /// Encrypt-then-MAC tag: `KH_{mac_key}(iv ‖ ciphertext)`. Lets an
+    /// authorized subscriber verify it derived the right `K(e)` before
+    /// decrypting (and detects tampering in transit).
+    pub mac: [u8; 20],
+}
+
+/// A secure subscription filter: a topic token plus plaintext attribute
+/// constraints (the broker can match ranges without learning the topic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureFilter {
+    /// The subscription token `T(w)`.
+    pub token: Token,
+    /// Attribute constraints evaluated in-network.
+    pub constraints: Vec<Constraint>,
+}
+
+impl SecureFilter {
+    /// Builds a secure filter from a token and the non-topic constraints
+    /// of a plaintext filter.
+    pub fn from_filter(token: Token, filter: &Filter) -> Self {
+        SecureFilter {
+            token,
+            constraints: filter.constraints().to_vec(),
+        }
+    }
+}
+
+impl FilterSemantics for SecureFilter {
+    type Event = SecureEvent;
+
+    fn matches(&self, event: &SecureEvent) -> bool {
+        if !event.tag.matches(&self.token) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            event
+                .event
+                .attr(c.name().as_str())
+                .is_some_and(|v| c.matches_value(v))
+        })
+    }
+
+    fn covers(&self, other: &SecureFilter) -> bool {
+        if self.token != other.token {
+            return false;
+        }
+        self.constraints
+            .iter()
+            .all(|mine| other.constraints.iter().any(|theirs| mine.covers(theirs)))
+    }
+}
+
+/// Wire-format support so secure traffic can cross the TCP transport.
+mod wire_impls {
+    use super::*;
+    use psguard_siena::wire::{Wire, WireError};
+
+    impl Wire for RoutableTag {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.nonce);
+            self.tag.encode(buf);
+        }
+        fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+            if input.len() < 16 {
+                return Err(WireError::Truncated);
+            }
+            let (head, tail) = input.split_at(16);
+            *input = tail;
+            let nonce: [u8; 16] = head.try_into().expect("16 bytes");
+            Ok(RoutableTag {
+                nonce,
+                tag: Token::decode(input)?,
+            })
+        }
+    }
+
+    impl Wire for SecureEvent {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.tag.encode(buf);
+            self.event.encode(buf);
+            buf.extend_from_slice(&self.iv);
+            self.epoch.encode(buf);
+            buf.extend_from_slice(&self.mac);
+        }
+        fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+            let tag = RoutableTag::decode(input)?;
+            let event = Event::decode(input)?;
+            if input.len() < 16 {
+                return Err(WireError::Truncated);
+            }
+            let (head, tail) = input.split_at(16);
+            *input = tail;
+            let iv: [u8; 16] = head.try_into().expect("16 bytes");
+            let epoch = u64::decode(input)?;
+            if input.len() < 20 {
+                return Err(WireError::Truncated);
+            }
+            let (mac_bytes, tail) = input.split_at(20);
+            *input = tail;
+            let mac: [u8; 20] = mac_bytes.try_into().expect("20 bytes");
+            Ok(SecureEvent {
+                tag,
+                event,
+                iv,
+                epoch,
+                mac,
+            })
+        }
+    }
+
+    impl Wire for SecureFilter {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.token.encode(buf);
+            (self.constraints.len() as u32).encode(buf);
+            for c in &self.constraints {
+                c.name().as_str().to_owned().encode(buf);
+                c.op().encode(buf);
+            }
+        }
+        fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+            let token = Token::decode(input)?;
+            let n = u32::decode(input)? as usize;
+            if n > 4096 {
+                return Err(WireError::BadLength(n));
+            }
+            let mut constraints = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = String::decode(input)?;
+                let op = psguard_model::Op::decode(input)?;
+                constraints.push(Constraint::new(name, op));
+            }
+            Ok(SecureFilter { token, constraints })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::Op;
+    use psguard_siena::wire::Wire;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn token(seed: &str) -> Token {
+        prf(b"master", seed.as_bytes())
+    }
+
+    fn secure_event(topic_token: &Token, age: i64) -> SecureEvent {
+        let mut rng = StdRng::seed_from_u64(1);
+        SecureEvent {
+            tag: RoutableTag::new(topic_token, &mut rng),
+            event: Event::builder("")
+                .attr("age", age)
+                .payload(vec![0xaa; 32])
+                .build(),
+            iv: [0u8; 16],
+            epoch: 0,
+            mac: [0u8; 20],
+        }
+    }
+
+    #[test]
+    fn tag_matches_only_its_topic() {
+        let t1 = token("cancerTrail");
+        let t2 = token("weather");
+        let mut rng = StdRng::seed_from_u64(2);
+        let tag = RoutableTag::new(&t1, &mut rng);
+        assert!(tag.matches(&t1));
+        assert!(!tag.matches(&t2));
+    }
+
+    #[test]
+    fn fresh_nonces_give_unlinkable_tags() {
+        let t = token("w");
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = RoutableTag::new(&t, &mut rng);
+        let b = RoutableTag::new(&t, &mut rng);
+        assert_ne!(a.nonce, b.nonce);
+        assert_ne!(a.tag, b.tag);
+        assert!(a.matches(&t) && b.matches(&t));
+    }
+
+    #[test]
+    fn secure_filter_matches_token_and_constraints() {
+        let t = token("w");
+        let f = SecureFilter {
+            token: t,
+            constraints: vec![Constraint::new("age", Op::Ge(18))],
+        };
+        assert!(FilterSemantics::matches(&f, &secure_event(&t, 25)));
+        assert!(!FilterSemantics::matches(&f, &secure_event(&t, 10)));
+        assert!(!FilterSemantics::matches(
+            &f,
+            &secure_event(&token("other"), 25)
+        ));
+    }
+
+    #[test]
+    fn secure_covering_requires_same_token() {
+        let t = token("w");
+        let broad = SecureFilter {
+            token: t,
+            constraints: vec![Constraint::new("age", Op::Ge(10))],
+        };
+        let narrow = SecureFilter {
+            token: t,
+            constraints: vec![Constraint::new("age", Op::Ge(20))],
+        };
+        assert!(broad.covers(&narrow));
+        assert!(!narrow.covers(&broad));
+        let other = SecureFilter {
+            token: token("x"),
+            constraints: vec![],
+        };
+        assert!(!other.covers(&narrow));
+    }
+
+    #[test]
+    fn secure_types_roundtrip_on_the_wire() {
+        let t = token("w");
+        let e = secure_event(&t, 30);
+        let bytes = e.to_bytes();
+        assert_eq!(SecureEvent::from_bytes(&bytes).unwrap(), e);
+
+        let f = SecureFilter {
+            token: t,
+            constraints: vec![Constraint::new("age", Op::Le(64))],
+        };
+        let bytes = f.to_bytes();
+        assert_eq!(SecureFilter::from_bytes(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_wire_rejected() {
+        let t = token("w");
+        let e = secure_event(&t, 30);
+        let bytes = e.to_bytes();
+        assert!(SecureEvent::from_bytes(&bytes[..10]).is_err());
+    }
+}

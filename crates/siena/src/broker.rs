@@ -1,0 +1,226 @@
+//! The content-based broker: pure routing logic, transport-agnostic.
+//!
+//! A broker reacts to inputs (subscribe / unsubscribe / publish) by
+//! emitting a list of [`Action`]s — messages to forward to peers or
+//! deliveries to local clients. Keeping the logic pure lets the same
+//! broker run on the discrete-event engine (for the paper's figures), over
+//! TCP, or in unit tests.
+
+use crate::semantics::FilterSemantics;
+use crate::table::{Peer, SubscriptionTable};
+
+/// An output of the broker state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<F: FilterSemantics> {
+    /// Forward a subscription to the parent.
+    ForwardSubscribe(F),
+    /// Forward an unsubscription to the parent.
+    ForwardUnsubscribe(F),
+    /// Send the event to a peer (child broker or local client).
+    Deliver(Peer, F::Event),
+}
+
+/// Routing statistics for one broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Subscriptions received.
+    pub subscribes: u64,
+    /// Subscriptions forwarded upstream (not covered).
+    pub forwarded_subscribes: u64,
+    /// Events received.
+    pub events_in: u64,
+    /// Event copies sent to peers.
+    pub events_out: u64,
+    /// Filter evaluations performed while matching.
+    pub match_evaluations: u64,
+}
+
+/// A content-based broker node.
+///
+/// # Example
+///
+/// ```
+/// use psguard_model::{Constraint, Event, Filter, Op};
+/// use psguard_siena::{Action, Broker, Peer};
+///
+/// let mut b: Broker<Filter> = Broker::new(true); // root broker
+/// let f = Filter::for_topic("t").with(Constraint::new("x", Op::Ge(10)));
+/// let actions = b.subscribe(Peer::Local(1), f);
+/// assert!(actions.is_empty()); // root has no parent to forward to
+///
+/// let e = Event::builder("t").attr("x", 42i64).build();
+/// let actions = b.publish(Peer::Local(9), e.clone());
+/// assert_eq!(actions, vec![Action::Deliver(Peer::Local(1), e)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Broker<F: FilterSemantics> {
+    is_root: bool,
+    table: SubscriptionTable<F>,
+    stats: BrokerStats,
+}
+
+impl<F: FilterSemantics> Broker<F> {
+    /// Creates a broker; `is_root` brokers never forward upstream.
+    pub fn new(is_root: bool) -> Self {
+        Broker {
+            is_root,
+            table: SubscriptionTable::new(),
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// The subscription table (for inspection).
+    pub fn table(&self) -> &SubscriptionTable<F> {
+        &self.table
+    }
+
+    /// Routing statistics.
+    pub fn stats(&self) -> BrokerStats {
+        self.stats
+    }
+
+    /// Handles a subscription from `from`. May emit
+    /// [`Action::ForwardSubscribe`] when the filter is not covered.
+    pub fn subscribe(&mut self, from: Peer, filter: F) -> Vec<Action<F>> {
+        self.stats.subscribes += 1;
+        let forward = self.table.insert(from, filter.clone());
+        if forward && !self.is_root {
+            self.stats.forwarded_subscribes += 1;
+            vec![Action::ForwardSubscribe(filter)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handles an unsubscription from `from`. Forwards upstream when no
+    /// other registration still needs the filter. (A conservative policy:
+    /// forwards only when the exact filter disappears entirely.)
+    pub fn unsubscribe(&mut self, from: Peer, filter: &F) -> Vec<Action<F>> {
+        let removed = self.table.remove(from, filter);
+        if !removed || self.is_root {
+            return Vec::new();
+        }
+        let still_needed = self.table.entries().iter().any(|(_, f)| f == filter);
+        if still_needed {
+            Vec::new()
+        } else {
+            vec![Action::ForwardUnsubscribe(filter.clone())]
+        }
+    }
+
+    /// Handles an event arriving from `from`. Implements the paper's §2.1
+    /// rule: forward to every peer with a matching subscription (except
+    /// the sender); non-root brokers that received the event from below
+    /// also push it to the parent so it reaches the rest of the tree.
+    pub fn publish(&mut self, from: Peer, event: F::Event) -> Vec<Action<F>> {
+        self.stats.events_in += 1;
+        self.stats.match_evaluations += self.table.match_work() as u64;
+        let mut actions = Vec::new();
+        if from != Peer::Parent && !self.is_root {
+            actions.push(Action::Deliver(Peer::Parent, event.clone()));
+        }
+        for peer in self.table.matching_peers(&event) {
+            if peer != from && peer != Peer::Parent {
+                actions.push(Action::Deliver(peer, event.clone()));
+            }
+        }
+        self.stats.events_out += actions.len() as u64;
+        actions
+    }
+
+    /// Drops all state for a departed peer.
+    pub fn peer_down(&mut self, peer: Peer) -> usize {
+        self.table.remove_peer(peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::{Constraint, Event, Filter, Op};
+
+    fn f(min: i64) -> Filter {
+        Filter::for_topic("t").with(Constraint::new("x", Op::Ge(min)))
+    }
+
+    fn e(x: i64) -> Event {
+        Event::builder("t").attr("x", x).build()
+    }
+
+    #[test]
+    fn non_root_forwards_uncovered_subscription() {
+        let mut b: Broker<Filter> = Broker::new(false);
+        assert_eq!(
+            b.subscribe(Peer::Local(1), f(10)),
+            vec![Action::ForwardSubscribe(f(10))]
+        );
+        // Covered: silent.
+        assert!(b.subscribe(Peer::Local(2), f(20)).is_empty());
+        assert_eq!(b.stats().forwarded_subscribes, 1);
+    }
+
+    #[test]
+    fn event_from_parent_goes_only_down() {
+        let mut b: Broker<Filter> = Broker::new(false);
+        b.subscribe(Peer::Child(1), f(10));
+        b.subscribe(Peer::Child(2), f(100));
+        let actions = b.publish(Peer::Parent, e(50));
+        assert_eq!(actions, vec![Action::Deliver(Peer::Child(1), e(50))]);
+    }
+
+    #[test]
+    fn event_from_below_also_goes_up() {
+        let mut b: Broker<Filter> = Broker::new(false);
+        b.subscribe(Peer::Child(1), f(10));
+        let actions = b.publish(Peer::Child(9), e(50));
+        assert_eq!(
+            actions,
+            vec![
+                Action::Deliver(Peer::Parent, e(50)),
+                Action::Deliver(Peer::Child(1), e(50)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sender_never_gets_its_own_event() {
+        let mut b: Broker<Filter> = Broker::new(true);
+        b.subscribe(Peer::Child(1), f(10));
+        let actions = b.publish(Peer::Child(1), e(50));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_forwards_only_when_last() {
+        let mut b: Broker<Filter> = Broker::new(false);
+        b.subscribe(Peer::Child(1), f(10));
+        b.subscribe(Peer::Child(2), f(10));
+        assert!(b.unsubscribe(Peer::Child(1), &f(10)).is_empty());
+        assert_eq!(
+            b.unsubscribe(Peer::Child(2), &f(10)),
+            vec![Action::ForwardUnsubscribe(f(10))]
+        );
+        // Unknown unsubscription: no-op.
+        assert!(b.unsubscribe(Peer::Child(3), &f(10)).is_empty());
+    }
+
+    #[test]
+    fn peer_down_clears_registrations() {
+        let mut b: Broker<Filter> = Broker::new(true);
+        b.subscribe(Peer::Child(1), f(10));
+        b.subscribe(Peer::Child(1), f(20));
+        assert_eq!(b.peer_down(Peer::Child(1)), 2);
+        assert!(b.publish(Peer::Parent, e(50)).is_empty());
+    }
+
+    #[test]
+    fn stats_track_matching_work() {
+        let mut b: Broker<Filter> = Broker::new(true);
+        b.subscribe(Peer::Child(1), f(10));
+        b.subscribe(Peer::Child(2), f(20));
+        b.publish(Peer::Parent, e(15));
+        assert_eq!(b.stats().events_in, 1);
+        assert_eq!(b.stats().match_evaluations, 2);
+        assert_eq!(b.stats().events_out, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! A Siena-like content-based publish-subscribe substrate, built from
+//! scratch for the PSGuard reproduction.
+//!
+//! The paper (§2.1, §5.1) layers PSGuard on an unmodified Siena core: a
+//! hierarchical broker overlay with in-network matching and the *covering*
+//! optimization on subscription forwarding. This crate provides that core:
+//!
+//! * [`Broker`] — the pure routing state machine (subscribe / publish →
+//!   actions), generic over [`FilterSemantics`] so the same code routes
+//!   plaintext filters and PSGuard's tokenized envelopes;
+//! * [`SubscriptionTable`] — covering-aware subscription storage;
+//! * [`Engine`] — a deterministic discrete-event overlay (full binary
+//!   broker trees, GT-ITM latencies, per-node queueing) used to reproduce
+//!   the throughput/latency figures;
+//! * [`spawn_broker`] / [`TcpClient`] — a real TCP transport with a framed
+//!   binary [`wire`] format.
+//!
+//! # Example
+//!
+//! ```
+//! use psguard_model::{Constraint, Event, Filter, Op};
+//! use psguard_siena::{Action, Broker, Peer};
+//!
+//! let mut broker: Broker<Filter> = Broker::new(true);
+//! broker.subscribe(Peer::Local(1), Filter::for_topic("news"));
+//! let e = Event::builder("news").build();
+//! let out = broker.publish(Peer::Local(2), e.clone());
+//! assert_eq!(out, vec![Action::Deliver(Peer::Local(1), e)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod engine;
+mod semantics;
+mod table;
+mod tcp;
+pub mod wire;
+
+pub use broker::{Action, Broker, BrokerStats};
+pub use engine::{CostModel, Engine, EngineConfig, RunReport};
+pub use semantics::FilterSemantics;
+pub use table::{Peer, SubscriptionTable};
+pub use tcp::{spawn_broker, TcpBroker, TcpClient};
+pub use wire::{Message, Wire, WireError};

@@ -1,0 +1,50 @@
+//! The filter-semantics abstraction that lets one broker implementation
+//! route both plaintext Siena traffic and PSGuard's tokenized envelopes.
+
+use psguard_model::{Event, Filter};
+
+/// What a broker needs from a filter type: event matching and the covering
+/// relation used to suppress redundant subscription forwarding.
+///
+/// Implementations must keep `covers` *sound* with respect to `matches`:
+/// `a.covers(b)` implies every event matching `b` matches `a`. (A
+/// conservative `covers` that sometimes returns `false` is allowed — it
+/// only costs extra forwarding, never correctness.)
+pub trait FilterSemantics: Clone + PartialEq {
+    /// The notification type routed under these filters.
+    type Event: Clone;
+
+    /// Whether an event satisfies this filter.
+    fn matches(&self, event: &Self::Event) -> bool;
+
+    /// Whether this filter covers `other` (see trait docs).
+    fn covers(&self, other: &Self) -> bool;
+}
+
+impl FilterSemantics for Filter {
+    type Event = Event;
+
+    fn matches(&self, event: &Event) -> bool {
+        Filter::matches(self, event)
+    }
+
+    fn covers(&self, other: &Filter) -> bool {
+        Filter::covers(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::{Constraint, Op};
+
+    #[test]
+    fn plain_filter_semantics_delegate() {
+        let broad = Filter::for_topic("t").with(Constraint::new("x", Op::Ge(0)));
+        let narrow = Filter::for_topic("t").with(Constraint::new("x", Op::Ge(10)));
+        assert!(FilterSemantics::covers(&broad, &narrow));
+        let e = Event::builder("t").attr("x", 5i64).build();
+        assert!(FilterSemantics::matches(&broad, &e));
+        assert!(!FilterSemantics::matches(&narrow, &e));
+    }
+}

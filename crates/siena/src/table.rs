@@ -1,0 +1,174 @@
+//! Per-broker subscription tables with Siena's covering optimization.
+
+use crate::semantics::FilterSemantics;
+
+/// A neighbor of a broker: its parent, a child broker, or a locally
+/// attached client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Peer {
+    /// The broker's parent in the dissemination hierarchy.
+    Parent,
+    /// A child broker, by overlay node id.
+    Child(u32),
+    /// A locally attached client (publisher or subscriber).
+    Local(u32),
+}
+
+/// The subscription table of one broker.
+///
+/// Stores `(peer, filter)` registrations and answers the two questions the
+/// routing algorithm asks:
+///
+/// * which peers should receive an event ([`SubscriptionTable::matching_peers`]);
+/// * must a new subscription be forwarded to the parent, or is it covered
+///   by something already forwarded ([`SubscriptionTable::insert`])?
+#[derive(Debug, Clone)]
+pub struct SubscriptionTable<F> {
+    entries: Vec<(Peer, F)>,
+}
+
+impl<F> Default for SubscriptionTable<F> {
+    fn default() -> Self {
+        SubscriptionTable {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<F: FilterSemantics> SubscriptionTable<F> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[(Peer, F)] {
+        &self.entries
+    }
+
+    /// Registers `filter` for `peer`. Returns `true` when the subscription
+    /// must be forwarded to the parent — i.e. it is **not** covered by any
+    /// previously registered filter (Siena's covering optimization, §2.1).
+    ///
+    /// Duplicate `(peer, filter)` registrations are idempotent and never
+    /// forwarded.
+    pub fn insert(&mut self, peer: Peer, filter: F) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(p, f)| *p == peer && *f == filter)
+        {
+            return false;
+        }
+        let covered = self.entries.iter().any(|(_, f)| f.covers(&filter));
+        self.entries.push((peer, filter));
+        !covered
+    }
+
+    /// Removes a specific `(peer, filter)` registration. Returns `true`
+    /// when something was removed.
+    pub fn remove(&mut self, peer: Peer, filter: &F) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(p, f)| !(*p == peer && f == filter));
+        before != self.entries.len()
+    }
+
+    /// Removes every registration of `peer` (e.g. on disconnect).
+    pub fn remove_peer(&mut self, peer: Peer) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(p, _)| *p != peer);
+        before - self.entries.len()
+    }
+
+    /// The distinct peers whose filters match `event`, in first-seen order.
+    pub fn matching_peers(&self, event: &F::Event) -> Vec<Peer> {
+        let mut out: Vec<Peer> = Vec::new();
+        for (peer, filter) in &self.entries {
+            if filter.matches(event) && !out.contains(peer) {
+                out.push(*peer);
+            }
+        }
+        out
+    }
+
+    /// Number of filter evaluations `matching_peers` would perform — the
+    /// per-event matching cost used by the performance model.
+    pub fn match_work(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::{Constraint, Event, Filter, Op};
+
+    fn age_filter(min: i64) -> Filter {
+        Filter::for_topic("t").with(Constraint::new("age", Op::Ge(min)))
+    }
+
+    fn event(age: i64) -> Event {
+        Event::builder("t").attr("age", age).build()
+    }
+
+    #[test]
+    fn first_subscription_forwards() {
+        let mut t = SubscriptionTable::new();
+        assert!(t.insert(Peer::Child(1), age_filter(10)));
+    }
+
+    #[test]
+    fn covered_subscription_not_forwarded() {
+        let mut t = SubscriptionTable::new();
+        assert!(t.insert(Peer::Child(1), age_filter(10)));
+        // Narrower filter from another peer: covered, no forward.
+        assert!(!t.insert(Peer::Child(2), age_filter(20)));
+        // Broader filter: not covered, forward.
+        assert!(t.insert(Peer::Child(3), age_filter(0)));
+    }
+
+    #[test]
+    fn duplicate_registration_idempotent() {
+        let mut t = SubscriptionTable::new();
+        assert!(t.insert(Peer::Child(1), age_filter(10)));
+        assert!(!t.insert(Peer::Child(1), age_filter(10)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn matching_peers_dedup_and_filter() {
+        let mut t = SubscriptionTable::new();
+        t.insert(Peer::Child(1), age_filter(10));
+        t.insert(Peer::Child(1), age_filter(30));
+        t.insert(Peer::Child(2), age_filter(50));
+        assert_eq!(t.matching_peers(&event(40)), vec![Peer::Child(1)]);
+        assert_eq!(
+            t.matching_peers(&event(60)),
+            vec![Peer::Child(1), Peer::Child(2)]
+        );
+        assert!(t.matching_peers(&event(5)).is_empty());
+    }
+
+    #[test]
+    fn remove_specific_and_peer() {
+        let mut t = SubscriptionTable::new();
+        t.insert(Peer::Child(1), age_filter(10));
+        t.insert(Peer::Child(1), age_filter(20));
+        t.insert(Peer::Local(7), age_filter(10));
+        assert!(t.remove(Peer::Child(1), &age_filter(10)));
+        assert!(!t.remove(Peer::Child(1), &age_filter(10)));
+        assert_eq!(t.remove_peer(Peer::Child(1)), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.matching_peers(&event(15)), vec![Peer::Local(7)]);
+    }
+}

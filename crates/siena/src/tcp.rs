@@ -1,0 +1,448 @@
+//! A real TCP transport for the broker overlay.
+//!
+//! Brokers listen on a socket; child brokers and clients connect, send a
+//! [`Message::Hello`], then exchange framed [`Message`]s. The routing
+//! logic is exactly the pure [`Broker`]; this module only moves bytes.
+//!
+//! The paper linked its 63-node overlay with "open TCP connections"
+//! (§5.2); this module is the equivalent transport, used by the
+//! `broker_network` example and the integration tests.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::broker::{Action, Broker};
+use crate::semantics::FilterSemantics;
+use crate::table::Peer;
+use crate::wire::{read_frame, write_frame, Message, Wire};
+
+/// Internal dispatcher input.
+enum Input<F: FilterSemantics> {
+    FromPeer(u32, Message<F, F::Event>),
+    PeerGone(u32),
+    NewPeer(u32, Sender<Vec<u8>>),
+    Shutdown,
+}
+
+/// Handle to a running TCP broker. Dropping the handle shuts it down.
+pub struct TcpBroker {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    dispatcher_tx_shutdown: Box<dyn Fn() + Send + Sync>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpBroker").field("addr", &self.addr).finish()
+    }
+}
+
+impl TcpBroker {
+    /// The address the broker listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins the worker threads.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        (self.dispatcher_tx_shutdown)();
+        // Poke the accept loop.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for TcpBroker {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn spawn_writer(stream: TcpStream, rx: Receiver<Vec<u8>>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        while let Ok(frame) = rx.recv() {
+            if frame.is_empty() {
+                break; // shutdown sentinel
+            }
+            if write_frame(&mut stream, &frame).is_err() {
+                break;
+            }
+        }
+        let _ = stream.flush();
+    })
+}
+
+fn spawn_reader<F>(
+    stream: TcpStream,
+    peer_id: u32,
+    tx: Sender<Input<F>>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send,
+{
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .ok();
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match read_frame(&mut stream) {
+                Ok(frame) => match Message::<F, F::Event>::from_bytes(&frame) {
+                    Ok(msg) => {
+                        if tx.send(Input::FromPeer(peer_id, msg)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break, // protocol violation: drop the peer
+                },
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = tx.send(Input::PeerGone(peer_id));
+    })
+}
+
+/// Spawns a TCP broker listening on `listen` (use port 0 for an ephemeral
+/// port), optionally connected upward to `parent`.
+///
+/// # Errors
+///
+/// Propagates socket errors (bind/connect failures).
+pub fn spawn_broker<F>(listen: &str, parent: Option<SocketAddr>) -> std::io::Result<TcpBroker>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    let listener = TcpListener::bind(listen)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = unbounded::<Input<F>>();
+    let mut threads = Vec::new();
+
+    // Parent link (peer id 0 is reserved for the parent).
+    const PARENT_ID: u32 = 0;
+    let mut parent_tx: Option<Sender<Vec<u8>>> = None;
+    if let Some(paddr) = parent {
+        let stream = TcpStream::connect(paddr)?;
+        stream.set_nodelay(true).ok();
+        let (wtx, wrx) = unbounded::<Vec<u8>>();
+        threads.push(spawn_writer(stream.try_clone()?, wrx));
+        threads.push(spawn_reader::<F>(
+            stream,
+            PARENT_ID,
+            tx.clone(),
+            shutdown.clone(),
+        ));
+        // Introduce ourselves as a broker.
+        let hello: Message<F, F::Event> = Message::Hello { kind: 0 };
+        let _ = wtx.send(hello.to_bytes());
+        parent_tx = Some(wtx);
+    }
+
+    // Accept loop.
+    {
+        let tx = tx.clone();
+        let shutdown = shutdown.clone();
+        let next_peer = Arc::new(Mutex::new(1u32));
+        threads.push(std::thread::spawn(move || {
+            let mut reader_threads = Vec::new();
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                stream.set_nodelay(true).ok();
+                let peer_id = {
+                    let mut n = next_peer.lock();
+                    let id = *n;
+                    *n += 1;
+                    id
+                };
+                let (wtx, wrx) = unbounded::<Vec<u8>>();
+                if let Ok(ws) = stream.try_clone() {
+                    reader_threads.push(spawn_writer(ws, wrx));
+                } else {
+                    continue;
+                }
+                let _ = tx.send(Input::NewPeer(peer_id, wtx));
+                reader_threads.push(spawn_reader::<F>(
+                    stream,
+                    peer_id,
+                    tx.clone(),
+                    shutdown.clone(),
+                ));
+            }
+            for t in reader_threads {
+                let _ = t.join();
+            }
+        }));
+    }
+
+    // Dispatcher: owns the pure broker and the peer registry.
+    {
+        let is_root = parent.is_none();
+        threads.push(std::thread::spawn(move || {
+            let mut broker: Broker<F> = Broker::new(is_root);
+            let mut writers: std::collections::HashMap<u32, Sender<Vec<u8>>> =
+                std::collections::HashMap::new();
+            if let Some(ptx) = parent_tx {
+                writers.insert(PARENT_ID, ptx);
+            }
+            let send_to = |writers: &std::collections::HashMap<u32, Sender<Vec<u8>>>,
+                           peer: u32,
+                           msg: &Message<F, F::Event>| {
+                if let Some(w) = writers.get(&peer) {
+                    let _ = w.send(msg.to_bytes());
+                }
+            };
+            while let Ok(input) = rx.recv() {
+                match input {
+                    Input::Shutdown => break,
+                    Input::NewPeer(id, wtx) => {
+                        writers.insert(id, wtx);
+                    }
+                    Input::PeerGone(id) => {
+                        if id != PARENT_ID {
+                            broker.peer_down(Peer::Child(id));
+                        }
+                        if let Some(w) = writers.remove(&id) {
+                            let _ = w.send(Vec::new()); // writer sentinel
+                        }
+                    }
+                    Input::FromPeer(id, msg) => {
+                        let from = if id == PARENT_ID {
+                            Peer::Parent
+                        } else {
+                            Peer::Child(id)
+                        };
+                        let actions = match msg {
+                            Message::Hello { .. } => Vec::new(),
+                            Message::Subscribe(f) => broker.subscribe(from, f),
+                            Message::Unsubscribe(f) => broker.unsubscribe(from, &f),
+                            Message::Publish(e) => broker.publish(from, e),
+                        };
+                        for action in actions {
+                            match action {
+                                Action::ForwardSubscribe(f) => {
+                                    send_to(&writers, PARENT_ID, &Message::Subscribe(f));
+                                }
+                                Action::ForwardUnsubscribe(f) => {
+                                    send_to(&writers, PARENT_ID, &Message::Unsubscribe(f));
+                                }
+                                Action::Deliver(Peer::Parent, e) => {
+                                    send_to(&writers, PARENT_ID, &Message::Publish(e));
+                                }
+                                Action::Deliver(Peer::Child(c), e) => {
+                                    send_to(&writers, c, &Message::Publish(e));
+                                }
+                                Action::Deliver(Peer::Local(c), e) => {
+                                    send_to(&writers, c, &Message::Publish(e));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Release writer threads.
+            for (_, w) in writers {
+                let _ = w.send(Vec::new());
+            }
+        }));
+    }
+
+    let tx_for_shutdown = tx;
+    Ok(TcpBroker {
+        addr,
+        shutdown,
+        dispatcher_tx_shutdown: Box::new(move || {
+            let _ = tx_for_shutdown.send(Input::Shutdown);
+        }),
+        threads,
+    })
+}
+
+/// A client connection: subscribe and publish over TCP, receive matching
+/// events.
+pub struct TcpClient<F: FilterSemantics> {
+    writer: Sender<Vec<u8>>,
+    events: Receiver<F::Event>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F: FilterSemantics> std::fmt::Debug for TcpClient<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TcpClient { .. }")
+    }
+}
+
+impl<F> TcpClient<F>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    /// Connects to a broker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(broker: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(broker)?;
+        stream.set_nodelay(true).ok();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (wtx, wrx) = unbounded::<Vec<u8>>();
+        let (etx, erx) = bounded::<F::Event>(4096);
+        let mut threads = Vec::new();
+        threads.push(spawn_writer(stream.try_clone()?, wrx));
+        {
+            let shutdown = shutdown.clone();
+            let mut stream = stream;
+            threads.push(std::thread::spawn(move || {
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(200)))
+                    .ok();
+                loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match read_frame(&mut stream) {
+                        Ok(frame) => {
+                            if let Ok(Message::Publish(e)) =
+                                Message::<F, F::Event>::from_bytes(&frame)
+                            {
+                                if etx.send(e).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+        let hello: Message<F, F::Event> = Message::Hello { kind: 1 };
+        let _ = wtx.send(hello.to_bytes());
+        Ok(TcpClient {
+            writer: wtx,
+            events: erx,
+            shutdown,
+            threads,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Registers a subscription.
+    pub fn subscribe(&self, filter: F) {
+        let msg: Message<F, F::Event> = Message::Subscribe(filter);
+        let _ = self.writer.send(msg.to_bytes());
+    }
+
+    /// Publishes an event.
+    pub fn publish(&self, event: F::Event) {
+        let msg: Message<F, F::Event> = Message::Publish(event);
+        let _ = self.writer.send(msg.to_bytes());
+    }
+
+    /// Waits up to `timeout` for the next delivered event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<F::Event> {
+        self.events.recv_timeout(timeout).ok()
+    }
+}
+
+impl<F: FilterSemantics> Drop for TcpClient<F> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.writer.send(Vec::new());
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::{Constraint, Event, Filter, Op};
+
+    #[test]
+    fn single_broker_pubsub_roundtrip() {
+        let broker = spawn_broker::<Filter>("127.0.0.1:0", None).unwrap();
+        let sub: TcpClient<Filter> = TcpClient::connect(broker.addr()).unwrap();
+        let publisher: TcpClient<Filter> = TcpClient::connect(broker.addr()).unwrap();
+
+        sub.subscribe(Filter::for_topic("t").with(Constraint::new("x", Op::Ge(10))));
+        std::thread::sleep(Duration::from_millis(150));
+
+        let hit = Event::builder("t").attr("x", 42i64).payload(vec![1]).build();
+        let miss = Event::builder("t").attr("x", 1i64).build();
+        publisher.publish(miss.clone());
+        publisher.publish(hit.clone());
+
+        let got = sub.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(got, hit);
+        // The non-matching event must not arrive.
+        assert!(sub.recv_timeout(Duration::from_millis(200)).is_none());
+        broker.shutdown();
+    }
+
+    #[test]
+    fn two_level_tree_routes_through_root() {
+        let root = spawn_broker::<Filter>("127.0.0.1:0", None).unwrap();
+        let left = spawn_broker::<Filter>("127.0.0.1:0", Some(root.addr())).unwrap();
+        let right = spawn_broker::<Filter>("127.0.0.1:0", Some(root.addr())).unwrap();
+
+        let sub: TcpClient<Filter> = TcpClient::connect(left.addr()).unwrap();
+        let publisher: TcpClient<Filter> = TcpClient::connect(right.addr()).unwrap();
+
+        sub.subscribe(Filter::for_topic("news"));
+        std::thread::sleep(Duration::from_millis(300));
+
+        let e = Event::builder("news").payload(b"flash".to_vec()).build();
+        publisher.publish(e.clone());
+        let got = sub.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(got, e);
+
+        drop(sub);
+        drop(publisher);
+        left.shutdown();
+        right.shutdown();
+        root.shutdown();
+    }
+}

@@ -1,0 +1,564 @@
+//! A compact, dependency-free binary wire format for pub-sub messages.
+//!
+//! Frames are `u32`-length-prefixed (big-endian). Inside a frame, values
+//! serialize with the [`Wire`] trait: fixed-width integers big-endian,
+//! byte strings length-prefixed. The format is versioned by a magic byte
+//! so incompatible peers fail fast.
+
+use psguard_model::{AttrValue, CategoryPath, Constraint, Event, Filter, IntRange, Op};
+
+/// Maximum frame payload accepted (1 MiB) — guards against hostile or
+/// corrupt length prefixes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Wire-format errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// An enum tag byte was invalid.
+    BadTag(u8),
+    /// A declared length was implausible.
+    BadLength(usize),
+    /// String bytes were not UTF-8.
+    BadUtf8,
+    /// Frame magic/version mismatch.
+    BadMagic(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::BadTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            WireError::BadLength(l) => write!(f, "implausible length {l}"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Frame magic/version byte.
+pub const MAGIC: u8 = 0xA7;
+
+/// A type that can be serialized into / parsed from the wire format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Parses a value, advancing `input` past it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input.
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decode a complete buffer, requiring full consumption.
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode(&mut bytes)?;
+        if bytes.is_empty() {
+            Ok(v)
+        } else {
+            Err(WireError::BadLength(bytes.len()))
+        }
+    }
+}
+
+pub(crate) fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if input.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(take(input, 1)?[0])
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u32::from_be_bytes(take(input, 4)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u64::from_be_bytes(take(input, 8)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(i64::from_be_bytes(take(input, 8)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_bytes().to_vec().encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let bytes = Vec::<u8>::decode(input)?;
+        String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(input)? as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for psguard_crypto::Token {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let bytes = take(input, psguard_crypto::TOKEN_LEN)?;
+        Ok(psguard_crypto::Token::from_raw(
+            bytes.try_into().expect("fixed token length"),
+        ))
+    }
+}
+
+impl Wire for CategoryPath {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let v: Vec<u32> = self.indices().to_vec();
+        (v.len() as u32).encode(buf);
+        for i in v {
+            i.encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(input)? as usize;
+        if len > 1024 {
+            return Err(WireError::BadLength(len));
+        }
+        let mut idx = Vec::with_capacity(len);
+        for _ in 0..len {
+            idx.push(u32::decode(input)?);
+        }
+        Ok(CategoryPath::from_indices(idx))
+    }
+}
+
+impl Wire for AttrValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            AttrValue::Int(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            AttrValue::Str(s) => {
+                buf.push(1);
+                s.clone().encode(buf);
+            }
+            AttrValue::Category(c) => {
+                buf.push(2);
+                c.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(AttrValue::Int(i64::decode(input)?)),
+            1 => Ok(AttrValue::Str(String::decode(input)?)),
+            2 => Ok(AttrValue::Category(CategoryPath::decode(input)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for IntRange {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.lo().encode(buf);
+        self.hi().encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let lo = i64::decode(input)?;
+        let hi = i64::decode(input)?;
+        IntRange::new(lo, hi).ok_or(WireError::BadLength(0))
+    }
+}
+
+impl Wire for Op {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Op::Eq(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            Op::Lt(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+            Op::Le(v) => {
+                buf.push(2);
+                v.encode(buf);
+            }
+            Op::Gt(v) => {
+                buf.push(3);
+                v.encode(buf);
+            }
+            Op::Ge(v) => {
+                buf.push(4);
+                v.encode(buf);
+            }
+            Op::InRange(r) => {
+                buf.push(5);
+                r.encode(buf);
+            }
+            Op::StrPrefix(s) => {
+                buf.push(6);
+                s.clone().encode(buf);
+            }
+            Op::StrSuffix(s) => {
+                buf.push(7);
+                s.clone().encode(buf);
+            }
+            Op::CategoryIn(c) => {
+                buf.push(8);
+                c.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(match u8::decode(input)? {
+            0 => Op::Eq(AttrValue::decode(input)?),
+            1 => Op::Lt(i64::decode(input)?),
+            2 => Op::Le(i64::decode(input)?),
+            3 => Op::Gt(i64::decode(input)?),
+            4 => Op::Ge(i64::decode(input)?),
+            5 => Op::InRange(IntRange::decode(input)?),
+            6 => Op::StrPrefix(String::decode(input)?),
+            7 => Op::StrSuffix(String::decode(input)?),
+            8 => Op::CategoryIn(CategoryPath::decode(input)?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for Filter {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.topic().map(|s| s.to_owned()).encode(buf);
+        (self.constraints().len() as u32).encode(buf);
+        for c in self.constraints() {
+            c.name().as_str().to_owned().encode(buf);
+            c.op().encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let topic: Option<String> = Option::decode(input)?;
+        let mut filter = match topic {
+            Some(t) => Filter::for_topic(t),
+            None => Filter::any(),
+        };
+        let n = u32::decode(input)? as usize;
+        if n > 4096 {
+            return Err(WireError::BadLength(n));
+        }
+        for _ in 0..n {
+            let name = String::decode(input)?;
+            let op = Op::decode(input)?;
+            filter = filter.with(Constraint::new(name, op));
+        }
+        Ok(filter)
+    }
+}
+
+impl Wire for Event {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id().0.encode(buf);
+        self.topic().to_owned().encode(buf);
+        self.publisher().to_owned().encode(buf);
+        (self.attr_count() as u32).encode(buf);
+        for (name, value) in self.attrs() {
+            name.as_str().to_owned().encode(buf);
+            value.encode(buf);
+        }
+        self.payload().to_vec().encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let id = u64::decode(input)?;
+        let topic = String::decode(input)?;
+        let publisher = String::decode(input)?;
+        let n = u32::decode(input)? as usize;
+        if n > 4096 {
+            return Err(WireError::BadLength(n));
+        }
+        let mut builder = Event::builder(topic)
+            .id(psguard_model::EventId(id))
+            .publisher(publisher);
+        for _ in 0..n {
+            let name = String::decode(input)?;
+            let value = AttrValue::decode(input)?;
+            builder = builder.attr(name, value);
+        }
+        let payload = Vec::<u8>::decode(input)?;
+        Ok(builder.payload(payload).build())
+    }
+}
+
+/// A pub-sub protocol message between two peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message<F, E> {
+    /// Peer handshake: 0 = broker, 1 = client.
+    Hello {
+        /// Peer kind.
+        kind: u8,
+    },
+    /// Register a subscription.
+    Subscribe(F),
+    /// Remove a subscription.
+    Unsubscribe(F),
+    /// An event notification.
+    Publish(E),
+}
+
+impl<F: Wire, E: Wire> Wire for Message<F, E> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(MAGIC);
+        match self {
+            Message::Hello { kind } => {
+                buf.push(0);
+                buf.push(*kind);
+            }
+            Message::Subscribe(f) => {
+                buf.push(1);
+                f.encode(buf);
+            }
+            Message::Unsubscribe(f) => {
+                buf.push(2);
+                f.encode(buf);
+            }
+            Message::Publish(e) => {
+                buf.push(3);
+                e.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let magic = u8::decode(input)?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        Ok(match u8::decode(input)? {
+            0 => Message::Hello {
+                kind: u8::decode(input)?,
+            },
+            1 => Message::Subscribe(F::decode(input)?),
+            2 => Message::Unsubscribe(F::decode(input)?),
+            3 => Message::Publish(E::decode(input)?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects frames larger than [`MAX_FRAME`] with
+/// `InvalidData`.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdeadbeefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(String::from("héllo"));
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(9u32));
+        roundtrip(vec![String::from("a"), String::from("b")]);
+    }
+
+    #[test]
+    fn model_types_roundtrip() {
+        roundtrip(CategoryPath::from_indices([1, 2, 3]));
+        roundtrip(AttrValue::Int(-5));
+        roundtrip(AttrValue::Str("x".into()));
+        roundtrip(AttrValue::Category(CategoryPath::root()));
+        roundtrip(IntRange::new(-10, 10).unwrap());
+        for op in [
+            Op::Eq(AttrValue::Int(1)),
+            Op::Lt(2),
+            Op::Le(3),
+            Op::Gt(4),
+            Op::Ge(5),
+            Op::InRange(IntRange::new(0, 9).unwrap()),
+            Op::StrPrefix("p".into()),
+            Op::StrSuffix("s".into()),
+            Op::CategoryIn(CategoryPath::from_indices([7])),
+        ] {
+            roundtrip(op);
+        }
+    }
+
+    #[test]
+    fn filter_and_event_roundtrip() {
+        let f = Filter::for_topic("stocks")
+            .with(Constraint::new("price", Op::Le(100)))
+            .with(Constraint::new("sym", Op::StrPrefix("GO".into())));
+        roundtrip(f);
+        roundtrip(Filter::any());
+
+        let e = Event::builder("stocks")
+            .id(psguard_model::EventId(77))
+            .publisher("nasdaq")
+            .attr("price", 95i64)
+            .attr("sym", "GOOG")
+            .payload(vec![0xde, 0xad])
+            .build();
+        roundtrip(e);
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let m: Message<Filter, Event> = Message::Subscribe(Filter::for_topic("t"));
+        roundtrip(m);
+        let m: Message<Filter, Event> = Message::Hello { kind: 1 };
+        roundtrip(m);
+        let m: Message<Filter, Event> =
+            Message::Publish(Event::builder("t").payload(vec![1]).build());
+        roundtrip(m);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(u32::from_bytes(&[1, 2]), Err(WireError::Truncated));
+        assert_eq!(
+            Option::<u8>::from_bytes(&[7]),
+            Err(WireError::BadTag(7))
+        );
+        // Huge declared length.
+        let mut buf = Vec::new();
+        (u32::MAX).encode(&mut buf);
+        assert!(matches!(
+            Vec::<u8>::from_bytes(&buf),
+            Err(WireError::BadLength(_))
+        ));
+        // Bad magic byte.
+        assert!(matches!(
+            <Message<Filter, Event>>::from_bytes(&[0x00, 1]),
+            Err(WireError::BadMagic(0))
+        ));
+        // Trailing garbage.
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(u32::from_bytes(&bytes), Err(WireError::BadLength(1))));
+        // Invalid UTF-8.
+        let mut buf = Vec::new();
+        vec![0xffu8, 0xfe].encode(&mut buf);
+        assert_eq!(String::from_bytes(&buf), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

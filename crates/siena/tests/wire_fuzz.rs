@@ -1,0 +1,58 @@
+//! Decoder robustness: arbitrary and mutated byte strings must never
+//! panic the wire codec — malformed input from a hostile peer yields
+//! `Err`, not a crash (the TCP reader drops such peers).
+
+use proptest::prelude::*;
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+use psguard_siena::{Message, Wire};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totally random bytes: decode returns, never panics.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Filter::from_bytes(&bytes);
+        let _ = Event::from_bytes(&bytes);
+        let _ = <Message<Filter, Event>>::from_bytes(&bytes);
+    }
+
+    /// Truncations of valid encodings: every prefix decodes to Err (or,
+    /// for the full length, Ok with the original value).
+    #[test]
+    fn truncated_encodings_error_cleanly(
+        lo in -50i64..50,
+        w in 1i64..50,
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let msg: Message<Filter, Event> = Message::Publish(
+            Event::builder("t")
+                .attr("x", lo)
+                .attr("r", psguard_model::AttrValue::Int(lo + w))
+                .payload(payload)
+                .build(),
+        );
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(<Message<Filter, Event>>::from_bytes(&bytes[..cut]).is_err());
+        }
+        prop_assert_eq!(<Message<Filter, Event>>::from_bytes(&bytes).expect("full"), msg);
+    }
+
+    /// Single-byte mutations: decode returns (Ok-with-different-value or
+    /// Err are both fine; panicking or looping is not).
+    #[test]
+    fn mutated_encodings_never_panic(
+        flip_at in 0usize..512,
+        xor in 1u8..=255,
+    ) {
+        let f = Filter::for_topic("stocks")
+            .with(Constraint::new("price", Op::InRange(IntRange::new(5, 90).expect("valid"))))
+            .with(Constraint::new("sym", Op::StrPrefix("GO".into())));
+        let msg: Message<Filter, Event> = Message::Subscribe(f);
+        let mut bytes = msg.to_bytes();
+        let i = flip_at % bytes.len();
+        bytes[i] ^= xor;
+        let _ = <Message<Filter, Event>>::from_bytes(&bytes);
+    }
+}

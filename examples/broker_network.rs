@@ -1,0 +1,82 @@
+//! A real TCP broker network carrying PSGuard's encrypted envelopes.
+//!
+//! Three brokers form a tree over loopback TCP (root + two children);
+//! subscribers connect to one child, the publisher to the other. All
+//! traffic between them is framed binary: topic tokens, plaintext
+//! routable attributes, and AES-encrypted payloads — exactly what a
+//! curious broker would see on the wire.
+//!
+//! Run with: `cargo run --example broker_network`
+
+use std::time::Duration;
+
+use psguard::{PsGuard, PsGuardConfig};
+use psguard_keys::Schema;
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+use psguard_routing::{SecureEvent, SecureFilter};
+use psguard_siena::{spawn_broker, TcpClient};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The secure deployment.
+    let schema = Schema::builder()
+        .numeric("severity", IntRange::new(0, 10).expect("valid range"), 1)?
+        .build();
+    let ps = PsGuard::new(b"ops-alerts-master", schema, PsGuardConfig::default());
+    let mut publisher = ps.publisher("monitoring");
+    ps.authorize_publisher(&mut publisher, "alerts", 0);
+
+    // A three-broker tree over TCP: both child brokers peer with the root.
+    let root = spawn_broker::<SecureFilter>("127.0.0.1:0", None)?;
+    let left = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(root.addr()))?;
+    let right = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(root.addr()))?;
+    println!("brokers: root {} / left {} / right {}", root.addr(), left.addr(), right.addr());
+
+    // The on-call engineer subscribes at the left broker for severity ≥ 7.
+    let mut oncall = ps.subscriber("on-call");
+    let filter = Filter::for_topic("alerts").with(Constraint::new("severity", Op::Ge(7)));
+    ps.authorize_subscriber(&mut oncall, &filter, 0)?;
+    let oncall_conn: TcpClient<SecureFilter> = TcpClient::connect(left.addr())?;
+    oncall_conn.subscribe(oncall.secure_filters().remove(0));
+
+    // Let the subscription propagate left -> root.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The publisher connects at the right broker and publishes two alerts.
+    let feed: TcpClient<SecureFilter> = TcpClient::connect(right.addr())?;
+    for (severity, text) in [(3i64, "disk 71% full"), (9, "primary database down")] {
+        let event = Event::builder("alerts")
+            .attr("severity", severity)
+            .payload(text.as_bytes().to_vec())
+            .build();
+        let secure: SecureEvent = publisher.publish(&event, 0)?;
+        println!(
+            "publishing severity {severity}: tag {:?}, {} ciphertext bytes",
+            secure.tag.tag,
+            secure.event.payload().len()
+        );
+        feed.publish(secure);
+    }
+
+    // Only the severity-9 alert crosses the tree to the on-call engineer,
+    // who decrypts it locally.
+    let delivered = oncall_conn
+        .recv_timeout(Duration::from_secs(5))
+        .expect("the severity-9 alert must be delivered");
+    let plain = oncall.decrypt(&delivered)?;
+    println!(
+        "on-call received and decrypted: {:?}",
+        String::from_utf8_lossy(plain.payload())
+    );
+    assert!(
+        oncall_conn.recv_timeout(Duration::from_millis(300)).is_none(),
+        "the severity-3 alert must be filtered in-network"
+    );
+    println!("severity-3 alert was filtered in-network, as subscribed.");
+
+    drop(oncall_conn);
+    drop(feed);
+    left.shutdown();
+    right.shutdown();
+    root.shutdown();
+    Ok(())
+}

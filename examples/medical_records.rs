@@ -1,0 +1,134 @@
+//! The paper's motivating scenario: confidential medical-record
+//! dissemination.
+//!
+//! Events carry a routable `age` attribute and a secret `patientRecord`
+//! payload. Brokers route on ⟨topic-token, age⟩ without ever seeing the
+//! record; subscribers decrypt exactly the events their authorization
+//! covers. The example also demonstrates epoch-based lazy revocation and
+//! per-publisher isolation.
+//!
+//! Run with: `cargo run --example medical_records`
+
+use psguard::{DecryptError, PsGuard, PsGuardConfig};
+use psguard_keys::Schema;
+use psguard_model::{AttrValue, CategoryPath, Constraint, Event, Filter, IntRange, Op};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::builder()
+        .numeric("age", IntRange::new(0, 127).expect("valid range"), 1)?
+        .category("diagnosis", 3)
+        .build();
+    let ps = PsGuard::new(
+        b"hospital-consortium-master",
+        schema,
+        PsGuardConfig {
+            per_publisher_keys: true,
+            ..Default::default()
+        },
+    );
+
+    // Two hospitals publish on the same trial topic; per-publisher keys
+    // keep their data mutually unreadable (§3.1 "Multiple Publishers").
+    let mut hospital_a = ps.publisher("hospital-a");
+    let mut hospital_b = ps.publisher("hospital-b");
+    for epoch in [0u64, 1] {
+        ps.authorize_publisher(&mut hospital_a, "cancerTrail", epoch);
+        ps.authorize_publisher(&mut hospital_b, "cancerTrail", epoch);
+    }
+
+    // Dr. Lee follows adult oncology patients of hospital A in epoch 0.
+    let mut dr_lee = ps.subscriber("dr-lee");
+    let lee_filter = Filter::for_topic("cancerTrail")
+        .with(Constraint::new("age", Op::Ge(18)))
+        .with(Constraint::new(
+            "diagnosis",
+            Op::CategoryIn(CategoryPath::from_indices([0])), // oncology subtree
+        ));
+    ps.authorize_subscriber_for_publisher(&mut dr_lee, &lee_filter, 0, "hospital-a")?;
+
+    // ------------------------------------------------------------------
+    // Case 1: a matching record from hospital A decrypts.
+    // ------------------------------------------------------------------
+    let record = Event::builder("cancerTrail")
+        .attr("age", 25i64)
+        .attr(
+            "diagnosis",
+            AttrValue::Category(CategoryPath::from_indices([0, 2, 1])), // oncology/lung/stage1
+        )
+        .payload(b"MRN-1291: responding to protocol 7".to_vec())
+        .build();
+    let secure = hospital_a.publish(&record, 0)?;
+    println!(
+        "case 1 — in scope, hospital A:  {:?}",
+        String::from_utf8_lossy(dr_lee.decrypt(&secure)?.payload())
+    );
+
+    // ------------------------------------------------------------------
+    // Case 2: a pediatric record (age 9) is refused: the grant's NAKT
+    // keys cannot derive the event key.
+    // ------------------------------------------------------------------
+    let pediatric = Event::builder("cancerTrail")
+        .attr("age", 9i64)
+        .attr(
+            "diagnosis",
+            AttrValue::Category(CategoryPath::from_indices([0, 1, 0])),
+        )
+        .payload(b"MRN-2204: pediatric case".to_vec())
+        .build();
+    let secure = hospital_a.publish(&pediatric, 0)?;
+    println!(
+        "case 2 — age out of scope:      {}",
+        dr_lee.decrypt(&secure).unwrap_err()
+    );
+
+    // ------------------------------------------------------------------
+    // Case 3: a cardiology record is refused: wrong category subtree.
+    // ------------------------------------------------------------------
+    let cardio = Event::builder("cancerTrail")
+        .attr("age", 50i64)
+        .attr(
+            "diagnosis",
+            AttrValue::Category(CategoryPath::from_indices([1, 0, 0])), // cardiology
+        )
+        .payload(b"MRN-3302: cardiology consult".to_vec())
+        .build();
+    let secure = hospital_a.publish(&cardio, 0)?;
+    println!(
+        "case 3 — category out of scope: {}",
+        dr_lee.decrypt(&secure).unwrap_err()
+    );
+
+    // ------------------------------------------------------------------
+    // Case 4: hospital B's records stay opaque (publisher isolation).
+    // ------------------------------------------------------------------
+    let secure_b = hospital_b.publish(&record, 0)?;
+    println!(
+        "case 4 — other publisher:       {}",
+        dr_lee.decrypt(&secure_b).unwrap_err()
+    );
+
+    // ------------------------------------------------------------------
+    // Case 5: lazy revocation. Dr. Lee does not renew for epoch 1, so a
+    // record published after the epoch boundary is unreadable with the
+    // stale grant.
+    // ------------------------------------------------------------------
+    let secure_next_epoch = hospital_a.publish(&record, 1)?;
+    match dr_lee.decrypt(&secure_next_epoch).unwrap_err() {
+        DecryptError::EpochMismatch {
+            event_epoch,
+            grant_epoch,
+        } => println!(
+            "case 5 — revoked by epoch:      grant is for epoch {grant_epoch}, event is epoch {event_epoch}"
+        ),
+        other => println!("case 5 — refused: {other}"),
+    }
+
+    // After renewing (paying for) epoch 1, access resumes.
+    ps.authorize_subscriber_for_publisher(&mut dr_lee, &lee_filter, 1, "hospital-a")?;
+    println!(
+        "case 5 — after renewal:         {:?}",
+        String::from_utf8_lossy(dr_lee.decrypt(&secure_next_epoch)?.payload())
+    );
+
+    Ok(())
+}

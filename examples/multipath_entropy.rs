@@ -1,0 +1,75 @@
+//! The frequency-inference attack and its multi-path defense (§4.2,
+//! Figures 6–7).
+//!
+//! Curious brokers know the popularity distribution of topics a priori
+//! and watch the (pseudonymous) token stream. Without multi-path routing
+//! the apparent token frequencies mirror the true ones — a router can
+//! identify hot topics. Probabilistic multi-path routing provisions
+//! `ind_t ∝ λ_t` vertex-disjoint paths per token and flattens what any
+//! single router sees.
+//!
+//! Run with: `cargo run --example multipath_entropy`
+
+use psguard_routing::{
+    simulate, zipf_frequencies, AttackSimConfig, MultipathTree,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let freqs = zipf_frequencies(64, 1.0);
+
+    // Theorem 4.2 demo: vertex-disjoint variant paths on an 8-ary tree.
+    let tree = MultipathTree::new(8, 3)?;
+    let leaf = tree.leaf_digits(123);
+    println!("vertex-disjoint paths to leaf {leaf:?} (Theorem 4.2):");
+    for k in 0..4 {
+        let path: Vec<String> = tree
+            .variant_path(&leaf, k)?
+            .iter()
+            .map(|n| format!("{:?}", n.digits()))
+            .collect();
+        println!("  variant {k}: {}", path.join(" -> "));
+    }
+    assert!(tree.verify_disjoint(&leaf, 8)?);
+    println!("  all 8 variants verified pairwise disjoint\n");
+
+    // The attack: entropy of what routers observe, with and without the
+    // defense.
+    println!("{:>9} {:>12} {:>12} {:>12}", "ind_max", "S_act", "S_app", "S_max");
+    for ind in [1u8, 2, 3, 5, 8] {
+        let obs = simulate(&AttackSimConfig {
+            arity: 8,
+            depth: 3,
+            token_freqs: freqs.clone(),
+            ind_max: ind,
+            events: 100_000,
+            seed: 42,
+        })?;
+        println!(
+            "{ind:>9} {:>12.2} {:>12.2} {:>12.2}",
+            obs.s_act(),
+            obs.non_collusive_s_app(),
+            obs.s_max()
+        );
+    }
+
+    println!("\ncollusion erodes the defense (ind_max = 8):");
+    let obs = simulate(&AttackSimConfig {
+        arity: 8,
+        depth: 3,
+        token_freqs: freqs,
+        ind_max: 8,
+        events: 100_000,
+        seed: 42,
+    })?;
+    println!("{:>18} {:>12}", "colluding nodes", "S_app");
+    for f in [0.05f64, 0.25, 0.5, 1.0] {
+        let s: f64 = (0..6).map(|seed| obs.collusive_s_app(f, seed)).sum::<f64>() / 6.0;
+        println!("{:>17}% {s:>12.2}", (f * 100.0) as u32);
+    }
+    println!(
+        "\nfull collusion recovers the true distribution (S_act = {:.2});\n\
+         small coalitions still see a near-flat token stream.",
+        obs.s_act()
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Quickstart: the smallest complete PSGuard pipeline.
+//!
+//! A KDC, one publisher, two subscribers (one authorized for the event's
+//! range, one not), and the paper's Figure 1 key tree printed for
+//! orientation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use psguard::{PsGuard, PsGuardConfig};
+use psguard_keys::{Ktid, Nakt, Schema};
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // Figure 1 of the paper: the NAKT for R = (0, 31), lc = 4.
+    // ---------------------------------------------------------------
+    println!("Numeric Attribute Key Tree for R = (0, 31), lc = 4 (paper Figure 1):\n");
+    let nakt = Nakt::binary(IntRange::new(0, 31).expect("valid range"), 4)?;
+    print_tree(&nakt, &Ktid::root(), 0);
+    println!();
+
+    // ---------------------------------------------------------------
+    // A deployment: stateless KDC + schema + epoching.
+    // ---------------------------------------------------------------
+    let schema = Schema::builder()
+        .numeric("age", IntRange::new(0, 255).expect("valid range"), 1)?
+        .build();
+    let ps = PsGuard::new(b"quickstart master seed", schema, PsGuardConfig::default());
+
+    // The publisher gets the topic key for (cancerTrail, epoch 0).
+    let mut publisher = ps.publisher("hospital-a");
+    ps.authorize_publisher(&mut publisher, "cancerTrail", 0);
+
+    // Subscriber 1 is authorized for ages 16..=31 — the paper's example.
+    let mut alice = ps.subscriber("alice");
+    let alice_filter = Filter::for_topic("cancerTrail")
+        .with(Constraint::new("age", Op::Ge(16)))
+        .with(Constraint::new("age", Op::Le(31)));
+    ps.authorize_subscriber(&mut alice, &alice_filter, 0)?;
+    println!(
+        "alice's grant for ages 16..=31 holds {} authorization key(s)",
+        alice.key_count()
+    );
+
+    // Subscriber 2 is authorized only for ages > 30.
+    let mut bob = ps.subscriber("bob");
+    let bob_filter = Filter::for_topic("cancerTrail").with(Constraint::new("age", Op::Gt(30)));
+    ps.authorize_subscriber(&mut bob, &bob_filter, 0)?;
+
+    // ---------------------------------------------------------------
+    // Publish e = ⟨⟨topic, cancerTrail⟩, ⟨age, 22⟩, ⟨record, …⟩⟩.
+    // ---------------------------------------------------------------
+    let event = Event::builder("cancerTrail")
+        .attr("age", 22i64)
+        .payload(b"patient record #4711".to_vec())
+        .build();
+    let secure = publisher.publish(&event, 0)?;
+    println!(
+        "\npublished: topic hidden behind tag {:?}, payload = {} ciphertext bytes",
+        secure.tag.tag,
+        secure.event.payload().len()
+    );
+
+    // Alice (16..=31 covers 22) derives K(e) and decrypts.
+    let plain = alice.decrypt(&secure)?;
+    println!(
+        "alice decrypts: {:?}",
+        String::from_utf8_lossy(plain.payload())
+    );
+
+    // Bob (> 30 does not cover 22) cannot derive K(e).
+    match bob.decrypt(&secure) {
+        Err(e) => println!("bob is refused: {e}"),
+        Ok(_) => unreachable!("bob must not decrypt an age-22 event"),
+    }
+
+    Ok(())
+}
+
+/// Prints the NAKT with each element's ktid and value span.
+fn print_tree(nakt: &Nakt, node: &Ktid, depth: usize) {
+    let span = nakt.value_span(node);
+    println!("{:indent$}{node} -> values {span}", "", indent = depth * 4);
+    if node.depth() < nakt.depth() {
+        for d in 0..nakt.arity() {
+            print_tree(nakt, &node.child(d), depth + 1);
+        }
+    }
+}

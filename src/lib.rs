@@ -1,0 +1,2 @@
+//! Umbrella crate: re-exports the PSGuard workspace for integration tests and examples.
+pub use psguard;

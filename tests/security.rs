@@ -1,0 +1,197 @@
+//! Security-property integration tests: the confidentiality guarantees
+//! the paper claims, exercised end-to-end with failure injection.
+
+use psguard::{DecryptError, PsGuard, PsGuardConfig};
+use psguard_keys::Schema;
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+
+fn deployment() -> PsGuard {
+    let schema = Schema::builder()
+        .numeric("age", IntRange::new(0, 255).expect("valid"), 1)
+        .expect("valid nakt")
+        .build();
+    PsGuard::new(b"security-master", schema, PsGuardConfig::default())
+}
+
+fn published(ps: &PsGuard, age: i64, epoch: u64) -> psguard_routing::SecureEvent {
+    let mut publisher = ps.publisher("P");
+    ps.authorize_publisher(&mut publisher, "w", epoch);
+    publisher
+        .publish(
+            &Event::builder("w")
+                .attr("age", age)
+                .payload(b"classified".to_vec())
+                .build(),
+            epoch,
+        )
+        .expect("publishable")
+}
+
+#[test]
+fn unauthorized_subscriber_cannot_decrypt_nonmatching_event() {
+    let ps = deployment();
+    // Paper example: f' = age > 30 must NOT read an age-25 event.
+    let mut sub = ps.subscriber("S'");
+    ps.authorize_subscriber(
+        &mut sub,
+        &Filter::for_topic("w").with(Constraint::new("age", Op::Gt(30))),
+        0,
+    )
+    .expect("grantable");
+    let secure = published(&ps, 25, 0);
+    assert_eq!(sub.decrypt(&secure).unwrap_err(), DecryptError::NotAuthorized);
+
+    // While f = age > 20 must read it.
+    let mut ok = ps.subscriber("S");
+    ps.authorize_subscriber(
+        &mut ok,
+        &Filter::for_topic("w").with(Constraint::new("age", Op::Gt(20))),
+        0,
+    )
+    .expect("grantable");
+    assert!(ok.decrypt(&secure).is_ok());
+}
+
+#[test]
+fn boundary_values_of_the_granted_range() {
+    let ps = deployment();
+    let mut sub = ps.subscriber("S");
+    ps.authorize_subscriber(
+        &mut sub,
+        &Filter::for_topic("w").with(Constraint::new(
+            "age",
+            Op::InRange(IntRange::new(16, 31).expect("valid")),
+        )),
+        0,
+    )
+    .expect("grantable");
+    assert!(sub.decrypt(&published(&ps, 16, 0)).is_ok(), "lower bound inclusive");
+    assert!(sub.decrypt(&published(&ps, 31, 0)).is_ok(), "upper bound inclusive");
+    assert!(sub.decrypt(&published(&ps, 15, 0)).is_err(), "below range");
+    assert!(sub.decrypt(&published(&ps, 32, 0)).is_err(), "above range");
+}
+
+#[test]
+fn epoch_rekeying_revokes_lazily() {
+    let ps = deployment();
+    let mut sub = ps.subscriber("S");
+    ps.authorize_subscriber(&mut sub, &Filter::for_topic("w"), 0)
+        .expect("grantable");
+    // Events of the subscribed epoch decrypt…
+    assert!(sub.decrypt(&published(&ps, 1, 0)).is_ok());
+    // …events after the boundary don't, until the grant is renewed.
+    let next = published(&ps, 1, 1);
+    assert!(matches!(
+        sub.decrypt(&next).unwrap_err(),
+        DecryptError::EpochMismatch {
+            event_epoch: 1,
+            grant_epoch: 0
+        }
+    ));
+    ps.authorize_subscriber(&mut sub, &Filter::for_topic("w"), 1)
+        .expect("grantable");
+    assert!(sub.decrypt(&next).is_ok());
+}
+
+#[test]
+fn tampered_ciphertext_detected() {
+    let ps = deployment();
+    let mut sub = ps.subscriber("S");
+    ps.authorize_subscriber(&mut sub, &Filter::for_topic("w"), 0)
+        .expect("grantable");
+
+    // Truncated ciphertext: the encrypt-then-MAC tag no longer verifies.
+    let mut secure = published(&ps, 10, 0);
+    let mut cut = secure.event.payload().to_vec();
+    cut.pop();
+    secure.event.replace_payload(cut);
+    assert_eq!(sub.decrypt(&secure).unwrap_err(), DecryptError::BadMac);
+
+    // A single flipped ciphertext bit is also caught.
+    let mut secure = published(&ps, 10, 0);
+    let mut flipped = secure.event.payload().to_vec();
+    flipped[0] ^= 0x01;
+    secure.event.replace_payload(flipped);
+    assert_eq!(sub.decrypt(&secure).unwrap_err(), DecryptError::BadMac);
+
+    // A tampered MAC itself is caught too.
+    let mut secure = published(&ps, 10, 0);
+    secure.mac[0] ^= 0xff;
+    assert_eq!(sub.decrypt(&secure).unwrap_err(), DecryptError::BadMac);
+}
+
+#[test]
+fn wrong_epoch_key_does_not_decrypt_even_with_matching_token() {
+    // A subscriber holding ONLY a stale grant sees an epoch error, not
+    // plaintext — the topic key ratchet makes old keys useless.
+    let ps = deployment();
+    let mut sub = ps.subscriber("S");
+    ps.authorize_subscriber(&mut sub, &Filter::for_topic("w"), 3)
+        .expect("grantable");
+    let secure = published(&ps, 10, 4);
+    assert!(matches!(
+        sub.decrypt(&secure).unwrap_err(),
+        DecryptError::EpochMismatch { .. }
+    ));
+}
+
+#[test]
+fn tokens_are_unlinkable_across_events() {
+    // Two events on the same topic carry different (nonce, tag) pairs; an
+    // observer cannot link them by equality (only a token holder can).
+    let ps = deployment();
+    let mut publisher = ps.publisher("P");
+    ps.authorize_publisher(&mut publisher, "w", 0);
+    let e = Event::builder("w").attr("age", 1i64).payload(vec![0]).build();
+    let a = publisher.publish(&e, 0).expect("publishable");
+    let b = publisher.publish(&e, 0).expect("publishable");
+    assert_ne!(a.tag.nonce, b.tag.nonce);
+    assert_ne!(a.tag.tag, b.tag.tag);
+    let token = ps.routing_token("w");
+    assert!(a.tag.matches(&token) && b.tag.matches(&token));
+}
+
+#[test]
+fn grant_for_subrange_cannot_escalate() {
+    // Holding keys for (0, 127) gives nothing about (128, 255) even
+    // though both hang off the same NAKT root.
+    let ps = deployment();
+    let mut sub = ps.subscriber("S");
+    ps.authorize_subscriber(
+        &mut sub,
+        &Filter::for_topic("w").with(Constraint::new("age", Op::Le(127))),
+        0,
+    )
+    .expect("grantable");
+    for age in [128i64, 200, 255] {
+        assert_eq!(
+            sub.decrypt(&published(&ps, age, 0)).unwrap_err(),
+            DecryptError::NotAuthorized,
+            "age={age}"
+        );
+    }
+}
+
+#[test]
+fn distinct_master_seeds_are_cryptographically_disjoint() {
+    let ps1 = deployment();
+    let ps2 = PsGuard::new(
+        b"a completely different master",
+        Schema::builder()
+            .numeric("age", IntRange::new(0, 255).expect("valid"), 1)
+            .expect("valid nakt")
+            .build(),
+        PsGuardConfig::default(),
+    );
+    // Same filter, different deployments: the grant from one cannot
+    // decrypt (or even match) traffic of the other.
+    let mut sub = ps2.subscriber("S");
+    ps2.authorize_subscriber(&mut sub, &Filter::for_topic("w"), 0)
+        .expect("grantable");
+    let secure = published(&ps1, 10, 0);
+    assert_eq!(
+        sub.decrypt(&secure).unwrap_err(),
+        DecryptError::NoMatchingSubscription
+    );
+    assert_ne!(ps1.routing_token("w"), ps2.routing_token("w"));
+}

@@ -1,0 +1,88 @@
+//! A deeper TCP overlay: a three-level broker tree carrying PSGuard's
+//! encrypted envelopes end-to-end, with covering-aware subscription
+//! propagation across real sockets.
+
+use std::time::Duration;
+
+use psguard::{PsGuard, PsGuardConfig};
+use psguard_keys::Schema;
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+use psguard_routing::SecureFilter;
+use psguard_siena::{spawn_broker, TcpClient};
+
+#[test]
+fn three_level_secure_tree() {
+    let schema = Schema::builder()
+        .numeric("sev", IntRange::new(0, 10).expect("valid"), 1)
+        .expect("valid nakt")
+        .build();
+    let ps = PsGuard::new(b"tcp-overlay-master", schema, PsGuardConfig::default());
+    let mut publisher = ps.publisher("mon");
+    ps.authorize_publisher(&mut publisher, "alerts", 0);
+
+    // Tree: root -> {mid_l, mid_r}; mid_l -> {leaf_a, leaf_b}.
+    let root = spawn_broker::<SecureFilter>("127.0.0.1:0", None).expect("root");
+    let mid_l = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(root.addr())).expect("mid_l");
+    let mid_r = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(root.addr())).expect("mid_r");
+    let leaf_a = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(mid_l.addr())).expect("leaf_a");
+    let leaf_b = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(mid_l.addr())).expect("leaf_b");
+
+    // Two subscribers at different leaves, different thresholds.
+    let mut high = ps.subscriber("high");
+    ps.authorize_subscriber(
+        &mut high,
+        &Filter::for_topic("alerts").with(Constraint::new("sev", Op::Ge(8))),
+        0,
+    )
+    .expect("grantable");
+    let high_conn: TcpClient<SecureFilter> = TcpClient::connect(leaf_a.addr()).expect("connect");
+    high_conn.subscribe(high.secure_filters().remove(0));
+
+    let mut any = ps.subscriber("any");
+    ps.authorize_subscriber(&mut any, &Filter::for_topic("alerts"), 0)
+        .expect("grantable");
+    let any_conn: TcpClient<SecureFilter> = TcpClient::connect(leaf_b.addr()).expect("connect");
+    any_conn.subscribe(any.secure_filters().remove(0));
+
+    // Let subscriptions climb two levels.
+    std::thread::sleep(Duration::from_millis(500));
+
+    // Publish from the far side of the tree (under mid_r).
+    let feed: TcpClient<SecureFilter> = TcpClient::connect(mid_r.addr()).expect("connect");
+    for sev in [2i64, 9] {
+        let e = Event::builder("alerts")
+            .attr("sev", sev)
+            .payload(format!("sev{sev}").into_bytes())
+            .build();
+        feed.publish(publisher.publish(&e, 0).expect("publishable"));
+    }
+
+    // `any` gets both, decrypts both; `high` only the sev-9.
+    let mut got_any = Vec::new();
+    while let Some(se) = any_conn.recv_timeout(Duration::from_secs(5)) {
+        got_any.push(any.decrypt(&se).expect("authorized").payload().to_vec());
+        if got_any.len() == 2 {
+            break;
+        }
+    }
+    got_any.sort();
+    assert_eq!(got_any, vec![b"sev2".to_vec(), b"sev9".to_vec()]);
+
+    let se = high_conn
+        .recv_timeout(Duration::from_secs(5))
+        .expect("sev-9 must arrive");
+    assert_eq!(high.decrypt(&se).expect("authorized").payload(), b"sev9");
+    assert!(
+        high_conn.recv_timeout(Duration::from_millis(300)).is_none(),
+        "sev-2 must be filtered in-network before leaf_a"
+    );
+
+    drop(high_conn);
+    drop(any_conn);
+    drop(feed);
+    leaf_a.shutdown();
+    leaf_b.shutdown();
+    mid_l.shutdown();
+    mid_r.shutdown();
+    root.shutdown();
+}
