@@ -1,0 +1,83 @@
+//! Matching fast-path benchmarks: the counting `MatchIndex` against the
+//! linear filter scan, at subscription-table sizes from 100 to 100 000.
+//!
+//! The workload models a realistic broker: subscriptions spread over 64
+//! topics, each with a numeric range constraint; events hit one topic
+//! with one numeric attribute. `matching_scaling` (a bin target) runs
+//! the same comparison and emits machine-readable `BENCH_matching.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+use psguard_siena::{Peer, SubscriptionTable};
+
+const TOPICS: usize = 64;
+
+fn build_table(subscriptions: usize) -> SubscriptionTable<Filter> {
+    let mut table = SubscriptionTable::new();
+    for i in 0..subscriptions {
+        let lo = (i % 50) as i64;
+        let filter = Filter::for_topic(format!("topic{:02}", i % TOPICS)).with(Constraint::new(
+            "x",
+            Op::InRange(IntRange::new(lo, lo + 30).expect("valid range")),
+        ));
+        table.insert(Peer::Local(i as u32), filter);
+    }
+    table
+}
+
+fn events() -> Vec<Event> {
+    (0..TOPICS)
+        .map(|t| {
+            Event::builder(format!("topic{:02}", t))
+                .attr("x", (t % 60) as i64)
+                .build()
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let evs = events();
+    let mut group = c.benchmark_group("matching");
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let mut table = build_table(n);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % evs.len();
+                black_box(table.matching_peers(black_box(&evs[i])))
+            })
+        });
+        // The linear reference gets slow past 10k; skip the largest size
+        // to keep bench wall time sane (the scaling bin covers it).
+        if n <= 10_000 {
+            let mut j = 0usize;
+            group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+                b.iter(|| {
+                    j = (j + 1) % evs.len();
+                    black_box(table.matching_peers_linear(black_box(&evs[j])))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_insert_with_duplicates(c: &mut Criterion) {
+    // Duplicate-heavy subscribe churn: the hash short-circuit turns the
+    // old O(n) duplicate scan into a lookup.
+    let subs: Vec<Filter> = (0..4_096)
+        .map(|i| Filter::for_topic(format!("t{}", i % 32)))
+        .collect();
+    c.bench_function("table_insert_4096_dup_heavy", |b| {
+        b.iter(|| {
+            let mut table: SubscriptionTable<Filter> = SubscriptionTable::new();
+            for (i, f) in subs.iter().enumerate() {
+                table.insert(Peer::Local((i % 64) as u32), f.clone());
+            }
+            black_box(table.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_matching, bench_insert_with_duplicates);
+criterion_main!(benches);

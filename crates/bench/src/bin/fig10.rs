@@ -35,4 +35,7 @@ fn main() {
     println!("\nShape check (paper): latency first falls (less queueing per node),");
     println!("then rises with network diameter; PSGuard adds <1.5% (6% category)");
     println!("because WAN delays (~70 ms) dwarf the crypto microseconds.");
+    println!("With the counting match index the initial fall is largely gone:");
+    println!("small overlays no longer queue behind per-entry filter scans, so");
+    println!("diameter dominates from the start (see EXPERIMENTS.md).");
 }

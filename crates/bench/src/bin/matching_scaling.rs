@@ -1,0 +1,122 @@
+//! Matching-throughput scaling: indexed fast path vs. linear scan.
+//!
+//! Runs `SubscriptionTable::matching_peers` (the counting `MatchIndex`)
+//! and `matching_peers_linear` (the original O(n) reference) over tables
+//! of {100, 1k, 10k, 100k} subscriptions, reports events/second for
+//! both, and writes machine-readable results to `BENCH_matching.json`
+//! in the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+use psguard_siena::{Peer, SubscriptionTable};
+
+const TOPICS: usize = 64;
+const SIZES: [usize; 4] = [100, 1_000, 10_000, 100_000];
+
+fn build_table(subscriptions: usize) -> SubscriptionTable<Filter> {
+    let mut table = SubscriptionTable::new();
+    for i in 0..subscriptions {
+        let lo = (i % 50) as i64;
+        let filter = Filter::for_topic(format!("topic{:02}", i % TOPICS)).with(Constraint::new(
+            "x",
+            Op::InRange(IntRange::new(lo, lo + 30).expect("valid range")),
+        ));
+        table.insert(Peer::Local(i as u32), filter);
+    }
+    table
+}
+
+fn events() -> Vec<Event> {
+    (0..TOPICS)
+        .map(|t| {
+            Event::builder(format!("topic{:02}", t))
+                .attr("x", (t % 60) as i64)
+                .build()
+        })
+        .collect()
+}
+
+/// Events/second over at least `min_iters` calls and 50 ms of wall time.
+fn measure(mut run: impl FnMut(usize), min_iters: usize) -> f64 {
+    // Warm-up.
+    for i in 0..min_iters.min(64) {
+        run(i);
+    }
+    let mut iters = 0usize;
+    let start = Instant::now();
+    while iters < min_iters || start.elapsed().as_millis() < 50 {
+        run(iters);
+        iters += 1;
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    subscriptions: usize,
+    indexed_eps: f64,
+    linear_eps: f64,
+    indexed_work: u64,
+}
+
+fn main() {
+    let evs = events();
+    let mut rows = Vec::new();
+    for n in SIZES {
+        let mut table = build_table(n);
+
+        let indexed_eps = measure(
+            |i| {
+                std::hint::black_box(table.matching_peers(&evs[i % evs.len()]));
+            },
+            1_000,
+        );
+        let indexed_work = table.last_match_work();
+
+        // The linear reference needs far fewer iterations at large n.
+        let min_iters = (1_000_000 / n).max(8);
+        let linear_eps = measure(
+            |i| {
+                std::hint::black_box(table.matching_peers_linear(&evs[i % evs.len()]));
+            },
+            min_iters,
+        );
+
+        println!(
+            "n={n:>6}  indexed {indexed_eps:>12.0} ev/s  linear {linear_eps:>12.0} ev/s  speedup {:>7.1}x  work/event {indexed_work}",
+            indexed_eps / linear_eps
+        );
+        rows.push(Row {
+            subscriptions: n,
+            indexed_eps,
+            linear_eps,
+            indexed_work,
+        });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"matching_scaling\",\n  \"unit\": \"events_per_second\",\n  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"subscriptions\": {}, \"indexed_eps\": {:.1}, \"linear_eps\": {:.1}, \"speedup\": {:.2}, \"indexed_work_per_event\": {}, \"linear_work_per_event\": {}}}{}",
+            r.subscriptions,
+            r.indexed_eps,
+            r.linear_eps,
+            r.indexed_eps / r.linear_eps,
+            r.indexed_work,
+            r.subscriptions,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_matching.json", &json).expect("write BENCH_matching.json");
+    println!("wrote BENCH_matching.json");
+
+    let at_10k = rows.iter().find(|r| r.subscriptions == 10_000).expect("10k row");
+    let speedup = at_10k.indexed_eps / at_10k.linear_eps;
+    assert!(
+        speedup >= 5.0,
+        "indexed path must be >= 5x the linear scan at 10k subscriptions, got {speedup:.1}x"
+    );
+}

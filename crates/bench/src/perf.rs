@@ -194,8 +194,11 @@ pub fn run_perf_point(variant: PerfVariant, brokers: u32, seed: u64) -> PerfPoin
     if variant == PerfVariant::Category {
         // Ontology (category-tree) matching was markedly slower in the
         // paper's Siena core than keyword or numeric matching — the source
-        // of its ~11% throughput / ~6% latency penalty. Emulate that
-        // per-filter matcher cost on the 550 MHz testbed.
+        // of its ~11% throughput / ~6% latency penalty. The surcharge is
+        // per unit of matching work; with the counting index each distinct
+        // token/predicate is evaluated once per event rather than once per
+        // table entry, so the emulated penalty is proportionally smaller
+        // than the paper's per-filter scan (see EXPERIMENTS.md, Fig 9).
         cost.broker_match_us += 4;
     }
 

@@ -34,16 +34,36 @@ pub enum Op {
     CategoryIn(CategoryPath),
 }
 
-/// A lower/upper-bounded numeric interval used to reason about covering.
-/// `None` means unbounded on that side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Interval {
+/// A lower/upper-bounded numeric interval. `None` means unbounded on that
+/// side.
+///
+/// Every numeric operator denotes one of these (see [`Op::interval`]);
+/// the covering relation compares them, and matching indexes use them to
+/// lay constraints out in sorted boundary structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
     lo: Option<i64>,
     hi: Option<i64>,
 }
 
 impl Interval {
-    fn contains_interval(&self, other: &Interval) -> bool {
+    /// The lower bound, inclusive (`None` = unbounded below).
+    pub fn lo(&self) -> Option<i64> {
+        self.lo
+    }
+
+    /// The upper bound, inclusive (`None` = unbounded above).
+    pub fn hi(&self) -> Option<i64> {
+        self.hi
+    }
+
+    /// Whether a value lies inside the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo.is_none_or(|lo| lo <= v) && self.hi.is_none_or(|hi| v <= hi)
+    }
+
+    /// Whether `other` is fully inside `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
         let lo_ok = match (self.lo, other.lo) {
             (None, _) => true,
             (Some(_), None) => false,
@@ -76,8 +96,12 @@ impl Op {
         }
     }
 
-    /// The numeric interval this operator denotes, if it is numeric.
-    fn as_interval(&self) -> Option<Interval> {
+    /// The numeric interval this operator denotes, if it is numeric —
+    /// the introspection hook matching indexes build their sorted
+    /// boundary structures from. Semi-open operators normalize to
+    /// closed/unbounded form (`Lt(u)` → `(-∞, u-1]`, `Gt(l)` →
+    /// `[l+1, +∞)`); `Eq` on an integer is the point interval.
+    pub fn interval(&self) -> Option<Interval> {
         match self {
             Op::Lt(u) => Some(Interval {
                 lo: None,
@@ -113,7 +137,7 @@ impl Op {
     /// incomparable operator families conservatively return `false`.
     pub fn covers(&self, other: &Op) -> bool {
         // Numeric operators compare as intervals.
-        if let (Some(a), Some(b)) = (self.as_interval(), other.as_interval()) {
+        if let (Some(a), Some(b)) = (self.interval(), other.interval()) {
             return a.contains_interval(&b);
         }
         match (self, other) {
@@ -190,6 +214,12 @@ impl Constraint {
     pub fn covers(&self, other: &Constraint) -> bool {
         self.name == other.name && self.op.covers(&other.op)
     }
+
+    /// The numeric interval this constraint denotes, if its operator is
+    /// numeric (see [`Op::interval`]).
+    pub fn interval(&self) -> Option<Interval> {
+        self.op.interval()
+    }
 }
 
 impl std::fmt::Display for Constraint {
@@ -212,7 +242,7 @@ impl std::fmt::Display for Constraint {
 /// let e = Event::builder("cancerTrail").attr("age", 22i64).build();
 /// assert!(f.matches(&e));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Filter {
     /// `None` matches any topic (a wildcard used by infrastructure

@@ -50,7 +50,7 @@ mod value;
 
 pub use category::CategoryPath;
 pub use event::{Event, EventBuilder, EventId};
-pub use filter::{Constraint, Filter, Op};
+pub use filter::{Constraint, Filter, Interval, Op};
 pub use range::IntRange;
 pub use subscription::Subscription;
 pub use value::{AttrName, AttrValue};

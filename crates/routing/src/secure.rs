@@ -15,8 +15,8 @@
 //! secret payload is AES-encrypted under the hierarchy key.
 
 use psguard_crypto::{prf, prf_verify, Token};
-use psguard_model::{Constraint, Event, Filter};
-use psguard_siena::FilterSemantics;
+use psguard_model::{AttrName, AttrValue, Constraint, Event, Filter};
+use psguard_siena::{FilterSemantics, IndexableFilter, KeyQuery};
 use rand::RngCore;
 
 /// The routable tag on a secure event: `⟨r, F_{T(w)}(r)⟩`.
@@ -77,7 +77,7 @@ pub struct SecureEvent {
 
 /// A secure subscription filter: a topic token plus plaintext attribute
 /// constraints (the broker can match ranges without learning the topic).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SecureFilter {
     /// The subscription token `T(w)`.
     pub token: Token,
@@ -118,6 +118,42 @@ impl FilterSemantics for SecureFilter {
         self.constraints
             .iter()
             .all(|mine| other.constraints.iter().any(|theirs| mine.covers(theirs)))
+    }
+}
+
+/// The broker-side fast path: filters bucket by subscription token, so
+/// the [`MatchIndex`](psguard_siena::MatchIndex) stores each distinct
+/// token **once** no matter how many subscribers share it (token
+/// interning) and performs a single PRF verification per distinct live
+/// token per event — memoized on the event's nonce, so a re-published
+/// envelope costs no PRF at all.
+impl IndexableFilter for SecureFilter {
+    type Key = Token;
+
+    fn routing_key(&self) -> Token {
+        self.token
+    }
+
+    fn indexed_constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    fn event_attr<'a>(event: &'a SecureEvent, name: &AttrName) -> Option<&'a AttrValue> {
+        event.event.attr(name.as_str())
+    }
+
+    fn candidate_keys(_event: &SecureEvent) -> KeyQuery<Token> {
+        // A tag reveals nothing about its token; every live token bucket
+        // must be PRF-probed (that is the point of the scheme).
+        KeyQuery::Probe
+    }
+
+    fn key_matches(key: &Token, event: &SecureEvent) -> bool {
+        event.tag.matches(key)
+    }
+
+    fn probe_memo_key(event: &SecureEvent) -> Option<u128> {
+        Some(u128::from_le_bytes(event.tag.nonce))
     }
 }
 

@@ -6,6 +6,7 @@
 //! broker run on the discrete-event engine (for the paper's figures), over
 //! TCP, or in unit tests.
 
+use crate::index::IndexableFilter;
 use crate::semantics::FilterSemantics;
 use crate::table::{Peer, SubscriptionTable};
 
@@ -31,7 +32,10 @@ pub struct BrokerStats {
     pub events_in: u64,
     /// Event copies sent to peers.
     pub events_out: u64,
-    /// Filter evaluations performed while matching.
+    /// Matching work performed: bucket-key probes (topic lookups / PRF
+    /// token tests) plus distinct-predicate evaluations, as counted by
+    /// the [`MatchIndex`](crate::MatchIndex) fast path. The old linear
+    /// scan's equivalent was `table.len()` per event.
     pub match_evaluations: u64,
 }
 
@@ -53,19 +57,21 @@ pub struct BrokerStats {
 /// assert_eq!(actions, vec![Action::Deliver(Peer::Local(1), e)]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Broker<F: FilterSemantics> {
+pub struct Broker<F: IndexableFilter> {
     is_root: bool,
     table: SubscriptionTable<F>,
     stats: BrokerStats,
+    last_match_work: u64,
 }
 
-impl<F: FilterSemantics> Broker<F> {
+impl<F: IndexableFilter> Broker<F> {
     /// Creates a broker; `is_root` brokers never forward upstream.
     pub fn new(is_root: bool) -> Self {
         Broker {
             is_root,
             table: SubscriptionTable::new(),
             stats: BrokerStats::default(),
+            last_match_work: 0,
         }
     }
 
@@ -77,6 +83,12 @@ impl<F: FilterSemantics> Broker<F> {
     /// Routing statistics.
     pub fn stats(&self) -> BrokerStats {
         self.stats
+    }
+
+    /// Matching work performed by the most recent [`publish`](Self::publish)
+    /// call — the per-event cost input for the performance model.
+    pub fn last_match_work(&self) -> u64 {
+        self.last_match_work
     }
 
     /// Handles a subscription from `from`. May emit
@@ -114,12 +126,14 @@ impl<F: FilterSemantics> Broker<F> {
     /// also push it to the parent so it reaches the rest of the tree.
     pub fn publish(&mut self, from: Peer, event: F::Event) -> Vec<Action<F>> {
         self.stats.events_in += 1;
-        self.stats.match_evaluations += self.table.match_work() as u64;
+        let peers = self.table.matching_peers(&event);
+        self.last_match_work = self.table.last_match_work();
+        self.stats.match_evaluations += self.last_match_work;
         let mut actions = Vec::new();
         if from != Peer::Parent && !self.is_root {
             actions.push(Action::Deliver(Peer::Parent, event.clone()));
         }
-        for peer in self.table.matching_peers(&event) {
+        for peer in peers {
             if peer != from && peer != Peer::Parent {
                 actions.push(Action::Deliver(peer, event.clone()));
             }
@@ -220,7 +234,22 @@ mod tests {
         b.subscribe(Peer::Child(2), f(20));
         b.publish(Peer::Parent, e(15));
         assert_eq!(b.stats().events_in, 1);
+        // One topic-bucket probe + one predicate inspected: the sorted
+        // boundary list never looks at Ge(20) for x = 15.
         assert_eq!(b.stats().match_evaluations, 2);
+        assert_eq!(b.last_match_work(), 2);
         assert_eq!(b.stats().events_out, 1);
+    }
+
+    #[test]
+    fn match_work_ignores_foreign_topics() {
+        let mut b: Broker<Filter> = Broker::new(true);
+        for i in 0..50u32 {
+            b.subscribe(Peer::Child(i), Filter::for_topic(format!("other{i}")));
+        }
+        b.subscribe(Peer::Child(99), f(10));
+        b.publish(Peer::Parent, e(15));
+        // Only the "t" bucket is touched; 50 foreign topics cost nothing.
+        assert_eq!(b.last_match_work(), 2);
     }
 }

@@ -17,7 +17,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::broker::{Action, Broker};
-use crate::semantics::FilterSemantics;
+use crate::index::IndexableFilter;
 use crate::table::Peer;
 
 /// Per-message-type service times in microseconds.
@@ -115,7 +115,7 @@ enum Msg<E> {
 
 /// The overlay engine. Build once (subscriptions included), then run one
 /// or more workloads.
-pub struct Engine<F: FilterSemantics> {
+pub struct Engine<F: IndexableFilter> {
     config: EngineConfig,
     brokers: Vec<Broker<F>>,
     /// Engine-node index of each broker's parent (brokers[0] = publisher).
@@ -130,7 +130,7 @@ pub struct Engine<F: FilterSemantics> {
     access_latency: Vec<u64>,
 }
 
-impl<F: FilterSemantics> Engine<F>
+impl<F: IndexableFilter> Engine<F>
 where
     F::Event: Eq,
 {
@@ -333,12 +333,15 @@ where
                     // Fixed per-event work (encryption at the publisher,
                     // matching everywhere), then store-and-forward
                     // serialization: each outgoing copy departs
-                    // `broker_forward_us` after the previous one.
+                    // `broker_forward_us` after the previous one. The
+                    // matching term prices the work the index actually
+                    // performed — key probes plus distinct-predicate
+                    // evaluations — not the table size.
+                    let match_cost = cost.broker_match_us * self.brokers[node].last_match_work();
                     let fixed = if node == 0 {
-                        cost.publisher_us
-                            + cost.broker_match_us * self.brokers[0].table().len() as u64
+                        cost.publisher_us + match_cost
                     } else {
-                        cost.broker_match_us * self.brokers[node].table().len() as u64
+                        match_cost
                     };
                     let mut finish = start + fixed.max(1);
                     let mut departures = Vec::with_capacity(actions.len());

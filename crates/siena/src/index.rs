@@ -1,0 +1,757 @@
+//! The matching fast path: a keyed, counting-based subscription index.
+//!
+//! [`SubscriptionTable`](crate::SubscriptionTable) historically matched an
+//! event by evaluating every registered filter — `O(n)` filter
+//! evaluations per event, which dominates broker cost at the paper's
+//! scale targets. [`MatchIndex`] replaces that scan with the classic
+//! *counting algorithm* (Yan & Garcia-Molina) specialized to this
+//! codebase's two filter families:
+//!
+//! * **Keyed partitioning.** Every filter contributes a *routing key*
+//!   (its topic for plain Siena filters, its Song–Wagner–Perrig
+//!   subscription token for PSGuard's [`SecureFilter`]s). Filters with
+//!   the same key share one bucket, so the per-event work is bounded by
+//!   the buckets an event can possibly touch, not the table size. For
+//!   secure filters this doubles as a **token interning table**: a
+//!   thousand subscribers of one topic store a single bucket key, and the
+//!   broker performs **one** PRF verification per *distinct* token per
+//!   event instead of one per subscription.
+//! * **Distinct-predicate evaluation.** Within a bucket, syntactically
+//!   identical constraints are interned once. Numeric constraints are
+//!   laid out per attribute in a boundary list sorted by lower bound, so
+//!   a query inspects only the prefix whose lower bounds do not exceed
+//!   the event's value; equality constraints on strings/categories hash
+//!   directly to their predicate. Each satisfied predicate bumps a
+//!   per-filter counter; a filter matches exactly when its counter
+//!   reaches its constraint count. An event that lacks a constrained
+//!   attribute costs nothing for that attribute.
+//! * **Per-event probe memo.** Probe-keyed (secure) events carry a fresh
+//!   nonce; a bounded memo keyed on that nonce caches which token
+//!   buckets an event's tag matched, so re-publishing the same envelope
+//!   (workload cycles, fan-in from several children) skips the PRF
+//!   entirely.
+//!
+//! The index reports its actual work per query ([`MatchStats`]), which
+//! the broker and the overlay engine use as the matching-cost input to
+//! the performance model — replacing the old `table.len()` proxy.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+use psguard_model::{AttrName, AttrValue, Constraint, Op};
+
+use crate::semantics::FilterSemantics;
+use crate::table::Peer;
+
+/// How the index locates candidate buckets for an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyQuery<K> {
+    /// The event names its candidate keys directly (hash lookups): plain
+    /// filters, where an event's topic is visible.
+    Direct(Vec<K>),
+    /// Candidate keys cannot be read off the event; every live bucket
+    /// key must be probed with [`IndexableFilter::key_matches`]: secure
+    /// filters, where only a PRF test links a tag to a token.
+    Probe,
+}
+
+/// A filter family the [`MatchIndex`] can decompose: a routing key plus
+/// a conjunction of attribute constraints.
+///
+/// Implementations must satisfy, for every filter `f` and event `e`:
+/// `f.matches(e)` ⇔ *the event reaches `f`'s bucket* (per
+/// [`candidate_keys`](Self::candidate_keys) /
+/// [`key_matches`](Self::key_matches)) *and every constraint in
+/// [`indexed_constraints`](Self::indexed_constraints) holds on the
+/// attributes exposed by [`event_attr`](Self::event_attr)*. The
+/// index-vs-linear property tests in `tests/` pin this equivalence.
+pub trait IndexableFilter: FilterSemantics + Hash {
+    /// The bucket key: topic for plain filters, subscription token for
+    /// secure ones.
+    type Key: Clone + Eq + Hash + std::fmt::Debug + Send + 'static;
+
+    /// This filter's routing key.
+    fn routing_key(&self) -> Self::Key;
+
+    /// The attribute constraints the index evaluates (everything except
+    /// what the key already encodes).
+    fn indexed_constraints(&self) -> &[Constraint];
+
+    /// Reads a routable attribute off the event.
+    fn event_attr<'a>(event: &'a Self::Event, name: &AttrName) -> Option<&'a AttrValue>;
+
+    /// The buckets this event could match.
+    fn candidate_keys(event: &Self::Event) -> KeyQuery<Self::Key>;
+
+    /// Probe-mode test: does the event's tag match this bucket key? Only
+    /// called when [`candidate_keys`](Self::candidate_keys) returns
+    /// [`KeyQuery::Probe`]; the default (for direct-keyed filters) is
+    /// never invoked.
+    fn key_matches(_key: &Self::Key, _event: &Self::Event) -> bool {
+        false
+    }
+
+    /// A stable per-event identity for memoizing probe results (the
+    /// nonce of a secure tag). `None` disables the memo.
+    fn probe_memo_key(_event: &Self::Event) -> Option<u128> {
+        None
+    }
+
+    /// Keys whose buckets could hold a filter covering `self`. Used to
+    /// restrict covering scans on subscribe; must be sound (a covering
+    /// filter always lives in one of these buckets).
+    fn covering_candidate_keys(&self) -> Vec<Self::Key> {
+        vec![self.routing_key()]
+    }
+}
+
+impl IndexableFilter for psguard_model::Filter {
+    type Key = Option<String>;
+
+    fn routing_key(&self) -> Option<String> {
+        self.topic().map(str::to_owned)
+    }
+
+    fn indexed_constraints(&self) -> &[Constraint] {
+        self.constraints()
+    }
+
+    fn event_attr<'a>(
+        event: &'a psguard_model::Event,
+        name: &AttrName,
+    ) -> Option<&'a AttrValue> {
+        event.attr(name.as_str())
+    }
+
+    fn candidate_keys(event: &psguard_model::Event) -> KeyQuery<Option<String>> {
+        // The event's own topic bucket plus the wildcard (topicless)
+        // bucket.
+        KeyQuery::Direct(vec![Some(event.topic().to_owned()), None])
+    }
+
+    fn covering_candidate_keys(&self) -> Vec<Option<String>> {
+        match self.topic() {
+            Some(t) => vec![Some(t.to_owned()), None],
+            None => vec![None],
+        }
+    }
+}
+
+/// Identifier of one registration inside a [`MatchIndex`].
+pub type EntryId = u32;
+
+/// Work performed by the last [`MatchIndex::query`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchStats {
+    /// Bucket-key tests: hash hits for direct keys, PRF verifications
+    /// for probed (secure) keys.
+    pub key_probes: u64,
+    /// Distinct predicates actually evaluated.
+    pub predicate_evals: u64,
+    /// Probe queries answered from the nonce memo (no PRF work).
+    pub memo_hits: u64,
+}
+
+impl MatchStats {
+    /// Total filter-evaluation-equivalents, the unit the performance
+    /// model prices with `broker_match_us`.
+    pub fn work(&self) -> u64 {
+        self.key_probes + self.predicate_evals
+    }
+}
+
+/// One interned predicate and the entries that require it.
+#[derive(Debug, Clone)]
+struct Pred {
+    constraint: Constraint,
+    /// Entries needing this predicate, with multiplicity (a filter that
+    /// repeats a constraint appears repeatedly, keeping its counter
+    /// target consistent).
+    entries: Vec<EntryId>,
+}
+
+/// Per-attribute predicate layout inside one bucket.
+#[derive(Debug, Clone, Default)]
+struct AttrIndex {
+    /// Numeric predicates as `(lower bound, pred)` sorted by lower
+    /// bound (`i64::MIN` for unbounded-below). A query for value `v`
+    /// inspects only the prefix with `lo <= v`; inspected predicates are
+    /// re-checked with the real operator, so the sort is purely a sound
+    /// pruning structure.
+    numeric: Vec<(i64, u32)>,
+    /// Non-numeric equality predicates, hashed by expected value.
+    eq: HashMap<AttrValue, Vec<u32>>,
+    /// Everything else (prefix / suffix / category), evaluated one by
+    /// one — still at most once per distinct predicate.
+    other: Vec<u32>,
+}
+
+impl AttrIndex {
+    fn is_empty(&self) -> bool {
+        self.numeric.is_empty() && self.eq.is_empty() && self.other.is_empty()
+    }
+}
+
+/// All filters sharing one routing key.
+#[derive(Debug, Clone)]
+struct Bucket<K> {
+    key: K,
+    /// Live entries (kept strictly in sync by insert/remove).
+    entry_ids: Vec<EntryId>,
+    /// Live entries with zero constraints: they match any event that
+    /// reaches this bucket.
+    unconstrained: Vec<EntryId>,
+    attrs: Vec<(AttrName, AttrIndex)>,
+    preds: Vec<Pred>,
+    free_preds: Vec<u32>,
+    pred_of: HashMap<Constraint, u32>,
+}
+
+impl<K> Bucket<K> {
+    fn new(key: K) -> Self {
+        Bucket {
+            key,
+            entry_ids: Vec::new(),
+            unconstrained: Vec::new(),
+            attrs: Vec::new(),
+            preds: Vec::new(),
+            free_preds: Vec::new(),
+            pred_of: HashMap::new(),
+        }
+    }
+
+    fn attr_index_mut(&mut self, name: &AttrName) -> &mut AttrIndex {
+        if let Some(pos) = self.attrs.iter().position(|(n, _)| n == name) {
+            return &mut self.attrs[pos].1;
+        }
+        self.attrs.push((name.clone(), AttrIndex::default()));
+        &mut self.attrs.last_mut().expect("just pushed").1
+    }
+
+    fn add_entry(&mut self, id: EntryId, constraints: &[Constraint]) {
+        self.entry_ids.push(id);
+        if constraints.is_empty() {
+            self.unconstrained.push(id);
+            return;
+        }
+        for c in constraints {
+            let pid = match self.pred_of.get(c) {
+                Some(&p) => p,
+                None => self.intern_pred(c),
+            };
+            self.preds[pid as usize].entries.push(id);
+        }
+    }
+
+    fn intern_pred(&mut self, c: &Constraint) -> u32 {
+        let pid = match self.free_preds.pop() {
+            Some(p) => {
+                self.preds[p as usize] = Pred {
+                    constraint: c.clone(),
+                    entries: Vec::new(),
+                };
+                p
+            }
+            None => {
+                self.preds.push(Pred {
+                    constraint: c.clone(),
+                    entries: Vec::new(),
+                });
+                (self.preds.len() - 1) as u32
+            }
+        };
+        self.pred_of.insert(c.clone(), pid);
+        let slot = self.attr_index_mut(c.name());
+        if let Some(iv) = c.interval() {
+            let lo = iv.lo().unwrap_or(i64::MIN);
+            let at = slot.numeric.partition_point(|&(l, _)| l < lo);
+            slot.numeric.insert(at, (lo, pid));
+        } else if let Op::Eq(v) = c.op() {
+            slot.eq.entry(v.clone()).or_default().push(pid);
+        } else {
+            slot.other.push(pid);
+        }
+        pid
+    }
+
+    fn remove_entry(&mut self, id: EntryId, constraints: &[Constraint]) {
+        if let Some(pos) = self.entry_ids.iter().position(|&e| e == id) {
+            self.entry_ids.swap_remove(pos);
+        }
+        if constraints.is_empty() {
+            if let Some(pos) = self.unconstrained.iter().position(|&e| e == id) {
+                self.unconstrained.swap_remove(pos);
+            }
+            return;
+        }
+        for c in constraints {
+            let Some(&pid) = self.pred_of.get(c) else {
+                continue;
+            };
+            let entries = &mut self.preds[pid as usize].entries;
+            if let Some(pos) = entries.iter().position(|&e| e == id) {
+                entries.swap_remove(pos);
+            }
+            if entries.is_empty() {
+                self.drop_pred(pid, c);
+            }
+        }
+    }
+
+    fn drop_pred(&mut self, pid: u32, c: &Constraint) {
+        self.pred_of.remove(c);
+        self.free_preds.push(pid);
+        let Some(pos) = self.attrs.iter().position(|(n, _)| n == c.name()) else {
+            return;
+        };
+        let slot = &mut self.attrs[pos].1;
+        if c.interval().is_some() {
+            slot.numeric.retain(|&(_, p)| p != pid);
+        } else if let Op::Eq(v) = c.op() {
+            if let Some(pids) = slot.eq.get_mut(v) {
+                pids.retain(|&p| p != pid);
+                if pids.is_empty() {
+                    slot.eq.remove(v);
+                }
+            }
+        } else {
+            slot.other.retain(|&p| p != pid);
+        }
+        if slot.is_empty() {
+            self.attrs.swap_remove(pos);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<F> {
+    peer: Peer,
+    filter: F,
+    /// Global insertion sequence — queries report matches in first-seen
+    /// order so the fast path is observationally identical to the old
+    /// linear scan.
+    seq: u64,
+    bucket: u32,
+    required: u32,
+    live: bool,
+}
+
+/// Bounded FIFO memo of probe results keyed on per-event nonces.
+const PROBE_MEMO_CAP: usize = 1024;
+
+/// The counting-based subscription index. See the module docs for the
+/// algorithm; [`crate::SubscriptionTable`] owns one and keeps it
+/// coherent across insert / remove / covering checks.
+#[derive(Debug, Clone)]
+pub struct MatchIndex<F: IndexableFilter> {
+    keys: HashMap<F::Key, u32>,
+    buckets: Vec<Bucket<F::Key>>,
+    entries: Vec<Entry<F>>,
+    free_entries: Vec<EntryId>,
+    live: usize,
+    next_seq: u64,
+    /// Generation-stamped counters (no per-query clearing).
+    counts: Vec<u32>,
+    stamps: Vec<u64>,
+    generation: u64,
+    memo: HashMap<u128, Vec<u32>>,
+    memo_order: VecDeque<u128>,
+    last_stats: MatchStats,
+}
+
+impl<F: IndexableFilter> Default for MatchIndex<F> {
+    fn default() -> Self {
+        MatchIndex {
+            keys: HashMap::new(),
+            buckets: Vec::new(),
+            entries: Vec::new(),
+            free_entries: Vec::new(),
+            live: 0,
+            next_seq: 0,
+            counts: Vec::new(),
+            stamps: Vec::new(),
+            generation: 0,
+            memo: HashMap::new(),
+            memo_order: VecDeque::new(),
+            last_stats: MatchStats::default(),
+        }
+    }
+}
+
+impl<F: IndexableFilter> MatchIndex<F> {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live registrations.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no registration is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Distinct routing keys ever interned (buckets are reused, never
+    /// dropped, so this also bounds probe work).
+    pub fn distinct_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Work performed by the most recent [`query`](Self::query).
+    pub fn last_stats(&self) -> MatchStats {
+        self.last_stats
+    }
+
+    /// Registers `filter` for `peer`; returns the entry id to pass to
+    /// [`remove`](Self::remove).
+    pub fn insert(&mut self, peer: Peer, filter: F) -> EntryId {
+        self.invalidate_memo();
+        let key = filter.routing_key();
+        let bid = match self.keys.get(&key) {
+            Some(&b) => b,
+            None => {
+                let b = self.buckets.len() as u32;
+                self.buckets.push(Bucket::new(key.clone()));
+                self.keys.insert(key, b);
+                b
+            }
+        };
+        let required = filter.indexed_constraints().len() as u32;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry {
+            peer,
+            filter,
+            seq,
+            bucket: bid,
+            required,
+            live: true,
+        };
+        let id = match self.free_entries.pop() {
+            Some(id) => {
+                self.entries[id as usize] = entry;
+                id
+            }
+            None => {
+                self.entries.push(entry);
+                self.counts.push(0);
+                self.stamps.push(0);
+                (self.entries.len() - 1) as EntryId
+            }
+        };
+        self.live += 1;
+        let constraints = self.entries[id as usize].filter.indexed_constraints().to_vec();
+        self.buckets[bid as usize].add_entry(id, &constraints);
+        id
+    }
+
+    /// Unregisters an entry previously returned by
+    /// [`insert`](Self::insert).
+    pub fn remove(&mut self, id: EntryId) {
+        let idx = id as usize;
+        assert!(self.entries[idx].live, "double remove of entry {id}");
+        self.invalidate_memo();
+        let bid = self.entries[idx].bucket;
+        let constraints = self.entries[idx].filter.indexed_constraints().to_vec();
+        self.buckets[bid as usize].remove_entry(id, &constraints);
+        self.entries[idx].live = false;
+        self.free_entries.push(id);
+        self.live -= 1;
+    }
+
+    /// Whether an identical `(peer, filter)` registration is live. Only
+    /// the filter's own bucket is scanned.
+    pub fn contains(&self, peer: Peer, filter: &F) -> bool {
+        let Some(&bid) = self.keys.get(&filter.routing_key()) else {
+            return false;
+        };
+        self.buckets[bid as usize].entry_ids.iter().any(|&id| {
+            let e = &self.entries[id as usize];
+            e.peer == peer && e.filter == *filter
+        })
+    }
+
+    /// Whether any live filter covers `filter`. Only buckets named by
+    /// [`IndexableFilter::covering_candidate_keys`] are scanned.
+    pub fn covered_by_any(&self, filter: &F) -> bool {
+        filter.covering_candidate_keys().iter().any(|key| {
+            self.keys.get(key).is_some_and(|&bid| {
+                self.buckets[bid as usize]
+                    .entry_ids
+                    .iter()
+                    .any(|&id| self.entries[id as usize].filter.covers(filter))
+            })
+        })
+    }
+
+    /// The distinct peers whose filters match `event`, in first-seen
+    /// registration order — exactly what the linear scan produced.
+    pub fn query(&mut self, event: &F::Event) -> Vec<Peer> {
+        self.generation += 1;
+        let mut stats = MatchStats::default();
+        let mut matched: Vec<EntryId> = Vec::new();
+
+        let candidate_buckets: Vec<u32> = match F::candidate_keys(event) {
+            KeyQuery::Direct(keys) => keys
+                .iter()
+                .filter_map(|k| self.keys.get(k).copied())
+                .filter(|&b| {
+                    let live = !self.buckets[b as usize].entry_ids.is_empty();
+                    if live {
+                        stats.key_probes += 1;
+                    }
+                    live
+                })
+                .collect(),
+            KeyQuery::Probe => self.probe_buckets(event, &mut stats),
+        };
+
+        for bid in candidate_buckets {
+            self.match_bucket(bid, event, &mut stats, &mut matched);
+        }
+
+        matched.sort_unstable_by_key(|&id| self.entries[id as usize].seq);
+        let mut peers: Vec<Peer> = Vec::new();
+        let mut seen: HashSet<Peer> = HashSet::with_capacity(matched.len().min(64));
+        for id in matched {
+            let peer = self.entries[id as usize].peer;
+            if seen.insert(peer) {
+                peers.push(peer);
+            }
+        }
+        self.last_stats = stats;
+        peers
+    }
+
+    /// Probe mode: one key test per live bucket, memoized per event
+    /// nonce.
+    fn probe_buckets(&mut self, event: &F::Event, stats: &mut MatchStats) -> Vec<u32> {
+        let memo_key = F::probe_memo_key(event);
+        if let Some(k) = memo_key {
+            if let Some(bids) = self.memo.get(&k) {
+                stats.memo_hits += 1;
+                return bids.clone();
+            }
+        }
+        let mut bids = Vec::new();
+        for (bid, bucket) in self.buckets.iter().enumerate() {
+            if bucket.entry_ids.is_empty() {
+                continue;
+            }
+            stats.key_probes += 1;
+            if F::key_matches(&bucket.key, event) {
+                bids.push(bid as u32);
+            }
+        }
+        if let Some(k) = memo_key {
+            if self.memo_order.len() >= PROBE_MEMO_CAP {
+                if let Some(old) = self.memo_order.pop_front() {
+                    self.memo.remove(&old);
+                }
+            }
+            self.memo.insert(k, bids.clone());
+            self.memo_order.push_back(k);
+        }
+        bids
+    }
+
+    /// The counting pass over one bucket.
+    fn match_bucket(
+        &mut self,
+        bid: u32,
+        event: &F::Event,
+        stats: &mut MatchStats,
+        matched: &mut Vec<EntryId>,
+    ) {
+        let bucket = &self.buckets[bid as usize];
+        let entries = &self.entries;
+        let counts = &mut self.counts;
+        let stamps = &mut self.stamps;
+        let generation = self.generation;
+
+        matched.extend_from_slice(&bucket.unconstrained);
+
+        let mut bump = |id: EntryId| {
+            let idx = id as usize;
+            if stamps[idx] != generation {
+                stamps[idx] = generation;
+                counts[idx] = 0;
+            }
+            counts[idx] += 1;
+            if counts[idx] == entries[idx].required {
+                matched.push(id);
+            }
+        };
+
+        for (name, slot) in &bucket.attrs {
+            let Some(value) = F::event_attr(event, name) else {
+                continue;
+            };
+            match value {
+                AttrValue::Int(v) => {
+                    // Prefix of predicates whose lower bound admits `v`;
+                    // the real operator re-check keeps exotic operators
+                    // (and `Lt(i64::MIN)`-style empty ranges) faithful.
+                    let end = slot.numeric.partition_point(|&(lo, _)| lo <= *v);
+                    for &(_, pid) in &slot.numeric[..end] {
+                        stats.predicate_evals += 1;
+                        let pred = &bucket.preds[pid as usize];
+                        if pred.constraint.matches_value(value) {
+                            for &id in &pred.entries {
+                                bump(id);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(pids) = slot.eq.get(value) {
+                        for &pid in pids {
+                            stats.predicate_evals += 1;
+                            for &id in &bucket.preds[pid as usize].entries {
+                                bump(id);
+                            }
+                        }
+                    }
+                    for &pid in &slot.other {
+                        stats.predicate_evals += 1;
+                        let pred = &bucket.preds[pid as usize];
+                        if pred.constraint.matches_value(value) {
+                            for &id in &pred.entries {
+                                bump(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structural mutations invalidate memoized probe results (a new
+    /// token bucket could match an already-memoized nonce).
+    fn invalidate_memo(&mut self) {
+        self.memo.clear();
+        self.memo_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::{Event, Filter, IntRange};
+
+    fn f(topic: &str, min: i64) -> Filter {
+        Filter::for_topic(topic).with(Constraint::new("x", Op::Ge(min)))
+    }
+
+    fn e(topic: &str, x: i64) -> Event {
+        Event::builder(topic).attr("x", x).build()
+    }
+
+    #[test]
+    fn query_matches_by_topic_and_constraint() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        idx.insert(Peer::Child(1), f("a", 10));
+        idx.insert(Peer::Child(2), f("a", 50));
+        idx.insert(Peer::Child(3), f("b", 0));
+        assert_eq!(idx.query(&e("a", 20)), vec![Peer::Child(1)]);
+        assert_eq!(
+            idx.query(&e("a", 60)),
+            vec![Peer::Child(1), Peer::Child(2)]
+        );
+        assert_eq!(idx.query(&e("b", 99)), vec![Peer::Child(3)]);
+        assert!(idx.query(&e("c", 99)).is_empty());
+    }
+
+    #[test]
+    fn wildcard_bucket_reaches_every_topic() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        idx.insert(Peer::Parent, Filter::any());
+        idx.insert(Peer::Child(1), f("a", 0));
+        assert_eq!(idx.query(&e("zzz", 5)), vec![Peer::Parent]);
+        assert_eq!(idx.query(&e("a", 5)), vec![Peer::Parent, Peer::Child(1)]);
+    }
+
+    #[test]
+    fn work_counts_only_inspected_predicates() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        for (i, min) in [10i64, 20, 30, 40].into_iter().enumerate() {
+            idx.insert(Peer::Child(i as u32), f("t", min));
+        }
+        for i in 0..64u32 {
+            idx.insert(Peer::Child(100 + i), f("elsewhere", 0));
+        }
+        let peers = idx.query(&e("t", 25));
+        assert_eq!(peers, vec![Peer::Child(0), Peer::Child(1)]);
+        // One topic-bucket hit + the two predicates with lo <= 25; the
+        // "elsewhere" bucket and the 30/40 bounds cost nothing.
+        let stats = idx.last_stats();
+        assert_eq!(stats.key_probes, 1);
+        assert_eq!(stats.predicate_evals, 2);
+    }
+
+    #[test]
+    fn duplicate_constraint_in_one_filter_still_matches() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        let dup = Filter::for_topic("t")
+            .with(Constraint::new("x", Op::Ge(10)))
+            .with(Constraint::new("x", Op::Ge(10)));
+        idx.insert(Peer::Local(1), dup);
+        assert_eq!(idx.query(&e("t", 15)), vec![Peer::Local(1)]);
+        assert!(idx.query(&e("t", 5)).is_empty());
+    }
+
+    #[test]
+    fn remove_keeps_index_coherent() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        let a = idx.insert(Peer::Child(1), f("t", 10));
+        let _b = idx.insert(Peer::Child(2), f("t", 10));
+        idx.remove(a);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.query(&e("t", 15)), vec![Peer::Child(2)]);
+        assert!(idx.contains(Peer::Child(2), &f("t", 10)));
+        assert!(!idx.contains(Peer::Child(1), &f("t", 10)));
+        // Re-insert reuses the freed slot and still matches.
+        let c = idx.insert(Peer::Child(3), f("t", 0));
+        assert_eq!(c, a, "slab slot reused");
+        assert_eq!(
+            idx.query(&e("t", 15)),
+            vec![Peer::Child(2), Peer::Child(3)]
+        );
+    }
+
+    #[test]
+    fn covering_scan_restricted_to_candidate_buckets() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        idx.insert(Peer::Child(1), f("t", 10));
+        idx.insert(Peer::Parent, Filter::any());
+        assert!(idx.covered_by_any(&f("t", 20))); // same-topic bucket
+        assert!(idx.covered_by_any(&f("other", 5))); // wildcard bucket
+        let mut no_wild: MatchIndex<Filter> = MatchIndex::new();
+        no_wild.insert(Peer::Child(1), f("t", 10));
+        assert!(!no_wild.covered_by_any(&f("other", 5)));
+    }
+
+    #[test]
+    fn mixed_families_and_ranges() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        let range = Filter::for_topic("t").with(Constraint::new(
+            "x",
+            Op::InRange(IntRange::new(10, 20).unwrap()),
+        ));
+        let eqs = Filter::for_topic("t").with(Constraint::new("sym", Op::Eq("GOOG".into())));
+        let pre = Filter::for_topic("t").with(Constraint::new("sym", Op::StrPrefix("GO".into())));
+        idx.insert(Peer::Child(1), range);
+        idx.insert(Peer::Child(2), eqs);
+        idx.insert(Peer::Child(3), pre);
+        let ev = Event::builder("t").attr("x", 15i64).attr("sym", "GOOG").build();
+        assert_eq!(
+            idx.query(&ev),
+            vec![Peer::Child(1), Peer::Child(2), Peer::Child(3)]
+        );
+        let ev2 = Event::builder("t").attr("x", 25i64).attr("sym", "GOOD").build();
+        assert_eq!(idx.query(&ev2), vec![Peer::Child(3)]);
+    }
+}

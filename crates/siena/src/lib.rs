@@ -33,6 +33,7 @@
 
 mod broker;
 mod engine;
+mod index;
 mod semantics;
 mod table;
 mod tcp;
@@ -40,6 +41,7 @@ pub mod wire;
 
 pub use broker::{Action, Broker, BrokerStats};
 pub use engine::{CostModel, Engine, EngineConfig, RunReport};
+pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
 pub use semantics::FilterSemantics;
 pub use table::{Peer, SubscriptionTable};
 pub use tcp::{spawn_broker, TcpBroker, TcpClient};

@@ -19,6 +19,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::broker::{Action, Broker};
+use crate::index::IndexableFilter;
 use crate::semantics::FilterSemantics;
 use crate::table::Peer;
 use crate::wire::{read_frame, write_frame, Message, Wire};
@@ -140,7 +141,7 @@ where
 /// Propagates socket errors (bind/connect failures).
 pub fn spawn_broker<F>(listen: &str, parent: Option<SocketAddr>) -> std::io::Result<TcpBroker>
 where
-    F: FilterSemantics + Wire + Send + 'static,
+    F: IndexableFilter + Wire + Send + 'static,
     F::Event: Wire + Send + Eq,
 {
     let listener = TcpListener::bind(listen)?;

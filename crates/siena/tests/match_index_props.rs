@@ -1,0 +1,146 @@
+//! Property tests pinning the `MatchIndex` fast path to the linear-scan
+//! reference: for any table built from random subscriptions (with churn),
+//! `matching_peers` must return exactly what the original O(n) scan
+//! returns, in the same order, and `insert`'s covering verdict must agree
+//! with the brute-force covering test.
+
+use proptest::prelude::*;
+use psguard_model::{AttrValue, Constraint, Event, Filter, IntRange, Op};
+use psguard_siena::{Peer, SubscriptionTable};
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    prop_oneof![
+        (-20i64..60).prop_map(Op::Ge),
+        (-20i64..60).prop_map(Op::Le),
+        (-20i64..60).prop_map(Op::Gt),
+        (-20i64..60).prop_map(Op::Lt),
+        (-20i64..60).prop_map(|v| Op::Eq(AttrValue::Int(v))),
+        (-20i64..40, 0i64..25)
+            .prop_map(|(lo, w)| Op::InRange(IntRange::new(lo, lo + w).expect("lo <= hi"))),
+        "[ab]{0,3}".prop_map(Op::StrPrefix),
+        "[ab]{0,3}".prop_map(Op::StrSuffix),
+        "[ab]{0,3}".prop_map(|s| Op::Eq(AttrValue::Str(s))),
+    ]
+    .boxed()
+}
+
+/// Topics t0..t3 plus the wildcard; attributes drawn from {a, b} so
+/// constraints and events collide often enough to exercise every path.
+fn filter_strategy() -> BoxedStrategy<Filter> {
+    (
+        0u8..5,
+        prop::collection::vec(("[ab]", op_strategy()), 0..4),
+    )
+        .prop_map(|(topic, constraints)| {
+            let mut f = if topic < 4 {
+                Filter::for_topic(format!("t{topic}"))
+            } else {
+                Filter::any()
+            };
+            for (name, op) in constraints {
+                f = f.with(Constraint::new(name, op));
+            }
+            f
+        })
+        .boxed()
+}
+
+fn value_strategy() -> BoxedStrategy<AttrValue> {
+    prop_oneof![
+        (-25i64..65).prop_map(AttrValue::Int),
+        "[ab]{0,3}".prop_map(AttrValue::Str),
+    ]
+    .boxed()
+}
+
+fn event_strategy() -> BoxedStrategy<Event> {
+    (
+        0u8..5,
+        prop::collection::vec(("[ab]", value_strategy()), 0..3),
+    )
+        .prop_map(|(topic, attrs)| {
+            let mut b = Event::builder(format!("t{topic}"));
+            for (name, value) in attrs {
+                b = b.attr(name, value);
+            }
+            b.build()
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn index_agrees_with_linear_scan(
+        subs in prop::collection::vec((0u32..6, filter_strategy()), 0..40),
+        events in prop::collection::vec(event_strategy(), 1..10),
+    ) {
+        let mut table: SubscriptionTable<Filter> = SubscriptionTable::new();
+        for (peer, filter) in subs {
+            table.insert(Peer::Child(peer), filter);
+        }
+        for event in &events {
+            let fast = table.matching_peers(event);
+            let reference = table.matching_peers_linear(event);
+            prop_assert_eq!(fast, reference);
+        }
+    }
+
+    #[test]
+    fn index_agrees_after_churn(
+        subs in prop::collection::vec((0u32..5, filter_strategy()), 1..30),
+        removal_mask in any::<u64>(),
+        events in prop::collection::vec(event_strategy(), 1..8),
+    ) {
+        let mut table: SubscriptionTable<Filter> = SubscriptionTable::new();
+        let mut inserted: Vec<(Peer, Filter)> = Vec::new();
+        for (peer, filter) in subs {
+            let peer = Peer::Child(peer);
+            table.insert(peer, filter.clone());
+            inserted.push((peer, filter));
+        }
+        for (i, (peer, filter)) in inserted.iter().enumerate() {
+            if removal_mask >> (i % 64) & 1 == 1 {
+                table.remove(*peer, filter);
+            }
+        }
+        // A full peer disconnect on top of the selective removals.
+        table.remove_peer(Peer::Child(0));
+        for event in &events {
+            let fast = table.matching_peers(event);
+            let reference = table.matching_peers_linear(event);
+            prop_assert_eq!(fast, reference);
+        }
+        // Reinsertion after churn still agrees (slab slots are reused).
+        for (peer, filter) in inserted {
+            table.insert(peer, filter);
+        }
+        for event in &events {
+            let fast = table.matching_peers(event);
+            let reference = table.matching_peers_linear(event);
+            prop_assert_eq!(fast, reference);
+        }
+    }
+
+    #[test]
+    fn insert_covering_verdict_matches_brute_force(
+        subs in prop::collection::vec((0u32..4, filter_strategy()), 0..25),
+    ) {
+        let mut table: SubscriptionTable<Filter> = SubscriptionTable::new();
+        let mut mirror: Vec<(Peer, Filter)> = Vec::new();
+        for (peer, filter) in subs {
+            let peer = Peer::Child(peer);
+            let duplicate = mirror.iter().any(|(p, f)| *p == peer && *f == filter);
+            let covered = mirror.iter().any(|(_, f)| f.covers(&filter));
+            let forwarded = table.insert(peer, filter.clone());
+            if duplicate {
+                prop_assert!(!forwarded, "duplicate must never forward");
+            } else {
+                prop_assert_eq!(forwarded, !covered);
+                mirror.push((peer, filter));
+            }
+            prop_assert_eq!(table.len(), mirror.len());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided (the workspace uses nothing else),
+//! backed by `std::sync::mpsc`. Multi-producer single-consumer covers
+//! every use here; `Sender` is clonable for both flavors.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPSC channels with the crossbeam-channel API shape.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message before the deadline.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderInner<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderInner::Unbounded(s) => SenderInner::Unbounded(s.clone()),
+                SenderInner::Bounded(s) => SenderInner::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half (clonable).
+    pub struct Sender<T>(SenderInner<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking on a full bounded channel.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+                SenderInner::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over messages until disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// A bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderInner::Bounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_threads() {
+        let (tx, rx) = bounded::<u32>(2);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv_timeout(Duration::from_secs(2)) {
+            got.push(v);
+            if got.len() == 100 {
+                break;
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace's `serde` support is gated behind optional features that
+//! default to **off** in this offline build (the real derive macros are
+//! unavailable without crates.io). This crate exists so the optional
+//! dependency edge still resolves; it is never compiled into the
+//! workspace unless the `serde` features are explicitly enabled, and it
+//! intentionally provides no derive macros.
+
+#![forbid(unsafe_code)]
