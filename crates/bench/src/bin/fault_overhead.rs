@@ -1,0 +1,129 @@
+//! Overhead of the fault-injection layer when no faults are configured.
+//!
+//! `Engine::run_faulty` with `FaultConfig::none` must be behaviorally
+//! identical to `Engine::run` and nearly free: the acceptance bound is
+//! ≤ 5% wall-clock overhead (median over repeated runs). Also records a
+//! lossy-with-recovery run for context. Results go to `BENCH_fault.json`
+//! in the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use psguard_model::{Event, Filter};
+use psguard_net::{FaultPlan, LinkFaults};
+use psguard_siena::{CostModel, Engine, EngineConfig, FaultConfig, RecoveryConfig};
+
+const BROKERS: u32 = 14;
+const SUBSCRIBERS: u32 = 16;
+const RATE_EPS: f64 = 1_000.0;
+const DURATION_S: f64 = 2.0;
+const REPEATS: usize = 11;
+
+fn engine() -> Engine<Filter> {
+    let mut eng = Engine::new(EngineConfig {
+        broker_nodes: BROKERS,
+        subscribers: SUBSCRIBERS,
+        seed: 42,
+    });
+    for c in 0..SUBSCRIBERS {
+        eng.subscribe(c, Filter::for_topic("t"));
+    }
+    eng
+}
+
+fn workload() -> Vec<Event> {
+    (0..32)
+        .map(|i| {
+            Event::builder("t")
+                .attr("x", i as i64)
+                .payload(vec![0u8; 64])
+                .build()
+        })
+        .collect()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let events = workload();
+    let cost = CostModel::plain();
+    let mut eng = engine();
+
+    // Interleave the two variants so drift (frequency scaling, cache
+    // state) hits both equally.
+    let mut plain_ms = Vec::with_capacity(REPEATS);
+    let mut faulty_ms = Vec::with_capacity(REPEATS);
+    let mut plain_delivered = 0u64;
+    let mut faulty_delivered = 0u64;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let p = eng.run(&events, RATE_EPS, DURATION_S, &cost);
+        plain_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        plain_delivered = p.delivered;
+
+        let mut cfg = FaultConfig::none(7);
+        let start = Instant::now();
+        let f = eng.run_faulty(&events, RATE_EPS, DURATION_S, &cost, &mut cfg);
+        faulty_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        faulty_delivered = f.delivered;
+    }
+    assert_eq!(
+        plain_delivered, faulty_delivered,
+        "zero-fault run_faulty must deliver exactly what run delivers"
+    );
+
+    let plain = median(&mut plain_ms);
+    let faulty = median(&mut faulty_ms);
+    let overhead_pct = (faulty - plain) / plain * 100.0;
+    println!(
+        "zero-fault overhead: run {plain:.2} ms vs run_faulty {faulty:.2} ms  ({overhead_pct:+.2}%)"
+    );
+
+    // Context: the same workload over 20%-lossy links with recovery on.
+    let plan = FaultPlan::new(9).with_default_link_faults(LinkFaults {
+        drop_p: 0.2,
+        dup_p: 0.05,
+        jitter_us: 5_000,
+    });
+    let mut cfg = FaultConfig::with_recovery(plan);
+    cfg.recovery = Some(RecoveryConfig::no_heartbeats());
+    let start = Instant::now();
+    let lossy = eng.run_faulty(&events, RATE_EPS, DURATION_S, &cost, &mut cfg);
+    let lossy_ms = start.elapsed().as_secs_f64() * 1e3;
+    let expected = lossy.published * SUBSCRIBERS as u64;
+    println!(
+        "lossy 20% + recovery: delivery {:.4}, {} retransmissions, {} dups suppressed, {lossy_ms:.2} ms",
+        lossy.delivery_fraction(expected),
+        lossy.retransmissions,
+        lossy.duplicates_suppressed
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"fault_overhead\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"brokers\": {BROKERS}, \"subscribers\": {SUBSCRIBERS}, \"rate_eps\": {RATE_EPS}, \"duration_s\": {DURATION_S}, \"repeats\": {REPEATS}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"zero_fault\": {{\"run_ms_median\": {plain:.3}, \"run_faulty_ms_median\": {faulty:.3}, \"overhead_pct\": {overhead_pct:.3}, \"delivered\": {faulty_delivered}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"lossy_with_recovery\": {{\"drop_p\": 0.2, \"dup_p\": 0.05, \"delivery_fraction\": {:.5}, \"retransmissions\": {}, \"duplicates_suppressed\": {}, \"abandoned\": {}, \"run_ms\": {lossy_ms:.3}}}",
+        lossy.delivery_fraction(expected),
+        lossy.retransmissions,
+        lossy.duplicates_suppressed,
+        lossy.abandoned
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
+    println!("wrote BENCH_fault.json");
+
+    assert!(
+        overhead_pct <= 5.0,
+        "zero-fault path must cost <= 5% over Engine::run, got {overhead_pct:.2}%"
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 8 companion, measured from the overlay: delivery fraction of
+//! the multi-path event-dissemination network under message-dropping
+//! routers, produced by actually forwarding events hop by hop on the
+//! discrete-event simulator (`MultipathOverlay`) and cross-checked
+//! against the analytic model (`RedundantRouter::simulate_drops`).
+//!
+//! The paper argues the `G_ind` construction buys resilience along with
+//! frequency flattening; this bin quantifies the resilience side: with
+//! `ind` vertex-disjoint paths and full replication, delivery under a
+//! fraction `f` of dropping routers approaches `1 − (1 − (1 − f)^d)^ind`.
+
+use psguard_analysis::TextTable;
+use psguard_routing::{MultipathOverlay, MultipathTree, RedundantRouter};
+
+const ARITY: u8 = 3;
+const DEPTH: usize = 3;
+const EVENTS: u64 = 200;
+const SEED_COUNT: u64 = 48;
+const DROP_FRACTIONS: [f64; 5] = [0.05, 0.10, 0.15, 0.20, 0.30];
+
+fn main() {
+    println!("Figure 8 (overlay companion): delivery under dropping routers\n");
+    let tree = MultipathTree::new(ARITY, DEPTH).expect("valid tree");
+    let leaf = tree.leaf_digits(tree.leaf_count() / 2);
+
+    let mut table = TextTable::new(&[
+        "Drop fraction",
+        "ind=1 overlay",
+        "ind=2 overlay",
+        "ind=3 overlay",
+        "ind=3 analytic",
+        "ind=3 predicted",
+    ]);
+    for &drop in &DROP_FRACTIONS {
+        let mut rates = Vec::new();
+        let mut analytic3 = 0.0;
+        for ind in 1..=3u8 {
+            let mut sum = 0.0;
+            let mut asum = 0.0;
+            for seed in 1..=SEED_COUNT {
+                let router = RedundantRouter::new(tree.clone(), ind, ind).expect("valid router");
+                let analytic = router
+                    .simulate_drops(&leaf, drop, EVENTS, seed)
+                    .expect("valid leaf");
+                let run = MultipathOverlay::new(router)
+                    .run_drops(&leaf, drop, EVENTS, seed)
+                    .expect("valid leaf");
+                assert_eq!(
+                    run.delivered, analytic.delivered,
+                    "overlay and analytic model must agree per seed"
+                );
+                sum += run.delivery_rate();
+                asum += analytic.delivery_rate();
+            }
+            rates.push(sum / SEED_COUNT as f64);
+            if ind == 3 {
+                analytic3 = asum / SEED_COUNT as f64;
+            }
+        }
+        // Independent-path approximation: each of the ind disjoint paths
+        // survives with probability (1-f)^d.
+        let path_up = (1.0 - drop).powi(DEPTH as i32);
+        let predicted = 1.0 - (1.0 - path_up).powi(3);
+        table.row(&[
+            &format!("{drop:.2}"),
+            &format!("{:.3}", rates[0]),
+            &format!("{:.3}", rates[1]),
+            &format!("{:.3}", rates[2]),
+            &format!("{analytic3:.3}"),
+            &format!("{predicted:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape check: delivery rises monotonically with ind at every drop");
+    println!("fraction; the operational overlay matches the analytic model per");
+    println!("seed exactly (asserted), and both track the independent-path");
+    println!("prediction 1-(1-(1-f)^d)^ind up to finite-sample noise.");
+}

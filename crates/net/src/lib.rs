@@ -9,13 +9,18 @@
 //! * [`TransitStubConfig`] generates topologies with that latency regime,
 //!   deterministically from a seed;
 //! * [`Simulator`] is the virtual clock + event queue the broker overlay
-//!   runs on, making every experiment exactly reproducible.
+//!   runs on, making every experiment exactly reproducible;
+//! * [`FaultPlan`] injects seeded link drops/duplicates/jitter, timed
+//!   partitions, and node crash/restart windows into any simulation, so
+//!   recovery machinery can be exercised deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod sim;
 mod topology;
 
+pub use fault::{FaultPlan, FaultStats, LinkFaults, Transmit, Window};
 pub use sim::{Delivery, SimTime, Simulator};
 pub use topology::{Link, NodeId, Topology, TransitStubConfig};

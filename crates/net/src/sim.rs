@@ -10,6 +10,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::fault::FaultPlan;
 use crate::topology::NodeId;
 
 /// Simulated time in microseconds.
@@ -141,6 +142,35 @@ impl<M: Eq> Simulator<M> {
             Some(Reverse(s)) if s.at <= deadline => self.next(),
             _ => None,
         }
+    }
+
+    /// Sends `msg` from `src` to `dst` through a [`FaultPlan`]: the plan
+    /// may drop the message, duplicate it, or add jitter on top of
+    /// `base_delay`. Returns the number of copies actually scheduled
+    /// (0, 1, or 2). Receiver-side crash windows are *not* checked here —
+    /// protocol logic decides what a dead node does with arrivals.
+    pub fn send_faulty(
+        &mut self,
+        plan: &mut FaultPlan,
+        src: NodeId,
+        dst: NodeId,
+        base_delay: SimTime,
+        msg: M,
+    ) -> usize
+    where
+        M: Clone,
+    {
+        let outcome = plan.transmit(src, dst, self.now);
+        match (outcome.first, outcome.dup) {
+            // Common single-copy path: the message is moved, not cloned.
+            (Some(j), None) | (None, Some(j)) => self.schedule_in(base_delay + j, dst, msg),
+            (Some(j1), Some(j2)) => {
+                self.schedule_in(base_delay + j1, dst, msg.clone());
+                self.schedule_in(base_delay + j2, dst, msg);
+            }
+            (None, None) => {}
+        }
+        outcome.copies()
     }
 
     /// Runs `handler` on every delivery until the queue drains or

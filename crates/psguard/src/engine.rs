@@ -13,6 +13,7 @@ use psguard_model::Event;
 use psguard_routing::{SecureEvent, SecureFilter};
 use psguard_siena::{CostModel, Engine, EngineConfig, RunReport};
 
+use crate::error::MeasureError;
 use crate::publisher::Publisher;
 use crate::service::PsGuard;
 use crate::subscriber::Subscriber;
@@ -32,24 +33,27 @@ impl CryptoCosts {
     /// Times the real code paths over `sample_events` (which must be
     /// publishable and decryptable in the given deployment at epoch 0).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `sample_events` is empty or an event fails to publish
-    /// or decrypt — measurement requires a working pipeline.
+    /// Returns [`MeasureError`] when the samples are empty, fail to
+    /// publish or decrypt, or do not all match their own topic token —
+    /// measurement requires a working pipeline.
     pub fn measure(
         ps: &PsGuard,
         publisher: &mut Publisher,
         subscriber: &mut Subscriber,
         sample_events: &[Event],
-    ) -> Self {
-        assert!(!sample_events.is_empty(), "need sample events to measure");
+    ) -> Result<Self, MeasureError> {
+        if sample_events.is_empty() {
+            return Err(MeasureError::NoSamples);
+        }
         let reps = (200 / sample_events.len()).max(1);
 
         let start = Instant::now();
         let mut secures = Vec::new();
         for _ in 0..reps {
             for e in sample_events {
-                secures.push(publisher.publish(e, 0).expect("publishable sample"));
+                secures.push(publisher.publish(e, 0)?);
             }
         }
         let publish_us =
@@ -67,20 +71,25 @@ impl CryptoCosts {
         }
         let token_match_us =
             (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
-        assert_eq!(matched, secures.len() as u64, "samples must match their topic");
+        if matched != secures.len() as u64 {
+            return Err(MeasureError::SampleTopicMismatch {
+                matched,
+                total: secures.len() as u64,
+            });
+        }
 
         let start = Instant::now();
         for s in &secures {
-            subscriber.decrypt(s).expect("decryptable sample");
+            subscriber.decrypt(s)?;
         }
         let decrypt_us =
             (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
 
-        CryptoCosts {
+        Ok(CryptoCosts {
             publish_us,
             decrypt_us,
             token_match_us,
-        }
+        })
     }
 }
 
@@ -195,12 +204,33 @@ mod tests {
                     .build()
             })
             .collect();
-        let costs = CryptoCosts::measure(&ps, &mut publisher, &mut sub, &events);
+        let costs =
+            CryptoCosts::measure(&ps, &mut publisher, &mut sub, &events).expect("working pipeline");
         assert!(costs.publish_us >= 1);
         assert!(costs.decrypt_us >= 1);
         assert!(costs.token_match_us >= 1);
         let model = secure_cost_model(&costs);
         assert!(model.publisher_us > CostModel::plain().publisher_us);
+    }
+
+    #[test]
+    fn measurement_failures_are_typed() {
+        let ps = deployment();
+        let mut publisher = ps.publisher("P");
+        ps.authorize_publisher(&mut publisher, "w", 0);
+        let mut sub = ps.subscriber("S");
+        ps.authorize_subscriber(&mut sub, &Filter::for_topic("w"), 0)
+            .unwrap();
+        assert_eq!(
+            CryptoCosts::measure(&ps, &mut publisher, &mut sub, &[]),
+            Err(crate::MeasureError::NoSamples)
+        );
+        // A sample on an unauthorized topic cannot be published.
+        let stray = vec![Event::builder("other").payload(vec![1]).build()];
+        assert!(matches!(
+            CryptoCosts::measure(&ps, &mut publisher, &mut sub, &stray),
+            Err(crate::MeasureError::Publish(_))
+        ));
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod attack;
 mod dedup;
 mod entropy;
 mod multipath;
+mod overlay;
 mod redundant;
 mod secure;
 
@@ -31,6 +32,7 @@ pub use attack::{simulate, AttackSimConfig, Observations};
 pub use dedup::DedupWindow;
 pub use entropy::{entropy_bits, max_entropy_bits, zipf_frequencies, EntropyReport};
 pub use multipath::{MultipathError, MultipathTree, TreeNode};
+pub use overlay::{MultipathOverlay, OverlayReport};
 pub use redundant::{
     apparent_entropy, flattening_gain, DeliveryReport, PathAssignment, RedundantRouter,
 };

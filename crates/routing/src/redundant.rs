@@ -121,6 +121,16 @@ impl RedundantRouter {
         self.replicas
     }
 
+    /// Number of vertex-disjoint path systems provisioned per subscriber.
+    pub fn ind(&self) -> u8 {
+        self.ind
+    }
+
+    /// The underlying multipath tree.
+    pub fn tree(&self) -> &MultipathTree {
+        &self.tree
+    }
+
     /// The distinct path variants chosen for one event (uniformly random
     /// without replacement among the `ind` systems).
     pub fn choose_paths(&self, rng: &mut StdRng) -> Vec<u8> {

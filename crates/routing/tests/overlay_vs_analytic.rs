@@ -1,0 +1,87 @@
+//! Cross-validation of the operational overlay against the analytic
+//! delivery model: for every `(ind, drop fraction, seed)` the simulator
+//! run and `RedundantRouter::simulate_drops` must agree — the acceptance
+//! bound is 2 percentage points, but sharing the RNG stream makes the
+//! agreement exact per event.
+
+use psguard_routing::{MultipathOverlay, MultipathTree, RedundantRouter};
+
+const EVENTS: u64 = 400;
+const DROP_FRACTIONS: [f64; 3] = [0.05, 0.15, 0.30];
+const SEEDS: [u64; 5] = [1, 2, 3, 7, 11];
+
+#[test]
+fn overlay_matches_analytic_within_two_points() {
+    let tree = MultipathTree::new(3, 3).unwrap();
+    let leaves = [
+        tree.leaf_digits(0),
+        tree.leaf_digits(tree.leaf_count() / 2),
+        tree.leaf_digits(tree.leaf_count() - 1),
+    ];
+    for ind in 1..=3u8 {
+        for &drop in &DROP_FRACTIONS {
+            for &seed in &SEEDS {
+                let leaf = &leaves[(seed as usize) % leaves.len()];
+                let router = RedundantRouter::new(tree.clone(), ind, ind).unwrap();
+                let analytic = router.simulate_drops(leaf, drop, EVENTS, seed).unwrap();
+                let overlay = MultipathOverlay::new(router)
+                    .run_drops(leaf, drop, EVENTS, seed)
+                    .unwrap();
+                let gap = (overlay.delivery_rate() - analytic.delivery_rate()).abs();
+                assert!(
+                    gap <= 0.02,
+                    "ind={ind} drop={drop} seed={seed}: overlay {:.3} vs analytic {:.3}",
+                    overlay.delivery_rate(),
+                    analytic.delivery_rate()
+                );
+                // Stronger than the acceptance bound: the shared RNG
+                // stream makes the agreement exact.
+                assert_eq!(overlay.delivered, analytic.delivered);
+                assert_eq!(overlay.path_transmissions, analytic.transmissions);
+            }
+        }
+    }
+}
+
+#[test]
+fn overlay_matches_analytic_with_partial_replication() {
+    // replicas < ind exercises the per-event path lottery; the streams
+    // still coincide because choose_paths is drawn in publish order.
+    let tree = MultipathTree::new(3, 2).unwrap();
+    let leaf = tree.leaf_digits(4);
+    for replicas in 1..=2u8 {
+        for &seed in &SEEDS {
+            let router = RedundantRouter::new(tree.clone(), 3, replicas).unwrap();
+            let analytic = router.simulate_drops(&leaf, 0.2, EVENTS, seed).unwrap();
+            let overlay = MultipathOverlay::new(router)
+                .run_drops(&leaf, 0.2, EVENTS, seed)
+                .unwrap();
+            assert_eq!(
+                overlay.delivered, analytic.delivered,
+                "replicas={replicas} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn redundancy_monotonically_improves_overlay_delivery() {
+    // More disjoint paths never hurt: ind=3 must dominate ind=1 on the
+    // same dropping set (same seed draws the same adversaries).
+    let tree = MultipathTree::new(3, 3).unwrap();
+    let leaf = tree.leaf_digits(9);
+    for &seed in &SEEDS {
+        let mut rates = Vec::new();
+        for ind in 1..=3u8 {
+            let router = RedundantRouter::new(tree.clone(), ind, ind).unwrap();
+            let run = MultipathOverlay::new(router)
+                .run_drops(&leaf, 0.25, EVENTS, seed)
+                .unwrap();
+            rates.push(run.delivery_rate());
+        }
+        assert!(
+            rates[0] <= rates[1] + 1e-12 && rates[1] <= rates[2] + 1e-12,
+            "seed {seed}: rates {rates:?}"
+        );
+    }
+}

@@ -116,18 +116,22 @@ enum Msg<E> {
 /// The overlay engine. Build once (subscriptions included), then run one
 /// or more workloads.
 pub struct Engine<F: IndexableFilter> {
-    config: EngineConfig,
-    brokers: Vec<Broker<F>>,
+    pub(crate) config: EngineConfig,
+    pub(crate) brokers: Vec<Broker<F>>,
     /// Engine-node index of each broker's parent (brokers[0] = publisher).
-    parent_of: Vec<Option<usize>>,
+    pub(crate) parent_of: Vec<Option<usize>>,
     /// Engine-node for `Peer::Child(i)` / `Peer::Local(c)` resolution.
-    subscriber_base: usize,
+    pub(crate) subscriber_base: usize,
     /// One-way latency (µs) between adjacent overlay nodes.
-    link_up: Vec<u64>,
+    pub(crate) link_up: Vec<u64>,
     /// Which broker each subscriber attaches to.
-    attach: Vec<usize>,
+    pub(crate) attach: Vec<usize>,
     /// Latency (µs) of each subscriber's access link.
-    access_latency: Vec<u64>,
+    pub(crate) access_latency: Vec<u64>,
+    /// Every `(client, filter)` registration, in subscription order — the
+    /// ground truth replayed when a crashed broker restarts or an evicted
+    /// peer re-announces itself (see [`crate::fault`]).
+    pub(crate) registered: Vec<(u32, F)>,
 }
 
 impl<F: IndexableFilter> Engine<F>
@@ -219,12 +223,21 @@ where
             link_up,
             attach,
             access_latency,
+            registered: Vec::new(),
         }
     }
 
     /// Registers a subscriber's filter, propagating it up the tree with
     /// the covering optimization (exactly Siena's subscribe path).
     pub fn subscribe(&mut self, client: u32, filter: F) {
+        self.registered.push((client, filter.clone()));
+        self.propagate_subscribe(client, filter);
+    }
+
+    /// The subscribe path without recording: used both by [`subscribe`]
+    /// (Self::subscribe) and by the fault layer when replaying state into
+    /// a restarted broker (insertion is covering-aware and idempotent).
+    pub(crate) fn propagate_subscribe(&mut self, client: u32, filter: F) {
         let mut node = self.attach[client as usize];
         let mut actions = self.brokers[node].subscribe(Peer::Local(client), filter);
         while let Some(Action::ForwardSubscribe(f)) = actions.pop() {

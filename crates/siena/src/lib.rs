@@ -33,6 +33,8 @@
 
 mod broker;
 mod engine;
+mod error;
+mod fault;
 mod index;
 mod semantics;
 mod table;
@@ -41,8 +43,14 @@ pub mod wire;
 
 pub use broker::{Action, Broker, BrokerStats};
 pub use engine::{CostModel, Engine, EngineConfig, RunReport};
+pub use fault::{
+    DeliveryRecord, FaultConfig, FaultRunReport, RecoveryConfig, Revocation, SeqDedup,
+};
 pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
+pub use error::TcpError;
 pub use semantics::FilterSemantics;
 pub use table::{Peer, SubscriptionTable};
-pub use tcp::{spawn_broker, TcpBroker, TcpClient};
+pub use tcp::{
+    spawn_broker, spawn_broker_with, OverflowPolicy, TcpBroker, TcpClient, TcpConfig, TcpStats,
+};
 pub use wire::{Message, Wire, WireError};

@@ -370,6 +370,28 @@ pub enum Message<F, E> {
     Unsubscribe(F),
     /// An event notification.
     Publish(E),
+    /// Periodic liveness probe; carries no payload. Peers that stay
+    /// silent for too many intervals are evicted (see `tcp`).
+    Heartbeat,
+    /// Acknowledges a [`Message::Subscribe`]: the broker has installed
+    /// the filter and will route matching events. `crc` is the FNV-1a
+    /// checksum of the filter's encoding (see [`filter_crc`]), so a
+    /// client awaiting a specific subscription can match the ack.
+    SubAck {
+        /// Checksum identifying the acknowledged filter.
+        crc: u32,
+    },
+}
+
+/// FNV-1a (32-bit) over a filter's wire encoding: the identifier echoed
+/// in [`Message::SubAck`].
+pub fn filter_crc<F: Wire>(filter: &F) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in &filter.to_bytes() {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
 }
 
 impl<F: Wire, E: Wire> Wire for Message<F, E> {
@@ -392,6 +414,11 @@ impl<F: Wire, E: Wire> Wire for Message<F, E> {
                 buf.push(3);
                 e.encode(buf);
             }
+            Message::Heartbeat => buf.push(4),
+            Message::SubAck { crc } => {
+                buf.push(5);
+                crc.encode(buf);
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -406,6 +433,10 @@ impl<F: Wire, E: Wire> Wire for Message<F, E> {
             1 => Message::Subscribe(F::decode(input)?),
             2 => Message::Unsubscribe(F::decode(input)?),
             3 => Message::Publish(E::decode(input)?),
+            4 => Message::Heartbeat,
+            5 => Message::SubAck {
+                crc: u32::decode(input)?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -515,6 +546,16 @@ mod tests {
         let m: Message<Filter, Event> =
             Message::Publish(Event::builder("t").payload(vec![1]).build());
         roundtrip(m);
+        roundtrip(Message::<Filter, Event>::Heartbeat);
+        roundtrip(Message::<Filter, Event>::SubAck { crc: 0xdead_beef });
+    }
+
+    #[test]
+    fn filter_crc_distinguishes_filters_and_is_stable() {
+        let a = Filter::for_topic("a");
+        let b = Filter::for_topic("b");
+        assert_eq!(filter_crc(&a), filter_crc(&a.clone()));
+        assert_ne!(filter_crc(&a), filter_crc(&b));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The chaos harness: the overlay engine run under seeded fault plans,
+//! with the delivery invariants the recovery machinery must uphold.
+//!
+//! Invariants checked here:
+//!
+//! 1. **Zero-fault equivalence** — `run_faulty` with a fault-free plan is
+//!    behaviorally identical to `run`, across topologies.
+//! 2. **Exactly-once eventual delivery** — with retransmission and dedup
+//!    enabled, lossy/duplicating/jittery links never lose or double a
+//!    copy (checked over 20+ explicit seeds and property-sampled plans).
+//! 3. **Crash recovery** — a broker outage mid-run delays, but does not
+//!    lose or duplicate, deliveries.
+//! 4. **Revocation safety** — once a client is revoked, no event
+//!    published after the revocation instant reaches it, faults or not.
+//! 5. **Non-matching silence** — fault machinery (retransmits, dups,
+//!    restarts) never leaks an event to a client whose filter does not
+//!    match it.
+//! 6. **Eviction + heal** — a partitioned child broker is evicted after
+//!    missed heartbeats and its subtree resumes delivery after healing.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use psguard_model::{Event, Filter};
+use psguard_net::{FaultPlan, LinkFaults, NodeId, Window};
+use psguard_siena::{
+    CostModel, Engine, EngineConfig, FaultConfig, FaultRunReport, RecoveryConfig, Revocation,
+};
+
+fn engine(brokers: u32, subs: u32) -> Engine<Filter> {
+    Engine::new(EngineConfig {
+        broker_nodes: brokers,
+        subscribers: subs,
+        seed: 42,
+    })
+}
+
+fn workload() -> Vec<Event> {
+    (0..8)
+        .map(|i| Event::builder("t").attr("x", i as i64).build())
+        .collect()
+}
+
+/// Asserts the exactly-once contract: every published event reaches every
+/// matching client exactly once.
+fn assert_exactly_once(r: &FaultRunReport, clients: &[u32], label: &str) {
+    assert_eq!(
+        r.delivered,
+        r.published * clients.len() as u64,
+        "{label}: delivered != published × subscribers: {r:?}"
+    );
+    let mut seen = HashSet::new();
+    for d in &r.deliveries {
+        assert!(
+            seen.insert((d.client, d.event_seq)),
+            "{label}: duplicate delivery of seq {} to client {}",
+            d.event_seq,
+            d.client
+        );
+    }
+    for &c in clients {
+        for seq in 0..r.published {
+            assert!(
+                seen.contains(&(c, seq)),
+                "{label}: client {c} missed seq {seq}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_fault_equivalence_across_topologies() {
+    let events = workload();
+    for brokers in [2u32, 6, 14] {
+        let subs = 6u32;
+        let mut a = engine(brokers, subs);
+        let mut b = engine(brokers, subs);
+        for c in 0..subs {
+            a.subscribe(c, Filter::for_topic("t"));
+            b.subscribe(c, Filter::for_topic("t"));
+        }
+        let plain = a.run(&events, 40.0, 1.0, &CostModel::plain());
+        let mut cfg = FaultConfig::none(7);
+        let faulty = b.run_faulty(&events, 40.0, 1.0, &CostModel::plain(), &mut cfg);
+        assert_eq!(faulty.published, plain.published, "brokers={brokers}");
+        assert_eq!(faulty.delivered, plain.delivered, "brokers={brokers}");
+        assert!(
+            (faulty.mean_latency_ms - plain.mean_latency_ms).abs() < 1e-9,
+            "brokers={brokers}: {} vs {}",
+            faulty.mean_latency_ms,
+            plain.mean_latency_ms
+        );
+        assert!(
+            (faulty.p99_latency_ms - plain.p99_latency_ms).abs() < 1e-9,
+            "brokers={brokers}"
+        );
+        assert_eq!(faulty.retransmissions, 0);
+        assert_eq!(faulty.duplicates_suppressed, 0);
+        assert_eq!(faulty.fault_stats.dropped, 0);
+    }
+}
+
+#[test]
+fn exactly_once_holds_for_twenty_seeds() {
+    let events = workload();
+    let clients: Vec<u32> = (0..6).collect();
+    for seed in 0..20u64 {
+        let mut eng = engine(6, 6);
+        for &c in &clients {
+            eng.subscribe(c, Filter::for_topic("t"));
+        }
+        let plan = FaultPlan::new(seed).with_default_link_faults(LinkFaults {
+            drop_p: 0.2,
+            dup_p: 0.1,
+            jitter_us: 10_000,
+        });
+        let mut cfg = FaultConfig::with_recovery(plan);
+        cfg.recovery = Some(RecoveryConfig::no_heartbeats());
+        cfg.record_deliveries = true;
+        let r = eng.run_faulty(&events, 40.0, 1.0, &CostModel::plain(), &mut cfg);
+        assert_eq!(r.abandoned, 0, "seed {seed}: no hop may be abandoned");
+        assert_exactly_once(&r, &clients, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn broker_outage_delays_but_never_loses() {
+    let events = workload();
+    let clients: Vec<u32> = (0..4).collect();
+    for (from, until) in [(200_000u64, 700_000u64), (400_000, 1_500_000)] {
+        let mut eng = engine(6, 4);
+        for &c in &clients {
+            eng.subscribe(c, Filter::for_topic("t"));
+        }
+        let mut plan = FaultPlan::new(13);
+        plan.add_crash(NodeId(2), Window::new(from, until));
+        let mut cfg = FaultConfig::with_recovery(plan);
+        cfg.recovery = Some(RecoveryConfig::no_heartbeats());
+        cfg.record_deliveries = true;
+        let r = eng.run_faulty(&events, 30.0, 1.0, &CostModel::plain(), &mut cfg);
+        assert_exactly_once(&r, &clients, &format!("outage {from}..{until}"));
+    }
+}
+
+#[test]
+fn revocation_is_safe_under_faults() {
+    let events = workload();
+    let revoke_at = 400_000u64;
+    let mut eng = engine(6, 8);
+    for c in 0..8 {
+        eng.subscribe(c, Filter::for_topic("t"));
+    }
+    let plan = FaultPlan::new(21).with_default_link_faults(LinkFaults {
+        drop_p: 0.15,
+        dup_p: 0.15,
+        jitter_us: 15_000,
+    });
+    let mut cfg = FaultConfig::with_recovery(plan);
+    cfg.recovery = Some(RecoveryConfig::no_heartbeats());
+    cfg.revocations = vec![Revocation {
+        client: 5,
+        at_us: revoke_at,
+    }];
+    cfg.record_deliveries = true;
+    let r = eng.run_faulty(&events, 40.0, 1.0, &CostModel::plain(), &mut cfg);
+    assert_eq!(r.revoked, vec![(5, revoke_at)]);
+    for d in r.deliveries.iter().filter(|d| d.client == 5) {
+        assert!(
+            d.sent_at < revoke_at,
+            "post-revocation event (sent {}) delivered to revoked client",
+            d.sent_at
+        );
+    }
+    // The surviving clients keep the exactly-once guarantee.
+    let others: Vec<u32> = (0..8).filter(|&c| c != 5).collect();
+    let mut seen = HashSet::new();
+    for d in r.deliveries.iter().filter(|d| d.client != 5) {
+        assert!(seen.insert((d.client, d.event_seq)));
+    }
+    assert_eq!(seen.len() as u64, r.published * others.len() as u64);
+}
+
+#[test]
+fn non_matching_subscribers_stay_silent_under_faults() {
+    let events = workload();
+    let mut eng = engine(6, 8);
+    // Even clients match the workload topic; odd clients subscribe to a
+    // topic nobody publishes.
+    for c in 0..8u32 {
+        let topic = if c % 2 == 0 { "t" } else { "quiet" };
+        eng.subscribe(c, Filter::for_topic(topic));
+    }
+    let plan = FaultPlan::new(31).with_default_link_faults(LinkFaults {
+        drop_p: 0.2,
+        dup_p: 0.25,
+        jitter_us: 20_000,
+    });
+    let mut cfg = FaultConfig::with_recovery(plan);
+    cfg.recovery = Some(RecoveryConfig::no_heartbeats());
+    cfg.record_deliveries = true;
+    let r = eng.run_faulty(&events, 40.0, 1.0, &CostModel::plain(), &mut cfg);
+    assert!(
+        r.deliveries.iter().all(|d| d.client % 2 == 0),
+        "faults must never leak events to non-matching clients: {r:?}"
+    );
+    let matching: Vec<u32> = (0..8).filter(|c| c % 2 == 0).collect();
+    assert_exactly_once(&r, &matching, "matching half");
+}
+
+#[test]
+fn partitioned_child_is_evicted_and_heals() {
+    let events = workload();
+    let mut eng = engine(2, 4);
+    for c in 0..4 {
+        eng.subscribe(c, Filter::for_topic("t"));
+    }
+    let mut plan = FaultPlan::new(17);
+    plan.add_partition(NodeId(0), NodeId(1), Window::new(100_000, 1_600_000));
+    let mut cfg = FaultConfig::with_recovery(plan);
+    cfg.recovery = Some(RecoveryConfig {
+        ack_timeout_us: 100_000,
+        max_retries: 2,
+        backoff_cap_us: 200_000,
+        dedup_window: 4096,
+        heartbeat_interval_us: 200_000,
+        heartbeat_miss_limit: 3,
+    });
+    cfg.record_deliveries = true;
+    let r = eng.run_faulty(&events, 20.0, 3.0, &CostModel::plain(), &mut cfg);
+    assert!(r.evictions >= 1, "partition must trigger eviction: {r:?}");
+    assert!(r.reinstalls >= 1, "heal must reinstall: {r:?}");
+    // Every client still receives events published after the heal.
+    for c in 0..4u32 {
+        assert!(
+            r.deliveries
+                .iter()
+                .any(|d| d.client == c && d.sent_at > 2_200_000),
+            "client {c} must resume post-heal: {r:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly-once eventual delivery under arbitrary seeded lossy plans:
+    /// any combination of drop/dup/jitter, topology, and rate — as long
+    /// as retransmission and dedup are on — delivers every event to every
+    /// subscriber exactly once.
+    #[test]
+    fn exactly_once_under_any_lossy_plan(
+        seed in 0u64..1_000_000,
+        drop_p in 0.0f64..0.3,
+        dup_p in 0.0f64..0.3,
+        jitter_ms in 0u64..20,
+        brokers in prop_oneof![Just(2u32), Just(6u32)],
+        subs in 2u32..6,
+        rate in 20.0f64..50.0,
+    ) {
+        let events = workload();
+        let clients: Vec<u32> = (0..subs).collect();
+        let mut eng = engine(brokers, subs);
+        for &c in &clients {
+            eng.subscribe(c, Filter::for_topic("t"));
+        }
+        let plan = FaultPlan::new(seed).with_default_link_faults(LinkFaults {
+            drop_p,
+            dup_p,
+            jitter_us: jitter_ms * 1000,
+        });
+        let mut cfg = FaultConfig::with_recovery(plan);
+        cfg.recovery = Some(RecoveryConfig::no_heartbeats());
+        cfg.record_deliveries = true;
+        let r = eng.run_faulty(&events, rate, 0.5, &CostModel::plain(), &mut cfg);
+        prop_assert_eq!(r.abandoned, 0, "no hop may exhaust retries: {:?}", r);
+        prop_assert_eq!(
+            r.delivered,
+            r.published * clients.len() as u64,
+            "delivery fraction {} under {:?}",
+            r.delivery_fraction(r.published * clients.len() as u64),
+            r.fault_stats
+        );
+        let mut seen = HashSet::new();
+        for d in &r.deliveries {
+            prop_assert!(seen.insert((d.client, d.event_seq)), "duplicate {:?}", d);
+        }
+    }
+
+    /// Exactly-once across a broker crash window on clean links: the
+    /// outage may delay deliveries arbitrarily but never lose or double.
+    #[test]
+    fn exactly_once_across_any_broker_crash(
+        seed in 0u64..1_000_000,
+        victim in 1u32..6,
+        from_ms in 50u64..400,
+        len_ms in 50u64..600,
+        subs in 2u32..6,
+    ) {
+        let events = workload();
+        let clients: Vec<u32> = (0..subs).collect();
+        let mut eng = engine(6, subs);
+        for &c in &clients {
+            eng.subscribe(c, Filter::for_topic("t"));
+        }
+        let mut plan = FaultPlan::new(seed);
+        plan.add_crash(
+            NodeId(victim),
+            Window::new(from_ms * 1000, (from_ms + len_ms) * 1000),
+        );
+        let mut cfg = FaultConfig::with_recovery(plan);
+        cfg.recovery = Some(RecoveryConfig::no_heartbeats());
+        cfg.record_deliveries = true;
+        let r = eng.run_faulty(&events, 30.0, 1.0, &CostModel::plain(), &mut cfg);
+        prop_assert_eq!(
+            r.delivered,
+            r.published * clients.len() as u64,
+            "crash {}..{} of broker {}: {:?}",
+            from_ms,
+            from_ms + len_ms,
+            victim,
+            r
+        );
+        let mut seen = HashSet::new();
+        for d in &r.deliveries {
+            prop_assert!(seen.insert((d.client, d.event_seq)), "duplicate {:?}", d);
+        }
+    }
+}

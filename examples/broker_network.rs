@@ -36,10 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let filter = Filter::for_topic("alerts").with(Constraint::new("severity", Op::Ge(7)));
     ps.authorize_subscriber(&mut oncall, &filter, 0)?;
     let oncall_conn: TcpClient<SecureFilter> = TcpClient::connect(left.addr())?;
-    oncall_conn.subscribe(oncall.secure_filters().remove(0));
-
-    // Let the subscription propagate left -> root.
-    std::thread::sleep(Duration::from_millis(300));
+    // The ack returns only once the subscription has propagated
+    // left -> root, so the publishes below cannot outrun it.
+    oncall_conn.subscribe_acked(oncall.secure_filters().remove(0), Duration::from_secs(5))?;
 
     // The publisher connects at the right broker and publishes two alerts.
     let feed: TcpClient<SecureFilter> = TcpClient::connect(right.addr())?;
@@ -54,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             secure.tag.tag,
             secure.event.payload().len()
         );
-        feed.publish(secure);
+        feed.publish(secure)?;
     }
 
     // Only the severity-9 alert crosses the tree to the on-call engineer,

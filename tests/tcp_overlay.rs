@@ -36,16 +36,17 @@ fn three_level_secure_tree() {
     )
     .expect("grantable");
     let high_conn: TcpClient<SecureFilter> = TcpClient::connect(leaf_a.addr()).expect("connect");
-    high_conn.subscribe(high.secure_filters().remove(0));
+    high_conn
+        .subscribe_acked(high.secure_filters().remove(0), Duration::from_secs(5))
+        .expect("ack climbs leaf_a -> mid_l -> root");
 
     let mut any = ps.subscriber("any");
     ps.authorize_subscriber(&mut any, &Filter::for_topic("alerts"), 0)
         .expect("grantable");
     let any_conn: TcpClient<SecureFilter> = TcpClient::connect(leaf_b.addr()).expect("connect");
-    any_conn.subscribe(any.secure_filters().remove(0));
-
-    // Let subscriptions climb two levels.
-    std::thread::sleep(Duration::from_millis(500));
+    any_conn
+        .subscribe_acked(any.secure_filters().remove(0), Duration::from_secs(5))
+        .expect("ack climbs leaf_b -> mid_l -> root");
 
     // Publish from the far side of the tree (under mid_r).
     let feed: TcpClient<SecureFilter> = TcpClient::connect(mid_r.addr()).expect("connect");
@@ -54,7 +55,8 @@ fn three_level_secure_tree() {
             .attr("sev", sev)
             .payload(format!("sev{sev}").into_bytes())
             .build();
-        feed.publish(publisher.publish(&e, 0).expect("publishable"));
+        feed.publish(publisher.publish(&e, 0).expect("publishable"))
+            .expect("enqueue");
     }
 
     // `any` gets both, decrypts both; `high` only the sev-9.

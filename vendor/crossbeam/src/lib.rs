@@ -38,6 +38,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
     enum SenderInner<T> {
         Unbounded(mpsc::Sender<T>),
         Bounded(mpsc::SyncSender<T>),
@@ -67,6 +76,20 @@ pub mod channel {
             match &self.0 {
                 SenderInner::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
                 SenderInner::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Sends a message without blocking; a full bounded channel
+        /// returns [`TrySendError::Full`] (unbounded channels never do).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(s) => {
+                    s.send(msg).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderInner::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
@@ -130,6 +153,19 @@ mod tests {
         assert_eq!(rx.recv(), Ok(2));
         drop((tx, tx2));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+        let (utx, urx) = unbounded::<u32>();
+        assert_eq!(utx.try_send(1), Ok(()));
+        drop(urx);
+        assert_eq!(utx.try_send(2), Err(TrySendError::Disconnected(2)));
     }
 
     #[test]
