@@ -24,7 +24,8 @@ impl ZipfSampler {
             acc += (r as f64).powf(-s);
             cdf.push(acc);
         }
-        let total = *cdf.last().expect("non-empty");
+        // `n > 0` is asserted above, so the cdf has at least one entry.
+        let total = cdf.last().copied().unwrap_or(1.0);
         for c in &mut cdf {
             *c /= total;
         }
@@ -55,7 +56,11 @@ impl ZipfSampler {
 
     /// Draws `k` distinct ranks (k ≤ n), by rejection.
     pub fn sample_distinct(&self, k: usize, rng: &mut impl Rng) -> Vec<usize> {
-        assert!(k <= self.len(), "cannot draw {k} distinct of {}", self.len());
+        assert!(
+            k <= self.len(),
+            "cannot draw {k} distinct of {}",
+            self.len()
+        );
         let mut out = Vec::with_capacity(k);
         let mut seen = vec![false; self.len()];
         while out.len() < k {

@@ -45,7 +45,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    v.sort_by(f64::total_cmp);
     let idx = ((p.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
     v[idx]
 }
@@ -81,7 +81,8 @@ impl TextTable {
 
     /// Appends one row (missing cells render empty; extra cells are kept).
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

@@ -239,15 +239,21 @@ impl Workload {
                 let lo = self
                     .rng
                     .gen_range(0..=(self.config.numeric_range - width).max(0));
-                base.with(Constraint::new(
-                    "value",
-                    Op::InRange(IntRange::new(lo, lo + width - 1).expect("width ≥ 1")),
-                ))
+                // `gaussian_clamped` bounds width to [lc, range] with lc ≥ 1,
+                // so the subscription interval is never empty.
+                let range = IntRange::new(lo, lo + width.max(1) - 1).unwrap_or(IntRange::point(lo));
+                base.with(Constraint::new("value", Op::InRange(range)))
             }
             TopicKind::Category => {
-                let tree = spec.category_tree.as_ref().expect("category topic");
-                let node = tree.sample_subtree(&mut self.rng);
-                base.with(Constraint::new("category", Op::CategoryIn(node)))
+                // Category topics are always constructed with a tree; an
+                // inconsistent spec degrades to an unconstrained filter.
+                match spec.category_tree.as_ref() {
+                    Some(tree) => {
+                        let node = tree.sample_subtree(&mut self.rng);
+                        base.with(Constraint::new("category", Op::CategoryIn(node)))
+                    }
+                    None => base,
+                }
             }
             TopicKind::Str => {
                 let s = self.random_string();
@@ -278,9 +284,10 @@ impl Workload {
                 builder = builder.attr("value", AttrValue::Int(v));
             }
             TopicKind::Category => {
-                let tree = spec.category_tree.as_ref().expect("category topic");
-                let leaf = tree.sample_leaf(&mut self.rng);
-                builder = builder.attr("category", AttrValue::Category(leaf));
+                if let Some(tree) = spec.category_tree.as_ref() {
+                    let leaf = tree.sample_leaf(&mut self.rng);
+                    builder = builder.attr("category", AttrValue::Category(leaf));
+                }
             }
             TopicKind::Str => {
                 let s = self.random_string();
@@ -401,8 +408,10 @@ mod tests {
     fn subscriber_gets_distinct_topics() {
         let mut w = workload();
         let filters = w.subscriptions(32);
-        let topics: std::collections::HashSet<_> =
-            filters.iter().map(|f| f.topic().unwrap().to_owned()).collect();
+        let topics: std::collections::HashSet<_> = filters
+            .iter()
+            .map(|f| f.topic().unwrap().to_owned())
+            .collect();
         assert_eq!(topics.len(), 32);
     }
 

@@ -22,9 +22,7 @@ fn bench_join_cost_growth(c: &mut Criterion) {
                     }
                     mgr
                 },
-                |mut mgr| {
-                    black_box(mgr.join(u64::MAX, IntRange::new(300, 700).expect("valid")))
-                },
+                |mut mgr| black_box(mgr.join(u64::MAX, IntRange::new(300, 700).expect("valid"))),
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -34,7 +32,10 @@ fn bench_join_cost_growth(c: &mut Criterion) {
 
 fn bench_lkh_vs_direct(c: &mut Criterion) {
     let mut group = c.benchmark_group("rekey_strategy");
-    for (label, strategy) in [("direct", RekeyStrategy::Direct), ("lkh", RekeyStrategy::Lkh)] {
+    for (label, strategy) in [
+        ("direct", RekeyStrategy::Direct),
+        ("lkh", RekeyStrategy::Lkh),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut mgr = SubscriberGroupManager::new(
@@ -44,7 +45,9 @@ fn bench_lkh_vs_direct(c: &mut Criterion) {
                 );
                 let mut msgs = 0u64;
                 for s in 0..64u64 {
-                    msgs += mgr.join(s, IntRange::new(10, 240).expect("valid")).total_messages();
+                    msgs += mgr
+                        .join(s, IntRange::new(10, 240).expect("valid"))
+                        .total_messages();
                 }
                 black_box(msgs)
             })

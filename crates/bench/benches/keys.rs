@@ -23,13 +23,23 @@ fn bench_grant_generation(c: &mut Criterion) {
             "num",
             Op::InRange(IntRange::new(1, r - 2).expect("valid")),
         ));
-        group.bench_with_input(BenchmarkId::new("worst_case_range", format!("R=2^{exp}")), &filter, |b, f| {
-            b.iter(|| {
-                let mut ops = OpCounter::new();
-                kdc.grant(&schema, black_box(f), EpochId(0), &TopicScope::Shared, &mut ops)
+        group.bench_with_input(
+            BenchmarkId::new("worst_case_range", format!("R=2^{exp}")),
+            &filter,
+            |b, f| {
+                b.iter(|| {
+                    let mut ops = OpCounter::new();
+                    kdc.grant(
+                        &schema,
+                        black_box(f),
+                        EpochId(0),
+                        &TopicScope::Shared,
+                        &mut ops,
+                    )
                     .expect("grantable")
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -71,9 +81,10 @@ fn bench_arity_ablation(c: &mut Criterion) {
         let q = IntRange::new(100, 3000).expect("valid");
         // Report the key count alongside timing via the bench id.
         let keys = nakt.canonical_cover(&q).expect("in range").len();
-        group.bench_function(BenchmarkId::new("cover", format!("a={arity} keys={keys}")), |b| {
-            b.iter(|| nakt.canonical_cover(black_box(&q)).expect("in range"))
-        });
+        group.bench_function(
+            BenchmarkId::new("cover", format!("a={arity} keys={keys}")),
+            |b| b.iter(|| nakt.canonical_cover(black_box(&q)).expect("in range")),
+        );
     }
     group.finish();
 }

@@ -70,5 +70,10 @@ fn bench_attack_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_secure_match, bench_multipath, bench_attack_sim);
+criterion_group!(
+    benches,
+    bench_secure_match,
+    bench_multipath,
+    bench_attack_sim
+);
 criterion_main!(benches);

@@ -10,9 +10,7 @@ fn filters(n: usize) -> Vec<Filter> {
         .map(|i| {
             Filter::for_topic(format!("topic{:02}", i % 16)).with(Constraint::new(
                 "x",
-                Op::InRange(
-                    IntRange::new((i % 50) as i64, (i % 50 + 30) as i64).expect("valid"),
-                ),
+                Op::InRange(IntRange::new((i % 50) as i64, (i % 50 + 30) as i64).expect("valid")),
             ))
         })
         .collect()

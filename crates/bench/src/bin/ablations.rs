@@ -26,7 +26,12 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Ablation 1: NAKT arity (range 0..4095, subscription (100, 3000))\n");
     let q = IntRange::new(100, 3000).expect("valid");
-    let mut t = TextTable::new(&["arity", "max keys (bound)", "keys for (100,3000)", "tree depth"]);
+    let mut t = TextTable::new(&[
+        "arity",
+        "max keys (bound)",
+        "keys for (100,3000)",
+        "tree depth",
+    ]);
     for a in [2u8, 4, 8, 16] {
         let nakt = Nakt::with_arity(IntRange::new(0, 4095).expect("valid"), 1, a).expect("valid");
         let cover = nakt.canonical_cover(&q).expect("in range");

@@ -7,9 +7,7 @@
 //! the subscriber-group baseline splits interval groups and rekeys every
 //! overlapping member; leaves are lazily revoked at the epoch boundary.
 
-use psguard_analysis::{
-    cost_ratio_lower_bound, simulate_churn, ChurnEvent, ChurnModel, TextTable,
-};
+use psguard_analysis::{cost_ratio_lower_bound, simulate_churn, ChurnEvent, ChurnModel, TextTable};
 use psguard_bench::hash_cost_us;
 use psguard_groupkey::{RekeyReport, RekeyStrategy, SubscriberGroupManager};
 use psguard_keys::{EpochId, Kdc, OpCounter, Schema, TopicScope};
@@ -21,9 +19,7 @@ fn main() {
     const R: i64 = 1024;
     const PHI: i64 = 100;
     let hash_us = hash_cost_us();
-    println!(
-        "Churn-driven cost comparison (R = {R}, phi_R = {PHI}, one epoch)\n"
-    );
+    println!("Churn-driven cost comparison (R = {R}, phi_R = {PHI}, one epoch)\n");
 
     let schema = Schema::builder()
         .numeric("v", IntRange::new(0, R - 1).expect("valid"), 1)
@@ -75,8 +71,7 @@ fn main() {
                     group_total.merge(&mgr.join(*id, range));
 
                     // PSGuard join: one stateless grant.
-                    let f = Filter::for_topic("w")
-                        .with(Constraint::new("v", Op::InRange(range)));
+                    let f = Filter::for_topic("w").with(Constraint::new("v", Op::InRange(range)));
                     let mut ops = OpCounter::new();
                     let grant = kdc
                         .grant(&schema, &f, EpochId(0), &TopicScope::Shared, &mut ops)

@@ -113,7 +113,10 @@ fn main() {
     std::fs::write("BENCH_matching.json", &json).expect("write BENCH_matching.json");
     println!("wrote BENCH_matching.json");
 
-    let at_10k = rows.iter().find(|r| r.subscriptions == 10_000).expect("10k row");
+    let at_10k = rows
+        .iter()
+        .find(|r| r.subscriptions == 10_000)
+        .expect("10k row");
     let speedup = at_10k.indexed_eps / at_10k.linear_eps;
     assert!(
         speedup >= 5.0,

@@ -44,7 +44,13 @@ fn main() {
         ));
         let mut gen_ops = OpCounter::new();
         let grant = kdc
-            .grant(&schema, &filter, EpochId(0), &TopicScope::Shared, &mut gen_ops)
+            .grant(
+                &schema,
+                &filter,
+                EpochId(0),
+                &TopicScope::Shared,
+                &mut gen_ops,
+            )
             .expect("grantable");
 
         // Worst-case derivation: probe several event values and keep the
@@ -81,5 +87,7 @@ fn main() {
     println!(
         "Paper reference (550 MHz P-III, ~1 µs/hash): R=10^2 → 12 keys, 23.66 µs gen, 6.37 µs derive;"
     );
-    println!("R=10^4 → 26 keys, 49.14 µs gen, 12.74 µs derive. Shapes: all columns grow with log2(R).");
+    println!(
+        "R=10^4 → 26 keys, 49.14 µs gen, 12.74 µs derive. Shapes: all columns grow with log2(R)."
+    );
 }

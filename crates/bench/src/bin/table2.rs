@@ -46,7 +46,13 @@ fn main() {
             ));
             let mut gen_ops = OpCounter::new();
             let grant = kdc
-                .grant(&schema, &filter, EpochId(0), &TopicScope::Shared, &mut gen_ops)
+                .grant(
+                    &schema,
+                    &filter,
+                    EpochId(0),
+                    &TopicScope::Shared,
+                    &mut gen_ops,
+                )
                 .expect("grantable");
             keys.push(grant.key_count() as f64);
             gen.push(gen_ops.total() as f64);
@@ -77,5 +83,7 @@ fn main() {
 
     println!("{}", table.render());
     println!("Paper reference: φR=10 → 3.32 keys, 14.20 µs gen, 3.02 µs derive;");
-    println!("φR=10^3 → 9.97 keys, 20.25 µs gen, 9.10 µs derive. Shape: all columns grow with log2(φR).");
+    println!(
+        "φR=10^3 → 9.97 keys, 20.25 µs gen, 9.10 µs derive. Shape: all columns grow with log2(φR)."
+    );
 }

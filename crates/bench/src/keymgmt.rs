@@ -114,8 +114,7 @@ pub fn run_key_management(ns: u32, seed: u64) -> KeyMgmtSample {
     // per-topic count at 2^12 (a key-caching bound), as any real system
     // would.
     const SUBSET_CAP: f64 = 4096.0;
-    let ps_avg_keys =
-        ps_keys_per_sub.iter().sum::<f64>() / ps_keys_per_sub.len().max(1) as f64;
+    let ps_avg_keys = ps_keys_per_sub.iter().sum::<f64>() / ps_keys_per_sub.len().max(1) as f64;
     let topic_pop: HashMap<&String, u32> = {
         let mut m = HashMap::new();
         for topics in &group_sub_topics {
@@ -204,7 +203,10 @@ mod tests {
         // PSGuard: per-subscriber keys independent of NS (within noise).
         let rel = (large.psguard_keys_per_sub - small.psguard_keys_per_sub).abs()
             / small.psguard_keys_per_sub;
-        assert!(rel < 0.25, "psguard keys should be ~flat: {small:?} vs {large:?}");
+        assert!(
+            rel < 0.25,
+            "psguard keys should be ~flat: {small:?} vs {large:?}"
+        );
         // Baseline: grows substantially with NS.
         assert!(
             large.group_keys_per_sub > 1.5 * small.group_keys_per_sub,

@@ -77,7 +77,11 @@ pub struct PaperSetup {
 impl PaperSetup {
     /// Builds the §5.2 setup deterministically.
     pub fn new(seed: u64) -> Self {
-        let ps = PsGuard::new(b"psguard-eval-master", paper_schema(), PsGuardConfig::default());
+        let ps = PsGuard::new(
+            b"psguard-eval-master",
+            paper_schema(),
+            PsGuardConfig::default(),
+        );
         let workload = Workload::new(WorkloadConfig::default(), seed);
         let mut publisher = ps.publisher("P");
         for t in workload.topics() {

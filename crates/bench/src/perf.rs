@@ -92,10 +92,7 @@ const LAT_SIM_SECONDS: f64 = 4.0;
 
 /// Builds (filters, events) on the topics of one family, with every
 /// event guaranteed deliverable to at least one subscriber.
-fn family_workload(
-    setup: &mut PaperSetup,
-    kind: TopicKind,
-) -> (Vec<(u32, Filter)>, Vec<Event>) {
+fn family_workload(setup: &mut PaperSetup, kind: TopicKind) -> (Vec<(u32, Filter)>, Vec<Event>) {
     let topic_idxs: Vec<usize> = setup
         .workload
         .topics()
@@ -241,8 +238,7 @@ pub fn run_perf_series(variant: PerfVariant, seed: u64) -> Vec<PerfPoint> {
                 .collect();
             PerfPoint {
                 brokers: b,
-                throughput_eps: points.iter().map(|p| p.throughput_eps).sum::<f64>()
-                    / RUNS as f64,
+                throughput_eps: points.iter().map(|p| p.throughput_eps).sum::<f64>() / RUNS as f64,
                 latency_ms: points.iter().map(|p| p.latency_ms).sum::<f64>() / RUNS as f64,
             }
         })
@@ -335,8 +331,8 @@ pub fn run_cache_sweep(cache_kbs: &[usize], seed: u64) -> Vec<CachePoint> {
                 probe.decrypt(s).expect("authorized");
             }
         }
-        let ops_per_event = (probe.ops().total() - ops_before) as f64
-            / (reps * secure_events.len() as u64) as f64;
+        let ops_per_event =
+            (probe.ops().total() - ops_before) as f64 / (reps * secure_events.len() as u64) as f64;
         let decrypt_us = (ops_per_event * PAPER_HASH_US + PAPER_AES_US).round() as u64;
 
         // Slow-host emulation: the paper ran on 550 MHz P-III Xeons where

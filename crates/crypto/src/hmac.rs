@@ -47,12 +47,18 @@ impl<D: Digest> Hmac<D> {
         }
 
         let mut inner = D::new();
-        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let mut ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
         inner.update(&ipad);
 
         let mut outer = D::new();
-        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        let mut opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
         outer.update(&opad);
+
+        // The padded key blocks are key-equivalent; wipe them before the
+        // allocations are returned.
+        crate::zeroize::zeroize(&mut key_block);
+        crate::zeroize::zeroize(&mut ipad);
+        crate::zeroize::zeroize(&mut opad);
 
         Self { inner, outer }
     }
@@ -141,7 +147,10 @@ mod tests {
     fn rfc2202_sha1_case6_long_key() {
         let key = [0xaau8; 80];
         assert_eq!(
-            hex(&hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha1(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "aa4ae5e15272d00e95705637ce8a3b55ed402112"
         );
     }
@@ -150,7 +159,10 @@ mod tests {
     #[test]
     fn rfc2202_md5_case1() {
         let key = [0x0bu8; 16];
-        assert_eq!(hex(&hmac_md5(&key, b"Hi There")), "9294727a3638bb1c13f48ef8158bfc9d");
+        assert_eq!(
+            hex(&hmac_md5(&key, b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use crate::aes::BLOCK_SIZE;
 use crate::hmac::hmac_sha1;
+use crate::redact::Redacted;
 use crate::sha1::Sha1;
+use crate::zeroize::zeroize;
 use crate::{ct_eq, HASH_LEN};
 
 /// Length in bytes of a hierarchy derivation key (one SHA-1 output).
@@ -77,11 +79,10 @@ impl DeriveKey {
     /// Returns [`KeyError::BadLength`] when `raw` is not exactly
     /// [`DERIVE_KEY_LEN`] bytes.
     pub fn from_raw(raw: &[u8]) -> Result<Self, KeyError> {
-        let arr: [u8; DERIVE_KEY_LEN] =
-            raw.try_into().map_err(|_| KeyError::BadLength {
-                expected: DERIVE_KEY_LEN,
-                got: raw.len(),
-            })?;
+        let arr: [u8; DERIVE_KEY_LEN] = raw.try_into().map_err(|_| KeyError::BadLength {
+            expected: DERIVE_KEY_LEN,
+            got: raw.len(),
+        })?;
         Ok(Self(arr))
     }
 
@@ -145,7 +146,15 @@ impl std::hash::Hash for DeriveKey {
 
 impl std::fmt::Debug for DeriveKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DeriveKey({}…)", self.fingerprint())
+        write!(f, "DeriveKey({})", Redacted(&self.0))
+    }
+}
+
+// Zeroize-on-drop: hierarchy keys grant decryption of whole event classes;
+// wipe them before the memory is reused.
+impl Drop for DeriveKey {
+    fn drop(&mut self) {
+        zeroize(&mut self.0);
     }
 }
 
@@ -185,11 +194,14 @@ impl Eq for AesKey {}
 
 impl std::fmt::Debug for AesKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "AesKey({:02x}{:02x}…)",
-            self.0[0], self.0[1]
-        )
+        write!(f, "AesKey({})", Redacted(&self.0))
+    }
+}
+
+// Zeroize-on-drop: content keys decrypt event payloads directly.
+impl Drop for AesKey {
+    fn drop(&mut self) {
+        zeroize(&mut self.0);
     }
 }
 
@@ -292,6 +304,32 @@ mod tests {
         assert!(dbg.len() < 30, "{dbg}");
         let hex_full: String = k.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
         assert!(!dbg.contains(&hex_full));
+    }
+
+    #[test]
+    fn redacting_debug_prints_at_most_the_fingerprint() {
+        let k = DeriveKey::from_bytes(b"secret material");
+        let ck = k.content_key();
+        let outputs = [
+            (format!("{k:?}"), k.as_bytes().to_vec()),
+            (format!("{ck:?}"), ck.as_bytes().to_vec()),
+        ];
+        for (dbg, bytes) in outputs {
+            // The redacted form may show a two-byte fingerprint; any run of
+            // three consecutive key bytes in the output is a leak.
+            for window in bytes.windows(3) {
+                let hex: String = window.iter().map(|b| format!("{b:02x}")).collect();
+                assert!(!dbg.contains(&hex), "{dbg} leaks key bytes {hex}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeroize_wipes_key_material() {
+        let mut buf = *DeriveKey::from_bytes(b"to wipe").as_bytes();
+        assert!(buf.iter().any(|&b| b != 0));
+        crate::zeroize::zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -41,7 +41,9 @@
 //! let _ = hmac_sha1(topic_key.as_bytes(), b"age");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace-wide `forbid`: the zeroize module holds
+// the one audited volatile write and scopes its own `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aes;
@@ -50,10 +52,12 @@ mod digest;
 mod hmac;
 mod key;
 mod md5;
-mod modexp;
 mod modes;
+mod modexp;
 mod prf;
+mod redact;
 mod sha1;
+mod zeroize;
 
 pub use aes::{Aes128, BLOCK_SIZE};
 pub use ct::ct_eq;
@@ -61,13 +65,15 @@ pub use digest::Digest;
 pub use hmac::{hmac, hmac_md5, hmac_sha1, Hmac};
 pub use key::{AesKey, DeriveKey, KeyError, Nonce, DERIVE_KEY_LEN};
 pub use md5::Md5;
-pub use modexp::{mod_exp, mod_inv_prime, mod_mul};
 pub use modes::{
     cbc_decrypt, cbc_encrypt, ctr_apply, ecb_decrypt_block, ecb_encrypt_block, pkcs7_pad,
     pkcs7_unpad, CipherError,
 };
+pub use modexp::{mod_exp, mod_inv_prime, mod_mul};
 pub use prf::{prf, prf_verify, Token, TOKEN_LEN};
+pub use redact::Redacted;
 pub use sha1::Sha1;
+pub use zeroize::zeroize;
 
 /// Number of bytes produced by the one-way hash `H` (SHA-1).
 pub const HASH_LEN: usize = 20;

@@ -19,7 +19,10 @@ impl std::fmt::Display for CipherError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CipherError::BadCiphertextLength { len } => {
-                write!(f, "ciphertext length {len} is not a positive multiple of {BLOCK_SIZE}")
+                write!(
+                    f,
+                    "ciphertext length {len} is not a positive multiple of {BLOCK_SIZE}"
+                )
             }
             CipherError::BadPadding => write!(f, "invalid pkcs#7 padding"),
         }
@@ -103,12 +106,14 @@ pub fn cbc_encrypt(cipher: &Aes128, iv: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> 
     pkcs7_pad(&mut buf);
     let mut prev = *iv;
     for chunk in buf.chunks_exact_mut(BLOCK_SIZE) {
-        for (c, p) in chunk.iter_mut().zip(prev.iter()) {
+        let mut block = [0u8; BLOCK_SIZE];
+        block.copy_from_slice(chunk);
+        for (c, p) in block.iter_mut().zip(prev.iter()) {
             *c ^= p;
         }
-        let block: &mut [u8; BLOCK_SIZE] = chunk.try_into().unwrap();
-        cipher.encrypt_block(block);
-        prev = *block;
+        cipher.encrypt_block(&mut block);
+        chunk.copy_from_slice(&block);
+        prev = block;
     }
     buf
 }
@@ -133,12 +138,14 @@ pub fn cbc_decrypt(
     let mut buf = ciphertext.to_vec();
     let mut prev = *iv;
     for chunk in buf.chunks_exact_mut(BLOCK_SIZE) {
-        let cipher_block: [u8; BLOCK_SIZE] = (&*chunk).try_into().unwrap();
-        let block: &mut [u8; BLOCK_SIZE] = chunk.try_into().unwrap();
-        cipher.decrypt_block(block);
+        let mut cipher_block = [0u8; BLOCK_SIZE];
+        cipher_block.copy_from_slice(chunk);
+        let mut block = cipher_block;
+        cipher.decrypt_block(&mut block);
         for (b, p) in block.iter_mut().zip(prev.iter()) {
             *b ^= p;
         }
+        chunk.copy_from_slice(&block);
         prev = cipher_block;
     }
     pkcs7_unpad(&mut buf)?;
@@ -150,8 +157,11 @@ pub fn cbc_decrypt(
 /// 64 bits are incremented per block.
 pub fn ctr_apply(cipher: &Aes128, nonce: &[u8; BLOCK_SIZE], data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len());
-    let mut counter = u64::from_be_bytes(nonce[8..16].try_into().unwrap());
-    let prefix: [u8; 8] = nonce[..8].try_into().unwrap();
+    let mut counter = nonce[8..16]
+        .iter()
+        .fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
+    let mut prefix = [0u8; 8];
+    prefix.copy_from_slice(&nonce[..8]);
     for chunk in data.chunks(BLOCK_SIZE) {
         let mut block = [0u8; BLOCK_SIZE];
         block[..8].copy_from_slice(&prefix);
@@ -179,8 +189,12 @@ mod tests {
     // NIST SP 800-38A F.2.1 (CBC-AES128.Encrypt), first two blocks.
     #[test]
     fn nist_cbc_vectors() {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let iv: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let iv: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
         let pt = from_hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         let cipher = Aes128::new(&key);
         let ct = cbc_encrypt(&cipher, &iv, &pt);
@@ -197,9 +211,12 @@ mod tests {
     // NIST SP 800-38A F.5.1 (CTR-AES128.Encrypt), first block.
     #[test]
     fn nist_ctr_vector() {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let nonce: [u8; 16] =
-            from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let nonce: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
         let pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
         let cipher = Aes128::new(&key);
         let ct = ctr_apply(&cipher, &nonce, &pt);

@@ -1,0 +1,55 @@
+//! The redacted display type for key-adjacent byte strings.
+//!
+//! Anything that must show up in logs, debug output, or measurement
+//! harnesses but wraps secret bytes goes through [`Redacted`]: it prints a
+//! two-byte fingerprint and the length, never the material itself. The
+//! `psguard-xtask check` secret-hygiene rule forbids tainted types from
+//! deriving `Debug`; their manual impls delegate here.
+
+/// Displays a byte string as `a1b2…[20B]` — fingerprint and length only.
+///
+/// # Example
+///
+/// ```
+/// use psguard_crypto::Redacted;
+///
+/// let secret_bytes = [0xDE, 0xAD, 0xBE, 0xEF];
+/// assert_eq!(format!("{}", Redacted(&secret_bytes)), "dead…[4B]");
+/// assert!(!format!("{:?}", Redacted(&secret_bytes)).contains("beef"));
+/// ```
+pub struct Redacted<'a>(pub &'a [u8]);
+
+impl std::fmt::Display for Redacted<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            [a, b, ..] => write!(f, "{a:02x}{b:02x}…[{}B]", self.0.len()),
+            _ => write!(f, "****[{}B]", self.0.len()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Redacted<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_fingerprint_and_length_only() {
+        let bytes: Vec<u8> = (0..20).collect();
+        let shown = format!("{}", Redacted(&bytes));
+        assert_eq!(shown, "0001…[20B]");
+        // No rendering of the remaining 18 bytes.
+        assert!(shown.chars().count() <= 10);
+    }
+
+    #[test]
+    fn short_buffers_fully_masked() {
+        assert_eq!(format!("{}", Redacted(&[7])), "****[1B]");
+        assert_eq!(format!("{}", Redacted(&[])), "****[0B]");
+    }
+}

@@ -59,7 +59,7 @@ impl Sha1 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         for t in 16..80 {
             w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
@@ -112,7 +112,8 @@ impl Sha1 {
         }
         let mut chunks = data.chunks_exact(64);
         for chunk in &mut chunks {
-            let block: [u8; 64] = chunk.try_into().unwrap();
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
             self.compress(&block);
         }
         let rem = chunks.remainder();
@@ -162,7 +163,10 @@ mod tests {
     // RFC 3174 and FIPS 180-1 test vectors.
     #[test]
     fn rfc3174_abc() {
-        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -178,12 +182,18 @@ mod tests {
     #[test]
     fn rfc3174_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&Sha1::digest(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
     fn empty_input() {
-        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
@@ -207,7 +217,11 @@ mod tests {
             for b in &data {
                 s.update(std::slice::from_ref(b));
             }
-            assert_eq!(Digest::finalize(s), Sha1::digest(&data).to_vec(), "len={len}");
+            assert_eq!(
+                Digest::finalize(s),
+                Sha1::digest(&data).to_vec(),
+                "len={len}"
+            );
         }
     }
 }

@@ -1,0 +1,40 @@
+//! Hand-rolled zeroize-on-drop support for key material.
+//!
+//! The reproduction has no crates.io access, so this is the classic
+//! volatile-overwrite idiom rather than the `zeroize` crate: write zeros
+//! through `write_volatile` (which the optimizer must not elide, even for
+//! a buffer about to be freed) and fence the compiler so the wipe is not
+//! reordered past the deallocation.
+//!
+//! This is the single audited use of `unsafe` in the workspace; every
+//! other crate forbids it via `[workspace.lints]`.
+#![allow(unsafe_code)]
+
+use core::sync::atomic::{compiler_fence, Ordering};
+
+/// Overwrites `buf` with zeros in a way the optimizer must preserve.
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        // SAFETY: `b` is a valid, aligned, exclusive reference obtained
+        // from the iterator; writing a plain byte through it is sound.
+        unsafe { core::ptr::write_volatile(b, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroize_clears_every_byte() {
+        let mut buf = [0xAAu8; 64];
+        zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zeroize_empty_is_fine() {
+        zeroize(&mut []);
+    }
+}

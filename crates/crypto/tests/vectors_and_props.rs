@@ -47,7 +47,10 @@ fn rfc2202_sha1_case7() {
 fn rfc2202_md5_case3() {
     let key = [0xaau8; 16];
     let data = [0xddu8; 50];
-    assert_eq!(hex(&hmac_md5(&key, &data)), "56be34521d144c88dbb8c733f0e8b3f6");
+    assert_eq!(
+        hex(&hmac_md5(&key, &data)),
+        "56be34521d144c88dbb8c733f0e8b3f6"
+    );
 }
 
 // NIST SP 800-38A F.2.2 (CBC-AES128.Decrypt) — all four blocks.
@@ -59,8 +62,12 @@ fn nist_cbc_four_blocks() {
             .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
             .collect()
     }
-    let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-    let iv: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+    let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+        .try_into()
+        .unwrap();
+    let iv: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+        .try_into()
+        .unwrap();
     let pt = from_hex(
         "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
          30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",

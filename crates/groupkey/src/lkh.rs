@@ -30,12 +30,24 @@ use crate::report::RekeyReport;
 /// tree.leave(1);
 /// assert_ne!(tree.group_key(), &gk_before); // forward secrecy
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct LkhTree {
     seed: DeriveKey,
     version: u64,
     leaves: Vec<u64>,
     group_key: DeriveKey,
+}
+
+// Redacting Debug: both the seed and the live group key are secrets;
+// `DeriveKey`'s Debug prints fingerprints only.
+impl std::fmt::Debug for LkhTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LkhTree")
+            .field("version", &self.version)
+            .field("members", &self.leaves.len())
+            .field("group_key", &self.group_key)
+            .finish()
+    }
 }
 
 impl LkhTree {

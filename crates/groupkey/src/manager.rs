@@ -28,11 +28,22 @@ pub enum RekeyStrategy {
 /// A subscriber identifier.
 pub type SubscriberId = u64;
 
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 struct Segment {
     range: IntRange,
     members: BTreeSet<SubscriberId>,
     tree: LkhTree,
+}
+
+// Redacting Debug: the LKH tree holds live group keys; print topology only.
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("range", &self.range)
+            .field("members", &self.members.len())
+            .field("tree", &self.tree)
+            .finish()
+    }
 }
 
 impl Segment {
@@ -40,9 +51,7 @@ impl Segment {
         Segment {
             range,
             members: BTreeSet::new(),
-            tree: LkhTree::new(
-                &[seed.as_bytes().as_slice(), &counter.to_be_bytes()].concat(),
-            ),
+            tree: LkhTree::new(&[seed.as_bytes().as_slice(), &counter.to_be_bytes()].concat()),
         }
     }
 }
@@ -65,7 +74,7 @@ impl Segment {
 /// assert!(report.total_messages() > 0); // overlapping join forces rekeys
 /// assert_eq!(mgr.segment_count(), 3);   // G1, G2, G3 from the paper
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SubscriberGroupManager {
     range: IntRange,
     strategy: RekeyStrategy,
@@ -74,6 +83,21 @@ pub struct SubscriberGroupManager {
     subs: BTreeMap<SubscriberId, IntRange>,
     departed: BTreeSet<SubscriberId>,
     segments: Vec<Segment>,
+}
+
+// Redacting Debug: the master seed generates every segment key; only shape
+// and membership counts are printed.
+impl std::fmt::Debug for SubscriberGroupManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubscriberGroupManager")
+            .field("range", &self.range)
+            .field("strategy", &self.strategy)
+            .field("master", &self.master)
+            .field("subscribers", &self.subs.len())
+            .field("departed", &self.departed.len())
+            .field("segments", &self.segments)
+            .finish()
+    }
 }
 
 impl SubscriberGroupManager {
@@ -105,7 +129,11 @@ impl SubscriberGroupManager {
     pub fn server_key_count(&self) -> u64 {
         match self.strategy {
             RekeyStrategy::Direct => self.segments.len() as u64,
-            RekeyStrategy::Lkh => self.segments.iter().map(|s| s.tree.server_key_count()).sum(),
+            RekeyStrategy::Lkh => self
+                .segments
+                .iter()
+                .map(|s| s.tree.server_key_count())
+                .sum(),
         }
     }
 
@@ -190,9 +218,16 @@ impl SubscriberGroupManager {
         while i < self.segments.len() {
             let seg_range = self.segments[i].range;
             if seg_range.lo() < boundary && boundary <= seg_range.hi() {
+                // lo < boundary ≤ hi, so both halves are non-empty; if the
+                // constructor disagrees, leave the segment unsplit.
+                let (Some(left_r), Some(right_r)) = (
+                    IntRange::new(seg_range.lo(), boundary - 1),
+                    IntRange::new(boundary, seg_range.hi()),
+                ) else {
+                    i += 1;
+                    continue;
+                };
                 let members = self.segments[i].members.clone();
-                let left_r = IntRange::new(seg_range.lo(), boundary - 1).expect("non-empty");
-                let right_r = IntRange::new(boundary, seg_range.hi()).expect("non-empty");
                 let mut left = self.fresh_segment(left_r);
                 let mut right = self.fresh_segment(right_r);
                 for &m in &members {
@@ -261,12 +296,13 @@ impl SubscriberGroupManager {
         let mut gaps = Vec::new();
         for c in &covered {
             if c.lo() > cursor {
-                gaps.push(IntRange::new(cursor, c.lo() - 1).expect("gap non-empty"));
+                // cursor ≤ c.lo() - 1 here, so the gap range is valid.
+                gaps.extend(IntRange::new(cursor, c.lo() - 1));
             }
             cursor = c.hi() + 1;
         }
         if cursor <= range.hi() {
-            gaps.push(IntRange::new(cursor, range.hi()).expect("tail gap"));
+            gaps.extend(IntRange::new(cursor, range.hi()));
         }
         for gap in gaps {
             let mut seg = self.fresh_segment(gap);
@@ -432,13 +468,14 @@ mod tests {
     #[test]
     fn lkh_strategy_reduces_messages_for_large_groups() {
         let range = IntRange::new(0, 99).unwrap();
-        let mut direct =
-            SubscriberGroupManager::new(range, RekeyStrategy::Direct, b"a");
+        let mut direct = SubscriberGroupManager::new(range, RekeyStrategy::Direct, b"a");
         let mut lkh = SubscriberGroupManager::new(range, RekeyStrategy::Lkh, b"b");
         let mut d_total = 0;
         let mut l_total = 0;
         for s in 0..256 {
-            d_total += direct.join(s, IntRange::new(10, 90).unwrap()).total_messages();
+            d_total += direct
+                .join(s, IntRange::new(10, 90).unwrap())
+                .total_messages();
             l_total += lkh.join(s, IntRange::new(10, 90).unwrap()).total_messages();
         }
         assert!(

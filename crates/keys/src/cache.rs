@@ -8,6 +8,7 @@
 //! exhibit temporal locality (e.g. consecutive stock quotes).
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 use psguard_crypto::{DeriveKey, DERIVE_KEY_LEN};
 
@@ -43,7 +44,6 @@ pub struct CacheStats {
 /// assert!(cache.get(b"some-label").is_some());
 /// assert!(cache.get(b"other").is_none());
 /// ```
-#[derive(Debug)]
 pub struct KeyCache {
     capacity_bytes: usize,
     used_bytes: usize,
@@ -51,6 +51,21 @@ pub struct KeyCache {
     order: BTreeMap<u64, Vec<u8>>,
     tick: u64,
     stats: CacheStats,
+}
+
+// Redacting Debug: the cache holds derived key material, so only shape and
+// statistics are printed — never entries or labels (labels encode the key
+// hierarchy paths a subscriber is authorized for).
+impl fmt::Debug for KeyCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeyCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("used_bytes", &self.used_bytes)
+            .field("len", &self.map.len())
+            .field("stats", &self.stats)
+            .field("keys", &"<redacted>")
+            .finish()
+    }
 }
 
 impl KeyCache {
@@ -92,13 +107,12 @@ impl KeyCache {
     }
 
     fn touch(&mut self, label: &[u8]) {
-        if let Some((_, tick)) = self.map.get(label) {
+        if let Some((_, tick)) = self.map.get_mut(label) {
             let old = *tick;
-            self.order.remove(&old);
             self.tick += 1;
-            let t = self.tick;
-            self.order.insert(t, label.to_vec());
-            self.map.get_mut(label).expect("just found").1 = t;
+            *tick = self.tick;
+            self.order.remove(&old);
+            self.order.insert(self.tick, label.to_vec());
         }
     }
 
@@ -126,10 +140,9 @@ impl KeyCache {
             self.used_bytes -= cost;
         }
         while self.used_bytes + cost > self.capacity_bytes {
-            let Some((&oldest, _)) = self.order.iter().next() else {
+            let Some((_, victim)) = self.order.pop_first() else {
                 break;
             };
-            let victim = self.order.remove(&oldest).expect("present");
             self.used_bytes -= Self::entry_cost(&victim);
             self.map.remove(&victim);
             self.stats.evictions += 1;
@@ -258,7 +271,9 @@ mod tests {
         let mut cache = KeyCache::new(64 * 1024);
         let mut ops = OpCounter::new();
         let target = space.nakt().ktid_of_value(200).unwrap();
-        let via_cache = cache.derive_numeric_cached(&auth, &target, &mut ops).unwrap();
+        let via_cache = cache
+            .derive_numeric_cached(&auth, &target, &mut ops)
+            .unwrap();
         let direct = space.key_for(&target, &mut ops);
         assert_eq!(via_cache, direct);
     }

@@ -127,9 +127,14 @@ mod tests {
         let s = EpochSchedule::new(3_600_000);
         assert_eq!(s.offset_for("a"), s.offset_for("a"));
         // Among many topics at least two distinct offsets exist.
-        let offsets: std::collections::HashSet<u64> =
-            (0..50).map(|i| s.offset_for(&format!("topic{i}"))).collect();
-        assert!(offsets.len() > 10, "offsets too clustered: {}", offsets.len());
+        let offsets: std::collections::HashSet<u64> = (0..50)
+            .map(|i| s.offset_for(&format!("topic{i}")))
+            .collect();
+        assert!(
+            offsets.len() > 10,
+            "offsets too clustered: {}",
+            offsets.len()
+        );
     }
 
     #[test]

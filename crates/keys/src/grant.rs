@@ -88,7 +88,7 @@ impl KeyScope {
 }
 
 /// One authorization key: a hierarchy-node key plus its scope and epoch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct AuthKey {
     /// What the key unlocks.
     pub scope: KeyScope,
@@ -96,6 +96,18 @@ pub struct AuthKey {
     pub key: DeriveKey,
     /// The epoch the key is valid in.
     pub epoch: EpochId,
+}
+
+// Redacting Debug: an authorization key unlocks a whole hierarchy subtree;
+// `DeriveKey`'s fingerprint-only Debug keeps the bytes out of logs.
+impl std::fmt::Debug for AuthKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuthKey")
+            .field("scope", &self.scope)
+            .field("key", &self.key)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
 }
 
 /// Where an event's per-attribute key part lives in the key space.
@@ -195,9 +207,9 @@ pub fn event_key_addresses(
         };
         let addr = match spec {
             AttrSpec::Numeric { nakt } => {
-                let v = value.as_int().ok_or_else(|| EventKeyError::FamilyMismatch {
-                    attr: name.clone(),
-                })?;
+                let v = value
+                    .as_int()
+                    .ok_or_else(|| EventKeyError::FamilyMismatch { attr: name.clone() })?;
                 let ktid = nakt
                     .ktid_of_value(v)
                     .map_err(|_| EventKeyError::OutOfRange { attr: name.clone() })?;
@@ -209,9 +221,7 @@ pub fn event_key_addresses(
             AttrSpec::Category { max_depth } => {
                 let path = value
                     .as_category()
-                    .ok_or_else(|| EventKeyError::FamilyMismatch {
-                        attr: name.clone(),
-                    })?;
+                    .ok_or_else(|| EventKeyError::FamilyMismatch { attr: name.clone() })?;
                 if path.depth() > *max_depth {
                     return Err(EventKeyError::TooLong { attr: name.clone() });
                 }
@@ -221,9 +231,9 @@ pub fn event_key_addresses(
                 }
             }
             AttrSpec::StrPrefix { max_len } | AttrSpec::StrSuffix { max_len } => {
-                let s = value.as_str().ok_or_else(|| EventKeyError::FamilyMismatch {
-                    attr: name.clone(),
-                })?;
+                let s = value
+                    .as_str()
+                    .ok_or_else(|| EventKeyError::FamilyMismatch { attr: name.clone() })?;
                 if s.len() > *max_len {
                     return Err(EventKeyError::TooLong { attr: name.clone() });
                 }
@@ -291,17 +301,22 @@ impl AuthKey {
             // The topic key is the hierarchy root: everything derives.
             (KeyScope::Topic, _) => Some(part_from_topic_key(&self.key, schema, addr, ops)),
             (
-                KeyScope::Numeric { attr: a, ktid: held },
+                KeyScope::Numeric {
+                    attr: a,
+                    ktid: held,
+                },
                 EventKeyAddress::Numeric { attr: b, ktid },
             ) if a == b => NaktKeySpace::derive_descendant(&self.key, held, ktid, ops),
             (
-                KeyScope::Category { attr: a, path: held },
+                KeyScope::Category {
+                    attr: a,
+                    path: held,
+                },
                 EventKeyAddress::Category { attr: b, path },
             ) if a == b => CategoryKeySpace::derive_descendant(&self.key, held, path, ops),
-            (
-                KeyScope::StrPrefix { attr: a, prefix },
-                EventKeyAddress::Str { attr: b, value },
-            ) if a == b => {
+            (KeyScope::StrPrefix { attr: a, prefix }, EventKeyAddress::Str { attr: b, value })
+                if a == b =>
+            {
                 if !value.starts_with(prefix.as_str()) {
                     return None;
                 }
@@ -313,10 +328,9 @@ impl AuthKey {
                         .fold(self.key.clone(), |k, &b| k.child_n(b as u32)),
                 )
             }
-            (
-                KeyScope::StrSuffix { attr: a, suffix },
-                EventKeyAddress::Str { attr: b, value },
-            ) if a == b => {
+            (KeyScope::StrSuffix { attr: a, suffix }, EventKeyAddress::Str { attr: b, value })
+                if a == b =>
+            {
                 if !value.ends_with(suffix.as_str()) {
                     return None;
                 }
@@ -340,7 +354,10 @@ impl AuthKey {
 ///
 /// Panics on an empty part list — an event always has at least one part.
 pub fn combine_master(parts: &[DeriveKey], ops: &mut OpCounter) -> DeriveKey {
-    assert!(!parts.is_empty(), "an event always has at least one key part");
+    assert!(
+        !parts.is_empty(),
+        "an event always has at least one key part"
+    );
     let mut acc = parts[0].clone();
     for p in &parts[1..] {
         ops.add_kh(1);
@@ -372,7 +389,7 @@ pub fn mac_key(master: &DeriveKey, ops: &mut OpCounter) -> DeriveKey {
 
 /// A subscriber's authorization for one conjunctive filter: per constrained
 /// attribute, the alternative keys whose subtrees cover the constraint.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct ConstraintGrant {
     /// The constrained attribute.
     pub attr: String,
@@ -380,11 +397,21 @@ pub struct ConstraintGrant {
     pub alternatives: Vec<AuthKey>,
 }
 
+// Redacting Debug via AuthKey's fingerprint-only impl.
+impl std::fmt::Debug for ConstraintGrant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConstraintGrant")
+            .field("attr", &self.attr)
+            .field("alternatives", &self.alternatives)
+            .finish()
+    }
+}
+
 /// A full grant for one conjunctive filter.
 ///
 /// Obtained from [`crate::Kdc::grant`]; consumed by
 /// [`Grant::event_key`] to recover `K(e)` for matching events.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Grant {
     /// The granted topic `w`.
     pub topic: String,
@@ -395,6 +422,18 @@ pub struct Grant {
     pub topic_auth: Option<AuthKey>,
     /// Per-constraint authorizations.
     pub constraints: Vec<ConstraintGrant>,
+}
+
+// Redacting Debug via AuthKey's fingerprint-only impl.
+impl std::fmt::Debug for Grant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Grant")
+            .field("topic", &self.topic)
+            .field("epoch", &self.epoch)
+            .field("topic_auth", &self.topic_auth)
+            .field("constraints", &self.constraints)
+            .finish()
+    }
 }
 
 impl Grant {
@@ -532,7 +571,9 @@ mod tests {
             AttrSpec::Numeric { nakt } => nakt.clone(),
             _ => unreachable!(),
         };
-        let cover = nakt.canonical_cover(&IntRange::new(16, 31).unwrap()).unwrap();
+        let cover = nakt
+            .canonical_cover(&IntRange::new(16, 31).unwrap())
+            .unwrap();
         assert_eq!(cover.len(), 1);
         let space = NaktKeySpace::new(nakt, &tk, b"age");
         let auth = AuthKey {
@@ -557,7 +598,9 @@ mod tests {
             _ => unreachable!(),
         };
         // Authorized for 0..=127; event at 200.
-        let cover = nakt.canonical_cover(&IntRange::new(0, 127).unwrap()).unwrap();
+        let cover = nakt
+            .canonical_cover(&IntRange::new(0, 127).unwrap())
+            .unwrap();
         let space = NaktKeySpace::new(nakt.clone(), &tk, b"age");
         let auth = AuthKey {
             scope: KeyScope::Numeric {
@@ -637,8 +680,7 @@ mod tests {
                 attr: "sym".into(),
                 prefix: "".into(),
             },
-            key: StringKeySpace::new(&tk, b"sym", ChainDirection::Prefix)
-                .key_for("", &mut ops),
+            key: StringKeySpace::new(&tk, b"sym", ChainDirection::Prefix).key_for("", &mut ops),
             epoch: EpochId(0),
         };
         let other_attr = EventKeyAddress::Str {
@@ -656,10 +698,7 @@ mod tests {
         let ab = combine_parts(&[a.clone(), b.clone()], &mut ops);
         let ba = combine_parts(&[b.clone(), a.clone()], &mut ops);
         assert_ne!(ab, ba);
-        assert_eq!(
-            combine_parts(&[a.clone(), b.clone()], &mut ops),
-            ab
-        );
+        assert_eq!(combine_parts(&[a.clone(), b.clone()], &mut ops), ab);
         assert_eq!(
             combine_parts(std::slice::from_ref(&a), &mut ops),
             a.content_key()
@@ -691,8 +730,7 @@ mod tests {
                 suffix: "x".into(),
             },
         ];
-        let labels: std::collections::HashSet<_> =
-            scopes.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = scopes.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), scopes.len());
     }
 }

@@ -171,11 +171,17 @@ impl Kdc {
         let topic = filter.topic().ok_or(KdcError::MissingTopic)?;
         let topic_key = self.topic_key(topic, epoch, scope, ops);
 
-        // Group keyed constraints by attribute.
-        let mut by_attr: std::collections::BTreeMap<&str, Vec<&Op>> = Default::default();
+        // Group keyed constraints by attribute, carrying the schema spec so
+        // the dispatch below never has to re-look it up.
+        let mut by_attr: std::collections::BTreeMap<&str, (&AttrSpec, Vec<&Op>)> =
+            Default::default();
         for c in filter.constraints() {
-            if schema.get(c.name().as_str()).is_some() {
-                by_attr.entry(c.name().as_str()).or_default().push(c.op());
+            if let Some(spec) = schema.get(c.name().as_str()) {
+                by_attr
+                    .entry(c.name().as_str())
+                    .or_insert_with(|| (spec, Vec::new()))
+                    .1
+                    .push(c.op());
             }
         }
 
@@ -194,8 +200,7 @@ impl Kdc {
         }
 
         let mut constraints = Vec::new();
-        for (attr, cs) in by_attr {
-            let spec = schema.get(attr).expect("filtered to schema attrs");
+        for (attr, (spec, cs)) in by_attr {
             let cg = match spec {
                 AttrSpec::Numeric { nakt } => {
                     self.numeric_grant(attr, &cs, nakt, &topic_key, epoch, ops)?
@@ -203,22 +208,12 @@ impl Kdc {
                 AttrSpec::Category { .. } => {
                     self.category_grant(attr, &cs, &topic_key, epoch, ops)?
                 }
-                AttrSpec::StrPrefix { .. } => self.string_grant(
-                    attr,
-                    &cs,
-                    &topic_key,
-                    epoch,
-                    ChainDirection::Prefix,
-                    ops,
-                )?,
-                AttrSpec::StrSuffix { .. } => self.string_grant(
-                    attr,
-                    &cs,
-                    &topic_key,
-                    epoch,
-                    ChainDirection::Suffix,
-                    ops,
-                )?,
+                AttrSpec::StrPrefix { .. } => {
+                    self.string_grant(attr, &cs, &topic_key, epoch, ChainDirection::Prefix, ops)?
+                }
+                AttrSpec::StrSuffix { .. } => {
+                    self.string_grant(attr, &cs, &topic_key, epoch, ChainDirection::Suffix, ops)?
+                }
             };
             constraints.push(cg);
         }
@@ -265,22 +260,31 @@ impl Kdc {
             })?;
         let space = NaktKeySpace::new(nakt.clone(), topic_key, attr.as_bytes());
         ops.add_kh(1); // space root derivation
-        // Derive the cover keys with a shared walk: consecutive canonical
-        // sub-ranges share long tree prefixes, so memoizing intermediate
-        // node keys keeps generation at the paper's ~4·log2(R/lc) hashes
-        // instead of re-walking from the root per element.
+                       // Derive the cover keys with a shared walk: consecutive canonical
+                       // sub-ranges share long tree prefixes, so memoizing intermediate
+                       // node keys keeps generation at the paper's ~4·log2(R/lc) hashes
+                       // instead of re-walking from the root per element.
         let mut memo: std::collections::HashMap<crate::ktid::Ktid, DeriveKey> =
             std::collections::HashMap::new();
         memo.insert(crate::ktid::Ktid::root(), space.root_key().clone());
         let mut key_for_memoized = |ktid: &crate::ktid::Ktid, ops: &mut OpCounter| {
             let mut ancestor = ktid.clone();
+            // The root is seeded into the memo above, so walking parents
+            // always terminates at a memoized node.
             while !memo.contains_key(&ancestor) {
-                ancestor = ancestor.parent().expect("root is memoized");
+                match ancestor.parent() {
+                    Some(p) => ancestor = p,
+                    None => break,
+                }
             }
-            let mut key = memo[&ancestor].clone();
-            let suffix = ancestor.suffix_of(ktid).expect("ancestor is a prefix");
+            let mut key = memo
+                .get(&ancestor)
+                .cloned()
+                .unwrap_or_else(|| space.root_key().clone());
+            // `ancestor` is a parent chain of `ktid`, hence always a prefix.
+            let suffix: Vec<u8> = ancestor.suffix_of(ktid).unwrap_or(&[]).to_vec();
             let mut cur = ancestor;
-            for &d in suffix {
+            for &d in &suffix {
                 ops.add_hash(1);
                 key = key.child_n(d as u32);
                 cur = cur.child(d);
@@ -331,7 +335,9 @@ impl Kdc {
         let deepest = paths
             .iter()
             .max_by_key(|p| p.depth())
-            .expect("at least one constraint")
+            .ok_or_else(|| KdcError::Unsatisfiable {
+                attr: attr.to_owned(),
+            })?
             .clone();
         if !paths.iter().all(|p| p.is_ancestor_or_self_of(&deepest)) {
             return Err(KdcError::Unsatisfiable {
@@ -383,7 +389,9 @@ impl Kdc {
         let longest = anchors
             .iter()
             .max_by_key(|s| s.len())
-            .expect("at least one constraint")
+            .ok_or_else(|| KdcError::Unsatisfiable {
+                attr: attr.to_owned(),
+            })?
             .clone();
         let consistent = anchors.iter().all(|a| match direction {
             ChainDirection::Prefix => longest.starts_with(a.as_str()),
@@ -545,8 +553,18 @@ mod tests {
         let mut ops = OpCounter::new();
         let k = kdc();
         let shared = k.topic_key("w", EpochId(0), &TopicScope::Shared, &mut ops);
-        let pa = k.topic_key("w", EpochId(0), &TopicScope::Publisher("A".into()), &mut ops);
-        let pb = k.topic_key("w", EpochId(0), &TopicScope::Publisher("B".into()), &mut ops);
+        let pa = k.topic_key(
+            "w",
+            EpochId(0),
+            &TopicScope::Publisher("A".into()),
+            &mut ops,
+        );
+        let pb = k.topic_key(
+            "w",
+            EpochId(0),
+            &TopicScope::Publisher("B".into()),
+            &mut ops,
+        );
         assert_ne!(pa, pb);
         assert_ne!(pa, shared);
     }

@@ -46,7 +46,6 @@ pub struct GrantCacheStats {
 /// assert_eq!(ops.total(), before); // second answer cost nothing
 /// assert_eq!(kdc.stats().hits, 1);
 /// ```
-#[derive(Debug)]
 pub struct CachedKdc {
     kdc: Kdc,
     capacity: usize,
@@ -54,6 +53,20 @@ pub struct CachedKdc {
     order: BTreeMap<u64, String>,
     tick: u64,
     stats: GrantCacheStats,
+}
+
+// Redacting Debug: cached grants carry authorization keys, and the KDC
+// inside holds the master secret — neither may reach debug output.
+impl std::fmt::Debug for CachedKdc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedKdc")
+            .field("kdc", &self.kdc)
+            .field("capacity", &self.capacity)
+            .field("len", &self.map.len())
+            .field("stats", &self.stats)
+            .field("grants", &"<redacted>")
+            .finish()
+    }
 }
 
 impl CachedKdc {
@@ -113,13 +126,13 @@ impl CachedKdc {
         ops: &mut OpCounter,
     ) -> Result<Grant, KdcError> {
         let key = Self::request_key(filter, epoch, scope);
-        if let Some((grant, tick)) = self.map.get(&key) {
+        if let Some((grant, tick)) = self.map.get_mut(&key) {
             let grant = grant.clone();
             let old = *tick;
-            self.order.remove(&old);
             self.tick += 1;
+            *tick = self.tick;
+            self.order.remove(&old);
             self.order.insert(self.tick, key.clone());
-            self.map.get_mut(&key).expect("just found").1 = self.tick;
             self.stats.hits += 1;
             return Ok(grant);
         }
@@ -127,10 +140,9 @@ impl CachedKdc {
         let grant = self.kdc.grant(schema, filter, epoch, scope, ops)?;
         if self.capacity > 0 {
             while self.map.len() >= self.capacity {
-                let Some((&oldest, _)) = self.order.iter().next() else {
+                let Some((_, victim)) = self.order.pop_first() else {
                     break;
                 };
-                let victim = self.order.remove(&oldest).expect("present");
                 self.map.remove(&victim);
                 self.stats.evictions += 1;
             }

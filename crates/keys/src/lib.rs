@@ -77,8 +77,7 @@ pub use cost::OpCounter;
 pub use epoch::{EpochId, EpochSchedule};
 pub use grant::{
     combine_master, combine_parts, event_key_addresses, mac_key, part_from_topic_key, AuthKey,
-    ConstraintGrant,
-    EventKeyAddress, EventKeyError, Grant, KeyScope,
+    ConstraintGrant, EventKeyAddress, EventKeyError, Grant, KeyScope,
 };
 pub use kdc::{Kdc, KdcError, TopicScope};
 pub use kdc_cache::{CachedKdc, GrantCacheStats};

@@ -52,7 +52,10 @@ impl std::fmt::Display for NaktError {
                 write!(f, "value {value} outside attribute range {range}")
             }
             NaktError::RangeOutOfRange { query, range } => {
-                write!(f, "range {query} does not intersect attribute range {range}")
+                write!(
+                    f,
+                    "range {query} does not intersect attribute range {range}"
+                )
             }
         }
     }
@@ -191,8 +194,10 @@ impl Nakt {
         let (lo_cell, hi_cell) = ktid.leaf_span(self.depth, self.arity);
         let lo = self.range.lo() + (lo_cell * self.lc) as i64;
         let hi = self.range.lo() + ((hi_cell + 1) * self.lc) as i64 - 1;
-        IntRange::new(lo, hi.min(self.range.hi()))
-            .expect("subtree span is non-empty within the range")
+        // A subtree always spans at least one cell, so lo ≤ hi holds and the
+        // clamp to the attribute range keeps it that way; fall back to the
+        // full range rather than panicking if that invariant ever breaks.
+        IntRange::new(lo, hi.min(self.range.hi())).unwrap_or(self.range)
     }
 
     /// The canonical decomposition: the minimal set of aligned subtrees
@@ -275,10 +280,21 @@ impl Nakt {
 /// .unwrap();
 /// assert_eq!(derived, event);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NaktKeySpace {
     nakt: Nakt,
     root: DeriveKey,
+}
+
+// Redacting Debug: the root key derives the whole subtree of element keys;
+// print the tree geometry and the root's fingerprint only.
+impl std::fmt::Debug for NaktKeySpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NaktKeySpace")
+            .field("nakt", &self.nakt)
+            .field("root", &self.root)
+            .finish()
+    }
 }
 
 impl NaktKeySpace {
@@ -360,7 +376,10 @@ mod tests {
         let spans: Vec<IntRange> = cover.iter().map(|k| n.value_span(k)).collect();
         assert_eq!(
             spans,
-            vec![IntRange::new(8, 15).unwrap(), IntRange::new(16, 19).unwrap()]
+            vec![
+                IntRange::new(8, 15).unwrap(),
+                IntRange::new(16, 19).unwrap()
+            ]
         );
     }
 
@@ -389,7 +408,9 @@ mod tests {
     #[test]
     fn cover_clamps_to_range() {
         let n = Nakt::binary(IntRange::new(0, 31).unwrap(), 1).unwrap();
-        let cover = n.canonical_cover(&IntRange::new(-10, 100).unwrap()).unwrap();
+        let cover = n
+            .canonical_cover(&IntRange::new(-10, 100).unwrap())
+            .unwrap();
         assert_eq!(cover, vec![Ktid::root()]);
         assert!(matches!(
             n.canonical_cover(&IntRange::new(40, 50).unwrap()),
@@ -420,7 +441,10 @@ mod tests {
     fn construction_errors() {
         let r = IntRange::new(0, 10).unwrap();
         assert_eq!(Nakt::binary(r, 0), Err(NaktError::ZeroLeastCount));
-        assert_eq!(Nakt::with_arity(r, 1, 1), Err(NaktError::BadArity { arity: 1 }));
+        assert_eq!(
+            Nakt::with_arity(r, 1, 1),
+            Err(NaktError::BadArity { arity: 1 })
+        );
     }
 
     #[test]

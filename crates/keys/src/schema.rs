@@ -172,8 +172,14 @@ mod tests {
             .build();
         assert_eq!(s.len(), 4);
         assert!(matches!(s.get("age"), Some(AttrSpec::Numeric { .. })));
-        assert!(matches!(s.get("diag"), Some(AttrSpec::Category { max_depth: 4 })));
-        assert!(matches!(s.get("sym"), Some(AttrSpec::StrPrefix { max_len: 8 })));
+        assert!(matches!(
+            s.get("diag"),
+            Some(AttrSpec::Category { max_depth: 4 })
+        ));
+        assert!(matches!(
+            s.get("sym"),
+            Some(AttrSpec::StrPrefix { max_len: 8 })
+        ));
         assert!(matches!(s.get("file"), Some(AttrSpec::StrSuffix { .. })));
     }
 
@@ -193,11 +199,11 @@ mod tests {
 
     #[test]
     fn redefining_attribute_overwrites() {
-        let s = Schema::builder()
-            .category("a", 2)
-            .category("a", 5)
-            .build();
-        assert!(matches!(s.get("a"), Some(AttrSpec::Category { max_depth: 5 })));
+        let s = Schema::builder().category("a", 2).category("a", 5).build();
+        assert!(matches!(
+            s.get("a"),
+            Some(AttrSpec::Category { max_depth: 5 })
+        ));
         assert_eq!(s.len(), 1);
     }
 }

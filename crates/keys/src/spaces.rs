@@ -37,9 +37,19 @@ use crate::cost::OpCounter;
 ///     Some(event)
 /// );
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CategoryKeySpace {
     root: DeriveKey,
+}
+
+// Redacting Debug: the root key derives every category key in the space.
+// `DeriveKey`'s own Debug already prints only a fingerprint; delegate to it.
+impl std::fmt::Debug for CategoryKeySpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CategoryKeySpace")
+            .field("root", &self.root)
+            .finish()
+    }
 }
 
 impl CategoryKeySpace {
@@ -106,10 +116,21 @@ pub enum ChainDirection {
 /// assert_eq!(space.derive_extension(&auth, "GOO", "GOOG", &mut ops), Some(event));
 /// assert_eq!(space.derive_extension(&auth, "GOO", "MSFT", &mut ops), None);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct StringKeySpace {
     root: DeriveKey,
     direction: ChainDirection,
+}
+
+// Redacting Debug: chain keys for every authorized string extend from the
+// root; only the fingerprint and direction are printed.
+impl std::fmt::Debug for StringKeySpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StringKeySpace")
+            .field("root", &self.root)
+            .field("direction", &self.direction)
+            .finish()
+    }
 }
 
 impl StringKeySpace {
@@ -172,11 +193,7 @@ impl StringKeySpace {
         }
         let suffix: Vec<u8> = match self.direction {
             ChainDirection::Prefix => target.bytes().skip(holder.len()).collect(),
-            ChainDirection::Suffix => target
-                .bytes()
-                .rev()
-                .skip(holder.len())
-                .collect(),
+            ChainDirection::Suffix => target.bytes().rev().skip(holder.len()).collect(),
         };
         ops.add_hash(suffix.len() as u64);
         Some(

@@ -309,12 +309,9 @@ impl Filter {
             (Some(_), None) => return false,
             _ => {}
         }
-        self.constraints.iter().all(|mine| {
-            other
-                .constraints
-                .iter()
-                .any(|theirs| mine.covers(theirs))
-        })
+        self.constraints
+            .iter()
+            .all(|mine| other.constraints.iter().any(|theirs| mine.covers(theirs)))
     }
 }
 

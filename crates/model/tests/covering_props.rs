@@ -12,9 +12,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0i64..60).prop_map(Op::Le),
         (0i64..60).prop_map(Op::Gt),
         (0i64..60).prop_map(Op::Ge),
-        (0i64..50, 1i64..10).prop_map(|(lo, w)| Op::InRange(
-            IntRange::new(lo, lo + w).expect("valid")
-        )),
+        (0i64..50, 1i64..10)
+            .prop_map(|(lo, w)| Op::InRange(IntRange::new(lo, lo + w).expect("valid"))),
         "[ab]{0,4}".prop_map(Op::StrPrefix),
         "[ab]{0,4}".prop_map(Op::StrSuffix),
         prop::collection::vec(0u32..3, 0..4)

@@ -295,8 +295,7 @@ mod tests {
     #[test]
     fn drops_are_seed_deterministic() {
         let run = |seed| {
-            let mut plan =
-                FaultPlan::new(seed).with_default_link_faults(LinkFaults::drops(0.3));
+            let mut plan = FaultPlan::new(seed).with_default_link_faults(LinkFaults::drops(0.3));
             (0..200)
                 .map(|i| plan.transmit(NodeId(0), NodeId(1), i).copies())
                 .collect::<Vec<_>>()
@@ -361,8 +360,7 @@ mod tests {
 
     #[test]
     fn per_link_overrides_beat_the_default() {
-        let mut plan =
-            FaultPlan::new(7).with_default_link_faults(LinkFaults::drops(1.0));
+        let mut plan = FaultPlan::new(7).with_default_link_faults(LinkFaults::drops(1.0));
         plan.set_link(NodeId(0), NodeId(1), LinkFaults::NONE);
         // The overridden link never drops; the default link always does.
         for _ in 0..20 {

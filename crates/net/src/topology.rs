@@ -71,7 +71,10 @@ impl Topology {
     ///
     /// Panics on out-of-range endpoints or self-loops.
     pub fn add_link(&mut self, a: NodeId, b: NodeId, latency_ms: u32) {
-        assert!(a.0 < self.node_count && b.0 < self.node_count, "endpoint out of range");
+        assert!(
+            a.0 < self.node_count && b.0 < self.node_count,
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         self.links.push(Link { a, b, latency_ms });
         self.adjacency[a.0 as usize].push((b, latency_ms));
@@ -118,7 +121,9 @@ impl Topology {
         if self.node_count == 0 {
             return true;
         }
-        self.latencies_from(NodeId(0)).iter().all(|&d| d != u64::MAX)
+        self.latencies_from(NodeId(0))
+            .iter()
+            .all(|&d| d != u64::MAX)
     }
 
     /// Summary statistics over link round-trip times (2 × one-way), in ms:
@@ -127,7 +132,11 @@ impl Topology {
         if self.links.is_empty() {
             return (0.0, 0.0, 0.0, 0.0);
         }
-        let rtts: Vec<f64> = self.links.iter().map(|l| 2.0 * l.latency_ms as f64).collect();
+        let rtts: Vec<f64> = self
+            .links
+            .iter()
+            .map(|l| 2.0 * l.latency_ms as f64)
+            .collect();
         let min = rtts.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = rtts.iter().cloned().fold(0.0, f64::max);
         let mean = rtts.iter().sum::<f64>() / rtts.len() as f64;
@@ -201,9 +210,12 @@ impl TransitStubConfig {
             for i in 0..self.transit_nodes {
                 let a = NodeId(base + i);
                 let b = NodeId(base + (i + 1) % self.transit_nodes);
-                if a != b && !topo.links.iter().any(|l| {
-                    (l.a == a && l.b == b) || (l.a == b && l.b == a)
-                }) {
+                if a != b
+                    && !topo
+                        .links
+                        .iter()
+                        .any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+                {
                     let lat = sample(&mut rng, self.transit_latency);
                     topo.add_link(a, b, lat);
                 }

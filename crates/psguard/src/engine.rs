@@ -56,12 +56,9 @@ impl CryptoCosts {
                 secures.push(publisher.publish(e, 0)?);
             }
         }
-        let publish_us =
-            (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
+        let publish_us = (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
 
-        let token = ps.routing_token(
-            sample_events[0].topic(),
-        );
+        let token = ps.routing_token(sample_events[0].topic());
         let start = Instant::now();
         let mut matched = 0u64;
         for s in &secures {
@@ -69,8 +66,7 @@ impl CryptoCosts {
                 matched += 1;
             }
         }
-        let token_match_us =
-            (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
+        let token_match_us = (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
         if matched != secures.len() as u64 {
             return Err(MeasureError::SampleTopicMismatch {
                 matched,
@@ -82,8 +78,7 @@ impl CryptoCosts {
         for s in &secures {
             subscriber.decrypt(s)?;
         }
-        let decrypt_us =
-            (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
+        let decrypt_us = (start.elapsed().as_micros() as u64 / secures.len() as u64).max(1);
 
         Ok(CryptoCosts {
             publish_us,

@@ -156,7 +156,10 @@ impl std::fmt::Display for DecryptError {
             DecryptError::NotAuthorized => write!(f, "grant does not cover this event"),
             DecryptError::Cipher(e) => write!(f, "payload decryption failed: {e}"),
             DecryptError::BadMac => {
-                write!(f, "integrity check failed: tampered ciphertext or foreign key lineage")
+                write!(
+                    f,
+                    "integrity check failed: tampered ciphertext or foreign key lineage"
+                )
             }
         }
     }
@@ -182,9 +185,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = PublishError::UnknownTopic {
-            topic: "x".into(),
-        };
+        let e = PublishError::UnknownTopic { topic: "x".into() };
         assert!(e.to_string().contains("x"));
         let e = DecryptError::EpochMismatch {
             event_epoch: 2,

@@ -3,8 +3,8 @@
 
 use std::collections::HashMap;
 
-use psguard_crypto::{cbc_encrypt, Aes128, Token};
 use psguard_crypto::DeriveKey;
+use psguard_crypto::{cbc_encrypt, Aes128, Token};
 use psguard_keys::{
     combine_master, event_key_addresses, mac_key, part_from_topic_key, AuthKey, EpochId,
     EventKeyAddress, KeyCache, KeyScope, Ktid, OpCounter, Schema,
@@ -51,13 +51,13 @@ impl Publisher {
         // nonces must be unpredictable to brokers, not to the test
         // harness.
         let seed = psguard_crypto::h(name.as_bytes());
+        let mut seed8 = [0u8; 8];
+        seed8.copy_from_slice(&seed[..8]);
         Publisher {
             name,
             schema,
             credentials: HashMap::new(),
-            rng: StdRng::seed_from_u64(u64::from_be_bytes(
-                seed[..8].try_into().expect("8 bytes"),
-            )),
+            rng: StdRng::seed_from_u64(u64::from_be_bytes(seed8)),
             ops: OpCounter::new(),
             // Publisher-side derived-key cache (§3.2.3 applies to
             // "the KDC, the publishers and the subscribers").
@@ -241,7 +241,10 @@ mod tests {
     #[test]
     fn distinct_events_get_distinct_ivs_and_nonces() {
         let (mut p, _) = publisher_with_credential();
-        let e = Event::builder("w").attr("age", 1i64).payload(vec![7]).build();
+        let e = Event::builder("w")
+            .attr("age", 1i64)
+            .payload(vec![7])
+            .build();
         let a = p.publish(&e, 0).unwrap();
         let b = p.publish(&e, 0).unwrap();
         assert_ne!(a.iv, b.iv);
@@ -276,7 +279,10 @@ mod tests {
         let mut sub = ps.subscriber("S");
         ps.authorize_subscriber(&mut sub, &psguard_model::Filter::for_topic("w"), 0)
             .unwrap();
-        let e = Event::builder("w").attr("age", 77i64).payload(b"x".to_vec()).build();
+        let e = Event::builder("w")
+            .attr("age", 77i64)
+            .payload(b"x".to_vec())
+            .build();
         let first = publisher.publish(&e, 0).unwrap();
         let second = publisher.publish(&e, 0).unwrap();
         assert_eq!(sub.decrypt(&first).unwrap().payload(), b"x");
@@ -286,7 +292,10 @@ mod tests {
     #[test]
     fn ops_accumulate() {
         let (mut p, _) = publisher_with_credential();
-        let e = Event::builder("w").attr("age", 1i64).payload(vec![7]).build();
+        let e = Event::builder("w")
+            .attr("age", 1i64)
+            .payload(vec![7])
+            .build();
         p.publish(&e, 0).unwrap();
         assert!(p.ops().total() > 0);
     }

@@ -125,9 +125,7 @@ impl PsGuard {
     pub fn authorize_publisher(&self, publisher: &mut Publisher, topic: &str, epoch: u64) {
         let mut ops = OpCounter::new();
         let scope = self.scope_for(publisher.name());
-        let key = self
-            .kdc
-            .topic_key(topic, EpochId(epoch), &scope, &mut ops);
+        let key = self.kdc.topic_key(topic, EpochId(epoch), &scope, &mut ops);
         publisher.install_credential(PublisherCredential {
             topic: topic.to_owned(),
             epoch,
@@ -184,7 +182,9 @@ impl PsGuard {
                 &TopicScope::Shared,
                 &mut ops,
             )?;
-            let topic = filter.topic().expect("grant succeeded, topic present");
+            // A successful grant implies the filter names a topic; surface
+            // the same error the KDC would if that ever stops holding.
+            let topic = filter.topic().ok_or(psguard_keys::KdcError::MissingTopic)?;
             staged.push((self.kdc.routing_token(topic), filter.clone(), grant));
         }
         for (token, filter, grant) in staged {
@@ -225,7 +225,7 @@ impl PsGuard {
         let grant = self
             .kdc
             .grant(&self.schema, filter, EpochId(epoch), &scope, &mut ops)?;
-        let topic = filter.topic().expect("grant succeeded, topic present");
+        let topic = filter.topic().ok_or(psguard_keys::KdcError::MissingTopic)?;
         let token = self.kdc.routing_token(topic);
         subscriber.install_grant(token, filter.clone(), grant);
         Ok(ops)
@@ -340,7 +340,8 @@ mod tests {
         let subscription = Subscription::new("S")
             .or(Filter::for_topic("stocks").with(Constraint::new("age", Op::Ge(100))))
             .or(Filter::for_topic("weather"));
-        ps.authorize_subscription(&mut sub, &subscription, 0).unwrap();
+        ps.authorize_subscription(&mut sub, &subscription, 0)
+            .unwrap();
         assert_eq!(sub.subscription_count(), 2);
 
         // A weather event decrypts via the second branch.
@@ -373,7 +374,9 @@ mod tests {
         let subscription = Subscription::new("S")
             .or(Filter::for_topic("ok"))
             .or(Filter::any()); // wildcard: ungrantable
-        assert!(ps.authorize_subscription(&mut sub, &subscription, 0).is_err());
+        assert!(ps
+            .authorize_subscription(&mut sub, &subscription, 0)
+            .is_err());
         assert_eq!(sub.subscription_count(), 0, "no partial grants");
     }
 

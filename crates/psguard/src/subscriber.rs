@@ -1,8 +1,8 @@
 //! The subscriber: holds grants (authorization keys), derives event keys
 //! and decrypts matching events — with the §3.2.3 key cache.
 
-use psguard_crypto::{cbc_decrypt, Aes128, Token};
 use psguard_crypto::DeriveKey;
+use psguard_crypto::{cbc_decrypt, Aes128, Token};
 use psguard_keys::{
     combine_master, event_key_addresses, mac_key, EventKeyAddress, Grant, KeyCache, KeyScope,
     OpCounter, Schema,
@@ -164,7 +164,10 @@ impl Subscriber {
                         }
                     }
                     if ok {
-                        (sub.grant.epoch.0, Some(combine_master(&parts, &mut self.ops)))
+                        (
+                            sub.grant.epoch.0,
+                            Some(combine_master(&parts, &mut self.ops)),
+                        )
                     } else {
                         (sub.grant.epoch.0, None)
                     }
@@ -188,8 +191,11 @@ impl Subscriber {
                     continue; // try other matching subscriptions, if any
                 }
                 let key = master.content_key();
-                let plaintext =
-                    cbc_decrypt(&Aes128::new(key.as_bytes()), &secure.iv, secure.event.payload())?;
+                let plaintext = cbc_decrypt(
+                    &Aes128::new(key.as_bytes()),
+                    &secure.iv,
+                    secure.event.payload(),
+                )?;
                 let mut restored = secure.event.clone();
                 restored.replace_payload(plaintext);
                 return Ok(restored);

@@ -174,11 +174,13 @@ pub fn simulate(config: &AttackSimConfig) -> Result<Observations, MultipathError
     let arity = config.arity;
     let path_nodes: Vec<Vec<Vec<u64>>> = (0..n_tokens)
         .map(|t| {
+            // `paths_per_token` caps ind[t] at the arity, so every variant
+            // index is valid; a hypothetical out-of-range k is skipped
+            // rather than aborting the whole experiment.
             (0..ind[t])
-                .map(|k| {
-                    tree.variant_path(&token_leaf[t], k)
-                        .expect("k < ind ≤ arity")
-                        .into_iter()
+                .filter_map(|k| tree.variant_path(&token_leaf[t], k).ok())
+                .map(|path| {
+                    path.into_iter()
                         .skip(1) // the root is the publisher, not curious
                         .map(|n: TreeNode| n.index(arity))
                         .collect()

@@ -43,10 +43,7 @@ impl TreeNode {
         // Offset of this level plus position within the level.
         let a = arity as u64;
         let level_offset: u64 = (0..self.level() as u32).map(|l| a.pow(l)).sum();
-        let within = self
-            .digits
-            .iter()
-            .fold(0u64, |acc, &d| acc * a + d as u64);
+        let within = self.digits.iter().fold(0u64, |acc, &d| acc * a + d as u64);
         level_offset + within
     }
 }

@@ -212,7 +212,11 @@ impl MultipathOverlay {
                     sim.schedule_at(
                         depart + self.hop_latency_us + jitter,
                         dst,
-                        Hop { event, path: k, pos: 1 },
+                        Hop {
+                            event,
+                            path: k,
+                            pos: 1,
+                        },
                     );
                 }
             }
@@ -250,7 +254,11 @@ impl MultipathOverlay {
                 d.dst,
                 dst,
                 self.hop_latency_us,
-                Hop { event, path, pos: next },
+                Hop {
+                    event,
+                    path,
+                    pos: next,
+                },
             );
         });
 
@@ -297,7 +305,10 @@ mod tests {
         let leaf = tree.leaf_digits(0);
         let r = ov.run_drops(&leaf, 1.0, 50, 7).unwrap();
         assert_eq!(r.delivered, 0);
-        assert!(r.blocked_at_crashed > 0, "copies must die at crashed routers");
+        assert!(
+            r.blocked_at_crashed > 0,
+            "copies must die at crashed routers"
+        );
     }
 
     #[test]
@@ -337,8 +348,7 @@ mod tests {
         let ov = overlay(3, 2, 3, 3);
         let tree = MultipathTree::new(3, 2).unwrap();
         let leaf = tree.leaf_digits(7);
-        let mut plan =
-            FaultPlan::new(5).with_default_link_faults(LinkFaults::drops(0.3));
+        let mut plan = FaultPlan::new(5).with_default_link_faults(LinkFaults::drops(0.3));
         let r = ov.run_under(&mut plan, &leaf, 200, 5).unwrap();
         assert!(r.fault_stats.dropped > 0);
         assert!(r.delivered > 0, "three disjoint paths should beat 30% loss");

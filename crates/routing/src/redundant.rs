@@ -32,9 +32,7 @@ impl PathAssignment {
     /// Paths per token under this policy.
     pub fn paths(&self, frequencies: &[f64], ind_max: u8) -> Vec<u8> {
         match self {
-            PathAssignment::Proportional => {
-                MultipathTree::paths_per_token(frequencies, ind_max)
-            }
+            PathAssignment::Proportional => MultipathTree::paths_per_token(frequencies, ind_max),
             PathAssignment::Uniform => vec![ind_max; frequencies.len()],
         }
     }
@@ -98,11 +96,7 @@ impl RedundantRouter {
     ///
     /// Returns [`MultipathError::TooManyPaths`] when
     /// `replicas > ind` or `ind` exceeds the tree arity.
-    pub fn new(
-        tree: MultipathTree,
-        ind: u8,
-        replicas: u8,
-    ) -> Result<Self, MultipathError> {
+    pub fn new(tree: MultipathTree, ind: u8, replicas: u8) -> Result<Self, MultipathError> {
         if ind == 0 || ind > tree.arity() || replicas == 0 || replicas > ind {
             return Err(MultipathError::TooManyPaths {
                 requested: replicas.max(ind),

@@ -160,7 +160,7 @@ impl IndexableFilter for SecureFilter {
 /// Wire-format support so secure traffic can cross the TCP transport.
 mod wire_impls {
     use super::*;
-    use psguard_siena::wire::{Wire, WireError};
+    use psguard_siena::wire::{take_arr, Wire, WireError};
 
     impl Wire for RoutableTag {
         fn encode(&self, buf: &mut Vec<u8>) {
@@ -168,14 +168,8 @@ mod wire_impls {
             self.tag.encode(buf);
         }
         fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-            if input.len() < 16 {
-                return Err(WireError::Truncated);
-            }
-            let (head, tail) = input.split_at(16);
-            *input = tail;
-            let nonce: [u8; 16] = head.try_into().expect("16 bytes");
             Ok(RoutableTag {
-                nonce,
+                nonce: take_arr(input)?,
                 tag: Token::decode(input)?,
             })
         }
@@ -192,19 +186,9 @@ mod wire_impls {
         fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
             let tag = RoutableTag::decode(input)?;
             let event = Event::decode(input)?;
-            if input.len() < 16 {
-                return Err(WireError::Truncated);
-            }
-            let (head, tail) = input.split_at(16);
-            *input = tail;
-            let iv: [u8; 16] = head.try_into().expect("16 bytes");
+            let iv = take_arr(input)?;
             let epoch = u64::decode(input)?;
-            if input.len() < 20 {
-                return Err(WireError::Truncated);
-            }
-            let (mac_bytes, tail) = input.split_at(20);
-            *input = tail;
-            let mac: [u8; 20] = mac_bytes.try_into().expect("20 bytes");
+            let mac = take_arr(input)?;
             Ok(SecureEvent {
                 tag,
                 event,

@@ -24,10 +24,7 @@ fn op_strategy() -> BoxedStrategy<Op> {
 }
 
 fn filter_strategy() -> BoxedStrategy<SecureFilter> {
-    (
-        0u8..4,
-        prop::collection::vec(("[xy]", op_strategy()), 0..3),
-    )
+    (0u8..4, prop::collection::vec(("[xy]", op_strategy()), 0..3))
         .prop_map(|(topic, constraints)| SecureFilter {
             token: token(topic),
             constraints: constraints
@@ -39,7 +36,11 @@ fn filter_strategy() -> BoxedStrategy<SecureFilter> {
 }
 
 fn event_strategy() -> BoxedStrategy<SecureEvent> {
-    (0u8..5, any::<u128>(), prop::collection::vec(("[xy]", -15i64..45), 0..3))
+    (
+        0u8..5,
+        any::<u128>(),
+        prop::collection::vec(("[xy]", -15i64..45), 0..3),
+    )
         .prop_map(|(topic, nonce, attrs)| {
             let mut b = Event::builder("");
             for (name, value) in attrs {

@@ -209,7 +209,9 @@ where
                 pool = leaves.clone();
                 pool.shuffle(&mut rng);
             }
-            attach.push(pool.pop().expect("pool refilled"));
+            if let Some(leaf) = pool.pop() {
+                attach.push(leaf);
+            }
         }
         let access_latency: Vec<u64> = (0..config.subscribers as usize)
             .map(|c| latency_between(subscriber_base + c, attach[c]))

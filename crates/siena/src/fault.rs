@@ -429,7 +429,11 @@ where
         }
         for r in &fault.revocations {
             let broker = self.attach[r.client as usize];
-            sim.schedule_at(r.at_us, NodeId(broker as u32), FMsg::Revoke { client: r.client });
+            sim.schedule_at(
+                r.at_us,
+                NodeId(broker as u32),
+                FMsg::Revoke { client: r.client },
+            );
         }
         if let Some(rec) = recovery {
             if rec.heartbeat_interval_us > 0 {
@@ -464,8 +468,7 @@ where
             .map(|r| (hb_horizon / r.heartbeat_interval_us + 2) * total_brokers as u64 * 5)
             .unwrap_or(0);
         let retries = recovery.map(|r| r.max_retries as u64).unwrap_or(0);
-        let max_events =
-            published * (n_nodes as u64 + 4) * (4 + retries) + hb_budget + 100_000;
+        let max_events = published * (n_nodes as u64 + 4) * (4 + retries) + hb_budget + 100_000;
 
         let mut processed = 0u64;
         while let Some(d) = sim.next() {
@@ -495,7 +498,13 @@ where
                     if let (Some(rec), Some(src)) = (recovery, sender) {
                         if hop != NO_HOP {
                             let lat = self.hop_latency(node, src);
-                            sim.send_faulty(plan, d.dst, NodeId(src as u32), lat, FMsg::Ack { hop });
+                            sim.send_faulty(
+                                plan,
+                                d.dst,
+                                NodeId(src as u32),
+                                lat,
+                                FMsg::Ack { hop },
+                            );
                         }
                         if rec.heartbeat_interval_us > 0 && src < total_brokers {
                             last_heard.insert((node, src), at);
@@ -647,9 +656,14 @@ where
                     retransmissions += 1;
                     let (src, dst, latency) = (p.src, p.dst, p.latency);
                     let msg = p.msg.clone();
-                    let backoff = (rec.ack_timeout_us << p.attempts.min(24)).min(rec.backoff_cap_us);
+                    let backoff =
+                        (rec.ack_timeout_us << p.attempts.min(24)).min(rec.backoff_cap_us);
                     sim.send_faulty(plan, NodeId(src as u32), NodeId(dst as u32), latency, msg);
-                    sim.schedule_in(2 * latency + backoff, NodeId(src as u32), FMsg::Retry { hop });
+                    sim.schedule_in(
+                        2 * latency + backoff,
+                        NodeId(src as u32),
+                        FMsg::Retry { hop },
+                    );
                 }
                 FMsg::HbTick => {
                     let Some(rec) = recovery else { continue };
@@ -722,10 +736,11 @@ where
                     if plan.is_up(d.dst, at) {
                         for f in filters {
                             let mut n = node;
-                            let mut actions =
-                                self.brokers[n].unsubscribe(Peer::Local(client), &f);
+                            let mut actions = self.brokers[n].unsubscribe(Peer::Local(client), &f);
                             while let Some(Action::ForwardUnsubscribe(uf)) = actions.pop() {
-                                let Some(parent) = self.parent_of[n] else { break };
+                                let Some(parent) = self.parent_of[n] else {
+                                    break;
+                                };
                                 let from = Peer::Child(n as u32);
                                 n = parent;
                                 actions = self.brokers[n].unsubscribe(from, &uf);
@@ -888,7 +903,11 @@ mod tests {
         cfg.recovery = Some(RecoveryConfig::no_heartbeats());
         let r = eng.run_faulty(&events, 30.0, 1.0, &CostModel::plain(), &mut cfg);
         assert!(r.lost_to_dead_node > 0, "crash window must bite: {r:?}");
-        assert_eq!(r.delivered, r.published * 4, "retransmit over outage: {r:?}");
+        assert_eq!(
+            r.delivered,
+            r.published * 4,
+            "retransmit over outage: {r:?}"
+        );
     }
 
     #[test]

@@ -116,10 +116,7 @@ impl IndexableFilter for psguard_model::Filter {
         self.constraints()
     }
 
-    fn event_attr<'a>(
-        event: &'a psguard_model::Event,
-        name: &AttrName,
-    ) -> Option<&'a AttrValue> {
+    fn event_attr<'a>(event: &'a psguard_model::Event, name: &AttrName) -> Option<&'a AttrValue> {
         event.attr(name.as_str())
     }
 
@@ -221,11 +218,14 @@ impl<K> Bucket<K> {
     }
 
     fn attr_index_mut(&mut self, name: &AttrName) -> &mut AttrIndex {
-        if let Some(pos) = self.attrs.iter().position(|(n, _)| n == name) {
-            return &mut self.attrs[pos].1;
-        }
-        self.attrs.push((name.clone(), AttrIndex::default()));
-        &mut self.attrs.last_mut().expect("just pushed").1
+        let pos = match self.attrs.iter().position(|(n, _)| n == name) {
+            Some(pos) => pos,
+            None => {
+                self.attrs.push((name.clone(), AttrIndex::default()));
+                self.attrs.len() - 1
+            }
+        };
+        &mut self.attrs[pos].1
     }
 
     fn add_entry(&mut self, id: EntryId, constraints: &[Constraint]) {
@@ -443,7 +443,10 @@ impl<F: IndexableFilter> MatchIndex<F> {
             }
         };
         self.live += 1;
-        let constraints = self.entries[id as usize].filter.indexed_constraints().to_vec();
+        let constraints = self.entries[id as usize]
+            .filter
+            .indexed_constraints()
+            .to_vec();
         self.buckets[bid as usize].add_entry(id, &constraints);
         id
     }
@@ -657,10 +660,7 @@ mod tests {
         idx.insert(Peer::Child(2), f("a", 50));
         idx.insert(Peer::Child(3), f("b", 0));
         assert_eq!(idx.query(&e("a", 20)), vec![Peer::Child(1)]);
-        assert_eq!(
-            idx.query(&e("a", 60)),
-            vec![Peer::Child(1), Peer::Child(2)]
-        );
+        assert_eq!(idx.query(&e("a", 60)), vec![Peer::Child(1), Peer::Child(2)]);
         assert_eq!(idx.query(&e("b", 99)), vec![Peer::Child(3)]);
         assert!(idx.query(&e("c", 99)).is_empty());
     }
@@ -716,10 +716,7 @@ mod tests {
         // Re-insert reuses the freed slot and still matches.
         let c = idx.insert(Peer::Child(3), f("t", 0));
         assert_eq!(c, a, "slab slot reused");
-        assert_eq!(
-            idx.query(&e("t", 15)),
-            vec![Peer::Child(2), Peer::Child(3)]
-        );
+        assert_eq!(idx.query(&e("t", 15)), vec![Peer::Child(2), Peer::Child(3)]);
     }
 
     #[test]
@@ -746,12 +743,18 @@ mod tests {
         idx.insert(Peer::Child(1), range);
         idx.insert(Peer::Child(2), eqs);
         idx.insert(Peer::Child(3), pre);
-        let ev = Event::builder("t").attr("x", 15i64).attr("sym", "GOOG").build();
+        let ev = Event::builder("t")
+            .attr("x", 15i64)
+            .attr("sym", "GOOG")
+            .build();
         assert_eq!(
             idx.query(&ev),
             vec![Peer::Child(1), Peer::Child(2), Peer::Child(3)]
         );
-        let ev2 = Event::builder("t").attr("x", 25i64).attr("sym", "GOOD").build();
+        let ev2 = Event::builder("t")
+            .attr("x", 25i64)
+            .attr("sym", "GOOD")
+            .build();
         assert_eq!(idx.query(&ev2), vec![Peer::Child(3)]);
     }
 }

@@ -43,11 +43,11 @@ pub mod wire;
 
 pub use broker::{Action, Broker, BrokerStats};
 pub use engine::{CostModel, Engine, EngineConfig, RunReport};
+pub use error::TcpError;
 pub use fault::{
     DeliveryRecord, FaultConfig, FaultRunReport, RecoveryConfig, Revocation, SeqDedup,
 };
 pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
-pub use error::TcpError;
 pub use semantics::FilterSemantics;
 pub use table::{Peer, SubscriptionTable};
 pub use tcp::{

@@ -274,7 +274,11 @@ mod tests {
         t.insert(Peer::Parent, Filter::any());
         for age in [5i64, 10, 29, 30, 50, 99] {
             let e = event(age);
-            assert_eq!(t.matching_peers(&e), t.matching_peers_linear(&e), "age={age}");
+            assert_eq!(
+                t.matching_peers(&e),
+                t.matching_peers_linear(&e),
+                "age={age}"
+            );
         }
     }
 

@@ -167,7 +167,9 @@ pub struct TcpBroker {
 
 impl std::fmt::Debug for TcpBroker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpBroker").field("addr", &self.addr).finish()
+        f.debug_struct("TcpBroker")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -207,7 +209,11 @@ impl Drop for TcpBroker {
     }
 }
 
-fn spawn_writer(stream: TcpStream, rx: Receiver<Vec<u8>>, stats: Arc<StatsInner>) -> JoinHandle<()> {
+fn spawn_writer(
+    stream: TcpStream,
+    rx: Receiver<Vec<u8>>,
+    stats: Arc<StatsInner>,
+) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut stream = stream;
         while let Ok(frame) = rx.recv() {
@@ -405,13 +411,12 @@ where
             if let Some(ptx) = parent_tx {
                 writers.insert(PARENT_ID, ptx);
             }
-            let send_to = |writers: &HashMap<u32, Sender<Vec<u8>>>,
-                           peer: u32,
-                           msg: &Message<F, F::Event>| {
-                if let Some(w) = writers.get(&peer) {
-                    offer(w, msg.to_bytes(), &stats);
-                }
-            };
+            let send_to =
+                |writers: &HashMap<u32, Sender<Vec<u8>>>, peer: u32, msg: &Message<F, F::Event>| {
+                    if let Some(w) = writers.get(&peer) {
+                        offer(w, msg.to_bytes(), &stats);
+                    }
+                };
             let flush_acks = |writers: &HashMap<u32, Sender<Vec<u8>>>,
                               pending: &mut HashMap<u32, Vec<u32>>| {
                 for (crc, peers) in pending.drain() {
@@ -451,8 +456,7 @@ where
                             offer(w, frame.clone(), &stats);
                             stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
                         }
-                        let deadline =
-                            cfg.heartbeat_interval * cfg.heartbeat_miss_limit.max(1);
+                        let deadline = cfg.heartbeat_interval * cfg.heartbeat_miss_limit.max(1);
                         let now = Instant::now();
                         let dead: Vec<u32> = last_heard
                             .iter()
@@ -484,11 +488,7 @@ where
                                 // release the acks we owe downstream.
                                 if id == PARENT_ID {
                                     for p in pending_acks.remove(&crc).unwrap_or_default() {
-                                        send_to(
-                                            &writers,
-                                            p,
-                                            &Message::SubAck { crc },
-                                        );
+                                        send_to(&writers, p, &Message::SubAck { crc });
                                     }
                                 }
                                 Vec::new()
@@ -496,9 +496,10 @@ where
                             Message::Subscribe(f) => {
                                 let crc = filter_crc(&f);
                                 let actions = broker.subscribe(from, f);
-                                let forwards_up = actions.iter().any(|a| {
-                                    matches!(a, Action::ForwardSubscribe(_))
-                                }) && writers.contains_key(&PARENT_ID);
+                                let forwards_up = actions
+                                    .iter()
+                                    .any(|a| matches!(a, Action::ForwardSubscribe(_)))
+                                    && writers.contains_key(&PARENT_ID);
                                 if forwards_up {
                                     pending_acks.entry(crc).or_default().push(id);
                                 } else {
@@ -626,9 +627,7 @@ where
             let stats = stats.clone();
             let subs = subs.clone();
             std::thread::spawn(move || {
-                supervise::<F>(
-                    broker, cfg, stream, cmd_rx, etx, atx, subs, shutdown, stats,
-                );
+                supervise::<F>(broker, cfg, stream, cmd_rx, etx, atx, subs, shutdown, stats);
             })
         };
 

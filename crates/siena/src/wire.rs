@@ -81,6 +81,16 @@ pub(crate) fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireE
     Ok(head)
 }
 
+/// Like [`take`], but into a fixed-size array — the length check lives in
+/// the return type, so decoders never need a fallible slice conversion.
+/// Public so downstream crates implementing [`Wire`] get the same idiom.
+pub fn take_arr<const N: usize>(input: &mut &[u8]) -> Result<[u8; N], WireError> {
+    let head = take(input, N)?;
+    let mut arr = [0u8; N];
+    arr.copy_from_slice(head);
+    Ok(arr)
+}
+
 impl Wire for u8 {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(*self);
@@ -95,7 +105,7 @@ impl Wire for u32 {
         buf.extend_from_slice(&self.to_be_bytes());
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(u32::from_be_bytes(take(input, 4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(take_arr(input)?))
     }
 }
 
@@ -104,7 +114,7 @@ impl Wire for u64 {
         buf.extend_from_slice(&self.to_be_bytes());
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(u64::from_be_bytes(take(input, 8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(take_arr(input)?))
     }
 }
 
@@ -113,7 +123,7 @@ impl Wire for i64 {
         buf.extend_from_slice(&self.to_be_bytes());
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(i64::from_be_bytes(take(input, 8)?.try_into().unwrap()))
+        Ok(i64::from_be_bytes(take_arr(input)?))
     }
 }
 
@@ -171,10 +181,7 @@ impl Wire for psguard_crypto::Token {
         buf.extend_from_slice(self.as_bytes());
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-        let bytes = take(input, psguard_crypto::TOKEN_LEN)?;
-        Ok(psguard_crypto::Token::from_raw(
-            bytes.try_into().expect("fixed token length"),
-        ))
+        Ok(psguard_crypto::Token::from_raw(take_arr(input)?))
     }
 }
 
@@ -561,10 +568,7 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         assert_eq!(u32::from_bytes(&[1, 2]), Err(WireError::Truncated));
-        assert_eq!(
-            Option::<u8>::from_bytes(&[7]),
-            Err(WireError::BadTag(7))
-        );
+        assert_eq!(Option::<u8>::from_bytes(&[7]), Err(WireError::BadTag(7)));
         // Huge declared length.
         let mut buf = Vec::new();
         (u32::MAX).encode(&mut buf);
@@ -580,7 +584,10 @@ mod tests {
         // Trailing garbage.
         let mut bytes = 5u32.to_bytes();
         bytes.push(0);
-        assert!(matches!(u32::from_bytes(&bytes), Err(WireError::BadLength(1))));
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(WireError::BadLength(1))
+        ));
         // Invalid UTF-8.
         let mut buf = Vec::new();
         vec![0xffu8, 0xfe].encode(&mut buf);

@@ -27,10 +27,7 @@ fn op_strategy() -> BoxedStrategy<Op> {
 /// Topics t0..t3 plus the wildcard; attributes drawn from {a, b} so
 /// constraints and events collide often enough to exercise every path.
 fn filter_strategy() -> BoxedStrategy<Filter> {
-    (
-        0u8..5,
-        prop::collection::vec(("[ab]", op_strategy()), 0..4),
-    )
+    (0u8..5, prop::collection::vec(("[ab]", op_strategy()), 0..4))
         .prop_map(|(topic, constraints)| {
             let mut f = if topic < 4 {
                 Filter::for_topic(format!("t{topic}"))

@@ -58,7 +58,9 @@ fn oversized_frame_drops_only_the_offender() {
     let publisher: TcpClient<Filter> = TcpClient::connect(broker.addr()).expect("connect");
     sub.subscribe_acked(Filter::for_topic("t"), ACK_WAIT)
         .expect("acked");
-    publisher.publish(Event::builder("t").build()).expect("publish");
+    publisher
+        .publish(Event::builder("t").build())
+        .expect("publish");
     assert!(sub.recv_timeout(Duration::from_secs(5)).is_some());
     broker.shutdown();
 }
@@ -76,7 +78,9 @@ fn subscriber_disconnect_cleans_registrations() {
     // Publishing now must not panic or wedge the broker; there is nobody
     // to deliver to.
     let publisher: TcpClient<Filter> = TcpClient::connect(broker.addr()).expect("connect");
-    publisher.publish(Event::builder("t").build()).expect("publish");
+    publisher
+        .publish(Event::builder("t").build())
+        .expect("publish");
     // Same-connection barrier: frames on one connection are processed in
     // order, so this ack proves the broker consumed the publish above
     // before the fresh subscriber below can register.

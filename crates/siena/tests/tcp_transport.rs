@@ -24,7 +24,10 @@ fn single_broker_pubsub_roundtrip() {
     )
     .expect("acked");
 
-    let hit = Event::builder("t").attr("x", 42i64).payload(vec![1]).build();
+    let hit = Event::builder("t")
+        .attr("x", 42i64)
+        .payload(vec![1])
+        .build();
     let miss = Event::builder("t").attr("x", 1i64).build();
     publisher.publish(miss.clone()).expect("publish");
     publisher.publish(hit.clone()).expect("publish");

@@ -1,0 +1,154 @@
+//! Project invariants enforced by `psguard-xtask check`.
+//!
+//! Everything here is deliberately a compile-time constant: the point of
+//! the tool is that loosening an invariant is a reviewed code change, not
+//! an environment tweak. DESIGN.md §12 documents how to extend each list.
+
+/// Type names that hold raw key material ("tainted" types).
+///
+/// A tainted type must not `#[derive(Debug)]` or `#[derive(Serialize)]`,
+/// and must not have a `Display` or manual `Serialize` impl: leakage
+/// through debug/display/serialization paths is the classic
+/// implementation-level failure mode of confidentiality-preserving
+/// pub/sub. Manual *redacting* `Debug` impls (fingerprints only) are the
+/// sanctioned replacement.
+pub const TAINTED_TYPES: &[&str] = &[
+    // crypto: raw key bytes and expanded schedules.
+    "DeriveKey",
+    "AesKey",
+    "Aes128",
+    // keys: hierarchy roots and authorization material.
+    "Kdc",
+    "NaktKeySpace",
+    "CategoryKeySpace",
+    "StringKeySpace",
+    "AuthKey",
+    "ConstraintGrant",
+    "Grant",
+    "KeyCache",
+    "CachedKdc",
+    // groupkey: per-segment group keys and LKH node keys.
+    "LkhTree",
+    "Segment",
+    "SubscriberGroupManager",
+];
+
+/// Binding names that denote key material. A format string interpolating
+/// one of these (or passing one as a format argument) is a violation even
+/// when the type's `Debug` redacts — the binding may be raw bytes.
+pub const TAINTED_BINDINGS: &[&str] = &[
+    "secret",
+    "master",
+    "master_key",
+    "raw_key",
+    "key_bytes",
+    "root_key",
+    "topic_key",
+    "node_key",
+    "derive_key",
+    "auth_key",
+    "content_key",
+    "group_key",
+    "event_key",
+    "mac_key",
+    "private_key",
+    "privkey",
+];
+
+/// Suffixes that also mark a binding as tainted (`*_secret`, `*_sk`).
+pub const TAINTED_BINDING_SUFFIXES: &[&str] = &["_secret", "_sk"];
+
+/// Whether a binding name denotes key material.
+pub fn binding_is_tainted(name: &str) -> bool {
+    TAINTED_BINDINGS.contains(&name)
+        || TAINTED_BINDING_SUFFIXES
+            .iter()
+            .any(|suf| name.len() > suf.len() && name.ends_with(suf))
+}
+
+/// Macros whose format string / arguments are checked for tainted
+/// bindings. `assert*` family is excluded on purpose: failure output goes
+/// through `Debug`, which the derive rule already forces to redact.
+pub const FORMAT_MACROS: &[&str] = &[
+    "format", "print", "println", "eprint", "eprintln", "write", "writeln", "panic",
+];
+
+/// Derives that must not appear on a tainted type.
+pub const FORBIDDEN_DERIVES: &[&str] = &["Debug", "Serialize"];
+
+/// Traits that must not be implemented (even manually) for tainted types.
+pub const FORBIDDEN_IMPLS: &[&str] = &["Display", "Serialize"];
+
+/// Crates whose `src/` trees must be panic-free on non-test paths.
+/// `bench` is excluded: it is a measurement harness of `fn main()`s where
+/// aborting on a broken setup is the correct behavior.
+pub const PANIC_SCOPE_CRATES: &[&str] = &[
+    "analysis", "crypto", "groupkey", "keys", "model", "net", "psguard", "routing", "siena",
+    "xtask",
+];
+
+/// Methods (called as `.name(`) that panic and are banned on library paths.
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that panic and are banned on library paths.
+pub const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable"];
+
+/// Path prefixes (workspace-relative, `/`-separated) that must stay
+/// deterministic: code reachable from the seeded simulator must not read
+/// wall clocks, sleep, or draw OS randomness. `siena/src/tcp.rs` is the
+/// real-transport boundary and is deliberately *not* in scope.
+pub const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/net/src/",
+    "crates/routing/src/",
+    "crates/siena/src/fault.rs",
+];
+
+/// Identifiers banned inside the determinism scope.
+pub const NONDETERMINISTIC_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "sleep",
+    "thread_rng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Relative path of the panic allowlist file.
+pub const ALLOWLIST_PATH: &str = "crates/xtask/allowlist.txt";
+
+/// Whether a workspace-relative file path is in the panic-freedom scope.
+pub fn panic_scope_contains(rel: &str) -> bool {
+    PANIC_SCOPE_CRATES.iter().any(|krate| {
+        let prefix = format!("crates/{krate}/src/");
+        rel.starts_with(&prefix) && !rel.starts_with(&format!("{prefix}bin/"))
+    })
+}
+
+/// Whether a workspace-relative file path is in the determinism scope.
+pub fn determinism_scope_contains(rel: &str) -> bool {
+    DETERMINISM_SCOPE.iter().any(|p| rel.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes() {
+        assert!(panic_scope_contains("crates/crypto/src/aes.rs"));
+        assert!(!panic_scope_contains("crates/bench/src/perf.rs"));
+        assert!(!panic_scope_contains("crates/crypto/src/bin/tool.rs"));
+        assert!(determinism_scope_contains("crates/net/src/sim.rs"));
+        assert!(determinism_scope_contains("crates/siena/src/fault.rs"));
+        assert!(!determinism_scope_contains("crates/siena/src/tcp.rs"));
+    }
+
+    #[test]
+    fn tainted_bindings() {
+        assert!(binding_is_tainted("master_key"));
+        assert!(binding_is_tainted("session_secret"));
+        assert!(!binding_is_tainted("key_count"));
+        assert!(!binding_is_tainted("topic"));
+    }
+}

@@ -1,0 +1,171 @@
+//! `psguard-xtask` — workspace static analysis for the PSGuard suite.
+//!
+//! Three rule families (see [`rules`] and DESIGN.md §12):
+//! secret hygiene, panic-freedom, and sim determinism. The binary's
+//! `check` subcommand walks every `crates/*/src/**/*.rs` file, lexes it
+//! with the hand-rolled tokenizer in [`lexer`], applies the rules from
+//! [`config`], and reconciles `// PANIC-OK:` sites against the
+//! shrink-only budget file parsed by [`allowlist`].
+
+pub mod allowlist;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use rules::{Finding, Rule};
+
+/// Everything `check` found.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard rule violations (never allowlisted).
+    pub violations: Vec<Finding>,
+    /// Panic sites justified with `// PANIC-OK:`, per file.
+    pub justified: BTreeMap<String, u32>,
+    /// Allowlist budget problems.
+    pub budget_issues: Vec<allowlist::BudgetIssue>,
+    /// Number of files scanned.
+    pub files_scanned: u32,
+}
+
+impl Report {
+    /// True when the tree passes.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.budget_issues.is_empty()
+    }
+}
+
+/// A failure of the checker itself (I/O, malformed allowlist) — distinct
+/// from the tree failing the check.
+#[derive(Debug)]
+pub enum CheckError {
+    Io {
+        path: PathBuf,
+        error: std::io::Error,
+    },
+    Allowlist(allowlist::ParseError),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            CheckError::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Runs the full check against the workspace rooted at `root`.
+pub fn run_check(root: &Path) -> Result<Report, CheckError> {
+    let mut report = Report::default();
+
+    for file in workspace_sources(root)? {
+        let rel = rel_path(root, &file);
+        let source = std::fs::read_to_string(&file).map_err(|error| CheckError::Io {
+            path: file.clone(),
+            error,
+        })?;
+        let lexed = lexer::lex(&source);
+        report.files_scanned += 1;
+        for finding in rules::scan_file(&rel, &lexed) {
+            if finding.rule == Rule::PanicFreedom && finding.allowlisted {
+                *report.justified.entry(rel.clone()).or_insert(0) += 1;
+            } else {
+                report.violations.push(finding);
+            }
+        }
+    }
+
+    let allowlist_path = root.join(config::ALLOWLIST_PATH);
+    let list = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => allowlist::parse(&text).map_err(CheckError::Allowlist)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => allowlist::Allowlist::default(),
+        Err(error) => {
+            return Err(CheckError::Io {
+                path: allowlist_path,
+                error,
+            })
+        }
+    };
+    report.budget_issues =
+        allowlist::reconcile(&list, &report.justified, |rel| root.join(rel).is_file());
+
+    Ok(report)
+}
+
+/// Collects every `crates/*/src/**/*.rs` file, sorted for stable output.
+fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, CheckError> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in read_dir_sorted(&crates_dir)? {
+        let src = entry.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), CheckError> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, CheckError> {
+    let rd = std::fs::read_dir(dir).map_err(|error| CheckError::Io {
+        path: dir.to_path_buf(),
+        error,
+    })?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|error| CheckError::Io {
+            path: dir.to_path_buf(),
+            error,
+        })?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Workspace-relative `/`-separated path for rule matching and output.
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Renders the report the way `cargo`-adjacent tools do: one line per
+/// problem, then a summary.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!("error: {v}\n"));
+    }
+    for b in &report.budget_issues {
+        out.push_str(&format!("error: [allowlist] {b}\n"));
+    }
+    let justified_total: u32 = report.justified.values().sum();
+    out.push_str(&format!(
+        "psguard-xtask check: {} file(s), {} violation(s), {} allowlist issue(s), \
+         {} justified panic site(s)\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.budget_issues.len(),
+        justified_total,
+    ));
+    out
+}

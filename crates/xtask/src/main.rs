@@ -1,0 +1,49 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! Usage: `cargo run -p psguard-xtask -- check`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask; CARGO_MANIFEST_DIR is absolute.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => check(),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`; try `check`");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p psguard-xtask -- check");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check() -> ExitCode {
+    let root = workspace_root();
+    match psguard_xtask::run_check(&root) {
+        Ok(report) => {
+            print!("{}", psguard_xtask::render(&report));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("psguard-xtask: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! The three rule families: secret hygiene, panic-freedom, sim
+//! determinism. Each rule takes a lexed file plus its workspace-relative
+//! path and emits [`Finding`]s.
+
+use crate::config;
+use crate::lexer::{LexedFile, Tok};
+
+/// Which rule family produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Key material reachable from Debug/Display/Serialize or a format
+    /// string.
+    SecretHygiene,
+    /// `unwrap()`/`expect(`/panicking macro on a non-test library path.
+    PanicFreedom,
+    /// Wall clock, sleep, or OS randomness inside the deterministic
+    /// simulator's scope.
+    SimDeterminism,
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rule::SecretHygiene => f.write_str("secret-hygiene"),
+            Rule::PanicFreedom => f.write_str("panic-freedom"),
+            Rule::SimDeterminism => f.write_str("sim-determinism"),
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule family.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+    /// True when the site carries a `// PANIC-OK:` justification and is
+    /// therefore subject to the allowlist budget instead of being a hard
+    /// violation (panic-freedom only).
+    pub allowlisted: bool,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Runs every applicable rule over one file.
+pub fn scan_file(rel_path: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    secret_hygiene(rel_path, lexed, &mut findings);
+    if config::panic_scope_contains(rel_path) {
+        panic_freedom(rel_path, lexed, &mut findings);
+    }
+    if config::determinism_scope_contains(rel_path) {
+        sim_determinism(rel_path, lexed, &mut findings);
+    }
+    findings
+}
+
+fn ident_at(lexed: &LexedFile, i: usize) -> Option<&str> {
+    match lexed.tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(lexed: &LexedFile, i: usize) -> Option<char> {
+    match lexed.tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Secret hygiene: tainted types must not derive `Debug`/`Serialize` or
+/// implement `Display`/`Serialize`; no format string may interpolate a
+/// tainted binding.
+fn secret_hygiene(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut i = 0usize;
+    // Derives seen since the last item started, with the line they sit on.
+    let mut pending_derives: Vec<(String, u32)> = Vec::new();
+    while i < n {
+        match &toks[i].tok {
+            // Attribute: collect derive lists, pass through others.
+            Tok::Punct('#') if punct_at(lexed, i + 1) == Some('[') => {
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                let mut attr_idents: Vec<(String, u32)> = Vec::new();
+                while j < n && depth > 0 {
+                    match &toks[j].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        Tok::Ident(s) => attr_idents.push((s.clone(), toks[j].line)),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if attr_idents.first().map(|(s, _)| s.as_str()) == Some("derive") {
+                    pending_derives.extend(attr_idents.into_iter().skip(1));
+                }
+                i = j;
+            }
+            Tok::Ident(kw) if kw == "struct" || kw == "enum" => {
+                if let Some(name) = ident_at(lexed, i + 1) {
+                    if config::TAINTED_TYPES.contains(&name) {
+                        for (derived, line) in &pending_derives {
+                            if config::FORBIDDEN_DERIVES.contains(&derived.as_str()) {
+                                out.push(Finding {
+                                    file: rel_path.to_owned(),
+                                    line: *line,
+                                    rule: Rule::SecretHygiene,
+                                    message: format!(
+                                        "tainted type `{name}` derives `{derived}`; \
+                                         write a redacting manual impl instead"
+                                    ),
+                                    allowlisted: false,
+                                });
+                            }
+                        }
+                    }
+                }
+                pending_derives.clear();
+                i += 1;
+            }
+            // Any other item keyword ends the influence of pending derives.
+            Tok::Ident(kw)
+                if kw == "fn" || kw == "impl" || kw == "mod" || kw == "trait" || kw == "use" =>
+            {
+                pending_derives.clear();
+                if kw == "impl" {
+                    check_forbidden_impl(rel_path, lexed, i, out);
+                }
+                i += 1;
+            }
+            Tok::Ident(m)
+                if config::FORMAT_MACROS.contains(&m.as_str())
+                    && punct_at(lexed, i + 1) == Some('!') =>
+            {
+                i = check_format_macro(rel_path, lexed, i, out);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Flags `impl Display for TaintedType` / `impl Serialize for TaintedType`.
+fn check_forbidden_impl(
+    rel_path: &str,
+    lexed: &LexedFile,
+    impl_idx: usize,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut j = impl_idx + 1;
+    let mut trait_hit: Option<String> = None;
+    let mut target_hit: Option<String> = None;
+    let mut seen_for = false;
+    while j < n {
+        match &toks[j].tok {
+            Tok::Punct('{') | Tok::Punct(';') => break,
+            Tok::Ident(s) if s == "for" => seen_for = true,
+            Tok::Ident(s) => {
+                if !seen_for && config::FORBIDDEN_IMPLS.contains(&s.as_str()) {
+                    trait_hit = Some(s.clone());
+                }
+                if seen_for && config::TAINTED_TYPES.contains(&s.as_str()) {
+                    target_hit = Some(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if let (Some(tr), Some(ty)) = (trait_hit, target_hit) {
+        out.push(Finding {
+            file: rel_path.to_owned(),
+            line: toks[impl_idx].line,
+            rule: Rule::SecretHygiene,
+            message: format!("tainted type `{ty}` must not implement `{tr}`"),
+            allowlisted: false,
+        });
+    }
+}
+
+/// Scans one format-macro invocation for tainted bindings; returns the
+/// token index just past the macro's argument list.
+fn check_format_macro(
+    rel_path: &str,
+    lexed: &LexedFile,
+    macro_idx: usize,
+    out: &mut Vec<Finding>,
+) -> usize {
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut j = macro_idx + 2;
+    let open = match punct_at(lexed, j) {
+        Some(c @ ('(' | '[' | '{')) => c,
+        _ => return macro_idx + 1,
+    };
+    let close = match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    };
+    let mut depth = 0usize;
+    while j < n {
+        match &toks[j].tok {
+            Tok::Punct(c) if *c == open => depth += 1,
+            Tok::Punct(c) if *c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            Tok::Str(content) => {
+                for name in interpolated_idents(content) {
+                    if config::binding_is_tainted(&name) {
+                        out.push(Finding {
+                            file: rel_path.to_owned(),
+                            line: toks[j].line,
+                            rule: Rule::SecretHygiene,
+                            message: format!(
+                                "format string interpolates tainted binding `{{{name}}}`"
+                            ),
+                            allowlisted: false,
+                        });
+                    }
+                }
+            }
+            Tok::Ident(name) if config::binding_is_tainted(name.as_str()) => {
+                out.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: toks[j].line,
+                    rule: Rule::SecretHygiene,
+                    message: format!("format argument references tainted binding `{name}`"),
+                    allowlisted: false,
+                });
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Extracts the identifiers interpolated by `{name}` / `{name:spec}`
+/// placeholders in a format string (skipping `{{` escapes and positional
+/// placeholders).
+fn interpolated_idents(fmt: &str) -> Vec<String> {
+    let chars: Vec<char> = fmt.chars().collect();
+    let n = chars.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if chars[i] == '{' {
+            if i + 1 < n && chars[i + 1] == '{' {
+                i += 2;
+                continue;
+            }
+            let mut name = String::new();
+            let mut j = i + 1;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                name.push(chars[j]);
+                j += 1;
+            }
+            if !name.is_empty() && !name.chars().all(|c| c.is_ascii_digit()) {
+                out.push(name);
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Panic-freedom: `.unwrap()` / `.expect(` / `panic!`-family macros on
+/// non-test lines. Sites carrying a `// PANIC-OK:` justification are
+/// reported as allowlist candidates, which [`crate::allowlist`] budgets.
+fn panic_freedom(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        let line = t.line;
+        if lexed.is_test_line(line) {
+            continue;
+        }
+        let hit: Option<String> = match &t.tok {
+            Tok::Ident(m)
+                if config::PANIC_METHODS.contains(&m.as_str())
+                    && punct_at(lexed, i.wrapping_sub(1)) == Some('.')
+                    && i >= 1
+                    && punct_at(lexed, i + 1) == Some('(') =>
+            {
+                Some(format!(".{m}(..)"))
+            }
+            Tok::Ident(m)
+                if config::PANIC_MACROS.contains(&m.as_str())
+                    && punct_at(lexed, i + 1) == Some('!') =>
+            {
+                Some(format!("{m}!"))
+            }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            let allowlisted = lexed.is_panic_ok_line(line);
+            out.push(Finding {
+                file: rel_path.to_owned(),
+                line,
+                rule: Rule::PanicFreedom,
+                message: if allowlisted {
+                    format!("{what} on a library path (justified by PANIC-OK)")
+                } else {
+                    format!("{what} on a library path; use a typed error or add // PANIC-OK: <why>")
+                },
+                allowlisted,
+            });
+        }
+    }
+}
+
+/// Sim determinism: no wall clock, sleep, or OS randomness in scope.
+fn sim_determinism(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if let Tok::Ident(name) = &t.tok {
+            if config::NONDETERMINISTIC_IDENTS.contains(&name.as_str()) {
+                // `Instant` only counts when used, not in a doc path like
+                // `std::time::Instant` inside a `use` — but a `use` already
+                // makes it callable, so flag those too. The single
+                // exception: `.sleep` as a field name would be a false
+                // positive; require call or path position for `sleep`.
+                if name == "sleep" && punct_at(lexed, i + 1) != Some('(') {
+                    continue;
+                }
+                out.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: t.line,
+                    rule: Rule::SimDeterminism,
+                    message: format!(
+                        "`{name}` is non-deterministic; the simulator scope must use \
+                         seeded RNG and virtual time"
+                    ),
+                    allowlisted: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        scan_file(path, &lex(src))
+    }
+
+    #[test]
+    fn derive_debug_on_tainted_type_flagged() {
+        let f = scan(
+            "crates/crypto/src/key.rs",
+            "#[derive(Debug, Clone)]\npub struct DeriveKey([u8; 20]);\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::SecretHygiene);
+    }
+
+    #[test]
+    fn manual_redacting_debug_is_fine() {
+        let f = scan(
+            "crates/crypto/src/key.rs",
+            "pub struct DeriveKey([u8; 20]);\nimpl std::fmt::Debug for DeriveKey {}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn display_impl_on_tainted_type_flagged() {
+        let f = scan(
+            "crates/crypto/src/key.rs",
+            "impl std::fmt::Display for AesKey { }\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn format_interpolation_of_tainted_binding_flagged() {
+        let f = scan(
+            "crates/keys/src/kdc.rs",
+            "fn f(topic_key: &DeriveKey) { println!(\"k = {topic_key:?}\"); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_on_library_path_flagged_but_not_in_tests() {
+        let src = "fn lib(x: Option<u8>) { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t(x: Option<u8>) { x.unwrap(); }\n}\n";
+        let f = scan("crates/keys/src/kdc.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn panic_ok_marks_allowlisted() {
+        let f = scan(
+            "crates/keys/src/kdc.rs",
+            "fn lib(x: Option<u8>) { x.unwrap(); } // PANIC-OK: invariant\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowlisted);
+    }
+
+    #[test]
+    fn bench_crate_is_out_of_panic_scope() {
+        let f = scan(
+            "crates/bench/src/perf.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn instant_in_sim_scope_flagged_but_tcp_exempt() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert!(scan("crates/siena/src/tcp.rs", src).is_empty());
+        let f = scan("crates/net/src/sim.rs", src);
+        assert!(f.iter().all(|x| x.rule == Rule::SimDeterminism));
+        assert!(f.len() >= 2);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let f = scan(
+            "crates/keys/src/kdc.rs",
+            "fn lib(x: Option<u8>) { x.unwrap_or_else(|| 0); x.unwrap_or(1); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Fixture-based rule tests: each rule family must catch its seeded
+//! violation file and pass its clean counterpart, plus a self-check that
+//! the live workspace (and its allowlist) stays clean.
+
+use std::path::{Path, PathBuf};
+
+use psguard_xtask::lexer::lex;
+use psguard_xtask::rules::{scan_file, Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Scans a fixture as if it lived at `rel_path` in the workspace.
+fn scan(rel_path: &str, name: &str) -> Vec<Finding> {
+    scan_file(rel_path, &lex(&fixture(name)))
+}
+
+fn hard_violations(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| !f.allowlisted).collect()
+}
+
+#[test]
+fn secret_hygiene_catches_seeded_violations() {
+    let findings = scan("crates/crypto/src/fixture.rs", "secret_violation.rs");
+    let secret: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SecretHygiene)
+        .collect();
+    // derive(Debug) on DeriveKey, derive(Serialize) on AesKey, Display on
+    // Kdc, {topic_key:?} interpolation, raw_key format argument.
+    assert!(secret.len() >= 5, "{secret:#?}");
+}
+
+#[test]
+fn secret_hygiene_passes_clean_snippet() {
+    let findings = scan("crates/crypto/src/fixture.rs", "secret_clean.rs");
+    let secret: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SecretHygiene)
+        .collect();
+    assert!(secret.is_empty(), "{secret:#?}");
+}
+
+#[test]
+fn panic_freedom_catches_seeded_violations() {
+    let findings = scan("crates/keys/src/fixture.rs", "panic_violation.rs");
+    let panics: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicFreedom)
+        .collect();
+    // unwrap(), expect(), unimplemented!.
+    assert_eq!(panics.len(), 3, "{panics:#?}");
+    assert!(panics.iter().all(|f| !f.allowlisted));
+}
+
+#[test]
+fn panic_freedom_passes_clean_snippet_and_classifies_panic_ok() {
+    let findings = scan("crates/keys/src/fixture.rs", "panic_clean.rs");
+    let panics: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicFreedom)
+        .collect();
+    // The only panic site carries a PANIC-OK justification; the
+    // test-module unwrap and unwrap_or are not findings at all.
+    assert_eq!(panics.len(), 1, "{panics:#?}");
+    assert!(panics[0].allowlisted);
+}
+
+#[test]
+fn panic_freedom_is_scoped_to_library_crates() {
+    let findings = scan("crates/bench/src/fixture.rs", "panic_violation.rs");
+    assert!(hard_violations(&findings).is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn determinism_catches_seeded_violations() {
+    let findings = scan("crates/net/src/fixture.rs", "determinism_violation.rs");
+    let det: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SimDeterminism)
+        .collect();
+    // Instant (use + call), SystemTime (return type + call), sleep, OsRng.
+    assert!(det.len() >= 5, "{det:#?}");
+}
+
+#[test]
+fn determinism_passes_clean_snippet_and_ignores_sleep_field() {
+    let findings = scan("crates/net/src/fixture.rs", "determinism_clean.rs");
+    let det: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SimDeterminism)
+        .collect();
+    assert!(det.is_empty(), "{det:#?}");
+}
+
+#[test]
+fn determinism_rule_only_applies_in_scope() {
+    let findings = scan("crates/siena/src/tcp.rs", "determinism_violation.rs");
+    let det: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SimDeterminism)
+        .collect();
+    assert!(det.is_empty(), "{det:#?}");
+}
+
+/// Self-check: the live tree passes `psguard-xtask check`, which includes
+/// validating that every allowlist entry references a file that still
+/// exists and that budgets match the PANIC-OK counts exactly.
+#[test]
+fn workspace_and_allowlist_are_clean() {
+    let root = workspace_root();
+    let report = psguard_xtask::run_check(&root).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        report.is_clean(),
+        "workspace check failed:\n{}",
+        psguard_xtask::render(&report)
+    );
+    assert!(report.files_scanned > 50, "walker found too few files");
+}
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}

@@ -1,0 +1,21 @@
+// Fixture: the deterministic idioms the simulator scope must use —
+// virtual time and seeded RNG. Never compiled — scanned as text.
+
+pub struct VirtualClock {
+    now_us: u64,
+}
+
+impl VirtualClock {
+    pub fn advance(&mut self, us: u64) {
+        self.now_us += us;
+    }
+}
+
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// The word "sleep" as a field is not a call to thread::sleep.
+pub struct FaultPlan {
+    sleep: u64,
+}

@@ -1,0 +1,20 @@
+// Fixture: sim-determinism violations. Never compiled — scanned as text.
+
+use std::time::Instant;
+
+pub fn now_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}
+
+pub fn wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn wait() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::rngs::OsRng;
+    rng.next_u64()
+}

@@ -1,0 +1,28 @@
+// Fixture: panic-free idioms — typed errors, test-scoped unwraps, and a
+// justified PANIC-OK site. Never compiled — scanned as text.
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> Option<u32> {
+    map.get(&k).copied()
+}
+
+pub fn decode(bytes: &[u8]) -> Result<[u8; 4], WireError> {
+    bytes.try_into().map_err(|_| WireError::Truncated)
+}
+
+pub fn fallback(v: Option<u32>) -> u32 {
+    // unwrap_or is not a panic path.
+    v.unwrap_or(0)
+}
+
+pub fn invariant(v: Option<u32>) -> u32 {
+    v.expect("checked by caller") // PANIC-OK: construction guarantees Some
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: panic-freedom violations on library paths. Never compiled —
+// scanned as text by tests/fixtures.rs.
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap()
+}
+
+pub fn decode(bytes: &[u8]) -> [u8; 4] {
+    bytes.try_into().expect("4 bytes")
+}
+
+pub fn not_done() {
+    unimplemented!("later")
+}

@@ -29,7 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let root = spawn_broker::<SecureFilter>("127.0.0.1:0", None)?;
     let left = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(root.addr()))?;
     let right = spawn_broker::<SecureFilter>("127.0.0.1:0", Some(root.addr()))?;
-    println!("brokers: root {} / left {} / right {}", root.addr(), left.addr(), right.addr());
+    println!(
+        "brokers: root {} / left {} / right {}",
+        root.addr(),
+        left.addr(),
+        right.addr()
+    );
 
     // The on-call engineer subscribes at the left broker for severity ≥ 7.
     let mut oncall = ps.subscriber("on-call");
@@ -67,7 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         String::from_utf8_lossy(plain.payload())
     );
     assert!(
-        oncall_conn.recv_timeout(Duration::from_millis(300)).is_none(),
+        oncall_conn
+            .recv_timeout(Duration::from_millis(300))
+            .is_none(),
         "the severity-3 alert must be filtered in-network"
     );
     println!("severity-3 alert was filtered in-network, as subscribed.");

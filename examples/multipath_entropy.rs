@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --example multipath_entropy`
 
-use psguard_routing::{
-    simulate, zipf_frequencies, AttackSimConfig, MultipathTree,
-};
+use psguard_routing::{simulate, zipf_frequencies, AttackSimConfig, MultipathTree};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let freqs = zipf_frequencies(64, 1.0);
@@ -34,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The attack: entropy of what routers observe, with and without the
     // defense.
-    println!("{:>9} {:>12} {:>12} {:>12}", "ind_max", "S_act", "S_app", "S_max");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "ind_max", "S_act", "S_app", "S_max"
+    );
     for ind in [1u8, 2, 3, 5, 8] {
         let obs = simulate(&AttackSimConfig {
             arity: 8,

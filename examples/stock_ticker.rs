@@ -13,7 +13,11 @@ use psguard_model::{Constraint, Event, Filter, IntRange, Op};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = Schema::builder()
-        .numeric("price_cents", IntRange::new(0, 65_535).expect("valid range"), 1)?
+        .numeric(
+            "price_cents",
+            IntRange::new(0, 65_535).expect("valid range"),
+            1,
+        )?
         .str_prefix("symbol", 8)
         .build();
 

@@ -42,7 +42,10 @@ fn all_four_families_roundtrip() {
                 Op::CategoryIn(CategoryPath::from_indices([1])),
             )),
             Event::builder("w")
-                .attr("diag", AttrValue::Category(CategoryPath::from_indices([1, 2, 0])))
+                .attr(
+                    "diag",
+                    AttrValue::Category(CategoryPath::from_indices([1, 2, 0])),
+                )
                 .payload(b"category".to_vec())
                 .build(),
         ),
@@ -100,7 +103,10 @@ fn secure_events_route_through_brokers_by_token_and_constraints() {
     // A low-severity alert reaches only the unconstrained subscriber.
     let low = publisher
         .publish(
-            &Event::builder("alerts").attr("age", 5i64).payload(vec![1]).build(),
+            &Event::builder("alerts")
+                .attr("age", 5i64)
+                .payload(vec![1])
+                .build(),
             0,
         )
         .expect("publishable");
@@ -111,7 +117,10 @@ fn secure_events_route_through_brokers_by_token_and_constraints() {
     // A high-severity alert reaches both.
     let high_ev = publisher
         .publish(
-            &Event::builder("alerts").attr("age", 200i64).payload(vec![2]).build(),
+            &Event::builder("alerts")
+                .attr("age", 200i64)
+                .payload(vec![2])
+                .build(),
             0,
         )
         .expect("publishable");
@@ -122,7 +131,10 @@ fn secure_events_route_through_brokers_by_token_and_constraints() {
     // even with identical attributes.
     let other = publisher
         .publish(
-            &Event::builder("noise").attr("age", 200i64).payload(vec![3]).build(),
+            &Event::builder("noise")
+                .attr("age", 200i64)
+                .payload(vec![3])
+                .build(),
             0,
         )
         .expect("publishable");
@@ -177,7 +189,10 @@ fn two_subscribers_same_filter_need_no_coordination() {
 
     let mut publisher = ps.publisher("P");
     ps.authorize_publisher(&mut publisher, "w", 0);
-    let e = Event::builder("w").attr("age", 12i64).payload(vec![7]).build();
+    let e = Event::builder("w")
+        .attr("age", 12i64)
+        .payload(vec![7])
+        .build();
     let secure = publisher.publish(&e, 0).expect("publishable");
     assert_eq!(
         s1.decrypt(&secure).expect("s1").payload(),
@@ -195,13 +210,15 @@ fn wire_roundtrip_through_frames() {
     ps.authorize_publisher(&mut publisher, "w", 0);
     let secure = publisher
         .publish(
-            &Event::builder("w").attr("age", 1i64).payload(vec![1, 2, 3]).build(),
+            &Event::builder("w")
+                .attr("age", 1i64)
+                .payload(vec![1, 2, 3])
+                .build(),
             0,
         )
         .expect("publishable");
 
-    let msg: Message<SecureFilter, psguard_routing::SecureEvent> =
-        Message::Publish(secure.clone());
+    let msg: Message<SecureFilter, psguard_routing::SecureEvent> = Message::Publish(secure.clone());
     let mut buf = Vec::new();
     write_frame(&mut buf, &msg.to_bytes()).expect("write");
     let mut cursor = std::io::Cursor::new(buf);

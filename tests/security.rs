@@ -39,7 +39,10 @@ fn unauthorized_subscriber_cannot_decrypt_nonmatching_event() {
     )
     .expect("grantable");
     let secure = published(&ps, 25, 0);
-    assert_eq!(sub.decrypt(&secure).unwrap_err(), DecryptError::NotAuthorized);
+    assert_eq!(
+        sub.decrypt(&secure).unwrap_err(),
+        DecryptError::NotAuthorized
+    );
 
     // While f = age > 20 must read it.
     let mut ok = ps.subscriber("S");
@@ -65,8 +68,14 @@ fn boundary_values_of_the_granted_range() {
         0,
     )
     .expect("grantable");
-    assert!(sub.decrypt(&published(&ps, 16, 0)).is_ok(), "lower bound inclusive");
-    assert!(sub.decrypt(&published(&ps, 31, 0)).is_ok(), "upper bound inclusive");
+    assert!(
+        sub.decrypt(&published(&ps, 16, 0)).is_ok(),
+        "lower bound inclusive"
+    );
+    assert!(
+        sub.decrypt(&published(&ps, 31, 0)).is_ok(),
+        "upper bound inclusive"
+    );
     assert!(sub.decrypt(&published(&ps, 15, 0)).is_err(), "below range");
     assert!(sub.decrypt(&published(&ps, 32, 0)).is_err(), "above range");
 }
@@ -142,7 +151,10 @@ fn tokens_are_unlinkable_across_events() {
     let ps = deployment();
     let mut publisher = ps.publisher("P");
     ps.authorize_publisher(&mut publisher, "w", 0);
-    let e = Event::builder("w").attr("age", 1i64).payload(vec![0]).build();
+    let e = Event::builder("w")
+        .attr("age", 1i64)
+        .payload(vec![0])
+        .build();
     let a = publisher.publish(&e, 0).expect("publishable");
     let b = publisher.publish(&e, 0).expect("publishable");
     assert_ne!(a.tag.nonce, b.tag.nonce);

@@ -115,7 +115,8 @@ fn same_filter_same_grant_under_churn() {
     let filter: Filter = workload.subscriptions(1).remove(0);
 
     let mut early = ps.subscriber("early");
-    ps.authorize_subscriber(&mut early, &filter, 0).expect("grantable");
+    ps.authorize_subscriber(&mut early, &filter, 0)
+        .expect("grantable");
     let early_keys = early.key_count();
 
     // 100 churning subscribers later…
@@ -128,6 +129,7 @@ fn same_filter_same_grant_under_churn() {
     }
 
     let mut late = ps.subscriber("late");
-    ps.authorize_subscriber(&mut late, &filter, 0).expect("grantable");
+    ps.authorize_subscriber(&mut late, &filter, 0)
+        .expect("grantable");
     assert_eq!(early_keys, late.key_count());
 }

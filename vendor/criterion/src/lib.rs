@@ -249,9 +249,7 @@ mod tests {
     #[test]
     fn bencher_measures_something() {
         let mut c = Criterion::default();
-        c.bench_function("noop_sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let mut group = c.benchmark_group("grp");
         group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
             b.iter(|| n * 2)
