@@ -38,25 +38,32 @@ fn events() -> Vec<Event> {
         .collect()
 }
 
-/// Events/second over at least `min_iters` calls and 50 ms of wall time.
-fn measure(mut run: impl FnMut(usize), min_iters: usize) -> f64 {
+/// Events/second plus the iteration count actually sampled, over at
+/// least `min_iters` calls and 200 ms of wall time. The old 50 ms floor
+/// under-sampled the 100k-subscription case (a handful of linear scans
+/// per window), making BENCH numbers jitter run-to-run; 200 ms keeps
+/// every cell above a few dozen samples, and the iteration count lands
+/// in the JSON so a reader can judge each number's stability.
+fn measure(mut run: impl FnMut(usize), min_iters: usize) -> (f64, usize) {
     // Warm-up.
     for i in 0..min_iters.min(64) {
         run(i);
     }
     let mut iters = 0usize;
     let start = Instant::now();
-    while iters < min_iters || start.elapsed().as_millis() < 50 {
+    while iters < min_iters || start.elapsed().as_millis() < 200 {
         run(iters);
         iters += 1;
     }
-    iters as f64 / start.elapsed().as_secs_f64()
+    (iters as f64 / start.elapsed().as_secs_f64(), iters)
 }
 
 struct Row {
     subscriptions: usize,
     indexed_eps: f64,
+    indexed_iters: usize,
     linear_eps: f64,
+    linear_iters: usize,
     indexed_work: u64,
 }
 
@@ -66,7 +73,7 @@ fn main() {
     for n in SIZES {
         let mut table = build_table(n);
 
-        let indexed_eps = measure(
+        let (indexed_eps, indexed_iters) = measure(
             |i| {
                 std::hint::black_box(table.matching_peers(&evs[i % evs.len()]));
             },
@@ -76,7 +83,7 @@ fn main() {
 
         // The linear reference needs far fewer iterations at large n.
         let min_iters = (1_000_000 / n).max(8);
-        let linear_eps = measure(
+        let (linear_eps, linear_iters) = measure(
             |i| {
                 std::hint::black_box(table.matching_peers_linear(&evs[i % evs.len()]));
             },
@@ -84,13 +91,15 @@ fn main() {
         );
 
         println!(
-            "n={n:>6}  indexed {indexed_eps:>12.0} ev/s  linear {linear_eps:>12.0} ev/s  speedup {:>7.1}x  work/event {indexed_work}",
+            "n={n:>6}  indexed {indexed_eps:>12.0} ev/s ({indexed_iters} iters)  linear {linear_eps:>12.0} ev/s ({linear_iters} iters)  speedup {:>7.1}x  work/event {indexed_work}",
             indexed_eps / linear_eps
         );
         rows.push(Row {
             subscriptions: n,
             indexed_eps,
+            indexed_iters,
             linear_eps,
+            linear_iters,
             indexed_work,
         });
     }
@@ -99,10 +108,12 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"subscriptions\": {}, \"indexed_eps\": {:.1}, \"linear_eps\": {:.1}, \"speedup\": {:.2}, \"indexed_work_per_event\": {}, \"linear_work_per_event\": {}}}{}",
+            "    {{\"subscriptions\": {}, \"indexed_eps\": {:.1}, \"indexed_iters\": {}, \"linear_eps\": {:.1}, \"linear_iters\": {}, \"speedup\": {:.2}, \"indexed_work_per_event\": {}, \"linear_work_per_event\": {}}}{}",
             r.subscriptions,
             r.indexed_eps,
+            r.indexed_iters,
             r.linear_eps,
+            r.linear_iters,
             r.indexed_eps / r.linear_eps,
             r.indexed_work,
             r.subscriptions,

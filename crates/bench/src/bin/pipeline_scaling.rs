@@ -1,0 +1,260 @@
+//! End-to-end dissemination throughput: serial broker vs. sharded pipeline.
+//!
+//! Routes pools of secure (tokenized) events through tables of
+//! {100, 1k, 10k, 100k} subscriptions, comparing the serial
+//! `Broker::publish` loop (one cloned delivery per recipient) against
+//! `ShardedPipeline::publish_batch` with {1, 2, 4, 8} shards (prepared
+//! PRF probe contexts, reused scratch, clone-free `BatchDeliveries`).
+//! Also microbenchmarks the PRF-verify fast path: one-shot `prf_verify`
+//! (re-deriving HMAC pads per probe) vs. a reusable `PrfContext`.
+//!
+//! Writes machine-readable results to `BENCH_pipeline.json` in the
+//! current directory. Pass `--smoke` for a seconds-long CI variant that
+//! skips the throughput assertions.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use psguard_crypto::{prf, prf_verify, PrfContext, Token};
+use psguard_model::{Constraint, Event, Op};
+use psguard_routing::{RoutableTag, SecureEvent, SecureFilter};
+use psguard_siena::{Broker, Peer, ShardedPipeline};
+
+/// Distinct topics (= live tokens each event is probed against).
+const TOPICS: usize = 128;
+/// Events per measured pool; larger than the probe-memo capacity so
+/// repeated passes keep paying for PRF probes on both paths.
+const POOL: usize = 2_048;
+/// Events per `publish_batch` call.
+const BATCH: usize = 256;
+/// Encrypted payload bytes per event.
+const PAYLOAD: usize = 1_024;
+
+fn topic_token(t: usize) -> Token {
+    prf(b"bench-master", format!("topic{t:03}").as_bytes())
+}
+
+/// `n` subscriptions spread over the topics, each with a range
+/// constraint about half the events satisfy — a realistic mix of token
+/// probing, predicate counting, and high fanout at large `n`.
+fn subscriptions(n: usize) -> Vec<(Peer, SecureFilter)> {
+    (0..n)
+        .map(|i| {
+            let filter = SecureFilter {
+                token: topic_token(i % TOPICS),
+                constraints: vec![Constraint::new("x", Op::Ge((i % 50) as i64))],
+            };
+            (Peer::Local(i as u32), filter)
+        })
+        .collect()
+}
+
+fn event_pool() -> Vec<SecureEvent> {
+    (0..POOL)
+        .map(|i| {
+            let mut nonce = [0u8; 16];
+            nonce[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            SecureEvent {
+                tag: RoutableTag::with_nonce(&topic_token(i % TOPICS), nonce),
+                event: Event::builder("")
+                    .attr("x", (i % 50) as i64)
+                    .payload(vec![0xAB; PAYLOAD])
+                    .build(),
+                iv: [0u8; 16],
+                epoch: 0,
+                mac: [0u8; 20],
+            }
+        })
+        .collect()
+}
+
+/// Events/second plus pool passes sampled: at least `min_passes` full
+/// passes over the pool and `min_ms` of wall time per cell.
+fn measure(mut run_pass: impl FnMut(), min_passes: usize, min_ms: u128) -> (f64, usize) {
+    run_pass(); // Warm-up.
+    let mut passes = 0usize;
+    let start = Instant::now();
+    while passes < min_passes || start.elapsed().as_millis() < min_ms {
+        run_pass();
+        passes += 1;
+    }
+    (
+        (passes * POOL) as f64 / start.elapsed().as_secs_f64(),
+        passes,
+    )
+}
+
+struct ShardCell {
+    shards: usize,
+    eps: f64,
+    passes: usize,
+    batch_work: u64,
+}
+
+struct Row {
+    subscriptions: usize,
+    serial_eps: f64,
+    serial_passes: usize,
+    cells: Vec<ShardCell>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, shard_counts, min_ms): (&[usize], &[usize], u128) = if smoke {
+        (&[100, 1_000], &[1, 2], 10)
+    } else {
+        (&[100, 1_000, 10_000, 100_000], &[1, 2, 4, 8], 200)
+    };
+
+    let pool = event_pool();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let subs = subscriptions(n);
+
+        let mut broker: Broker<SecureFilter> = Broker::new(true);
+        for (peer, filter) in &subs {
+            broker.subscribe(*peer, filter.clone());
+        }
+        let (serial_eps, serial_passes) = measure(
+            || {
+                for e in &pool {
+                    std::hint::black_box(broker.publish(Peer::Parent, e.clone()));
+                }
+            },
+            1,
+            min_ms,
+        );
+        drop(broker);
+
+        let mut cells = Vec::new();
+        for &shards in shard_counts {
+            let mut pipeline: ShardedPipeline<SecureFilter> = ShardedPipeline::new(true, shards);
+            for (peer, filter) in &subs {
+                pipeline.subscribe(*peer, filter.clone());
+            }
+            let (eps, passes) = measure(
+                || {
+                    for batch in pool.chunks(BATCH) {
+                        std::hint::black_box(pipeline.publish_batch(Peer::Parent, batch));
+                    }
+                },
+                1,
+                min_ms,
+            );
+            let batch_work = pipeline.last_batch_work();
+            println!(
+                "n={n:>6}  shards={shards}  pipeline {eps:>12.0} ev/s ({passes} passes)  speedup {:>6.2}x",
+                eps / serial_eps
+            );
+            cells.push(ShardCell {
+                shards,
+                eps,
+                passes,
+                batch_work,
+            });
+        }
+        println!("n={n:>6}  serial   {serial_eps:>12.0} ev/s ({serial_passes} passes)");
+        rows.push(Row {
+            subscriptions: n,
+            serial_eps,
+            serial_passes,
+            cells,
+        });
+    }
+
+    // PRF-verify microbench: the per-probe cost with and without the
+    // reusable keyed context, single-threaded.
+    let token = topic_token(0);
+    let ctx = PrfContext::for_token(&token);
+    let probes: Vec<([u8; 16], Token)> = (0..1_024u64)
+        .map(|i| {
+            let mut nonce = [0u8; 16];
+            nonce[..8].copy_from_slice(&i.to_le_bytes());
+            let tag = prf(token.as_bytes(), &nonce);
+            (nonce, tag)
+        })
+        .collect();
+    let scale = POOL as f64 / probes.len() as f64; // measure() reports in POOL units
+    let (oneshot_vps, oneshot_passes) = measure(
+        || {
+            for (nonce, tag) in &probes {
+                std::hint::black_box(prf_verify(&token, nonce, tag));
+            }
+        },
+        8,
+        min_ms,
+    );
+    let oneshot_vps = oneshot_vps / scale;
+    let (context_vps, context_passes) = measure(
+        || {
+            for (nonce, tag) in &probes {
+                std::hint::black_box(ctx.verify(nonce, tag));
+            }
+        },
+        8,
+        min_ms,
+    );
+    let context_vps = context_vps / scale;
+    let prf_speedup = context_vps / oneshot_vps;
+    println!(
+        "prf-verify  one-shot {oneshot_vps:>12.0} /s  context {context_vps:>12.0} /s  speedup {prf_speedup:.2}x"
+    );
+
+    let mut json =
+        String::from("{\n  \"bench\": \"pipeline_scaling\",\n  \"unit\": \"events_per_second\",\n");
+    let _ = writeln!(
+        json,
+        "  \"topics\": {TOPICS}, \"pool\": {POOL}, \"batch\": {BATCH}, \"payload_bytes\": {PAYLOAD}, \"smoke\": {smoke},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"prf_context\": {{\"oneshot_vps\": {oneshot_vps:.1}, \"oneshot_passes\": {oneshot_passes}, \"context_vps\": {context_vps:.1}, \"context_passes\": {context_passes}, \"speedup\": {prf_speedup:.2}}},"
+    );
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"subscriptions\": {}, \"serial_eps\": {:.1}, \"serial_passes\": {}, \"shards\": [",
+            r.subscriptions, r.serial_eps, r.serial_passes
+        );
+        for (j, c) in r.cells.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{{\"shards\": {}, \"eps\": {:.1}, \"passes\": {}, \"speedup\": {:.2}, \"batch_work\": {}}}{}",
+                c.shards,
+                c.eps,
+                c.passes,
+                c.eps / r.serial_eps,
+                c.batch_work,
+                if j + 1 < r.cells.len() { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(json, "]}}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+
+    if smoke {
+        println!("smoke mode: skipping throughput assertions");
+        return;
+    }
+    let at_100k = rows
+        .iter()
+        .find(|r| r.subscriptions == 100_000)
+        .expect("100k row");
+    let cell = at_100k
+        .cells
+        .iter()
+        .find(|c| c.shards == 8)
+        .expect("8-shard cell");
+    let speedup = cell.eps / at_100k.serial_eps;
+    assert!(
+        speedup >= 3.0,
+        "pipeline with 8 shards must be >= 3x the serial broker at 100k subscriptions, got {speedup:.2}x"
+    );
+    assert!(
+        prf_speedup >= 1.5,
+        "PrfContext must be >= 1.5x one-shot prf_verify, got {prf_speedup:.2}x"
+    );
+}

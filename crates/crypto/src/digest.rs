@@ -41,6 +41,21 @@ pub trait Digest: Clone {
         d.update(data);
         d.finalize()
     }
+
+    /// Erases any absorbed (possibly key-equivalent) material and resets
+    /// the hasher to its initial state.
+    ///
+    /// Long-lived holders of keyed digest states (e.g. the reusable HMAC
+    /// contexts) call this from `Drop`. Implementations should overwrite
+    /// the chaining state and block buffer with volatile writes so the
+    /// wipe survives optimization; the default merely reassigns the
+    /// initial state.
+    fn wipe(&mut self)
+    where
+        Self: Sized,
+    {
+        *self = Self::new();
+    }
 }
 
 /// Serializes the 64-bit message bit-length in the byte order the algorithm

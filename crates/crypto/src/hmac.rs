@@ -6,6 +6,54 @@
 use crate::digest::Digest;
 use crate::md5::Md5;
 use crate::sha1::Sha1;
+use crate::zeroize::zeroize;
+
+/// Largest digest block size the stack-allocated key schedule supports.
+/// Both MD5 and SHA-1 use 64-byte blocks.
+const MAX_BLOCK: usize = 64;
+
+/// Prepares the inner/outer digests keyed per RFC 2104: hash-or-pad the
+/// key into a block, then absorb `key ⊕ ipad` and `key ⊕ opad`.
+///
+/// All key-equivalent scratch lives in fixed stack buffers that are wiped
+/// in place before returning — no per-call heap allocation on the short-key
+/// path. Shared by [`Hmac::new`] and the reusable contexts in
+/// [`crate::context`].
+pub(crate) fn keyed_pads<D: Digest>(key: &[u8]) -> (D, D) {
+    let block = D::BLOCK_LEN;
+    assert!(
+        block <= MAX_BLOCK,
+        "digest block size exceeds the stack key schedule"
+    );
+    let mut key_block = [0u8; MAX_BLOCK];
+    if key.len() > block {
+        let mut hashed = D::digest_vec(key);
+        key_block[..hashed.len()].copy_from_slice(&hashed);
+        zeroize(&mut hashed);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut pad = [0u8; MAX_BLOCK];
+    for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+        *p = k ^ 0x36;
+    }
+    let mut inner = D::new();
+    inner.update(&pad[..block]);
+
+    for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+        *p = k ^ 0x5c;
+    }
+    let mut outer = D::new();
+    outer.update(&pad[..block]);
+
+    // The padded key blocks are key-equivalent; wipe them in place before
+    // the stack frame is reused.
+    zeroize(&mut key_block);
+    zeroize(&mut pad);
+
+    (inner, outer)
+}
 
 /// Streaming HMAC computation generic over the underlying hash.
 ///
@@ -36,30 +84,16 @@ impl<D: Digest> Hmac<D> {
     /// Creates an HMAC instance keyed with `key`.
     ///
     /// Keys longer than the hash block size are first hashed, per RFC 2104.
+    /// Key-block preparation runs entirely in stack buffers (wiped in
+    /// place), so keying allocates nothing on the short-key path.
     pub fn new(key: &[u8]) -> Self {
-        let block = D::BLOCK_LEN;
-        let mut key_block = vec![0u8; block];
-        if key.len() > block {
-            let hashed = D::digest_vec(key);
-            key_block[..hashed.len()].copy_from_slice(&hashed);
-        } else {
-            key_block[..key.len()].copy_from_slice(key);
-        }
+        let (inner, outer) = keyed_pads::<D>(key);
+        Self { inner, outer }
+    }
 
-        let mut inner = D::new();
-        let mut ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
-        inner.update(&ipad);
-
-        let mut outer = D::new();
-        let mut opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-        outer.update(&opad);
-
-        // The padded key blocks are key-equivalent; wipe them before the
-        // allocations are returned.
-        crate::zeroize::zeroize(&mut key_block);
-        crate::zeroize::zeroize(&mut ipad);
-        crate::zeroize::zeroize(&mut opad);
-
+    /// Rebuilds an HMAC from already-keyed inner/outer digest states.
+    /// Used by [`crate::HmacContext`] to resume from precomputed pads.
+    pub(crate) fn from_parts(inner: D, outer: D) -> Self {
         Self { inner, outer }
     }
 

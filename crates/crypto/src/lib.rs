@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod aes;
+mod context;
 mod ct;
 mod digest;
 mod hmac;
@@ -60,6 +61,7 @@ mod sha1;
 mod zeroize;
 
 pub use aes::{Aes128, BLOCK_SIZE};
+pub use context::{AesContext, HmacContext, PrfContext};
 pub use ct::ct_eq;
 pub use digest::Digest;
 pub use hmac::{hmac, hmac_md5, hmac_sha1, Hmac};
@@ -73,7 +75,7 @@ pub use modexp::{mod_exp, mod_inv_prime, mod_mul};
 pub use prf::{prf, prf_verify, Token, TOKEN_LEN};
 pub use redact::Redacted;
 pub use sha1::Sha1;
-pub use zeroize::zeroize;
+pub use zeroize::{zeroize, zeroize_u32};
 
 /// Number of bytes produced by the one-way hash `H` (SHA-1).
 pub const HASH_LEN: usize = 20;

@@ -5,6 +5,7 @@
 //! benchmarked under either hash, mirroring the paper's choice.
 
 use crate::digest::{md_padding, Digest};
+use crate::zeroize::{zeroize, zeroize_u32};
 
 /// Streaming MD5 hasher.
 ///
@@ -157,6 +158,12 @@ impl Digest for Md5 {
             out.extend_from_slice(&word.to_le_bytes());
         }
         out
+    }
+
+    fn wipe(&mut self) {
+        zeroize(&mut self.buffer);
+        zeroize_u32(&mut self.state);
+        *self = <Self as Digest>::new();
     }
 }
 

@@ -3,7 +3,8 @@
 //! SHA-1 instantiates the paper's one-way hash `H` used for hierarchical
 //! child-key derivation and, through HMAC, the keyed hash `KH` and PRF `F`.
 
-use crate::digest::{md_padding, Digest};
+use crate::digest::Digest;
+use crate::zeroize::{zeroize, zeroize_u32};
 
 /// Streaming SHA-1 hasher.
 ///
@@ -50,9 +51,29 @@ impl Sha1 {
     pub fn digest(data: &[u8]) -> [u8; 20] {
         let mut s = <Self as Digest>::new();
         Digest::update(&mut s, data);
-        let v = Digest::finalize(s);
+        s.finalize_fixed()
+    }
+
+    /// Consumes the hasher and returns the digest as a fixed-size array
+    /// without any heap allocation. This is the hot-path finalize used by
+    /// [`crate::PrfContext`], where the per-call `Vec`s of
+    /// [`Digest::finalize`] would dominate the amortized cost.
+    pub fn finalize_fixed(mut self) -> [u8; 20] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Merkle–Damgård padding on the stack: 0x80, zeros to 56 mod 64,
+        // then the 8-byte big-endian bit length (≤ 72 bytes total).
+        let rem = (self.total_len % 64) as usize;
+        let pad_len = if rem < 56 { 56 - rem } else { 120 - rem };
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // absorb() advances total_len, but the length is already latched.
+        self.absorb(&pad[..pad_len + 8]);
+        debug_assert_eq!(self.buffer_len, 0);
         let mut out = [0u8; 20];
-        out.copy_from_slice(&v);
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
         out
     }
 
@@ -139,16 +160,14 @@ impl Digest for Sha1 {
         self.absorb(data);
     }
 
-    fn finalize(mut self) -> Vec<u8> {
-        let pad = md_padding(self.total_len, false);
-        // absorb() updates total_len, but the length is already latched in `pad`.
-        self.absorb(&pad);
-        debug_assert_eq!(self.buffer_len, 0);
-        let mut out = Vec::with_capacity(20);
-        for word in self.state {
-            out.extend_from_slice(&word.to_be_bytes());
-        }
-        out
+    fn finalize(self) -> Vec<u8> {
+        self.finalize_fixed().to_vec()
+    }
+
+    fn wipe(&mut self) {
+        zeroize(&mut self.buffer);
+        zeroize_u32(&mut self.state);
+        *self = <Self as Digest>::new();
     }
 }
 

@@ -22,6 +22,18 @@ pub fn zeroize(buf: &mut [u8]) {
     compiler_fence(Ordering::SeqCst);
 }
 
+/// Overwrites a word buffer with zeros in a way the optimizer must
+/// preserve. Used to wipe digest chaining state (`[u32; N]`) that has
+/// absorbed key material, e.g. HMAC pad states held by reusable contexts.
+pub fn zeroize_u32(buf: &mut [u32]) {
+    for w in buf.iter_mut() {
+        // SAFETY: `w` is a valid, aligned, exclusive reference obtained
+        // from the iterator; writing a plain word through it is sound.
+        unsafe { core::ptr::write_volatile(w, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +48,13 @@ mod tests {
     #[test]
     fn zeroize_empty_is_fine() {
         zeroize(&mut []);
+    }
+
+    #[test]
+    fn zeroize_u32_clears_every_word() {
+        let mut buf = [0xDEADBEEFu32; 16];
+        zeroize_u32(&mut buf);
+        assert!(buf.iter().all(|&w| w == 0));
+        zeroize_u32(&mut []);
     }
 }

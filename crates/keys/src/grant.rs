@@ -111,7 +111,7 @@ impl std::fmt::Debug for AuthKey {
 }
 
 /// Where an event's per-attribute key part lives in the key space.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum EventKeyAddress {
     /// No keyed attributes: the plain per-topic event key.
     Plain,

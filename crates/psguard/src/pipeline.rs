@@ -1,0 +1,271 @@
+//! The end-to-end secure batch-publish path: encrypt a batch of events
+//! with per-worker KDC derivation caches, then disseminate it through the
+//! sharded match pipeline.
+//!
+//! This is the facade over the tentpole's three layers: reusable crypto
+//! contexts ([`psguard_crypto::PrfContext`] / [`psguard_crypto::AesContext`]
+//! inside [`Publisher::publish_batch`]), the token-sharded
+//! [`ShardedPipeline`], and deterministic merge — output is bit-identical
+//! for any worker or shard count.
+
+use psguard_model::Event;
+use psguard_routing::{SecureEvent, SecureFilter};
+use psguard_siena::{BatchDeliveries, Peer, PipelineStats, ShardedPipeline};
+
+use crate::error::PublishError;
+use crate::publisher::Publisher;
+
+/// A root broker's batch dissemination pipeline carrying PSGuard's secure
+/// envelopes: token-keyed subscriptions partitioned across match shards.
+///
+/// # Example
+///
+/// ```
+/// use psguard::{PsGuard, PsGuardConfig, SecurePipeline};
+/// use psguard_keys::Schema;
+/// use psguard_model::{Event, Filter};
+/// use psguard_siena::Peer;
+///
+/// let ps = PsGuard::new(b"seed", Schema::builder().build(), PsGuardConfig::default());
+/// let mut publisher = ps.publisher("P");
+/// ps.authorize_publisher(&mut publisher, "w", 0);
+/// let mut sub = ps.subscriber("S");
+/// ps.authorize_subscriber(&mut sub, &Filter::for_topic("w"), 0)?;
+///
+/// let mut pipeline = SecurePipeline::new(4);
+/// pipeline.subscribe(Peer::Local(1), sub.secure_filters().remove(0));
+///
+/// let events = vec![Event::builder("w").payload(b"secret".to_vec()).build()];
+/// let (envelopes, deliveries) =
+///     pipeline.publish_batch(&mut publisher, Peer::Parent, &events, 0, 2)?;
+/// assert_eq!(deliveries.for_event(0), &[Peer::Local(1)]);
+/// assert_eq!(sub.decrypt(&envelopes[0])?.payload(), b"secret");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SecurePipeline {
+    pipeline: ShardedPipeline<SecureFilter>,
+    envelopes: Vec<SecureEvent>,
+    deliveries: BatchDeliveries,
+}
+
+impl SecurePipeline {
+    /// A root pipeline with `shards` match shards (`1` reduces to the
+    /// serial broker path).
+    pub fn new(shards: usize) -> Self {
+        SecurePipeline {
+            pipeline: ShardedPipeline::new(true, shards),
+            envelopes: Vec::new(),
+            deliveries: BatchDeliveries::new(),
+        }
+    }
+
+    /// Registers a secure filter for `peer`.
+    pub fn subscribe(&mut self, peer: Peer, filter: SecureFilter) {
+        self.pipeline.subscribe(peer, filter);
+    }
+
+    /// Removes one `(peer, filter)` registration; `true` if it existed.
+    pub fn unsubscribe(&mut self, peer: Peer, filter: &SecureFilter) -> bool {
+        self.pipeline.unsubscribe(peer, filter)
+    }
+
+    /// Drops all registrations of a departed peer.
+    pub fn peer_down(&mut self, peer: Peer) -> usize {
+        self.pipeline.peer_down(peer)
+    }
+
+    /// Number of match shards.
+    pub fn shard_count(&self) -> usize {
+        self.pipeline.shard_count()
+    }
+
+    /// Live registrations.
+    pub fn len(&self) -> usize {
+        self.pipeline.len()
+    }
+
+    /// Whether no registration is live.
+    pub fn is_empty(&self) -> bool {
+        self.pipeline.is_empty()
+    }
+
+    /// Cumulative pipeline counters.
+    pub fn stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// Matching work performed by the most recent batch.
+    pub fn last_batch_work(&self) -> u64 {
+        self.pipeline.last_batch_work()
+    }
+
+    /// Encrypts `events` at `epoch` across `workers` crypto threads, then
+    /// matches the envelopes through the shard pipeline as if they arrived
+    /// from `from`. Returns the envelopes (for transport) alongside each
+    /// event's recipients, both in batch order and independent of worker
+    /// and shard counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Publisher::publish_batch`]; nothing is disseminated unless the
+    /// whole batch encrypts.
+    pub fn publish_batch(
+        &mut self,
+        publisher: &mut Publisher,
+        from: Peer,
+        events: &[Event],
+        epoch: u64,
+        workers: usize,
+    ) -> Result<(&[SecureEvent], &BatchDeliveries), PublishError> {
+        self.envelopes = publisher.publish_batch(events, epoch, workers)?;
+        let mut out = std::mem::take(&mut self.deliveries);
+        self.pipeline
+            .publish_batch_into(from, &self.envelopes, &mut out);
+        self.deliveries = out;
+        Ok((&self.envelopes, &self.deliveries))
+    }
+
+    /// Matches already-encrypted envelopes (e.g. received over the wire)
+    /// through the shard pipeline.
+    pub fn disseminate(&mut self, from: Peer, envelopes: &[SecureEvent]) -> &BatchDeliveries {
+        let mut out = std::mem::take(&mut self.deliveries);
+        self.pipeline.publish_batch_into(from, envelopes, &mut out);
+        self.deliveries = out;
+        &self.deliveries
+    }
+}
+
+impl std::fmt::Debug for SecurePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecurePipeline")
+            .field("shards", &self.pipeline.shard_count())
+            .field("subscriptions", &self.pipeline.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PsGuard, PsGuardConfig};
+    use psguard_keys::Schema;
+    use psguard_model::{Constraint, Filter, IntRange, Op};
+    use psguard_siena::{Action, Broker};
+
+    fn deployment() -> PsGuard {
+        let schema = Schema::builder()
+            .numeric("value", IntRange::new(0, 255).unwrap(), 4)
+            .unwrap()
+            .build();
+        PsGuard::new(b"seed", schema, PsGuardConfig::default())
+    }
+
+    fn workload(ps: &PsGuard) -> (Publisher, Vec<(Peer, SecureFilter)>, Vec<Event>) {
+        let mut publisher = ps.publisher("P");
+        for topic in ["alpha", "beta", "gamma"] {
+            ps.authorize_publisher(&mut publisher, topic, 0);
+        }
+        let mut subs = Vec::new();
+        for c in 0..12u32 {
+            let topic = ["alpha", "beta", "gamma"][(c % 3) as usize];
+            let mut s = ps.subscriber(format!("s{c}"));
+            let f = Filter::for_topic(topic)
+                .with(Constraint::new("value", Op::Ge((c as i64 * 13) % 120)));
+            ps.authorize_subscriber(&mut s, &f, 0).unwrap();
+            subs.push((Peer::Local(c), s.secure_filters().remove(0)));
+        }
+        let events = (0..20)
+            .map(|i| {
+                Event::builder(["alpha", "beta", "gamma"][i % 3])
+                    .attr("value", ((i * 31) % 256) as i64)
+                    .payload(vec![i as u8; 64])
+                    .build()
+            })
+            .collect();
+        (publisher, subs, events)
+    }
+
+    #[test]
+    fn pipeline_deliveries_match_serial_broker() {
+        let ps = deployment();
+        let (mut publisher, subs, events) = workload(&ps);
+        let envelopes = publisher.publish_batch(&events, 0, 2).unwrap();
+
+        let mut broker: Broker<SecureFilter> = Broker::new(true);
+        for (peer, f) in &subs {
+            broker.subscribe(*peer, f.clone());
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let mut pipeline = SecurePipeline::new(shards);
+            for (peer, f) in &subs {
+                pipeline.subscribe(*peer, f.clone());
+            }
+            let deliveries = pipeline.disseminate(Peer::Parent, &envelopes);
+            assert_eq!(deliveries.len(), envelopes.len());
+            for (i, envelope) in envelopes.iter().enumerate() {
+                let serial: Vec<Peer> = broker
+                    .clone()
+                    .publish(Peer::Parent, envelope.clone())
+                    .into_iter()
+                    .map(|a| match a {
+                        Action::Deliver(p, _) => p,
+                        other => panic!("unexpected action {other:?}"),
+                    })
+                    .collect();
+                assert_eq!(deliveries.for_event(i), serial, "shards={shards} event={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_batch_is_deterministic_and_decryptable() {
+        let ps = deployment();
+        let (_, subs, events) = workload(&ps);
+        let mut reference: Option<Vec<SecureEvent>> = None;
+        for (shards, workers) in [(1usize, 1usize), (2, 4), (8, 2), (4, 8)] {
+            let (mut publisher, _, _) = workload(&ps);
+            let mut pipeline = SecurePipeline::new(shards);
+            for (peer, f) in &subs {
+                pipeline.subscribe(*peer, f.clone());
+            }
+            let (envelopes, deliveries) = pipeline
+                .publish_batch(&mut publisher, Peer::Parent, &events, 0, workers)
+                .unwrap();
+            assert!(deliveries.total() > 0);
+            match &reference {
+                None => reference = Some(envelopes.to_vec()),
+                Some(r) => assert_eq!(envelopes, &r[..], "shards={shards} workers={workers}"),
+            }
+        }
+
+        // Authorized subscribers can decrypt what the pipeline routed.
+        let mut s = ps.subscriber("reader");
+        ps.authorize_subscriber(&mut s, &Filter::for_topic("alpha"), 0)
+            .unwrap();
+        let envelopes = reference.unwrap();
+        assert_eq!(s.decrypt(&envelopes[0]).unwrap().payload(), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn membership_changes_flow_through() {
+        let ps = deployment();
+        let (mut publisher, subs, events) = workload(&ps);
+        let mut pipeline = SecurePipeline::new(4);
+        for (peer, f) in &subs {
+            pipeline.subscribe(*peer, f.clone());
+        }
+        assert_eq!(pipeline.len(), subs.len());
+        assert!(pipeline.unsubscribe(subs[0].0, &subs[0].1));
+        assert_eq!(pipeline.peer_down(subs[1].0), 1);
+        assert_eq!(pipeline.len(), subs.len() - 2);
+        let (_, deliveries) = pipeline
+            .publish_batch(&mut publisher, Peer::Parent, &events, 0, 2)
+            .unwrap();
+        for recipients in deliveries.iter() {
+            assert!(!recipients.contains(&subs[0].0));
+            assert!(!recipients.contains(&subs[1].0));
+        }
+        assert!(pipeline.stats().events >= events.len() as u64);
+        assert!(format!("{pipeline:?}").contains("shards"));
+    }
+}

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use psguard_crypto::DeriveKey;
-use psguard_crypto::{cbc_encrypt, Aes128, Token};
+use psguard_crypto::{cbc_encrypt, Aes128, AesContext, PrfContext, Token};
 use psguard_keys::{
     combine_master, event_key_addresses, mac_key, part_from_topic_key, AuthKey, EpochId,
     EventKeyAddress, KeyCache, KeyScope, Ktid, OpCounter, Schema,
@@ -15,6 +15,9 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use crate::error::PublishError;
+
+/// Per-worker event-key cache entries kept before wholesale eviction.
+const EVENT_KEY_CACHE_CAP: usize = 256;
 
 /// A per-(topic, epoch) publishing credential issued by the KDC: the
 /// topic key `K(w)` (or `K_P(w)`) and the routing token `T(w)`.
@@ -30,6 +33,157 @@ pub struct PublisherCredential {
     pub token: Token,
 }
 
+/// Event-key material cached per distinct address vector: the expanded
+/// AES schedule for `K(e)` and the derived MAC key. Consecutive events
+/// with the same keyed attribute values share both.
+///
+/// The derived `Debug` goes through the fields' own redacting `Debug`
+/// impls, so no key material can leak into logs.
+#[derive(Debug)]
+struct EventKeys {
+    aes: AesContext,
+    mac: DeriveKey,
+}
+
+/// Per-worker derivation state for [`Publisher::publish_batch`]: a NAKT
+/// key cache, an event-key cache, and a private op counter merged into
+/// the publisher's after each batch.
+#[derive(Debug)]
+struct BatchWorker {
+    cache: KeyCache,
+    ops: OpCounter,
+    keys: HashMap<(usize, u64, Vec<EventKeyAddress>), EventKeys>,
+}
+
+impl BatchWorker {
+    fn new() -> Self {
+        BatchWorker {
+            cache: KeyCache::new(64 * 1024),
+            ops: OpCounter::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// The AES/MAC material for an event with key parts at `addrs`,
+    /// derived on first sight and cached for the rest of the batch.
+    fn event_keys(
+        &mut self,
+        schema: &Schema,
+        topic_key: &DeriveKey,
+        topic_idx: usize,
+        epoch: u64,
+        addrs: Vec<EventKeyAddress>,
+    ) -> &EventKeys {
+        let key = (topic_idx, epoch, addrs);
+        if self.keys.len() >= EVENT_KEY_CACHE_CAP && !self.keys.contains_key(&key) {
+            self.keys.clear();
+        }
+        let BatchWorker { cache, ops, keys } = self;
+        keys.entry(key).or_insert_with_key(|k| {
+            let parts: Vec<DeriveKey> =
+                k.2.iter()
+                    .map(|a| derive_part_cached(schema, cache, ops, topic_key, epoch, a))
+                    .collect();
+            let master = combine_master(&parts, ops);
+            EventKeys {
+                aes: AesContext::new(master.content_key().as_bytes()),
+                mac: mac_key(&master, ops),
+            }
+        })
+    }
+}
+
+/// A per-topic credential resolved once per batch: the topic key plus a
+/// [`PrfContext`] so tagging each event costs two SHA-1 compressions
+/// instead of re-deriving the HMAC pads per event.
+struct ResolvedCredential {
+    topic_key: DeriveKey,
+    tag_ctx: PrfContext,
+}
+
+/// One per-attribute key part, routing numeric parts through a key cache
+/// (consecutive events with nearby values share long NAKT prefixes).
+fn derive_part_cached(
+    schema: &Schema,
+    cache: &mut KeyCache,
+    ops: &mut OpCounter,
+    topic_key: &DeriveKey,
+    epoch: u64,
+    addr: &EventKeyAddress,
+) -> DeriveKey {
+    if let EventKeyAddress::Numeric { attr, ktid } = addr {
+        ops.add_kh(1);
+        let auth = AuthKey {
+            scope: KeyScope::Numeric {
+                attr: attr.clone(),
+                ktid: Ktid::root(),
+            },
+            key: topic_key.kh(attr.as_bytes()),
+            epoch: EpochId(epoch),
+        };
+        if let Some(k) = cache.derive_numeric_cached(&auth, ktid, ops) {
+            return k;
+        }
+    }
+    part_from_topic_key(topic_key, schema, addr, ops)
+}
+
+/// Encrypts and tags one event inside a batch, drawing iv and nonce from
+/// the event's own deterministic `rng` (seeded by batch and index, so the
+/// output is independent of how events are chunked across workers).
+fn encrypt_one(
+    schema: &Schema,
+    cred: &ResolvedCredential,
+    topic_idx: usize,
+    worker: &mut BatchWorker,
+    event: &Event,
+    epoch: u64,
+    rng: &mut StdRng,
+) -> Result<SecureEvent, PublishError> {
+    let addrs = event_key_addresses(schema, event)?;
+    let keys = worker.event_keys(schema, &cred.topic_key, topic_idx, epoch, addrs);
+
+    let mut iv = [0u8; 16];
+    rng.fill_bytes(&mut iv);
+    let ciphertext = keys.aes.encrypt_cbc(&iv, event.payload());
+    let mut mac_input = Vec::with_capacity(16 + ciphertext.len());
+    mac_input.extend_from_slice(&iv);
+    mac_input.extend_from_slice(&ciphertext);
+    let mac = psguard_crypto::kh(keys.mac.as_bytes(), &mac_input);
+    worker.ops.add_kh(1);
+
+    let mut routed = Event::builder("")
+        .id(event.id())
+        .publisher(event.publisher());
+    for (name, value) in event.attrs() {
+        routed = routed.attr(name.clone(), value.clone());
+    }
+    let routed = routed.payload(ciphertext).build();
+
+    let mut nonce = [0u8; 16];
+    rng.fill_bytes(&mut nonce);
+    Ok(SecureEvent {
+        tag: RoutableTag {
+            nonce,
+            tag: cred.tag_ctx.prf(&nonce),
+        },
+        event: routed,
+        iv,
+        epoch,
+        mac,
+    })
+}
+
+/// SplitMix64-style mixer: a well-distributed per-event RNG seed from the
+/// publisher identity, the batch counter, and the event index.
+fn event_seed(base: u64, batch: u64, idx: u64) -> u64 {
+    let mut z =
+        base ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A publishing principal.
 ///
 /// Obtain via [`crate::PsGuard::publisher`] and authorize per topic with
@@ -40,8 +194,13 @@ pub struct Publisher {
     schema: Schema,
     credentials: HashMap<(String, u64), PublisherCredential>,
     rng: StdRng,
+    seed_base: u64,
     ops: OpCounter,
     cache: KeyCache,
+    /// Per-worker derivation caches persisted across batches.
+    workers: Vec<BatchWorker>,
+    /// Batches published so far; part of every per-event RNG seed.
+    batch_counter: u64,
 }
 
 impl Publisher {
@@ -53,15 +212,19 @@ impl Publisher {
         let seed = psguard_crypto::h(name.as_bytes());
         let mut seed8 = [0u8; 8];
         seed8.copy_from_slice(&seed[..8]);
+        let seed_base = u64::from_be_bytes(seed8);
         Publisher {
             name,
             schema,
             credentials: HashMap::new(),
-            rng: StdRng::seed_from_u64(u64::from_be_bytes(seed8)),
+            rng: StdRng::seed_from_u64(seed_base),
+            seed_base,
             ops: OpCounter::new(),
             // Publisher-side derived-key cache (§3.2.3 applies to
             // "the KDC, the publishers and the subscribers").
             cache: KeyCache::new(64 * 1024),
+            workers: Vec::new(),
+            batch_counter: 0,
         }
     }
 
@@ -79,21 +242,14 @@ impl Publisher {
         epoch: u64,
         addr: &EventKeyAddress,
     ) -> DeriveKey {
-        if let EventKeyAddress::Numeric { attr, ktid } = addr {
-            self.ops.add_kh(1);
-            let auth = AuthKey {
-                scope: KeyScope::Numeric {
-                    attr: attr.clone(),
-                    ktid: Ktid::root(),
-                },
-                key: topic_key.kh(attr.as_bytes()),
-                epoch: EpochId(epoch),
-            };
-            if let Some(k) = self.cache.derive_numeric_cached(&auth, ktid, &mut self.ops) {
-                return k;
-            }
-        }
-        part_from_topic_key(topic_key, &self.schema, addr, &mut self.ops)
+        derive_part_cached(
+            &self.schema,
+            &mut self.cache,
+            &mut self.ops,
+            topic_key,
+            epoch,
+            addr,
+        )
     }
 
     /// The publisher's principal name.
@@ -169,6 +325,122 @@ impl Publisher {
             epoch,
             mac,
         })
+    }
+
+    /// Encrypts and tags a whole batch of events across `workers` threads,
+    /// each with its own KDC derivation cache and reusable crypto contexts
+    /// (per-topic [`PrfContext`], per-event-key [`AesContext`]).
+    ///
+    /// The output is **bit-identical for any worker count**: every event's
+    /// iv and nonce come from a private RNG seeded by the publisher
+    /// identity, the batch counter, and the event's index — never from
+    /// how events happen to be chunked across threads. (It therefore
+    /// differs from the iv/nonce stream of serial [`publish`](Self::publish)
+    /// calls, which share one RNG.)
+    ///
+    /// Worker caches persist across batches, so a steady stream of batches
+    /// amortizes NAKT chain walks and AES key schedules the same way the
+    /// serial path's cache does.
+    ///
+    /// # Errors
+    ///
+    /// As [`publish`](Self::publish); on failure the earliest failing
+    /// event's error is returned, independent of worker count.
+    pub fn publish_batch(
+        &mut self,
+        events: &[Event],
+        epoch: u64,
+        workers: usize,
+    ) -> Result<Vec<SecureEvent>, PublishError> {
+        let workers = workers.max(1);
+        self.batch_counter += 1;
+        let batch = self.batch_counter;
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Resolve each distinct topic once, failing fast before any
+        // thread is spawned.
+        let mut topic_idx: HashMap<&str, usize> = HashMap::new();
+        let mut creds: Vec<ResolvedCredential> = Vec::new();
+        let mut event_topic: Vec<usize> = Vec::with_capacity(events.len());
+        for e in events {
+            let idx = if let Some(&i) = topic_idx.get(e.topic()) {
+                i
+            } else {
+                let c = self
+                    .credentials
+                    .get(&(e.topic().to_owned(), epoch))
+                    .ok_or_else(|| PublishError::UnknownTopic {
+                        topic: e.topic().to_owned(),
+                    })?;
+                creds.push(ResolvedCredential {
+                    topic_key: c.topic_key.clone(),
+                    tag_ctx: PrfContext::for_token(&c.token),
+                });
+                topic_idx.insert(e.topic(), creds.len() - 1);
+                creds.len() - 1
+            };
+            event_topic.push(idx);
+        }
+
+        while self.workers.len() < workers {
+            self.workers.push(BatchWorker::new());
+        }
+
+        let chunk = events.len().div_ceil(workers);
+        let n_chunks = events.len().div_ceil(chunk);
+        let mut outs: Vec<Vec<Result<SecureEvent, PublishError>>> = Vec::new();
+        outs.resize_with(n_chunks, Vec::new);
+
+        let schema = &self.schema;
+        let seed_base = self.seed_base;
+        let states = &mut self.workers;
+        let creds = &creds;
+        let event_topic = &event_topic;
+        if n_chunks == 1 {
+            // Single worker: run inline; no thread overhead.
+            let out = &mut outs[0];
+            let state = &mut states[0];
+            for (i, e) in events.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(event_seed(seed_base, batch, i as u64));
+                let t = event_topic[i];
+                out.push(encrypt_one(schema, &creds[t], t, state, e, epoch, &mut rng));
+            }
+        } else {
+            std::thread::scope(|s| {
+                for (chunk_no, ((chunk_events, out), state)) in events
+                    .chunks(chunk)
+                    .zip(outs.iter_mut())
+                    .zip(states.iter_mut())
+                    .enumerate()
+                {
+                    s.spawn(move || {
+                        for (j, e) in chunk_events.iter().enumerate() {
+                            let i = chunk_no * chunk + j;
+                            let mut rng =
+                                StdRng::seed_from_u64(event_seed(seed_base, batch, i as u64));
+                            let t = event_topic[i];
+                            out.push(encrypt_one(schema, &creds[t], t, state, e, epoch, &mut rng));
+                        }
+                    });
+                }
+            });
+        }
+
+        // Fold worker op counts into the publisher's running total.
+        let mut merged = OpCounter::new();
+        for state in &mut self.workers {
+            merged.merge(&state.ops);
+            state.ops = OpCounter::new();
+        }
+        self.ops.merge(&merged);
+
+        let mut result = Vec::with_capacity(events.len());
+        for r in outs.into_iter().flatten() {
+            result.push(r?);
+        }
+        Ok(result)
     }
 }
 
@@ -298,5 +570,123 @@ mod tests {
             .build();
         p.publish(&e, 0).unwrap();
         assert!(p.ops().total() > 0);
+    }
+
+    fn batch_events(n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::builder("w")
+                    .attr("age", (i % 200) as i64)
+                    .payload(vec![i as u8; 48])
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_output_identical_for_any_worker_count() {
+        let events = batch_events(37);
+        let (mut p, _) = publisher_with_credential();
+        let baseline = p.publish_batch(&events, 0, 1).unwrap();
+        assert_eq!(baseline.len(), events.len());
+        for workers in [2usize, 4, 8] {
+            let (mut q, _) = publisher_with_credential();
+            let got = q.publish_batch(&events, 0, workers).unwrap();
+            assert_eq!(got, baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batch_events_decrypt_and_route_like_serial_ones() {
+        let (mut p, kdc) = publisher_with_credential();
+        let events = batch_events(9);
+        let batch = p.publish_batch(&events, 0, 4).unwrap();
+        let token = kdc.routing_token("w");
+        for (e, s) in events.iter().zip(&batch) {
+            assert_eq!(s.event.topic(), "");
+            assert!(s.tag.matches(&token));
+            assert_eq!(
+                s.event.attr("age").and_then(|v| v.as_int()),
+                e.attr("age").and_then(|v| v.as_int())
+            );
+        }
+
+        // Full-facade check: a subscriber authorized for the topic can
+        // verify and decrypt every envelope in the batch.
+        use crate::{PsGuard, PsGuardConfig};
+        let schema = Schema::builder()
+            .numeric("age", IntRange::new(0, 255).unwrap(), 1)
+            .unwrap()
+            .build();
+        let ps = PsGuard::new(b"seed3", schema, PsGuardConfig::default());
+        let mut publisher = ps.publisher("P");
+        ps.authorize_publisher(&mut publisher, "w", 0);
+        let mut sub = ps.subscriber("S");
+        ps.authorize_subscriber(&mut sub, &psguard_model::Filter::for_topic("w"), 0)
+            .unwrap();
+        for (i, s) in publisher
+            .publish_batch(&events, 0, 3)
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(sub.decrypt(s).unwrap().payload(), vec![i as u8; 48]);
+        }
+    }
+
+    #[test]
+    fn successive_batches_draw_fresh_randomness() {
+        let (mut p, _) = publisher_with_credential();
+        let events = batch_events(4);
+        let first = p.publish_batch(&events, 0, 2).unwrap();
+        let second = p.publish_batch(&events, 0, 2).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_ne!(a.iv, b.iv);
+            assert_ne!(a.tag.nonce, b.tag.nonce);
+        }
+        assert!(p.ops().total() > 0);
+    }
+
+    #[test]
+    fn batch_errors_do_not_depend_on_worker_count() {
+        let events = vec![
+            Event::builder("w")
+                .attr("age", 1i64)
+                .payload(vec![1])
+                .build(),
+            Event::builder("other").payload(vec![2]).build(),
+        ];
+        for workers in [1usize, 2, 8] {
+            let (mut p, _) = publisher_with_credential();
+            assert!(matches!(
+                p.publish_batch(&events, 0, workers),
+                Err(PublishError::UnknownTopic { ref topic }) if topic == "other"
+            ));
+        }
+        // A schema violation surfaces as the earliest failing event's
+        // error for every worker count.
+        let bad = vec![
+            Event::builder("w")
+                .attr("age", 1i64)
+                .payload(vec![1])
+                .build(),
+            Event::builder("w")
+                .attr("age", "not numeric")
+                .payload(vec![2])
+                .build(),
+        ];
+        for workers in [1usize, 2, 8] {
+            let (mut p, _) = publisher_with_credential();
+            assert!(matches!(
+                p.publish_batch(&bad, 0, workers),
+                Err(PublishError::EventKey(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (mut p, _) = publisher_with_credential();
+        assert_eq!(p.publish_batch(&[], 0, 4).unwrap(), Vec::new());
     }
 }

@@ -14,7 +14,7 @@
 //! (e.g. a numeric `age`) stay visible for in-network range matching; the
 //! secret payload is AES-encrypted under the hierarchy key.
 
-use psguard_crypto::{prf, prf_verify, Token};
+use psguard_crypto::{prf, prf_verify, PrfContext, Token};
 use psguard_model::{AttrName, AttrValue, Constraint, Event, Filter};
 use psguard_siena::{FilterSemantics, IndexableFilter, KeyQuery};
 use rand::RngCore;
@@ -150,6 +150,20 @@ impl IndexableFilter for SecureFilter {
 
     fn key_matches(key: &Token, event: &SecureEvent) -> bool {
         event.tag.matches(key)
+    }
+
+    /// Prepared-probe fast path: a [`PrfContext`] keyed by the bucket's
+    /// subscription token. Probing an event tag then costs two SHA-1
+    /// compressions (nonce + outer block) instead of four, with no heap
+    /// traffic — the decisive per-event cost at pipeline scale.
+    type ProbeContext = PrfContext;
+
+    fn probe_context(key: &Token) -> Option<PrfContext> {
+        Some(PrfContext::for_token(key))
+    }
+
+    fn context_matches(ctx: &PrfContext, event: &SecureEvent) -> bool {
+        ctx.verify(&event.tag.nonce, &event.tag.tag)
     }
 
     fn probe_memo_key(event: &SecureEvent) -> Option<u128> {

@@ -62,6 +62,8 @@ pub struct Broker<F: IndexableFilter> {
     table: SubscriptionTable<F>,
     stats: BrokerStats,
     last_match_work: u64,
+    /// Matched-peer buffer reused across publishes.
+    peer_scratch: Vec<Peer>,
 }
 
 impl<F: IndexableFilter> Broker<F> {
@@ -72,6 +74,7 @@ impl<F: IndexableFilter> Broker<F> {
             table: SubscriptionTable::new(),
             stats: BrokerStats::default(),
             last_match_work: 0,
+            peer_scratch: Vec::new(),
         }
     }
 
@@ -126,18 +129,20 @@ impl<F: IndexableFilter> Broker<F> {
     /// also push it to the parent so it reaches the rest of the tree.
     pub fn publish(&mut self, from: Peer, event: F::Event) -> Vec<Action<F>> {
         self.stats.events_in += 1;
-        let peers = self.table.matching_peers(&event);
+        let mut peers = std::mem::take(&mut self.peer_scratch);
+        self.table.matching_peers_into(&event, &mut peers);
         self.last_match_work = self.table.last_match_work();
         self.stats.match_evaluations += self.last_match_work;
         let mut actions = Vec::new();
         if from != Peer::Parent && !self.is_root {
             actions.push(Action::Deliver(Peer::Parent, event.clone()));
         }
-        for peer in peers {
+        for &peer in &peers {
             if peer != from && peer != Peer::Parent {
                 actions.push(Action::Deliver(peer, event.clone()));
             }
         }
+        self.peer_scratch = peers;
         self.stats.events_out += actions.len() as u64;
         actions
     }

@@ -91,6 +91,32 @@ pub trait IndexableFilter: FilterSemantics + Hash {
         false
     }
 
+    /// Reusable per-key probe state, e.g. a keyed PRF context with its
+    /// pad states precomputed ([`psguard_crypto::PrfContext`] for secure
+    /// filters). `()` for direct-keyed families that never probe.
+    type ProbeContext: Clone + Send + std::fmt::Debug + 'static;
+
+    /// Builds the reusable probe context for `key`. `None` (the default)
+    /// means the family has no prepared-probe fast path and
+    /// [`key_matches`](Self::key_matches) is always used.
+    ///
+    /// Only consulted by indexes created with
+    /// [`MatchIndex::with_prepared_probes`]: preparing a context keeps
+    /// key-equivalent digest state resident for the bucket's lifetime,
+    /// which is a deliberate memory/secrecy-vs-throughput trade the
+    /// caller opts into (see DESIGN.md §13).
+    fn probe_context(_key: &Self::Key) -> Option<Self::ProbeContext> {
+        None
+    }
+
+    /// Probe-mode test via a prepared context. Must decide exactly like
+    /// [`key_matches`](Self::key_matches) for the key the context was
+    /// built from; the default (never called without a context) is
+    /// unreachable in practice.
+    fn context_matches(_ctx: &Self::ProbeContext, _event: &Self::Event) -> bool {
+        false
+    }
+
     /// A stable per-event identity for memoizing probe results (the
     /// nonce of a secure tag). `None` disables the memo.
     fn probe_memo_key(_event: &Self::Event) -> Option<u128> {
@@ -107,6 +133,7 @@ pub trait IndexableFilter: FilterSemantics + Hash {
 
 impl IndexableFilter for psguard_model::Filter {
     type Key = Option<String>;
+    type ProbeContext = ();
 
     fn routing_key(&self) -> Option<String> {
         self.topic().map(str::to_owned)
@@ -154,6 +181,14 @@ impl MatchStats {
     /// model prices with `broker_match_us`.
     pub fn work(&self) -> u64 {
         self.key_probes + self.predicate_evals
+    }
+
+    /// Adds another query's counters into this one (per-batch and
+    /// cross-shard aggregation).
+    pub fn accumulate(&mut self, other: MatchStats) {
+        self.key_probes += other.key_probes;
+        self.predicate_evals += other.predicate_evals;
+        self.memo_hits += other.memo_hits;
     }
 }
 
@@ -357,6 +392,18 @@ pub struct MatchIndex<F: IndexableFilter> {
     memo: HashMap<u128, Vec<u32>>,
     memo_order: VecDeque<u128>,
     last_stats: MatchStats,
+    /// Whether buckets carry prepared probe contexts
+    /// ([`IndexableFilter::probe_context`]).
+    prepared: bool,
+    /// Per-bucket prepared probe context (parallel to `buckets`); `None`
+    /// when unprepared or the family has no context.
+    probe_ctxs: Vec<Option<F::ProbeContext>>,
+    /// Matched entry ids of the query in flight, reused across queries.
+    matched_scratch: Vec<EntryId>,
+    /// Candidate bucket ids of the query in flight, reused across queries.
+    cand_scratch: Vec<u32>,
+    /// Peer-dedup set, reused across queries.
+    seen_scratch: HashSet<Peer>,
 }
 
 impl<F: IndexableFilter> Default for MatchIndex<F> {
@@ -374,6 +421,11 @@ impl<F: IndexableFilter> Default for MatchIndex<F> {
             memo: HashMap::new(),
             memo_order: VecDeque::new(),
             last_stats: MatchStats::default(),
+            prepared: false,
+            probe_ctxs: Vec::new(),
+            matched_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            seen_scratch: HashSet::new(),
         }
     }
 }
@@ -382,6 +434,17 @@ impl<F: IndexableFilter> MatchIndex<F> {
     /// An empty index.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty index that builds a reusable probe context per bucket
+    /// ([`IndexableFilter::probe_context`]), amortizing keyed-PRF setup
+    /// across every probe of that key. Used by the sharded pipeline; the
+    /// default serial index keeps the one-shot probe path.
+    pub fn with_prepared_probes() -> Self {
+        MatchIndex {
+            prepared: true,
+            ..Self::default()
+        }
     }
 
     /// Live registrations.
@@ -408,20 +471,36 @@ impl<F: IndexableFilter> MatchIndex<F> {
     /// Registers `filter` for `peer`; returns the entry id to pass to
     /// [`remove`](Self::remove).
     pub fn insert(&mut self, peer: Peer, filter: F) -> EntryId {
+        let seq = self.next_seq;
+        self.insert_with_seq(peer, filter, seq)
+    }
+
+    /// Registers `filter` for `peer` under a caller-assigned sequence
+    /// number. Queries order matches by `seq`, so a caller that splits
+    /// one logical table across several indexes (the sharded pipeline)
+    /// passes its global registration counter here to keep the merged
+    /// order identical to a single index. Sequence numbers must be unique
+    /// across live entries; `next_seq` advances past `seq` so mixing with
+    /// [`insert`](Self::insert) stays safe.
+    pub fn insert_with_seq(&mut self, peer: Peer, filter: F, seq: u64) -> EntryId {
         self.invalidate_memo();
         let key = filter.routing_key();
         let bid = match self.keys.get(&key) {
             Some(&b) => b,
             None => {
                 let b = self.buckets.len() as u32;
+                self.probe_ctxs.push(if self.prepared {
+                    F::probe_context(&key)
+                } else {
+                    None
+                });
                 self.buckets.push(Bucket::new(key.clone()));
                 self.keys.insert(key, b);
                 b
             }
         };
         let required = filter.indexed_constraints().len() as u32;
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.max(seq.saturating_add(1));
         let entry = Entry {
             peer,
             filter,
@@ -493,60 +572,103 @@ impl<F: IndexableFilter> MatchIndex<F> {
     /// The distinct peers whose filters match `event`, in first-seen
     /// registration order — exactly what the linear scan produced.
     pub fn query(&mut self, event: &F::Event) -> Vec<Peer> {
-        self.generation += 1;
-        let mut stats = MatchStats::default();
-        let mut matched: Vec<EntryId> = Vec::new();
+        let mut peers = Vec::new();
+        self.query_into(event, &mut peers);
+        peers
+    }
 
-        let candidate_buckets: Vec<u32> = match F::candidate_keys(event) {
-            KeyQuery::Direct(keys) => keys
-                .iter()
-                .filter_map(|k| self.keys.get(k).copied())
-                .filter(|&b| {
-                    let live = !self.buckets[b as usize].entry_ids.is_empty();
-                    if live {
-                        stats.key_probes += 1;
-                    }
-                    live
-                })
-                .collect(),
-            KeyQuery::Probe => self.probe_buckets(event, &mut stats),
-        };
-
-        for bid in candidate_buckets {
-            self.match_bucket(bid, event, &mut stats, &mut matched);
-        }
-
-        matched.sort_unstable_by_key(|&id| self.entries[id as usize].seq);
-        let mut peers: Vec<Peer> = Vec::new();
-        let mut seen: HashSet<Peer> = HashSet::with_capacity(matched.len().min(64));
-        for id in matched {
+    /// [`query`](Self::query) into a caller-provided buffer: `peers` is
+    /// cleared and filled with the distinct matching peers in first-seen
+    /// registration order. All per-query scratch (candidate lists,
+    /// counters, dedup set) is reused across calls, so a steady-state
+    /// query allocates nothing.
+    pub fn query_into(&mut self, event: &F::Event, peers: &mut Vec<Peer>) {
+        peers.clear();
+        self.run_match(event);
+        let mut seen = std::mem::take(&mut self.seen_scratch);
+        seen.clear();
+        for &id in &self.matched_scratch {
             let peer = self.entries[id as usize].peer;
             if seen.insert(peer) {
                 peers.push(peer);
             }
         }
+        self.seen_scratch = seen;
+    }
+
+    /// Raw matches for `event` as `(seq, peer)` pairs sorted by
+    /// registration sequence, **without** peer dedup. `out` is cleared
+    /// first. This is the shard-side half of the pipeline's merge: each
+    /// shard reports its matches with global sequence numbers
+    /// ([`insert_with_seq`](Self::insert_with_seq)) and the merge dedups
+    /// peers across shards in sequence order.
+    pub fn query_matches_into(&mut self, event: &F::Event, out: &mut Vec<(u64, Peer)>) {
+        out.clear();
+        self.run_match(event);
+        for &id in &self.matched_scratch {
+            let e = &self.entries[id as usize];
+            out.push((e.seq, e.peer));
+        }
+    }
+
+    /// The shared matching pass: fills `matched_scratch` with matched
+    /// entry ids sorted by registration sequence and records the stats.
+    fn run_match(&mut self, event: &F::Event) {
+        self.generation += 1;
+        let mut stats = MatchStats::default();
+        let mut matched = std::mem::take(&mut self.matched_scratch);
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        matched.clear();
+        cands.clear();
+
+        match F::candidate_keys(event) {
+            KeyQuery::Direct(keys) => {
+                for k in &keys {
+                    let Some(&b) = self.keys.get(k) else {
+                        continue;
+                    };
+                    if !self.buckets[b as usize].entry_ids.is_empty() {
+                        stats.key_probes += 1;
+                        cands.push(b);
+                    }
+                }
+            }
+            KeyQuery::Probe => self.probe_buckets(event, &mut stats, &mut cands),
+        }
+
+        for &bid in &cands {
+            self.match_bucket(bid, event, &mut stats, &mut matched);
+        }
+
+        matched.sort_unstable_by_key(|&id| self.entries[id as usize].seq);
+        self.matched_scratch = matched;
+        self.cand_scratch = cands;
         self.last_stats = stats;
-        peers
     }
 
     /// Probe mode: one key test per live bucket, memoized per event
-    /// nonce.
-    fn probe_buckets(&mut self, event: &F::Event, stats: &mut MatchStats) -> Vec<u32> {
+    /// nonce. Matching bucket ids are appended to `out`.
+    fn probe_buckets(&mut self, event: &F::Event, stats: &mut MatchStats, out: &mut Vec<u32>) {
         let memo_key = F::probe_memo_key(event);
         if let Some(k) = memo_key {
             if let Some(bids) = self.memo.get(&k) {
                 stats.memo_hits += 1;
-                return bids.clone();
+                out.extend_from_slice(bids);
+                return;
             }
         }
-        let mut bids = Vec::new();
+        let start = out.len();
         for (bid, bucket) in self.buckets.iter().enumerate() {
             if bucket.entry_ids.is_empty() {
                 continue;
             }
             stats.key_probes += 1;
-            if F::key_matches(&bucket.key, event) {
-                bids.push(bid as u32);
+            let hit = match self.probe_ctxs.get(bid).and_then(Option::as_ref) {
+                Some(ctx) => F::context_matches(ctx, event),
+                None => F::key_matches(&bucket.key, event),
+            };
+            if hit {
+                out.push(bid as u32);
             }
         }
         if let Some(k) = memo_key {
@@ -555,10 +677,9 @@ impl<F: IndexableFilter> MatchIndex<F> {
                     self.memo.remove(&old);
                 }
             }
-            self.memo.insert(k, bids.clone());
+            self.memo.insert(k, out[start..].to_vec());
             self.memo_order.push_back(k);
         }
-        bids
     }
 
     /// The counting pass over one bucket.
@@ -729,6 +850,53 @@ mod tests {
         let mut no_wild: MatchIndex<Filter> = MatchIndex::new();
         no_wild.insert(Peer::Child(1), f("t", 10));
         assert!(!no_wild.covered_by_any(&f("other", 5)));
+    }
+
+    #[test]
+    fn caller_assigned_seq_controls_order() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        idx.insert_with_seq(Peer::Child(2), f("t", 0), 7);
+        idx.insert_with_seq(Peer::Child(1), f("t", 0), 3);
+        assert_eq!(idx.query(&e("t", 5)), vec![Peer::Child(1), Peer::Child(2)]);
+        // next_seq advanced past the largest assigned seq, so a plain
+        // insert sorts after both.
+        idx.insert(Peer::Child(9), f("t", 0));
+        assert_eq!(
+            idx.query(&e("t", 5)),
+            vec![Peer::Child(1), Peer::Child(2), Peer::Child(9)]
+        );
+    }
+
+    #[test]
+    fn query_into_matches_query_and_reuses_buffer() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        idx.insert(Peer::Child(1), f("a", 10));
+        idx.insert(Peer::Child(2), f("a", 50));
+        let mut buf = vec![Peer::Parent; 8]; // stale contents must vanish
+        for x in [5i64, 20, 60] {
+            let ev = e("a", x);
+            idx.query_into(&ev, &mut buf);
+            assert_eq!(buf, idx.query(&ev), "x={x}");
+        }
+    }
+
+    #[test]
+    fn query_matches_into_reports_global_seq_pairs() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        idx.insert_with_seq(Peer::Child(1), f("t", 0), 4);
+        idx.insert_with_seq(Peer::Child(1), f("t", 10), 9);
+        idx.insert_with_seq(Peer::Child(2), f("t", 0), 6);
+        let mut out = Vec::new();
+        idx.query_matches_into(&e("t", 50), &mut out);
+        // Sorted by seq, peers not deduped.
+        assert_eq!(
+            out,
+            vec![
+                (4, Peer::Child(1)),
+                (6, Peer::Child(2)),
+                (9, Peer::Child(1))
+            ]
+        );
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!   actions), generic over [`FilterSemantics`] so the same code routes
 //!   plaintext filters and PSGuard's tokenized envelopes;
 //! * [`SubscriptionTable`] — covering-aware subscription storage;
+//! * [`ShardedPipeline`] — the batch publish path: subscriptions hash-
+//!   partitioned across worker shards, matched in parallel with reusable
+//!   probe contexts, merged back into the serial broker's exact delivery
+//!   order;
 //! * [`Engine`] — a deterministic discrete-event overlay (full binary
 //!   broker trees, GT-ITM latencies, per-node queueing) used to reproduce
 //!   the throughput/latency figures;
@@ -36,6 +40,7 @@ mod engine;
 mod error;
 mod fault;
 mod index;
+mod pipeline;
 mod semantics;
 mod table;
 mod tcp;
@@ -48,6 +53,7 @@ pub use fault::{
     DeliveryRecord, FaultConfig, FaultRunReport, RecoveryConfig, Revocation, SeqDedup,
 };
 pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
+pub use pipeline::{BatchDeliveries, PipelineStats, ShardedPipeline};
 pub use semantics::FilterSemantics;
 pub use table::{Peer, SubscriptionTable};
 pub use tcp::{

@@ -159,6 +159,14 @@ impl<F: IndexableFilter> SubscriptionTable<F> {
         self.index.query(event)
     }
 
+    /// [`matching_peers`](Self::matching_peers) into a caller-provided
+    /// buffer: `out` is cleared and refilled, so a publish loop reuses
+    /// one allocation across events instead of building a fresh `Vec`
+    /// per event.
+    pub fn matching_peers_into(&mut self, event: &F::Event, out: &mut Vec<Peer>) {
+        self.index.query_into(event, out);
+    }
+
     /// Reference implementation of [`matching_peers`](Self::matching_peers):
     /// the original linear scan over every registration. Kept as the
     /// oracle for property tests and as the baseline for benchmarks.

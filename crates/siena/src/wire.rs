@@ -81,7 +81,7 @@ pub(crate) fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireE
     Ok(head)
 }
 
-/// Like [`take`], but into a fixed-size array — the length check lives in
+/// Like the internal `take` helper, but into a fixed-size array — the length check lives in
 /// the return type, so decoders never need a fallible slice conversion.
 /// Public so downstream crates implementing [`Wire`] get the same idiom.
 pub fn take_arr<const N: usize>(input: &mut &[u8]) -> Result<[u8; N], WireError> {

@@ -1,0 +1,197 @@
+//! Property tests pinning the sharded pipeline to the serial broker: for
+//! any subscription table, batch, sender, and shard count in {1, 2, 4, 8},
+//! `ShardedPipeline::publish_batch` must deliver exactly the (peer, event)
+//! pairs the serial `Broker::publish` loop delivers, in the same order.
+
+use proptest::prelude::*;
+use psguard_model::{AttrValue, Constraint, Event, Filter, IntRange, Op};
+use psguard_siena::{Action, Broker, Peer, ShardedPipeline};
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    prop_oneof![
+        (-20i64..60).prop_map(Op::Ge),
+        (-20i64..60).prop_map(Op::Le),
+        (-20i64..60).prop_map(Op::Gt),
+        (-20i64..60).prop_map(Op::Lt),
+        (-20i64..60).prop_map(|v| Op::Eq(AttrValue::Int(v))),
+        (-20i64..40, 0i64..25)
+            .prop_map(|(lo, w)| Op::InRange(IntRange::new(lo, lo + w).expect("lo <= hi"))),
+        "[ab]{0,3}".prop_map(Op::StrPrefix),
+        "[ab]{0,3}".prop_map(|s| Op::Eq(AttrValue::Str(s))),
+    ]
+    .boxed()
+}
+
+/// Topics t0..t3 plus the wildcard; few attribute names so filters and
+/// events collide often.
+fn filter_strategy() -> BoxedStrategy<Filter> {
+    (0u8..5, prop::collection::vec(("[ab]", op_strategy()), 0..4))
+        .prop_map(|(topic, constraints)| {
+            let mut f = if topic < 4 {
+                Filter::for_topic(format!("t{topic}"))
+            } else {
+                Filter::any()
+            };
+            for (name, op) in constraints {
+                f = f.with(Constraint::new(name, op));
+            }
+            f
+        })
+        .boxed()
+}
+
+fn event_strategy() -> BoxedStrategy<Event> {
+    (
+        0u8..5,
+        prop::collection::vec(
+            (
+                "[ab]",
+                prop_oneof![
+                    (-25i64..65).prop_map(AttrValue::Int),
+                    "[ab]{0,3}".prop_map(AttrValue::Str),
+                ],
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(topic, attrs)| {
+            let mut b = Event::builder(format!("t{topic}"));
+            for (name, value) in attrs {
+                b = b.attr(name, value);
+            }
+            b.build()
+        })
+        .boxed()
+}
+
+fn sender(sel: u8) -> Peer {
+    match sel % 3 {
+        0 => Peer::Parent,
+        1 => Peer::Child(0),
+        _ => Peer::Local(7),
+    }
+}
+
+/// Per-event serial reference: the peers `Broker::publish` delivers to,
+/// in delivery order.
+fn serial_reference(broker: &mut Broker<Filter>, from: Peer, events: &[Event]) -> Vec<Vec<Peer>> {
+    events
+        .iter()
+        .map(|e| {
+            broker
+                .publish(from, e.clone())
+                .into_iter()
+                .map(|a| match a {
+                    Action::Deliver(p, ev) => {
+                        assert_eq!(&ev, e, "broker must deliver the published event");
+                        p
+                    }
+                    other => panic!("publish emitted a non-delivery action {other:?}"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pipeline_agrees_with_serial_broker(
+        subs in prop::collection::vec((0u32..6, filter_strategy()), 0..40),
+        events in prop::collection::vec(event_strategy(), 1..12),
+        is_root in any::<bool>(),
+        from_sel in 0u8..3,
+    ) {
+        let from = sender(from_sel);
+        let mut broker: Broker<Filter> = Broker::new(is_root);
+        for (peer, filter) in &subs {
+            broker.subscribe(Peer::Child(*peer), filter.clone());
+        }
+        let reference = serial_reference(&mut broker, from, &events);
+        // The serial (event, peer) delivery multiset, for the explicit
+        // multiset half of the equivalence claim.
+        let mut ref_multiset: Vec<(usize, Peer)> = reference
+            .iter()
+            .enumerate()
+            .flat_map(|(i, peers)| peers.iter().map(move |&p| (i, p)))
+            .collect();
+        ref_multiset.sort();
+
+        for shards in [1usize, 2, 4, 8] {
+            let mut pipeline: ShardedPipeline<Filter> = ShardedPipeline::new(is_root, shards);
+            for (peer, filter) in &subs {
+                pipeline.subscribe(Peer::Child(*peer), filter.clone());
+            }
+            let deliveries = pipeline.publish_batch(from, &events);
+            prop_assert_eq!(deliveries.len(), events.len());
+            let mut multiset: Vec<(usize, Peer)> = Vec::new();
+            for (i, reference_peers) in reference.iter().enumerate() {
+                prop_assert_eq!(
+                    deliveries.for_event(i),
+                    &reference_peers[..],
+                    "shards={} event={}",
+                    shards,
+                    i
+                );
+                multiset.extend(deliveries.for_event(i).iter().map(|&p| (i, p)));
+            }
+            multiset.sort();
+            prop_assert_eq!(&multiset, &ref_multiset, "shards={}", shards);
+        }
+    }
+
+    #[test]
+    fn pipeline_agrees_with_serial_broker_after_churn(
+        subs in prop::collection::vec((0u32..5, filter_strategy()), 1..30),
+        removal_mask in any::<u64>(),
+        events in prop::collection::vec(event_strategy(), 1..8),
+        from_sel in 0u8..3,
+    ) {
+        let from = sender(from_sel);
+        let mut broker: Broker<Filter> = Broker::new(true);
+        let mut pipelines: Vec<ShardedPipeline<Filter>> =
+            [1usize, 2, 4, 8].iter().map(|&n| ShardedPipeline::new(true, n)).collect();
+        // The broker's table is idempotent per (peer, filter) while the
+        // pipeline registers duplicates; dedup here so a later
+        // unsubscribe means the same thing to both.
+        let mut inserted: Vec<(u32, Filter)> = Vec::new();
+        for (peer, filter) in &subs {
+            if inserted.iter().any(|(p, f)| p == peer && f == filter) {
+                continue;
+            }
+            inserted.push((*peer, filter.clone()));
+            broker.subscribe(Peer::Child(*peer), filter.clone());
+            for p in &mut pipelines {
+                p.subscribe(Peer::Child(*peer), filter.clone());
+            }
+        }
+        for (i, (peer, filter)) in inserted.iter().enumerate() {
+            if removal_mask >> (i % 64) & 1 == 1 {
+                broker.unsubscribe(Peer::Child(*peer), filter);
+                for p in &mut pipelines {
+                    p.unsubscribe(Peer::Child(*peer), filter);
+                }
+            }
+        }
+        broker.peer_down(Peer::Child(0));
+        for p in &mut pipelines {
+            p.peer_down(Peer::Child(0));
+        }
+
+        let reference = serial_reference(&mut broker, from, &events);
+        for p in &mut pipelines {
+            let shards = p.shard_count();
+            let deliveries = p.publish_batch(from, &events);
+            for (i, reference_peers) in reference.iter().enumerate() {
+                prop_assert_eq!(
+                    deliveries.for_event(i),
+                    &reference_peers[..],
+                    "shards={} event={}",
+                    shards,
+                    i
+                );
+            }
+        }
+    }
+}

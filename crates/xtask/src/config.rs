@@ -17,6 +17,11 @@ pub const TAINTED_TYPES: &[&str] = &[
     "DeriveKey",
     "AesKey",
     "Aes128",
+    // crypto: reusable keyed contexts — pad-absorbed digest states are
+    // key-equivalent for forging MACs, and round keys invert to the key.
+    "PrfContext",
+    "HmacContext",
+    "AesContext",
     // keys: hierarchy roots and authorization material.
     "Kdc",
     "NaktKeySpace",

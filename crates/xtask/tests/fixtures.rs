@@ -46,6 +46,28 @@ fn secret_hygiene_passes_clean_snippet() {
 }
 
 #[test]
+fn secret_hygiene_covers_reusable_crypto_contexts() {
+    let findings = scan("crates/crypto/src/fixture.rs", "context_violation.rs");
+    let secret: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SecretHygiene)
+        .collect();
+    // derive(Debug) on PrfContext, derive(Serialize) on HmacContext,
+    // Display on AesContext.
+    assert!(secret.len() >= 3, "{secret:#?}");
+}
+
+#[test]
+fn secret_hygiene_accepts_redacted_crypto_contexts() {
+    let findings = scan("crates/crypto/src/fixture.rs", "context_clean.rs");
+    let secret: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SecretHygiene)
+        .collect();
+    assert!(secret.is_empty(), "{secret:#?}");
+}
+
+#[test]
 fn panic_freedom_catches_seeded_violations() {
     let findings = scan("crates/keys/src/fixture.rs", "panic_violation.rs");
     let panics: Vec<_> = findings
