@@ -19,6 +19,14 @@ use crate::error::PublishError;
 /// Per-worker event-key cache entries kept before wholesale eviction.
 const EVENT_KEY_CACHE_CAP: usize = 256;
 
+/// KH label separating the per-topic IV-derivation key from every other
+/// use of the topic key.
+const IV_SEED_LABEL: &[u8] = b"psguard-iv-seed";
+
+/// Stream id for serial [`Publisher::publish`] calls; batch streams use
+/// the 1-based batch counter, so the two can never collide.
+const SERIAL_STREAM: u64 = 0;
+
 /// A per-(topic, epoch) publishing credential issued by the KDC: the
 /// topic key `K(w)` (or `K_P(w)`) and the routing token `T(w)`.
 #[derive(Debug, Clone)]
@@ -52,7 +60,11 @@ struct EventKeys {
 struct BatchWorker {
     cache: KeyCache,
     ops: OpCounter,
-    keys: HashMap<(usize, u64, Vec<EventKeyAddress>), EventKeys>,
+    /// Keyed by (stable topic id, epoch, address vector). The topic id is
+    /// the publisher-lifetime id from [`Publisher::topic_ids`] — never a
+    /// per-batch index, because these entries outlive the batch and a
+    /// later batch may see topics in a different order.
+    keys: HashMap<(u64, u64, Vec<EventKeyAddress>), EventKeys>,
 }
 
 impl BatchWorker {
@@ -70,11 +82,11 @@ impl BatchWorker {
         &mut self,
         schema: &Schema,
         topic_key: &DeriveKey,
-        topic_idx: usize,
+        topic_id: u64,
         epoch: u64,
         addrs: Vec<EventKeyAddress>,
     ) -> &EventKeys {
-        let key = (topic_idx, epoch, addrs);
+        let key = (topic_id, epoch, addrs);
         if self.keys.len() >= EVENT_KEY_CACHE_CAP && !self.keys.contains_key(&key) {
             self.keys.clear();
         }
@@ -93,12 +105,23 @@ impl BatchWorker {
     }
 }
 
-/// A per-topic credential resolved once per batch: the topic key plus a
-/// [`PrfContext`] so tagging each event costs two SHA-1 compressions
-/// instead of re-deriving the HMAC pads per event.
+/// A per-topic credential resolved once per batch: the topic key, the
+/// publisher-lifetime stable topic id (cache identity across batches),
+/// plus [`PrfContext`]s so tagging each event and seeding its RNG cost
+/// two SHA-1 compressions each instead of re-deriving HMAC pads per
+/// event.
 struct ResolvedCredential {
     topic_key: DeriveKey,
+    topic_id: u64,
     tag_ctx: PrfContext,
+    iv_ctx: PrfContext,
+}
+
+/// The per-topic IV-derivation context: a PRF keyed under
+/// `KH(K(w), "psguard-iv-seed")`. Brokers never hold `K(w)`, so the
+/// iv/nonce stream this context seeds is unpredictable to them.
+fn iv_context(topic_key: &DeriveKey) -> PrfContext {
+    PrfContext::new(topic_key.kh(IV_SEED_LABEL).as_bytes())
 }
 
 /// One per-attribute key part, routing numeric parts through a key cache
@@ -134,14 +157,13 @@ fn derive_part_cached(
 fn encrypt_one(
     schema: &Schema,
     cred: &ResolvedCredential,
-    topic_idx: usize,
     worker: &mut BatchWorker,
     event: &Event,
     epoch: u64,
     rng: &mut StdRng,
 ) -> Result<SecureEvent, PublishError> {
     let addrs = event_key_addresses(schema, event)?;
-    let keys = worker.event_keys(schema, &cred.topic_key, topic_idx, epoch, addrs);
+    let keys = worker.event_keys(schema, &cred.topic_key, cred.topic_id, epoch, addrs);
 
     let mut iv = [0u8; 16];
     rng.fill_bytes(&mut iv);
@@ -174,14 +196,26 @@ fn encrypt_one(
     })
 }
 
-/// SplitMix64-style mixer: a well-distributed per-event RNG seed from the
-/// publisher identity, the batch counter, and the event index.
-fn event_seed(base: u64, batch: u64, idx: u64) -> u64 {
-    let mut z =
-        base ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// One event's private iv/nonce RNG, seeded by the topic's secret IV
+/// context over ⟨publisher id ‖ stream ‖ index⟩.
+///
+/// The PRF is keyed under `K(w)`-derived material, so brokers (who see
+/// only tokens and ciphertext) cannot predict any iv or nonce. The input
+/// encodes the stream and index in separate 8-byte fields — injective,
+/// unlike a 64-bit fold, so no two events of one publisher can collide
+/// onto the same seed — and two PRF calls stretch the output to the full
+/// 32-byte `StdRng` seed.
+fn event_rng(iv_ctx: &PrfContext, base: u64, stream: u64, idx: u64) -> StdRng {
+    let mut input = [0u8; 25];
+    input[..8].copy_from_slice(&base.to_be_bytes());
+    input[8..16].copy_from_slice(&stream.to_be_bytes());
+    input[16..24].copy_from_slice(&idx.to_be_bytes());
+    let mut seed = [0u8; 32];
+    input[24] = 0;
+    seed[..20].copy_from_slice(iv_ctx.prf(&input).as_bytes());
+    input[24] = 1;
+    seed[20..].copy_from_slice(&iv_ctx.prf(&input).as_bytes()[..12]);
+    StdRng::from_seed(seed)
 }
 
 /// A publishing principal.
@@ -193,22 +227,31 @@ pub struct Publisher {
     name: String,
     schema: Schema,
     credentials: HashMap<(String, u64), PublisherCredential>,
-    rng: StdRng,
     seed_base: u64,
     ops: OpCounter,
     cache: KeyCache,
+    /// Stable per-topic ids, assigned on first publish and kept for the
+    /// publisher's lifetime; the worker event-key caches are keyed by
+    /// these so entries can never be confused across topics.
+    topic_ids: HashMap<String, u64>,
+    /// Per-(topic, epoch) IV-derivation contexts for the serial path.
+    iv_ctxs: HashMap<(String, u64), PrfContext>,
+    /// Serial publishes so far; the index within [`SERIAL_STREAM`].
+    serial_seq: u64,
     /// Per-worker derivation caches persisted across batches.
     workers: Vec<BatchWorker>,
-    /// Batches published so far; part of every per-event RNG seed.
+    /// Batches published so far; the stream id of every batched event's
+    /// RNG seed (1-based, so it never collides with [`SERIAL_STREAM`]).
     batch_counter: u64,
 }
 
 impl Publisher {
     pub(crate) fn new(name: impl Into<String>, schema: Schema) -> Self {
         let name = name.into();
-        // Deterministic per-name seed keeps tests reproducible; IVs and
-        // nonces must be unpredictable to brokers, not to the test
-        // harness.
+        // The name hash only separates publishers that share a topic
+        // credential (and keeps tests reproducible). Unpredictability of
+        // ivs and nonces toward brokers comes from `event_rng`, whose PRF
+        // is keyed under secret topic-key material.
         let seed = psguard_crypto::h(name.as_bytes());
         let mut seed8 = [0u8; 8];
         seed8.copy_from_slice(&seed[..8]);
@@ -217,15 +260,28 @@ impl Publisher {
             name,
             schema,
             credentials: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed_base),
             seed_base,
             ops: OpCounter::new(),
             // Publisher-side derived-key cache (§3.2.3 applies to
             // "the KDC, the publishers and the subscribers").
             cache: KeyCache::new(64 * 1024),
+            topic_ids: HashMap::new(),
+            iv_ctxs: HashMap::new(),
+            serial_seq: 0,
             workers: Vec::new(),
             batch_counter: 0,
         }
+    }
+
+    /// The stable publisher-lifetime id for `topic`, assigned on first
+    /// sight.
+    fn topic_id(&mut self, topic: &str) -> u64 {
+        if let Some(&id) = self.topic_ids.get(topic) {
+            return id;
+        }
+        let id = self.topic_ids.len() as u64;
+        self.topic_ids.insert(topic.to_owned(), id);
+        id
     }
 
     /// Publisher-side key-cache statistics.
@@ -298,10 +354,22 @@ impl Publisher {
         let master = combine_master(&parts, &mut self.ops);
         let key = master.content_key();
 
+        // iv and nonce come from a per-event RNG keyed under the topic
+        // key — deterministic for a seeded KDC, unpredictable to brokers.
+        let seq = self.serial_seq;
+        self.serial_seq += 1;
+        let mut rng = {
+            let iv_ctx = self
+                .iv_ctxs
+                .entry((credential.topic.clone(), epoch))
+                .or_insert_with(|| iv_context(&credential.topic_key));
+            event_rng(iv_ctx, self.seed_base, SERIAL_STREAM, seq)
+        };
+
         // Encrypt the payload, then MAC ⟨iv ‖ ciphertext⟩ so receivers can
         // verify key agreement and integrity before decrypting.
         let mut iv = [0u8; 16];
-        self.rng.fill_bytes(&mut iv);
+        rng.fill_bytes(&mut iv);
         let ciphertext = cbc_encrypt(&Aes128::new(key.as_bytes()), &iv, event.payload());
         let mk = mac_key(&master, &mut self.ops);
         let mut mac_input = iv.to_vec();
@@ -319,7 +387,7 @@ impl Publisher {
         let routed = routed.payload(ciphertext).build();
 
         Ok(SecureEvent {
-            tag: RoutableTag::new(&credential.token, &mut self.rng),
+            tag: RoutableTag::new(&credential.token, &mut rng),
             event: routed,
             iv,
             epoch,
@@ -332,11 +400,11 @@ impl Publisher {
     /// (per-topic [`PrfContext`], per-event-key [`AesContext`]).
     ///
     /// The output is **bit-identical for any worker count**: every event's
-    /// iv and nonce come from a private RNG seeded by the publisher
-    /// identity, the batch counter, and the event's index — never from
-    /// how events happen to be chunked across threads. (It therefore
-    /// differs from the iv/nonce stream of serial [`publish`](Self::publish)
-    /// calls, which share one RNG.)
+    /// iv and nonce come from a private RNG keyed under the topic key and
+    /// seeded by the publisher identity, the batch counter, and the
+    /// event's index — never by how events happen to be chunked across
+    /// threads. (It therefore differs from the iv/nonce stream of serial
+    /// [`publish`](Self::publish) calls, which occupy their own stream.)
     ///
     /// Worker caches persist across batches, so a steady stream of batches
     /// amortizes NAKT chain walks and AES key schedules the same way the
@@ -374,9 +442,13 @@ impl Publisher {
                     .ok_or_else(|| PublishError::UnknownTopic {
                         topic: e.topic().to_owned(),
                     })?;
+                let topic_key = c.topic_key.clone();
+                let tag_ctx = PrfContext::for_token(&c.token);
                 creds.push(ResolvedCredential {
-                    topic_key: c.topic_key.clone(),
-                    tag_ctx: PrfContext::for_token(&c.token),
+                    topic_id: self.topic_id(e.topic()),
+                    iv_ctx: iv_context(&topic_key),
+                    topic_key,
+                    tag_ctx,
                 });
                 topic_idx.insert(e.topic(), creds.len() - 1);
                 creds.len() - 1
@@ -403,9 +475,9 @@ impl Publisher {
             let out = &mut outs[0];
             let state = &mut states[0];
             for (i, e) in events.iter().enumerate() {
-                let mut rng = StdRng::seed_from_u64(event_seed(seed_base, batch, i as u64));
-                let t = event_topic[i];
-                out.push(encrypt_one(schema, &creds[t], t, state, e, epoch, &mut rng));
+                let cred = &creds[event_topic[i]];
+                let mut rng = event_rng(&cred.iv_ctx, seed_base, batch, i as u64);
+                out.push(encrypt_one(schema, cred, state, e, epoch, &mut rng));
             }
         } else {
             std::thread::scope(|s| {
@@ -418,10 +490,9 @@ impl Publisher {
                     s.spawn(move || {
                         for (j, e) in chunk_events.iter().enumerate() {
                             let i = chunk_no * chunk + j;
-                            let mut rng =
-                                StdRng::seed_from_u64(event_seed(seed_base, batch, i as u64));
-                            let t = event_topic[i];
-                            out.push(encrypt_one(schema, &creds[t], t, state, e, epoch, &mut rng));
+                            let cred = &creds[event_topic[i]];
+                            let mut rng = event_rng(&cred.iv_ctx, seed_base, batch, i as u64);
+                            out.push(encrypt_one(schema, cred, state, e, epoch, &mut rng));
                         }
                     });
                 }
@@ -688,5 +759,87 @@ mod tests {
     fn empty_batch_is_a_noop() {
         let (mut p, _) = publisher_with_credential();
         assert_eq!(p.publish_batch(&[], 0, 4).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn reordered_topics_across_batches_reuse_no_stale_keys() {
+        // Regression: worker event-key caches persist across batches, so
+        // a batch whose topics arrive in a different first-seen order
+        // than an earlier batch must not hit another topic's cached
+        // K(e). Events carry identical keyed attributes to force the
+        // cache collision a per-batch index key would produce.
+        use crate::{PsGuard, PsGuardConfig};
+        let schema = Schema::builder()
+            .numeric("age", IntRange::new(0, 255).unwrap(), 1)
+            .unwrap()
+            .build();
+        let ps = PsGuard::new(b"seed4", schema, PsGuardConfig::default());
+        let mut publisher = ps.publisher("P");
+        ps.authorize_publisher(&mut publisher, "w", 0);
+        ps.authorize_publisher(&mut publisher, "v", 0);
+        let mut sub_w = ps.subscriber("Sw");
+        ps.authorize_subscriber(&mut sub_w, &psguard_model::Filter::for_topic("w"), 0)
+            .unwrap();
+        let mut sub_v = ps.subscriber("Sv");
+        ps.authorize_subscriber(&mut sub_v, &psguard_model::Filter::for_topic("v"), 0)
+            .unwrap();
+        let ev = |topic: &str, payload: &[u8]| {
+            Event::builder(topic)
+                .attr("age", 10i64)
+                .payload(payload.to_vec())
+                .build()
+        };
+        for workers in [1usize, 3] {
+            let first = publisher
+                .publish_batch(&[ev("w", b"w1"), ev("v", b"v1")], 0, workers)
+                .unwrap();
+            let second = publisher
+                .publish_batch(&[ev("v", b"v2"), ev("w", b"w2")], 0, workers)
+                .unwrap();
+            assert_eq!(sub_w.decrypt(&first[0]).unwrap().payload(), b"w1");
+            assert_eq!(sub_v.decrypt(&first[1]).unwrap().payload(), b"v1");
+            assert_eq!(sub_v.decrypt(&second[0]).unwrap().payload(), b"v2");
+            assert_eq!(sub_w.decrypt(&second[1]).unwrap().payload(), b"w2");
+        }
+    }
+
+    #[test]
+    fn serial_and_batch_streams_never_share_ivs_or_nonces() {
+        let (mut p, _) = publisher_with_credential();
+        let events = batch_events(8);
+        let serial: Vec<_> = events.iter().map(|e| p.publish(e, 0).unwrap()).collect();
+        let batch = p.publish_batch(&events, 0, 2).unwrap();
+        let mut ivs = std::collections::HashSet::new();
+        let mut nonces = std::collections::HashSet::new();
+        for s in serial.iter().chain(&batch) {
+            assert!(ivs.insert(s.iv), "iv reused across streams");
+            assert!(nonces.insert(s.tag.nonce), "nonce reused across streams");
+        }
+    }
+
+    #[test]
+    fn publishers_with_distinct_names_draw_distinct_ivs() {
+        let events = batch_events(4);
+        let mut outs = Vec::new();
+        for name in ["P1", "P2"] {
+            let schema = Schema::builder()
+                .numeric("age", IntRange::new(0, 255).unwrap(), 1)
+                .unwrap()
+                .build();
+            let kdc = Kdc::from_seed(b"seed");
+            let mut p = Publisher::new(name, schema);
+            let mut ops = OpCounter::new();
+            p.install_credential(PublisherCredential {
+                topic: "w".into(),
+                epoch: 0,
+                topic_key: kdc.topic_key("w", EpochId(0), &TopicScope::Shared, &mut ops),
+                token: kdc.routing_token("w"),
+            });
+            outs.push(p.publish_batch(&events, 0, 1).unwrap());
+        }
+        for (a, b) in outs[0].iter().zip(&outs[1]) {
+            assert_ne!(a.iv, b.iv);
+            assert_ne!(a.tag.nonce, b.tag.nonce);
+        }
     }
 }

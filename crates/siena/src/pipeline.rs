@@ -30,12 +30,36 @@
 //!   returned as per-event peer slices over one flat buffer instead of a
 //!   cloned event per delivery.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 use crate::index::{EntryId, IndexableFilter, MatchIndex, MatchStats};
 use crate::table::Peer;
+
+/// FNV-1a (64-bit, standard offset basis and prime): the bucket-to-shard
+/// partition function. Std's `DefaultHasher` is explicitly not guaranteed
+/// stable across Rust releases; a fixed algorithm keeps shard assignment
+/// (and thus per-shard work and stats) identical on every toolchain.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
 
 /// Cumulative counters for one [`ShardedPipeline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -225,11 +249,12 @@ impl<F: IndexableFilter> ShardedPipeline<F> {
         self.last_batch_work
     }
 
-    /// The shard owning `key`'s bucket: a stable hash partition, so a
-    /// bucket's registrations always land on one shard and cross-shard
-    /// dedup only has to handle *peers*, never split buckets.
+    /// The shard owning `key`'s bucket: a stable hash partition (fixed
+    /// [`Fnv1a`], identical on every toolchain), so a bucket's
+    /// registrations always land on one shard and cross-shard dedup only
+    /// has to handle *peers*, never split buckets.
     fn shard_of(&self, key: &F::Key) -> usize {
-        let mut h = DefaultHasher::new();
+        let mut h = Fnv1a::new();
         key.hash(&mut h);
         (h.finish() % self.shards.len() as u64) as usize
     }
@@ -489,6 +514,21 @@ mod tests {
         assert_eq!(stats.deliveries, 2);
         assert!(stats.match_work >= 2);
         assert!(p.last_batch_work() >= 2);
+    }
+
+    #[test]
+    fn shard_hash_is_fnv1a_with_standard_constants() {
+        // Published FNV-1a 64-bit test values: the shard partition must
+        // not drift across toolchains (or refactors).
+        for (input, want) in [
+            (b"".as_slice(), 0xcbf2_9ce4_8422_2325u64),
+            (b"a", 0xaf63_dc4c_8601_ec8c),
+            (b"foobar", 0x8594_4171_f739_67e8),
+        ] {
+            let mut h = Fnv1a::new();
+            h.write(input);
+            assert_eq!(h.finish(), want, "input {input:?}");
+        }
     }
 
     #[test]
