@@ -81,8 +81,15 @@ impl<M: Eq> Default for Simulator<M> {
 impl<M: Eq> Simulator<M> {
     /// A simulator at time 0 with an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// A simulator whose queue is pre-sized for `capacity` scheduled
+    /// events, avoiding heap regrowth when the caller knows the load up
+    /// front (e.g. an engine pre-scheduling a whole publication run).
+    pub fn with_capacity(capacity: usize) -> Self {
         Simulator {
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(capacity),
             now: 0,
             seq: 0,
             delivered: 0,

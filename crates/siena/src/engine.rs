@@ -303,7 +303,10 @@ where
         let mut latencies: Vec<u64> = Vec::new();
         let mut delivered = 0u64;
 
-        let mut sim: Simulator<Msg<F::Event>> = Simulator::new();
+        // Pre-size the queue for the whole publication schedule (plus
+        // slack for in-flight forwards) so pushes never regrow the heap.
+        let expected = (duration_us as f64 / interarrival).ceil() as usize + 64;
+        let mut sim: Simulator<Msg<F::Event>> = Simulator::with_capacity(expected);
         // Pre-schedule the publication arrivals at the publisher (node 0).
         let mut arr_rng = StdRng::seed_from_u64(self.config.seed ^ rate_eps.to_bits());
         let mut t = 0.0f64;
@@ -344,7 +347,15 @@ where
             match d.msg {
                 Msg::Publish { env, from } => {
                     let start = d.at.max(busy_until[node]);
-                    let actions = self.brokers[node].publish(from, env.event.clone());
+                    // The envelope is consumed here: move the event into
+                    // the broker instead of cloning it (the broker clones
+                    // per-recipient itself; this saves one clone per hop).
+                    let Envelope {
+                        seq: env_seq,
+                        sent_at: env_sent_at,
+                        event,
+                    } = env;
+                    let actions = self.brokers[node].publish(from, event);
                     // Fixed per-event work (encryption at the publisher,
                     // matching everywhere), then store-and-forward
                     // serialization: each outgoing copy departs
@@ -376,8 +387,8 @@ where
                                     NodeId(child as u32),
                                     Msg::Publish {
                                         env: Envelope {
-                                            seq: env.seq,
-                                            sent_at: env.sent_at,
+                                            seq: env_seq,
+                                            sent_at: env_sent_at,
                                             event,
                                         },
                                         from: Peer::Parent,
@@ -392,8 +403,8 @@ where
                                     NodeId(dst as u32),
                                     Msg::Local {
                                         env: Envelope {
-                                            seq: env.seq,
-                                            sent_at: env.sent_at,
+                                            seq: env_seq,
+                                            sent_at: env_sent_at,
                                             event,
                                         },
                                     },
@@ -407,8 +418,8 @@ where
                                         NodeId(p as u32),
                                         Msg::Publish {
                                             env: Envelope {
-                                                seq: env.seq,
-                                                sent_at: env.sent_at,
+                                                seq: env_seq,
+                                                sent_at: env_sent_at,
                                                 event,
                                             },
                                             from: Peer::Child(node as u32),

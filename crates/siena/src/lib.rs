@@ -39,6 +39,7 @@ mod broker;
 mod engine;
 mod error;
 mod fault;
+mod frame;
 mod index;
 mod pipeline;
 mod semantics;
@@ -52,6 +53,7 @@ pub use error::TcpError;
 pub use fault::{
     DeliveryRecord, FaultConfig, FaultRunReport, RecoveryConfig, Revocation, SeqDedup,
 };
+pub use frame::{write_frames, Frame, FramePool, FramePoolStats, SharedFrame};
 pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
 pub use pipeline::{BatchDeliveries, PipelineStats, ShardedPipeline};
 pub use semantics::FilterSemantics;

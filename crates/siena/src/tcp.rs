@@ -23,6 +23,14 @@
 //!   the broker had to forward it upward, once the parent has
 //!   acknowledged in turn. [`TcpClient::subscribe_acked`] waits for the
 //!   ack, replacing sleep-based test synchronization.
+//! * **Zero-copy fan-out** — every outbound message is serialized once
+//!   into a pooled, reference-counted [`SharedFrame`]; a publish matched
+//!   by N subscriber connections enqueues N `Arc` clones of the same
+//!   buffer, never N copies of the bytes. Writer threads drain their
+//!   queue into a single coalesced vectored write per wakeup
+//!   ([`write_frames`]), so heartbeats and acks piggyback on pending
+//!   event flushes, and frame buffers return to the [`FramePool`] when
+//!   the last queue releases them.
 //!
 //! The paper linked its 63-node overlay with "open TCP connections"
 //! (§5.2); this module is the equivalent transport, used by the
@@ -41,10 +49,11 @@ use parking_lot::Mutex;
 
 use crate::broker::{Action, Broker};
 use crate::error::TcpError;
+use crate::frame::{write_frames, Frame, FramePool, FramePoolStats, SharedFrame};
 use crate::index::IndexableFilter;
 use crate::semantics::FilterSemantics;
 use crate::table::Peer;
-use crate::wire::{filter_crc, read_frame, write_frame, Message, Wire};
+use crate::wire::{filter_crc, read_frame_into, Message, Wire};
 
 /// What to do when a bounded outbound queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +150,8 @@ impl StatsInner {
 }
 
 /// Enqueues without ever blocking; full or closed queues count a drop.
-fn offer(tx: &Sender<Vec<u8>>, frame: Vec<u8>, stats: &StatsInner) {
+/// The frame is an `Arc` clone — enqueueing never copies the bytes.
+fn offer(tx: &Sender<SharedFrame>, frame: SharedFrame, stats: &StatsInner) {
     if tx.try_send(frame).is_err() {
         stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
     }
@@ -151,7 +161,7 @@ fn offer(tx: &Sender<Vec<u8>>, frame: Vec<u8>, stats: &StatsInner) {
 enum Input<F: FilterSemantics> {
     FromPeer(u32, Message<F, F::Event>),
     PeerGone(u32),
-    NewPeer(u32, Sender<Vec<u8>>),
+    NewPeer(u32, Sender<SharedFrame>),
     Tick,
     Shutdown,
 }
@@ -161,6 +171,7 @@ pub struct TcpBroker {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
+    pool: FramePool,
     dispatcher_tx_shutdown: Box<dyn Fn() + Send + Sync>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -182,6 +193,13 @@ impl TcpBroker {
     /// Transport counters (evictions, drops, heartbeats).
     pub fn stats(&self) -> TcpStats {
         self.stats.snapshot()
+    }
+
+    /// Frame-pool counters for the broker's outbound encode path. A
+    /// publish fanned out to N peers bumps `frames_encoded` by exactly
+    /// one — the instrumentation the encode-once tests assert on.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.pool.stats()
     }
 
     /// Requests shutdown and joins the worker threads.
@@ -209,19 +227,51 @@ impl Drop for TcpBroker {
     }
 }
 
+/// Frames drained per writer wakeup into one coalesced vectored write.
+/// Bounds both the `IoSlice` working set and how long a shutdown
+/// sentinel can sit behind queued traffic.
+const MAX_COALESCE: usize = 32;
+
+/// Blocks for the next frame, then opportunistically drains up to
+/// [`MAX_COALESCE`] already-queued frames into `batch` so one syscall
+/// covers all of them. Returns `false` when the queue closed or the
+/// shutdown sentinel arrived — frames collected before the sentinel are
+/// still in `batch` and must be written before stopping.
+fn drain_coalesce(rx: &Receiver<SharedFrame>, batch: &mut Vec<SharedFrame>) -> bool {
+    batch.clear();
+    let Ok(first) = rx.recv() else { return false };
+    if first.is_sentinel() {
+        return false;
+    }
+    batch.push(first);
+    while batch.len() < MAX_COALESCE {
+        match rx.try_recv() {
+            Ok(f) if f.is_sentinel() => return false,
+            Ok(f) => batch.push(f),
+            Err(_) => break,
+        }
+    }
+    true
+}
+
 fn spawn_writer(
     stream: TcpStream,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<SharedFrame>,
     stats: Arc<StatsInner>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let mut stream = stream;
-        while let Ok(frame) = rx.recv() {
-            if frame.is_empty() {
-                break; // shutdown sentinel
+        let mut batch: Vec<SharedFrame> = Vec::with_capacity(MAX_COALESCE);
+        loop {
+            let keep_going = drain_coalesce(&rx, &mut batch);
+            if !batch.is_empty() && write_frames(&mut stream, &batch).is_err() {
+                stats
+                    .dropped_frames
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                break;
             }
-            if write_frame(&mut stream, &frame).is_err() {
-                stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            batch.clear(); // release the Arcs so buffers return to the pool
+            if !keep_going {
                 break;
             }
         }
@@ -243,12 +293,13 @@ where
     std::thread::spawn(move || {
         let mut stream = stream;
         stream.set_read_timeout(Some(read_timeout)).ok();
+        let mut frame = Vec::new(); // reused across frames: no per-read alloc
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            match read_frame(&mut stream) {
-                Ok(frame) => match Message::<F, F::Event>::from_bytes(&frame) {
+            match read_frame_into(&mut stream, &mut frame) {
+                Ok(()) => match Message::<F, F::Event>::from_bytes(&frame) {
                     Ok(msg) => {
                         if tx.send(Input::FromPeer(peer_id, msg)).is_err() {
                             break;
@@ -305,18 +356,19 @@ where
     let addr = listener.local_addr().map_err(TcpError::Io)?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(StatsInner::default());
+    let pool = FramePool::new();
     let (tx, rx) = unbounded::<Input<F>>();
     let mut threads = Vec::new();
 
     // Parent link (peer id 0 is reserved for the parent).
     const PARENT_ID: u32 = 0;
-    let mut parent_tx: Option<Sender<Vec<u8>>> = None;
+    let mut parent_tx: Option<Sender<SharedFrame>> = None;
     if let Some(paddr) = parent {
         let stream =
             TcpStream::connect_timeout(&paddr, cfg.connect_timeout).map_err(TcpError::Io)?;
         stream.set_nodelay(true).ok();
         stream.set_write_timeout(Some(cfg.write_timeout)).ok();
-        let (wtx, wrx) = bounded::<Vec<u8>>(cfg.queue_capacity);
+        let (wtx, wrx) = bounded::<SharedFrame>(cfg.queue_capacity);
         threads.push(spawn_writer(
             stream.try_clone().map_err(TcpError::Io)?,
             wrx,
@@ -331,7 +383,7 @@ where
         ));
         // Introduce ourselves as a broker.
         let hello: Message<F, F::Event> = Message::Hello { kind: 0 };
-        let _ = wtx.send(hello.to_bytes());
+        let _ = wtx.send(pool.encode(&hello));
         parent_tx = Some(wtx);
     }
 
@@ -352,7 +404,7 @@ where
                 stream.set_write_timeout(Some(cfg.write_timeout)).ok();
                 let peer_id = next_peer;
                 next_peer += 1;
-                let (wtx, wrx) = bounded::<Vec<u8>>(cfg.queue_capacity);
+                let (wtx, wrx) = bounded::<SharedFrame>(cfg.queue_capacity);
                 if let Ok(ws) = stream.try_clone() {
                     reader_threads.push(spawn_writer(ws, wrx, stats.clone()));
                 } else {
@@ -401,9 +453,10 @@ where
     {
         let is_root = parent.is_none();
         let stats = stats.clone();
+        let pool = pool.clone();
         threads.push(std::thread::spawn(move || {
             let mut broker: Broker<F> = Broker::new(is_root);
-            let mut writers: HashMap<u32, Sender<Vec<u8>>> = HashMap::new();
+            let mut writers: HashMap<u32, Sender<SharedFrame>> = HashMap::new();
             let mut last_heard: HashMap<u32, Instant> = HashMap::new();
             // Subscribe acks we owe peers once the parent confirms the
             // forwarded filter (keyed by the filter's crc).
@@ -411,19 +464,20 @@ where
             if let Some(ptx) = parent_tx {
                 writers.insert(PARENT_ID, ptx);
             }
-            let send_to =
-                |writers: &HashMap<u32, Sender<Vec<u8>>>, peer: u32, msg: &Message<F, F::Event>| {
-                    if let Some(w) = writers.get(&peer) {
-                        offer(w, msg.to_bytes(), &stats);
-                    }
-                };
-            let flush_acks = |writers: &HashMap<u32, Sender<Vec<u8>>>,
+            let send_to = |writers: &HashMap<u32, Sender<SharedFrame>>,
+                           peer: u32,
+                           msg: &Message<F, F::Event>| {
+                if let Some(w) = writers.get(&peer) {
+                    offer(w, pool.encode(msg), &stats);
+                }
+            };
+            let flush_acks = |writers: &HashMap<u32, Sender<SharedFrame>>,
                               pending: &mut HashMap<u32, Vec<u32>>| {
                 for (crc, peers) in pending.drain() {
                     for p in peers {
                         if let Some(w) = writers.get(&p) {
                             let ack: Message<F, F::Event> = Message::SubAck { crc };
-                            offer(w, ack.to_bytes(), &stats);
+                            offer(w, pool.encode(&ack), &stats);
                         }
                     }
                 }
@@ -446,12 +500,15 @@ where
                         }
                         last_heard.remove(&id);
                         if let Some(w) = writers.remove(&id) {
-                            let _ = w.send(Vec::new()); // writer sentinel
+                            let _ = w.send(Frame::sentinel());
                         }
                     }
                     Input::Tick => {
+                        // Encoded once; each writer queue gets an Arc
+                        // clone, and the writer coalesces it into
+                        // whatever flush is already pending.
                         let hb: Message<F, F::Event> = Message::Heartbeat;
-                        let frame = hb.to_bytes();
+                        let frame = pool.encode(&hb);
                         for w in writers.values() {
                             offer(w, frame.clone(), &stats);
                             stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
@@ -469,7 +526,7 @@ where
                             broker.peer_down(Peer::Child(id));
                             last_heard.remove(&id);
                             if let Some(w) = writers.remove(&id) {
-                                let _ = w.send(Vec::new());
+                                let _ = w.send(Frame::sentinel());
                             }
                             stats.evicted_peers.fetch_add(1, Ordering::Relaxed);
                         }
@@ -510,6 +567,12 @@ where
                             Message::Unsubscribe(f) => broker.unsubscribe(from, &f),
                             Message::Publish(e) => broker.publish(from, e),
                         };
+                        // Encode-once fan-out: every `Deliver` produced
+                        // by one publish carries a clone of the same
+                        // event, so the Publish frame is serialized for
+                        // the first recipient only and the remaining
+                        // recipients get Arc clones of that frame.
+                        let mut deliver_frame: Option<SharedFrame> = None;
                         for action in actions {
                             match action {
                                 Action::ForwardSubscribe(f) => {
@@ -518,14 +581,23 @@ where
                                 Action::ForwardUnsubscribe(f) => {
                                     send_to(&writers, PARENT_ID, &Message::Unsubscribe(f));
                                 }
-                                Action::Deliver(Peer::Parent, e) => {
-                                    send_to(&writers, PARENT_ID, &Message::Publish(e));
-                                }
-                                Action::Deliver(Peer::Child(c), e) => {
-                                    send_to(&writers, c, &Message::Publish(e));
-                                }
-                                Action::Deliver(Peer::Local(c), e) => {
-                                    send_to(&writers, c, &Message::Publish(e));
+                                Action::Deliver(peer, e) => {
+                                    let target = match peer {
+                                        Peer::Parent => PARENT_ID,
+                                        Peer::Child(c) | Peer::Local(c) => c,
+                                    };
+                                    let frame = match &deliver_frame {
+                                        Some(f) => f.clone(),
+                                        None => {
+                                            let msg: Message<F, F::Event> = Message::Publish(e);
+                                            let f = pool.encode(&msg);
+                                            deliver_frame = Some(f.clone());
+                                            f
+                                        }
+                                    };
+                                    if let Some(w) = writers.get(&target) {
+                                        offer(w, frame, &stats);
+                                    }
                                 }
                             }
                         }
@@ -534,7 +606,7 @@ where
             }
             // Release writer threads.
             for (_, w) in writers {
-                let _ = w.send(Vec::new());
+                let _ = w.send(Frame::sentinel());
             }
         }));
     }
@@ -544,6 +616,7 @@ where
         addr,
         shutdown,
         stats,
+        pool,
         dispatcher_tx_shutdown: Box::new(move || {
             let _ = tx_for_shutdown.send(Input::Shutdown);
         }),
@@ -552,7 +625,7 @@ where
 }
 
 enum Cmd {
-    Frame(Vec<u8>),
+    Frame(SharedFrame),
     Shutdown,
 }
 
@@ -566,6 +639,7 @@ pub struct TcpClient<F: FilterSemantics> {
     subs: Arc<Mutex<Vec<F>>>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
+    pool: FramePool,
     overflow: OverflowPolicy,
     threads: Vec<JoinHandle<()>>,
 }
@@ -617,6 +691,7 @@ where
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
+        let pool = FramePool::new();
         let subs: Arc<Mutex<Vec<F>>> = Arc::new(Mutex::new(Vec::new()));
         let (cmd_tx, cmd_rx) = bounded::<Cmd>(cfg.queue_capacity);
         let (etx, erx) = bounded::<F::Event>(4096);
@@ -626,8 +701,11 @@ where
             let shutdown = shutdown.clone();
             let stats = stats.clone();
             let subs = subs.clone();
+            let pool = pool.clone();
             std::thread::spawn(move || {
-                supervise::<F>(broker, cfg, stream, cmd_rx, etx, atx, subs, shutdown, stats);
+                supervise::<F>(
+                    broker, cfg, stream, cmd_rx, etx, atx, subs, shutdown, stats, pool,
+                );
             })
         };
 
@@ -638,12 +716,13 @@ where
             subs,
             shutdown,
             stats,
+            pool,
             overflow: cfg.overflow,
             threads: vec![supervisor],
         })
     }
 
-    fn enqueue(&self, frame: Vec<u8>) -> Result<(), TcpError> {
+    fn enqueue(&self, frame: SharedFrame) -> Result<(), TcpError> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(TcpError::Disconnected);
         }
@@ -674,7 +753,7 @@ where
     pub fn subscribe(&self, filter: F) -> Result<(), TcpError> {
         let msg: Message<F, F::Event> = Message::Subscribe(filter.clone());
         self.subs.lock().push(filter);
-        self.enqueue(msg.to_bytes())
+        self.enqueue(self.pool.encode(&msg))
     }
 
     /// Registers a subscription and waits (up to `timeout`) for the
@@ -711,7 +790,7 @@ where
     pub fn unsubscribe(&self, filter: &F) -> Result<(), TcpError> {
         self.subs.lock().retain(|f| f != filter);
         let msg: Message<F, F::Event> = Message::Unsubscribe(filter.clone());
-        self.enqueue(msg.to_bytes())
+        self.enqueue(self.pool.encode(&msg))
     }
 
     /// Publishes an event. Delivery is at-most-once across connection
@@ -723,7 +802,7 @@ where
     /// As [`subscribe`](Self::subscribe).
     pub fn publish(&self, event: F::Event) -> Result<(), TcpError> {
         let msg: Message<F, F::Event> = Message::Publish(event);
-        self.enqueue(msg.to_bytes())
+        self.enqueue(self.pool.encode(&msg))
     }
 
     /// Waits up to `timeout` for the next delivered event.
@@ -734,6 +813,11 @@ where
     /// Transport counters (reconnects, drops).
     pub fn stats(&self) -> TcpStats {
         self.stats.snapshot()
+    }
+
+    /// Frame-pool counters for the client's outbound encode path.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.pool.stats()
     }
 }
 
@@ -751,12 +835,16 @@ fn supervise<F>(
     subs: Arc<Mutex<Vec<F>>>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
+    pool: FramePool,
 ) where
     F: FilterSemantics + Wire + Send + 'static,
     F::Event: Wire + Send + 'static,
 {
     let mut jitter_state = cfg.jitter_seed ^ u64::from(addr.port());
     let mut stream_opt = Some(first);
+    // Heartbeats never change: encode once for the client's lifetime.
+    let hb_frame = pool.encode(&Message::<F, F::Event>::Heartbeat);
+    let mut batch: Vec<SharedFrame> = Vec::with_capacity(MAX_COALESCE);
     'epochs: loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -799,14 +887,14 @@ fn supervise<F>(
             Err(_) => continue, // socket already dead; reconnect
         };
         let hello: Message<F, F::Event> = Message::Hello { kind: 1 };
-        if write_frame(&mut wstream, &hello.to_bytes()).is_err() {
+        if pool.encode(&hello).write_to(&mut wstream).is_err() {
             continue;
         }
         let replay: Vec<F> = subs.lock().clone();
         let mut handshake_ok = true;
         for f in replay {
             let msg: Message<F, F::Event> = Message::Subscribe(f);
-            if write_frame(&mut wstream, &msg.to_bytes()).is_err() {
+            if pool.encode(&msg).write_to(&mut wstream).is_err() {
                 handshake_ok = false;
                 break;
             }
@@ -826,12 +914,13 @@ fn supervise<F>(
             let read_timeout = cfg.read_timeout;
             std::thread::spawn(move || {
                 rstream.set_read_timeout(Some(read_timeout)).ok();
+                let mut frame = Vec::new(); // reused across frames
                 loop {
                     if shutdown.load(Ordering::SeqCst) || !epoch_alive.load(Ordering::SeqCst) {
                         break;
                     }
-                    match read_frame(&mut rstream) {
-                        Ok(frame) => match Message::<F, F::Event>::from_bytes(&frame) {
+                    match read_frame_into(&mut rstream, &mut frame) {
+                        Ok(()) => match Message::<F, F::Event>::from_bytes(&frame) {
                             Ok(Message::Publish(e)) => {
                                 if etx.send(e).is_err() {
                                     break;
@@ -879,15 +968,41 @@ fn supervise<F>(
                     break 'epochs;
                 }
                 Ok(Cmd::Frame(frame)) => {
-                    if write_frame(&mut wstream, &frame).is_err() {
-                        stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                    // Coalesce everything already queued behind this
+                    // frame into one vectored write.
+                    batch.clear();
+                    batch.push(frame);
+                    let mut shutdown_after = false;
+                    while batch.len() < MAX_COALESCE {
+                        match cmd_rx.try_recv() {
+                            Ok(Cmd::Frame(f)) => batch.push(f),
+                            Ok(Cmd::Shutdown) => {
+                                shutdown_after = true;
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let wrote = write_frames(&mut wstream, &batch);
+                    if wrote.is_err() {
+                        stats
+                            .dropped_frames
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    }
+                    batch.clear();
+                    if shutdown_after {
+                        shutdown.store(true, Ordering::SeqCst);
+                        epoch_alive.store(false, Ordering::SeqCst);
+                        let _ = reader.join();
+                        break 'epochs;
+                    }
+                    if wrote.is_err() {
                         break;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if !cfg.heartbeat_interval.is_zero() {
-                        let hb: Message<F, F::Event> = Message::Heartbeat;
-                        if write_frame(&mut wstream, &hb.to_bytes()).is_err() {
+                        if hb_frame.write_to(&mut wstream).is_err() {
                             break;
                         }
                         stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);

@@ -7,8 +7,15 @@
 
 use psguard_model::{AttrValue, CategoryPath, Constraint, Event, Filter, IntRange, Op};
 
-/// Maximum frame payload accepted (1 MiB) — guards against hostile or
-/// corrupt length prefixes.
+/// Maximum frame payload accepted — guards against hostile or corrupt
+/// length prefixes: a peer sending a bogus 4-byte prefix must not be able
+/// to make the reader allocate gigabytes before `read_exact` fails.
+///
+/// Sizing: the largest legitimate message is a [`Message::Publish`] whose
+/// event carries the biggest payload the secure pipeline produces
+/// (encrypted payloads are benched at ≤ 64 KiB) plus up to 4096
+/// attributes — well under 512 KiB in practice. 1 MiB gives 2× headroom
+/// while still bounding a hostile prefix to one modest allocation.
 pub const MAX_FRAME: usize = 1 << 20;
 
 /// Wire-format errors.
@@ -24,6 +31,9 @@ pub enum WireError {
     BadUtf8,
     /// Frame magic/version mismatch.
     BadMagic(u8),
+    /// A frame's 4-byte length prefix exceeded [`MAX_FRAME`]: either
+    /// corruption or a hostile peer trying to force a huge allocation.
+    FrameTooLarge(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -34,6 +44,9 @@ impl std::fmt::Display for WireError {
             WireError::BadLength(l) => write!(f, "implausible length {l}"),
             WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:#04x}"),
+            WireError::FrameTooLarge(l) => {
+                write!(f, "frame of {l} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
         }
     }
 }
@@ -70,6 +83,19 @@ pub trait Wire: Sized {
             Err(WireError::BadLength(bytes.len()))
         }
     }
+}
+
+/// Appends a length-prefixed byte string. The borrowed counterpart of
+/// `Vec::<u8>::encode` / `String::encode`: encoders hand slices straight
+/// to the output buffer instead of cloning into a temporary.
+pub fn encode_bytes(bytes: &[u8], buf: &mut Vec<u8>) {
+    (bytes.len() as u32).encode(buf);
+    buf.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string without cloning it.
+pub fn encode_str(s: &str, buf: &mut Vec<u8>) {
+    encode_bytes(s.as_bytes(), buf);
 }
 
 pub(crate) fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
@@ -129,7 +155,7 @@ impl Wire for i64 {
 
 impl Wire for String {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.as_bytes().to_vec().encode(buf);
+        encode_str(self, buf);
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let bytes = Vec::<u8>::decode(input)?;
@@ -187,9 +213,9 @@ impl Wire for psguard_crypto::Token {
 
 impl Wire for CategoryPath {
     fn encode(&self, buf: &mut Vec<u8>) {
-        let v: Vec<u32> = self.indices().to_vec();
-        (v.len() as u32).encode(buf);
-        for i in v {
+        let indices = self.indices();
+        (indices.len() as u32).encode(buf);
+        for i in indices {
             i.encode(buf);
         }
     }
@@ -215,7 +241,7 @@ impl Wire for AttrValue {
             }
             AttrValue::Str(s) => {
                 buf.push(1);
-                s.clone().encode(buf);
+                encode_str(s, buf);
             }
             AttrValue::Category(c) => {
                 buf.push(2);
@@ -274,11 +300,11 @@ impl Wire for Op {
             }
             Op::StrPrefix(s) => {
                 buf.push(6);
-                s.clone().encode(buf);
+                encode_str(s, buf);
             }
             Op::StrSuffix(s) => {
                 buf.push(7);
-                s.clone().encode(buf);
+                encode_str(s, buf);
             }
             Op::CategoryIn(c) => {
                 buf.push(8);
@@ -304,10 +330,17 @@ impl Wire for Op {
 
 impl Wire for Filter {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.topic().map(|s| s.to_owned()).encode(buf);
+        // Byte-identical to `Option::<String>::encode`, without the clone.
+        match self.topic() {
+            None => buf.push(0),
+            Some(t) => {
+                buf.push(1);
+                encode_str(t, buf);
+            }
+        }
         (self.constraints().len() as u32).encode(buf);
         for c in self.constraints() {
-            c.name().as_str().to_owned().encode(buf);
+            encode_str(c.name().as_str(), buf);
             c.op().encode(buf);
         }
     }
@@ -333,14 +366,14 @@ impl Wire for Filter {
 impl Wire for Event {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.id().0.encode(buf);
-        self.topic().to_owned().encode(buf);
-        self.publisher().to_owned().encode(buf);
+        encode_str(self.topic(), buf);
+        encode_str(self.publisher(), buf);
         (self.attr_count() as u32).encode(buf);
         for (name, value) in self.attrs() {
-            name.as_str().to_owned().encode(buf);
+            encode_str(name.as_str(), buf);
             value.encode(buf);
         }
-        self.payload().to_vec().encode(buf);
+        encode_bytes(self.payload(), buf);
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let id = u64::decode(input)?;
@@ -449,36 +482,91 @@ impl<F: Wire, E: Wire> Wire for Message<F, E> {
     }
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame as a *single* coalesced write: prefix
+/// and payload go out through one `write_vectored` call (one syscall on
+/// socket writers) instead of two sequential `write_all`s. Partial writes
+/// are completed with follow-up calls, so the function is correct for any
+/// writer.
+///
+/// The steady-state dissemination path avoids even the vectored pair by
+/// encoding the prefix into the same buffer as the payload — see
+/// [`FramePool`](crate::FramePool) — and lands here only for handshake
+/// and test traffic.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
+    let prefix = (payload.len() as u32).to_be_bytes();
+    // Two logical segments, one coalesced write. `written` tracks progress
+    // across the concatenation [prefix ‖ payload] so partial vectored
+    // writes resume mid-segment.
+    let total = 4 + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let bufs: [std::io::IoSlice<'_>; 2] = if written < 4 {
+            [
+                std::io::IoSlice::new(&prefix[written..]),
+                std::io::IoSlice::new(payload),
+            ]
+        } else {
+            [
+                std::io::IoSlice::new(&payload[written - 4..]),
+                std::io::IoSlice::new(&[]),
+            ]
+        };
+        let n = w.write_vectored(&bufs)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
     w.flush()
 }
 
-/// Reads one length-prefixed frame.
+fn frame_too_large(len: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        WireError::FrameTooLarge(len),
+    )
+}
+
+/// Reads one length-prefixed frame into a fresh buffer.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects frames larger than [`MAX_FRAME`] with
-/// `InvalidData`.
+/// an `InvalidData` error wrapping [`WireError::FrameTooLarge`] — the
+/// check runs *before* any allocation, so a hostile prefix cannot force
+/// a multi-GB reservation.
 pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    read_frame_into(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one length-prefixed frame into `payload`, reusing its capacity.
+///
+/// This is the steady-state reader-loop entry point: a per-connection
+/// buffer passed here is cleared and refilled, so after warm-up a reader
+/// allocates nothing per frame (the buffer grows to the largest frame
+/// seen, bounded by [`MAX_FRAME`]).
+///
+/// # Errors
+///
+/// As [`read_frame`]: I/O errors propagate, and a length prefix above
+/// [`MAX_FRAME`] yields `InvalidData` wrapping
+/// [`WireError::FrameTooLarge`] before any buffer growth.
+pub fn read_frame_into<R: std::io::Read>(r: &mut R, payload: &mut Vec<u8>) -> std::io::Result<()> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds limit"),
-        ));
+        return Err(frame_too_large(len));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload)
 }
 
 #[cfg(test)]
@@ -608,5 +696,49 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
         let mut cursor = std::io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_typed_and_preallocation_free() {
+        // A hostile 4-GB-ish prefix with no body: the reject must carry
+        // the typed error and fire before any read/alloc of the body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut payload = Vec::new();
+        let err = read_frame_into(&mut cursor, &mut payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let inner = err.get_ref().and_then(|e| e.downcast_ref::<WireError>());
+        assert_eq!(
+            inner,
+            Some(&WireError::FrameTooLarge(u32::MAX as usize)),
+            "error must be the typed WireError, got {err:?}"
+        );
+        assert_eq!(payload.capacity(), 0, "must reject before allocating");
+    }
+
+    #[test]
+    fn read_frame_into_reuses_one_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[7u8; 300]).unwrap();
+        write_frame(&mut wire, b"tiny").unwrap();
+        write_frame(&mut wire, &[9u8; 128]).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut payload = Vec::new();
+
+        read_frame_into(&mut cursor, &mut payload).unwrap();
+        assert_eq!(payload, vec![7u8; 300]);
+        let cap = payload.capacity();
+
+        // Subsequent smaller frames refill the same allocation.
+        read_frame_into(&mut cursor, &mut payload).unwrap();
+        assert_eq!(payload, b"tiny");
+        assert_eq!(payload.capacity(), cap);
+        read_frame_into(&mut cursor, &mut payload).unwrap();
+        assert_eq!(payload, vec![9u8; 128]);
+        assert_eq!(payload.capacity(), cap);
+
+        // EOF surfaces as an error, leaving the buffer reusable.
+        assert!(read_frame_into(&mut cursor, &mut payload).is_err());
     }
 }

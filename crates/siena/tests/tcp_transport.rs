@@ -219,3 +219,54 @@ fn drop_newest_backpressure_is_reported() {
     assert!(saw_backpressure, "full bounded queue must report drops");
     assert!(client.stats().dropped_frames >= 1);
 }
+
+#[test]
+fn fanout_serializes_event_exactly_once() {
+    // Heartbeats off so the broker pool's encode counter moves only for
+    // the traffic this test generates.
+    let cfg = TcpConfig {
+        heartbeat_interval: Duration::ZERO,
+        ..TcpConfig::default()
+    };
+    let broker = spawn_broker_with::<Filter>("127.0.0.1:0", None, cfg).expect("spawn");
+
+    let subs: Vec<TcpClient<Filter>> = (0..3)
+        .map(|_| TcpClient::connect_with(broker.addr(), cfg).expect("connect"))
+        .collect();
+    for s in &subs {
+        s.subscribe_acked(Filter::for_topic("fan"), ACK_WAIT)
+            .expect("acked");
+    }
+    let publisher: TcpClient<Filter> =
+        TcpClient::connect_with(broker.addr(), cfg).expect("connect");
+    // An acked subscribe fences the publisher's connection startup
+    // (hello + pre-encoded heartbeat) so the snapshots below only see
+    // the publish itself.
+    publisher
+        .subscribe_acked(Filter::for_topic("sync-only"), ACK_WAIT)
+        .expect("acked");
+
+    // All subscription/ack traffic is settled; snapshot the encode counts.
+    let broker_before = broker.pool_stats().frames_encoded;
+    let pub_before = publisher.pool_stats().frames_encoded;
+
+    let e = Event::builder("fan").payload(vec![42; 64]).build();
+    publisher.publish(e.clone()).expect("publish");
+    for s in &subs {
+        let got = s.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(got, e);
+    }
+
+    // Three recipients, one serialization: the fan-out shared one frame.
+    assert_eq!(
+        broker.pool_stats().frames_encoded - broker_before,
+        1,
+        "a publish fanned out to 3 peers must encode exactly once"
+    );
+    // The publisher client also encoded its Publish exactly once.
+    assert_eq!(publisher.pool_stats().frames_encoded - pub_before, 1);
+
+    drop(publisher);
+    drop(subs);
+    broker.shutdown();
+}

@@ -3,8 +3,9 @@
 //! `Err`, not a crash (the TCP reader drops such peers).
 
 use proptest::prelude::*;
-use psguard_model::{Constraint, Event, Filter, IntRange, Op};
-use psguard_siena::{Message, Wire};
+use psguard_model::{AttrValue, Constraint, Event, Filter, IntRange, Op};
+use psguard_siena::wire::{read_frame, read_frame_into, write_frame, MAX_FRAME};
+use psguard_siena::{FramePool, Message, Wire};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -54,5 +55,92 @@ proptest! {
         let i = flip_at % bytes.len();
         bytes[i] ^= xor;
         let _ = <Message<Filter, Event>>::from_bytes(&bytes);
+    }
+
+    /// Framed transport inputs — truncated streams, oversized length
+    /// prefixes, and bit-flipped frames — must surface as `Err` from the
+    /// frame reader (never a panic or a huge allocation), and a frame
+    /// that survives intact must round-trip.
+    #[test]
+    fn frame_reader_survives_hostile_streams(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        cut in 0usize..512,
+        flip_at in 0usize..512,
+        xor in 1u8..=255,
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+
+        // Truncation: every strict prefix errors cleanly.
+        let cut = cut % wire.len();
+        let mut buf = Vec::new();
+        prop_assert!(read_frame_into(&mut std::io::Cursor::new(&wire[..cut]), &mut buf).is_err());
+
+        // Bit flip: Err or a different payload, never a panic; a flipped
+        // length prefix may demand more bytes than exist, which is Err.
+        let mut flipped = wire.clone();
+        let i = flip_at % flipped.len();
+        flipped[i] ^= xor;
+        let mut buf = Vec::new();
+        let _ = read_frame_into(&mut std::io::Cursor::new(&flipped[..]), &mut buf);
+
+        // Intact: round-trips through both reader entry points.
+        let mut buf = Vec::new();
+        read_frame_into(&mut std::io::Cursor::new(&wire[..]), &mut buf).unwrap();
+        prop_assert_eq!(&buf, &payload);
+        prop_assert_eq!(read_frame(&mut std::io::Cursor::new(&wire[..])).unwrap(), payload);
+    }
+
+    /// Oversized length prefixes (any value above MAX_FRAME) are rejected
+    /// before allocation, regardless of how much body follows.
+    #[test]
+    fn oversized_prefix_always_rejected(
+        over in (MAX_FRAME as u64 + 1)..=u64::from(u32::MAX),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut wire = (over as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        let mut buf = Vec::new();
+        prop_assert!(read_frame_into(&mut std::io::Cursor::new(&wire[..]), &mut buf).is_err());
+        prop_assert_eq!(buf.capacity(), 0);
+    }
+
+    /// The pooled encode path is byte-identical to the classic
+    /// to_bytes + write_frame path for arbitrary messages, and decoding
+    /// the pooled frame returns the original message.
+    #[test]
+    fn pooled_encode_matches_classic_and_roundtrips(
+        topic in "[a-z]{1,8}",
+        lo in -100i64..100,
+        w in 1i64..100,
+        s in "[ -~]{0,12}",
+        payload in prop::collection::vec(any::<u8>(), 0..96),
+        which in 0u8..3,
+    ) {
+        let msg: Message<Filter, Event> = match which {
+            0 => Message::Subscribe(
+                Filter::for_topic(&topic)
+                    .with(Constraint::new("x", Op::InRange(IntRange::new(lo, lo + w).unwrap())))
+                    .with(Constraint::new("s", Op::StrPrefix(s.clone()))),
+            ),
+            1 => Message::Publish(
+                Event::builder(&topic)
+                    .attr("x", lo)
+                    .attr("s", AttrValue::Str(s.clone()))
+                    .payload(payload.clone())
+                    .build(),
+            ),
+            _ => Message::SubAck { crc: lo as u32 },
+        };
+
+        let pool = FramePool::new();
+        let frame = pool.encode(&msg);
+        let mut classic = Vec::new();
+        write_frame(&mut classic, &msg.to_bytes()).unwrap();
+        prop_assert_eq!(frame.wire_bytes(), &classic[..]);
+
+        let mut buf = Vec::new();
+        read_frame_into(&mut std::io::Cursor::new(frame.wire_bytes()), &mut buf).unwrap();
+        prop_assert_eq!(<Message<Filter, Event>>::from_bytes(&buf).unwrap(), msg);
     }
 }

@@ -119,6 +119,18 @@ pub const NONDETERMINISTIC_IDENTS: &[&str] = &[
     "getrandom",
 ];
 
+/// Files whose non-test code is the allocation-free dissemination hot
+/// path: per-message serialization there must go through the shared
+/// `FramePool` (encode once, fan out `Arc` clones), so per-call
+/// allocating conversions are banned. See DESIGN.md §14.
+pub const HOT_PATH_FILES: &[&str] = &["crates/siena/src/tcp.rs"];
+
+/// Methods (called as `.name(`) that allocate a fresh buffer per call
+/// and therefore must not appear in hot-path files: `to_bytes` is the
+/// old one-copy-per-recipient serialization, `to_vec` the classic
+/// borrowed-slice detour.
+pub const HOT_PATH_ALLOC_METHODS: &[&str] = &["to_bytes", "to_vec"];
+
 /// Relative path of the panic allowlist file.
 pub const ALLOWLIST_PATH: &str = "crates/xtask/allowlist.txt";
 
@@ -135,6 +147,11 @@ pub fn determinism_scope_contains(rel: &str) -> bool {
     DETERMINISM_SCOPE.iter().any(|p| rel.starts_with(p))
 }
 
+/// Whether a workspace-relative file path is a dissemination hot path.
+pub fn hot_path_contains(rel: &str) -> bool {
+    HOT_PATH_FILES.contains(&rel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +164,8 @@ mod tests {
         assert!(determinism_scope_contains("crates/net/src/sim.rs"));
         assert!(determinism_scope_contains("crates/siena/src/fault.rs"));
         assert!(!determinism_scope_contains("crates/siena/src/tcp.rs"));
+        assert!(hot_path_contains("crates/siena/src/tcp.rs"));
+        assert!(!hot_path_contains("crates/siena/src/wire.rs"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! The three rule families: secret hygiene, panic-freedom, sim
-//! determinism. Each rule takes a lexed file plus its workspace-relative
-//! path and emits [`Finding`]s.
+//! The rule families: secret hygiene, panic-freedom, sim determinism,
+//! hot-path allocation. Each rule takes a lexed file plus its
+//! workspace-relative path and emits [`Finding`]s.
 
 use crate::config;
 use crate::lexer::{LexedFile, Tok};
@@ -16,6 +16,10 @@ pub enum Rule {
     /// Wall clock, sleep, or OS randomness inside the deterministic
     /// simulator's scope.
     SimDeterminism,
+    /// A per-call allocating serialization (`.to_bytes()` / `.to_vec()`)
+    /// on a dissemination hot path that must encode through the
+    /// `FramePool` instead.
+    HotPathAlloc,
 }
 
 impl std::fmt::Display for Rule {
@@ -24,6 +28,7 @@ impl std::fmt::Display for Rule {
             Rule::SecretHygiene => f.write_str("secret-hygiene"),
             Rule::PanicFreedom => f.write_str("panic-freedom"),
             Rule::SimDeterminism => f.write_str("sim-determinism"),
+            Rule::HotPathAlloc => f.write_str("hot-path-alloc"),
         }
     }
 }
@@ -64,6 +69,9 @@ pub fn scan_file(rel_path: &str, lexed: &LexedFile) -> Vec<Finding> {
     }
     if config::determinism_scope_contains(rel_path) {
         sim_determinism(rel_path, lexed, &mut findings);
+    }
+    if config::hot_path_contains(rel_path) {
+        hot_path_alloc(rel_path, lexed, &mut findings);
     }
     findings
 }
@@ -358,6 +366,38 @@ fn sim_determinism(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Hot-path allocation: `.to_bytes()` / `.to_vec()` on a non-test line
+/// of a dissemination hot-path file. Fan-out there must serialize once
+/// through the `FramePool` and share the resulting `Arc` frame; a
+/// per-call conversion silently reintroduces one allocation (and one
+/// copy) per recipient.
+fn hot_path_alloc(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        let line = t.line;
+        if lexed.is_test_line(line) {
+            continue;
+        }
+        if let Tok::Ident(m) = &t.tok {
+            if config::HOT_PATH_ALLOC_METHODS.contains(&m.as_str())
+                && i >= 1
+                && punct_at(lexed, i - 1) == Some('.')
+                && punct_at(lexed, i + 1) == Some('(')
+            {
+                out.push(Finding {
+                    file: rel_path.to_owned(),
+                    line,
+                    rule: Rule::HotPathAlloc,
+                    message: format!(
+                        ".{m}(..) allocates per call on the dissemination hot path; \
+                         encode once via FramePool and fan out the shared frame"
+                    ),
+                    allowlisted: false,
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +479,53 @@ mod tests {
         let f = scan("crates/net/src/sim.rs", src);
         assert!(f.iter().all(|x| x.rule == Rule::SimDeterminism));
         assert!(f.len() >= 2);
+    }
+
+    #[test]
+    fn to_bytes_in_tcp_hot_path_flagged() {
+        let f = scan(
+            "crates/siena/src/tcp.rs",
+            "fn fan_out(msg: &Msg) { for w in writers { offer(w, msg.to_bytes()); } }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotPathAlloc);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn to_vec_in_tcp_hot_path_flagged() {
+        let f = scan(
+            "crates/siena/src/tcp.rs",
+            "fn f(frame: &[u8]) { queue.push(frame.to_vec()); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotPathAlloc);
+    }
+
+    #[test]
+    fn to_bytes_outside_hot_path_not_flagged() {
+        let f = scan(
+            "crates/siena/src/wire.rs",
+            "fn f(msg: &Msg) -> Vec<u8> { msg.to_bytes() }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn to_bytes_on_hot_path_test_lines_not_flagged() {
+        let src = "fn lib(m: &Msg) -> Vec<u8> { pool.encode(m) }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t(m: &Msg) { m.to_bytes(); }\n}\n";
+        let f = scan("crates/siena/src/tcp.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn similar_names_are_not_hot_path_allocs() {
+        let f = scan(
+            "crates/siena/src/tcp.rs",
+            "fn f(s: &str) { s.to_owned(); to_vec(s); let to_bytes = 1; }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
