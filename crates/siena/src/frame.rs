@@ -221,45 +221,127 @@ impl Drop for Frame {
 }
 
 /// Upper bound on `IoSlice`s handed to one `write_vectored` call (stack
-/// array in [`write_frames`]; also conveniently at or above common OS
-/// `IOV_MAX`-friendly batch sizes for this workload).
+/// array in [`FrameWriteCursor::write_step`]; also conveniently at or
+/// above common OS `IOV_MAX`-friendly batch sizes for this workload).
 const MAX_BATCH_SLICES: usize = 64;
 
+/// Resumable progress through a batch of frames being written as
+/// coalesced vectored I/O.
+///
+/// The cursor records which frame is next (`idx`) and how many of its
+/// bytes already went out (`off`), so a partial write — including a
+/// nonblocking socket returning `WouldBlock` mid-batch — can be resumed
+/// on the *next* readiness event without re-sending anything. This is
+/// what lets the reactor drive the PR5 coalesced write path without
+/// parking a thread per connection: blocking writers loop
+/// [`write_step`](Self::write_step) to completion ([`write_frames`]),
+/// nonblocking writers call it once per readiness event and keep the
+/// cursor in their per-connection state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameWriteCursor {
+    /// First frame not yet fully written.
+    idx: usize,
+    /// Bytes of `frames[idx]` already written.
+    off: usize,
+}
+
+impl FrameWriteCursor {
+    /// A cursor at the start of a batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once every byte of `frames` has been written through this
+    /// cursor.
+    pub fn done(&self, frames: &[SharedFrame]) -> bool {
+        self.idx >= frames.len()
+    }
+
+    /// Number of frames fully written so far.
+    pub fn frames_done(&self) -> usize {
+        self.idx
+    }
+
+    /// Performs *one* `write_vectored` attempt over the unwritten suffix
+    /// of `frames` (up to `MAX_BATCH_SLICES` slices) and advances the
+    /// cursor by however many bytes the writer accepted. Returns the
+    /// byte count of that single attempt; callers decide whether to loop
+    /// (blocking writers) or yield until the next readiness event
+    /// (`WouldBlock` from a nonblocking socket propagates unchanged).
+    ///
+    /// Zero-length frames (queue sentinels) are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns `WriteZero` if the writer accepts
+    /// zero bytes for a non-empty frame.
+    pub fn write_step<W: Write>(
+        &mut self,
+        w: &mut W,
+        frames: &[SharedFrame],
+    ) -> std::io::Result<usize> {
+        // Skip sentinels / already-consumed frames so the slice window
+        // below always starts at real bytes.
+        while frames
+            .get(self.idx)
+            .is_some_and(|f| f.wire_bytes().len() <= self.off)
+        {
+            self.idx += 1;
+            self.off = 0;
+        }
+        if self.idx >= frames.len() {
+            return Ok(0);
+        }
+        let mut bufs = [IoSlice::new(&[]); MAX_BATCH_SLICES];
+        let window = (frames.len() - self.idx).min(MAX_BATCH_SLICES);
+        for (slot, frame) in bufs.iter_mut().zip(&frames[self.idx..self.idx + window]) {
+            *slot = IoSlice::new(frame.wire_bytes());
+        }
+        if let Some(first) = frames.get(self.idx) {
+            bufs[0] = IoSlice::new(first.wire_bytes().get(self.off..).unwrap_or(&[]));
+        }
+        let mut n = w.write_vectored(&bufs[..window])?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        let written = n;
+        while n > 0 {
+            let Some(frame) = frames.get(self.idx) else {
+                break;
+            };
+            let remaining = frame.wire_bytes().len().saturating_sub(self.off);
+            if n >= remaining {
+                n -= remaining;
+                self.idx += 1;
+                self.off = 0;
+            } else {
+                self.off += n;
+                n = 0;
+            }
+        }
+        Ok(written)
+    }
+}
+
 /// Writes a batch of frames as coalesced vectored I/O: one
-/// `write_vectored` call per up-to-[`MAX_BATCH_SLICES`] frames (one
+/// `write_vectored` call per up-to-`MAX_BATCH_SLICES` frames (one
 /// syscall on sockets), with partial writes resumed mid-frame. A single
 /// flush follows the whole batch — this is how heartbeats and acks
 /// piggyback on pending event flushes instead of paying their own
 /// syscall.
+///
+/// This is the blocking-writer convenience over [`FrameWriteCursor`]:
+/// it loops [`FrameWriteCursor::write_step`] until the batch is out.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; returns `WriteZero` if the writer stops
 /// accepting bytes.
 pub fn write_frames<W: Write>(w: &mut W, frames: &[SharedFrame]) -> std::io::Result<()> {
-    let mut idx = 0usize; // first unwritten frame
-    let mut off = 0usize; // bytes of frames[idx] already written
-    while idx < frames.len() {
-        let mut bufs = [IoSlice::new(&[]); MAX_BATCH_SLICES];
-        let window = (frames.len() - idx).min(MAX_BATCH_SLICES);
-        for (slot, frame) in bufs.iter_mut().zip(&frames[idx..idx + window]) {
-            *slot = IoSlice::new(frame.wire_bytes());
-        }
-        bufs[0] = IoSlice::new(&frames[idx].wire_bytes()[off..]);
-        let mut n = w.write_vectored(&bufs[..window])?;
-        if n == 0 {
-            return Err(std::io::ErrorKind::WriteZero.into());
-        }
-        while n > 0 && idx < frames.len() {
-            let remaining = frames[idx].wire_bytes().len() - off;
-            if n >= remaining {
-                n -= remaining;
-                idx += 1;
-                off = 0;
-            } else {
-                off += n;
-                n = 0;
-            }
+    let mut cursor = FrameWriteCursor::new();
+    while !cursor.done(frames) {
+        if cursor.write_step(w, frames)? == 0 {
+            break; // only sentinels remained
         }
     }
     w.flush()
@@ -463,6 +545,105 @@ mod tests {
         for f in &frames {
             assert_eq!(read_frame(&mut cursor).unwrap(), f.payload());
         }
+    }
+
+    /// A writer that alternates between accepting a few bytes and
+    /// returning `WouldBlock`, like a nonblocking socket under pressure.
+    struct Choppy {
+        bytes: Vec<u8>,
+        cap: usize,
+        blocked: bool,
+    }
+
+    impl Write for Choppy {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.blocked = !self.blocked;
+            if self.blocked {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.cap);
+            self.bytes.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            self.blocked = !self.blocked;
+            if self.blocked {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let mut left = self.cap;
+            let mut n = 0;
+            for b in bufs {
+                let take = b.len().min(left);
+                self.bytes.extend_from_slice(&b[..take]);
+                n += take;
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cursor_resumes_across_would_block() {
+        for cap in [1usize, 3, 9, 1024] {
+            let pool = FramePool::new();
+            let frames: Vec<SharedFrame> =
+                (0..70) // spans two slice windows
+                    .map(|i| pool.encode(&publish(vec![(i % 251) as u8; 13])))
+                    .collect();
+            let mut w = Choppy {
+                bytes: Vec::new(),
+                cap,
+                blocked: false,
+            };
+            let mut cursor = FrameWriteCursor::new();
+            let mut yields = 0usize;
+            while !cursor.done(&frames) {
+                match cursor.write_step(&mut w, &frames) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // Simulates waiting for the next readiness event.
+                        yields += 1;
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            assert!(yields > 0, "cap={cap}: writer never pushed back");
+            assert_eq!(cursor.frames_done(), frames.len());
+            let mut cursor_bytes = std::io::Cursor::new(w.bytes);
+            for f in &frames {
+                assert_eq!(read_frame(&mut cursor_bytes).unwrap(), f.payload());
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_skips_sentinels_and_reports_done() {
+        let pool = FramePool::new();
+        let frames = vec![
+            Frame::sentinel(),
+            pool.encode(&publish(vec![1u8; 8])),
+            Frame::sentinel(),
+        ];
+        let mut w = CountingWriter::default();
+        let mut cursor = FrameWriteCursor::new();
+        while !cursor.done(&frames) {
+            if cursor.write_step(&mut w, &frames).unwrap() == 0 {
+                break;
+            }
+        }
+        let mut c = std::io::Cursor::new(w.bytes);
+        assert_eq!(read_frame(&mut c).unwrap(), frames[1].payload());
+        // An all-sentinel batch writes nothing and terminates.
+        let sentinels = vec![Frame::sentinel(), Frame::sentinel()];
+        let mut w = CountingWriter::default();
+        write_frames(&mut w, &sentinels).unwrap();
+        assert!(w.bytes.is_empty());
     }
 
     #[test]

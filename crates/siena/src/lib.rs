@@ -42,9 +42,11 @@ mod fault;
 mod frame;
 mod index;
 mod pipeline;
+pub mod reactor;
 mod semantics;
 mod table;
 mod tcp;
+pub mod threaded;
 pub mod wire;
 
 pub use broker::{Action, Broker, BrokerStats};
@@ -53,12 +55,16 @@ pub use error::TcpError;
 pub use fault::{
     DeliveryRecord, FaultConfig, FaultRunReport, RecoveryConfig, Revocation, SeqDedup,
 };
-pub use frame::{write_frames, Frame, FramePool, FramePoolStats, SharedFrame};
+pub use frame::{write_frames, Frame, FramePool, FramePoolStats, FrameWriteCursor, SharedFrame};
 pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
 pub use pipeline::{BatchDeliveries, PipelineStats, ShardedPipeline};
+pub use reactor::{ClientReactor, PollWaker, Poller, ReactorClient, ScanPoller, MAX_WORKERS};
 pub use semantics::FilterSemantics;
 pub use table::{Peer, SubscriptionTable};
 pub use tcp::{
     spawn_broker, spawn_broker_with, OverflowPolicy, TcpBroker, TcpClient, TcpConfig, TcpStats,
+};
+pub use threaded::{
+    spawn_threaded_broker, spawn_threaded_broker_with, ThreadedBroker, ThreadedClient,
 };
 pub use wire::{Message, Wire, WireError};

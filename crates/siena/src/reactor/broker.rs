@@ -1,0 +1,568 @@
+//! The reactor-backed broker: a fixed worker pool plus one dispatcher.
+//!
+//! Thread budget is decided at spawn time and never grows with the
+//! connection count: one accept thread, one dispatcher thread, and
+//! `worker_threads` reactor workers (defaulting to the CPU core count,
+//! capped at [`MAX_WORKERS`]). Accepted connections are sharded across
+//! workers by token (`id % workers`); each worker drives its shard's
+//! nonblocking read/decode and coalesced-write state machines off a
+//! [`Poller`](super::poller::Poller).
+//!
+//! The pure [`Broker`] matching engine still lives in exactly one
+//! thread — the dispatcher — which also owns heartbeat ticks, eviction,
+//! and the parent-chained `SubAck` bookkeeping that PR2 introduced. The
+//! threaded transport drove ticks from a dedicated ticker thread; here
+//! they are synthesized from the dispatcher's `recv_timeout`, saving the
+//! thread. After every input batch the dispatcher wakes only the workers
+//! whose shards received frames (a 64-bit dirty mask), so an idle broker
+//! parks everywhere.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+
+use super::conn::OutQueue;
+use super::poller::{Poller, ScanPoller, DEFAULT_MAX_PARK};
+use super::worker::{run_broker_worker, WorkerHandle, WorkerMsg};
+use crate::broker::{Action, Broker};
+use crate::error::TcpError;
+use crate::frame::{FramePool, FramePoolStats, SharedFrame};
+use crate::index::IndexableFilter;
+use crate::semantics::FilterSemantics;
+use crate::table::Peer;
+use crate::tcp::{StatsInner, TcpConfig, TcpStats};
+use crate::wire::{filter_crc, Message, Wire};
+
+/// Hard cap on the reactor worker pool (also the width of the
+/// dispatcher's dirty-worker wake mask).
+pub const MAX_WORKERS: usize = 64;
+
+/// Peer id reserved for the upward (parent) connection.
+const PARENT_ID: u32 = 0;
+
+/// Inputs to the dispatcher thread. Unlike the threaded transport there
+/// is no `Tick` variant: ticks are synthesized from `recv_timeout`.
+pub(crate) enum Input<F: FilterSemantics> {
+    /// A decoded message from connection `id` (0 = parent).
+    FromPeer(u32, Message<F, F::Event>),
+    /// Connection `id` finished or died.
+    PeerGone(u32),
+    /// The acceptor registered connection `id` with this outbound queue.
+    NewPeer(u32, Arc<OutQueue>),
+    /// Stop dispatching and shut the workers down.
+    Shutdown,
+}
+
+fn resolve_workers(cfg: &TcpConfig) -> usize {
+    let n = if cfg.worker_threads > 0 {
+        cfg.worker_threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    n.clamp(1, MAX_WORKERS)
+}
+
+/// Handle to a running reactor broker. Dropping the handle shuts it
+/// down.
+pub struct TcpBroker {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    pool: FramePool,
+    workers: usize,
+    shutdown_fn: Box<dyn Fn() + Send + Sync>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpBroker")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl TcpBroker {
+    /// The address the broker listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Transport counters (evictions, drops, heartbeats).
+    pub fn stats(&self) -> TcpStats {
+        self.stats.snapshot()
+    }
+
+    /// Frame-pool counters for the broker's outbound encode path. A
+    /// publish fanned out to N peers bumps `frames_encoded` by exactly
+    /// one — the instrumentation the encode-once tests assert on.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.pool.stats()
+    }
+
+    /// Size of the reactor worker pool (fixed for the broker's life).
+    pub fn worker_threads(&self) -> usize {
+        self.workers
+    }
+
+    /// Total OS threads this broker owns: workers + acceptor +
+    /// dispatcher. Independent of how many connections it serves.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Requests shutdown and joins all broker threads.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        (self.shutdown_fn)();
+        // Poke the blocking accept loop.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for TcpBroker {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns a reactor broker with the default [`TcpConfig`].
+///
+/// # Errors
+///
+/// Propagates socket errors (bind/connect failures).
+pub fn spawn_broker<F>(listen: &str, parent: Option<SocketAddr>) -> std::io::Result<TcpBroker>
+where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    spawn_broker_with::<F>(listen, parent, TcpConfig::default()).map_err(|e| match e {
+        TcpError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    })
+}
+
+/// Spawns a reactor broker listening on `listen` (use port 0 for an
+/// ephemeral port), optionally connected upward to `parent`, with
+/// explicit transport tuning.
+///
+/// # Errors
+///
+/// Returns [`TcpError::Io`] on bind/connect failures.
+pub fn spawn_broker_with<F>(
+    listen: &str,
+    parent: Option<SocketAddr>,
+    cfg: TcpConfig,
+) -> Result<TcpBroker, TcpError>
+where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    let listener = TcpListener::bind(listen).map_err(TcpError::Io)?;
+    let addr = listener.local_addr().map_err(TcpError::Io)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(StatsInner::default());
+    let pool = FramePool::new();
+    let nworkers = resolve_workers(&cfg);
+    let (tx, rx) = unbounded::<Input<F>>();
+    let mut threads = Vec::new();
+
+    // The fixed worker pool.
+    let mut handles: Vec<WorkerHandle> = Vec::with_capacity(nworkers);
+    for _ in 0..nworkers {
+        let poller: Box<dyn Poller> = Box::new(ScanPoller::new(DEFAULT_MAX_PARK));
+        let waker = poller.waker();
+        let (wtx, wrx) = unbounded::<WorkerMsg>();
+        let dispatch_tx = tx.clone();
+        let wstats = stats.clone();
+        // SPAWN-OK: fixed reactor worker pool — N = worker_threads, decided
+        // once at spawn time, never per-connection.
+        threads.push(std::thread::spawn(move || {
+            run_broker_worker::<F>(poller, wrx, dispatch_tx, wstats);
+        }));
+        handles.push(WorkerHandle { tx: wtx, waker });
+    }
+
+    // Parent link (peer id 0 is reserved for the parent); it rides on
+    // worker 0 like any other connection.
+    let mut parent_out: Option<Arc<OutQueue>> = None;
+    if let Some(paddr) = parent {
+        let stream =
+            TcpStream::connect_timeout(&paddr, cfg.connect_timeout).map_err(TcpError::Io)?;
+        let out = OutQueue::new(cfg.queue_capacity);
+        let hello: Message<F, F::Event> = Message::Hello { kind: 0 };
+        out.offer(pool.encode(&hello));
+        if let Some(h) = handles.first() {
+            h.add(PARENT_ID, stream, out.clone());
+        }
+        parent_out = Some(out);
+    }
+
+    // Accept loop: shards connections across the pool by token.
+    {
+        let tx = tx.clone();
+        let shutdown = shutdown.clone();
+        let handles = handles.clone();
+        let queue_capacity = cfg.queue_capacity;
+        // SPAWN-OK: single blocking accept thread (fixed count: one).
+        threads.push(std::thread::spawn(move || {
+            let mut next_peer = 1u32;
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let peer_id = next_peer;
+                next_peer += 1;
+                let out = OutQueue::new(queue_capacity);
+                // NewPeer must reach the dispatcher before any FromPeer
+                // for this id; both ride the same FIFO channel and the
+                // worker only produces FromPeer after `add`, so sending
+                // NewPeer first guarantees the ordering.
+                if tx.send(Input::NewPeer(peer_id, out.clone())).is_err() {
+                    break;
+                }
+                if let Some(h) = handles.get(peer_id as usize % handles.len()) {
+                    h.add(peer_id, stream, out);
+                }
+            }
+        }));
+    }
+
+    // Dispatcher: owns the pure broker, the peer registry, heartbeat
+    // ticks (synthesized — no ticker thread), eviction, and ack chains.
+    {
+        let is_root = parent.is_none();
+        let stats = stats.clone();
+        let pool = pool.clone();
+        let handles = handles.clone();
+        // SPAWN-OK: single dispatcher thread (fixed count: one).
+        threads.push(std::thread::spawn(move || {
+            run_dispatcher::<F>(rx, parent_out, handles, cfg, is_root, stats, pool);
+        }));
+    }
+
+    let tx_for_shutdown = tx;
+    Ok(TcpBroker {
+        addr,
+        shutdown,
+        stats,
+        pool,
+        workers: nworkers,
+        shutdown_fn: Box::new(move || {
+            let _ = tx_for_shutdown.send(Input::Shutdown);
+        }),
+        threads,
+    })
+}
+
+/// Offers a frame to a peer's queue, recording the drop on overflow and
+/// marking the peer's worker dirty on success.
+fn offer_to(
+    writers: &HashMap<u32, Arc<OutQueue>>,
+    peer: u32,
+    frame: SharedFrame,
+    stats: &StatsInner,
+    dirty: &mut u64,
+    nworkers: usize,
+) {
+    if let Some(q) = writers.get(&peer) {
+        if q.offer(frame) {
+            *dirty |= 1u64 << (peer as usize % nworkers);
+        } else {
+            stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Inputs drained per dispatcher pass before waking dirty workers —
+/// batches the wakeups under load without starving the tick clock.
+const DISPATCH_BATCH: usize = 128;
+
+#[allow(clippy::too_many_lines)]
+fn run_dispatcher<F>(
+    rx: Receiver<Input<F>>,
+    parent_out: Option<Arc<OutQueue>>,
+    handles: Vec<WorkerHandle>,
+    cfg: TcpConfig,
+    is_root: bool,
+    stats: Arc<StatsInner>,
+    pool: FramePool,
+) where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    let nworkers = handles.len().max(1);
+    let mut broker: Broker<F> = Broker::new(is_root);
+    let mut writers: HashMap<u32, Arc<OutQueue>> = HashMap::new();
+    let mut last_heard: HashMap<u32, Instant> = HashMap::new();
+    // Subscribe acks we owe peers once the parent confirms the forwarded
+    // filter (keyed by the filter's crc).
+    let mut pending_acks: HashMap<u32, Vec<u32>> = HashMap::new();
+    let has_parent = parent_out.is_some();
+    if let Some(out) = parent_out {
+        writers.insert(PARENT_ID, out);
+        last_heard.insert(PARENT_ID, Instant::now());
+    }
+    if has_parent {
+        // The hello queued at spawn needs worker 0 awake to leave.
+        if let Some(h) = handles.first() {
+            h.waker.wake();
+        }
+    }
+
+    // Tick clock: recv_timeout granularity bounded so shutdown and late
+    // ticks are noticed promptly even with long heartbeat intervals.
+    let hb_on = !cfg.heartbeat_interval.is_zero();
+    let step = if hb_on {
+        cfg.heartbeat_interval.min(Duration::from_millis(50))
+    } else {
+        Duration::from_millis(200)
+    };
+    let mut last_tick = Instant::now();
+    let mut dirty: u64 = 0;
+
+    'run: loop {
+        let mut budget = DISPATCH_BATCH;
+        match rx.recv_timeout(step) {
+            Ok(first) => {
+                let mut next = Some(first);
+                while let Some(input) = next.take() {
+                    if !handle_input(
+                        input,
+                        &mut broker,
+                        &mut writers,
+                        &mut last_heard,
+                        &mut pending_acks,
+                        &stats,
+                        &pool,
+                        &mut dirty,
+                        nworkers,
+                    ) {
+                        break 'run;
+                    }
+                    budget -= 1;
+                    if budget == 0 {
+                        break;
+                    }
+                    next = rx.try_recv().ok();
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        if hb_on && last_tick.elapsed() >= cfg.heartbeat_interval {
+            last_tick = Instant::now();
+            tick(
+                &mut broker,
+                &mut writers,
+                &mut last_heard,
+                &cfg,
+                &stats,
+                &pool,
+                &mut dirty,
+                nworkers,
+            );
+        }
+
+        // Wake exactly the workers whose shards got frames this pass.
+        while dirty != 0 {
+            let w = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            if let Some(h) = handles.get(w) {
+                h.waker.wake();
+            }
+        }
+    }
+
+    // Shut the pool down: close every queue (workers flush then finish)
+    // and tell each worker to exit.
+    for q in writers.values() {
+        q.close();
+    }
+    for h in &handles {
+        h.shutdown();
+    }
+}
+
+/// Per-tick work: fan a heartbeat to every peer and evict children that
+/// have been silent past the miss limit. Mirrors the threaded
+/// transport's `Input::Tick` arm.
+#[allow(clippy::too_many_arguments)]
+fn tick<F>(
+    broker: &mut Broker<F>,
+    writers: &mut HashMap<u32, Arc<OutQueue>>,
+    last_heard: &mut HashMap<u32, Instant>,
+    cfg: &TcpConfig,
+    stats: &StatsInner,
+    pool: &FramePool,
+    dirty: &mut u64,
+    nworkers: usize,
+) where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    // Encoded once; each peer queue gets an Arc clone.
+    let hb: Message<F, F::Event> = Message::Heartbeat;
+    let frame = pool.encode(&hb);
+    let ids: Vec<u32> = writers.keys().copied().collect();
+    for id in ids {
+        offer_to(writers, id, frame.clone(), stats, dirty, nworkers);
+        stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+    }
+    let deadline = cfg.heartbeat_interval * cfg.heartbeat_miss_limit.max(1);
+    let now = Instant::now();
+    let dead: Vec<u32> = last_heard
+        .iter()
+        .filter(|&(&id, &seen)| id != PARENT_ID && now.duration_since(seen) > deadline)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in dead {
+        broker.peer_down(Peer::Child(id));
+        last_heard.remove(&id);
+        if let Some(q) = writers.remove(&id) {
+            // Close = flush-then-drop; the worker notices and finishes
+            // the connection.
+            q.close();
+            *dirty |= 1u64 << (id as usize % nworkers);
+        }
+        stats.evicted_peers.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Handles one dispatcher input. Returns `false` on shutdown.
+#[allow(clippy::too_many_arguments)]
+fn handle_input<F>(
+    input: Input<F>,
+    broker: &mut Broker<F>,
+    writers: &mut HashMap<u32, Arc<OutQueue>>,
+    last_heard: &mut HashMap<u32, Instant>,
+    pending_acks: &mut HashMap<u32, Vec<u32>>,
+    stats: &StatsInner,
+    pool: &FramePool,
+    dirty: &mut u64,
+    nworkers: usize,
+) -> bool
+where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    match input {
+        Input::Shutdown => return false,
+        Input::NewPeer(id, out) => {
+            writers.insert(id, out);
+            last_heard.insert(id, Instant::now());
+        }
+        Input::PeerGone(id) => {
+            if id != PARENT_ID {
+                broker.peer_down(Peer::Child(id));
+            } else {
+                // Without a parent, forwarded subscriptions can never be
+                // confirmed; ack them locally so clients don't hang
+                // (degraded mode).
+                for (crc, peers) in pending_acks.drain() {
+                    for p in peers {
+                        let ack: Message<F, F::Event> = Message::SubAck { crc };
+                        offer_to(writers, p, pool.encode(&ack), stats, dirty, nworkers);
+                    }
+                }
+            }
+            last_heard.remove(&id);
+            if let Some(q) = writers.remove(&id) {
+                q.close();
+            }
+        }
+        Input::FromPeer(id, msg) => {
+            last_heard.insert(id, Instant::now());
+            let from = if id == PARENT_ID {
+                Peer::Parent
+            } else {
+                Peer::Child(id)
+            };
+            let actions = match msg {
+                Message::Hello { .. } | Message::Heartbeat => Vec::new(),
+                Message::SubAck { crc } => {
+                    // Parent confirmed a forwarded filter: release the
+                    // acks we owe downstream.
+                    if id == PARENT_ID {
+                        for p in pending_acks.remove(&crc).unwrap_or_default() {
+                            let ack: Message<F, F::Event> = Message::SubAck { crc };
+                            offer_to(writers, p, pool.encode(&ack), stats, dirty, nworkers);
+                        }
+                    }
+                    Vec::new()
+                }
+                Message::Subscribe(f) => {
+                    let crc = filter_crc(&f);
+                    let actions = broker.subscribe(from, f);
+                    let forwards_up = actions
+                        .iter()
+                        .any(|a| matches!(a, Action::ForwardSubscribe(_)))
+                        && writers.contains_key(&PARENT_ID);
+                    if forwards_up {
+                        pending_acks.entry(crc).or_default().push(id);
+                    } else {
+                        let ack: Message<F, F::Event> = Message::SubAck { crc };
+                        offer_to(writers, id, pool.encode(&ack), stats, dirty, nworkers);
+                    }
+                    actions
+                }
+                Message::Unsubscribe(f) => broker.unsubscribe(from, &f),
+                Message::Publish(e) => broker.publish(from, e),
+            };
+            // Encode-once fan-out: every `Deliver` produced by one
+            // publish carries a clone of the same event, so the Publish
+            // frame is serialized for the first recipient only and the
+            // remaining recipients get Arc clones of that frame.
+            let mut deliver_frame: Option<SharedFrame> = None;
+            for action in actions {
+                match action {
+                    Action::ForwardSubscribe(f) => {
+                        let m: Message<F, F::Event> = Message::Subscribe(f);
+                        offer_to(writers, PARENT_ID, pool.encode(&m), stats, dirty, nworkers);
+                    }
+                    Action::ForwardUnsubscribe(f) => {
+                        let m: Message<F, F::Event> = Message::Unsubscribe(f);
+                        offer_to(writers, PARENT_ID, pool.encode(&m), stats, dirty, nworkers);
+                    }
+                    Action::Deliver(peer, e) => {
+                        let target = match peer {
+                            Peer::Parent => PARENT_ID,
+                            Peer::Child(c) | Peer::Local(c) => c,
+                        };
+                        let frame = match &deliver_frame {
+                            Some(f) => f.clone(),
+                            None => {
+                                let m: Message<F, F::Event> = Message::Publish(e);
+                                let f = pool.encode(&m);
+                                deliver_frame = Some(f.clone());
+                                f
+                            }
+                        };
+                        offer_to(writers, target, frame, stats, dirty, nworkers);
+                    }
+                }
+            }
+        }
+    }
+    true
+}

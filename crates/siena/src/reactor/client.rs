@@ -1,0 +1,717 @@
+//! The reactor-backed client: many broker connections on one thread.
+//!
+//! A [`ClientReactor`] owns a single I/O thread hosting any number of
+//! client connections as nonblocking state machines — versus the
+//! threaded transport's supervisor + per-epoch reader pair *per
+//! client*. [`TcpClient`] (the default, drop-in handle) bundles a
+//! private reactor with one connection: one thread per client instead
+//! of three. Scale tests and benches instead share one reactor across
+//! hundreds of clients, which is how a single process holds thousands
+//! of subscriber connections with a flat thread count.
+//!
+//! All PR2 resilience behaviour moves from dedicated threads into the
+//! reactor's timer wheel: heartbeats are appended to the in-flight
+//! write batch when due, reconnects run capped exponential backoff with
+//! deterministic jitter and replay remembered subscriptions, and — new
+//! with the reactor — a client that hears *nothing* from its broker for
+//! `heartbeat_interval × heartbeat_miss_limit` proactively abandons the
+//! socket and reconnects (the threaded client only noticed death via
+//! socket errors).
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use super::conn::{Conn, ConnStatus, OutQueue};
+use super::poller::{PollWaker, DEFAULT_MAX_PARK, PARK_BASE};
+use crate::error::TcpError;
+use crate::frame::{FramePool, FramePoolStats, SharedFrame};
+use crate::semantics::FilterSemantics;
+use crate::tcp::{jitter_step, OverflowPolicy, StatsInner, TcpConfig, TcpStats};
+use crate::wire::{filter_crc, Message, Wire};
+
+/// Shared read scratch for the reactor thread (all connections).
+const SCRATCH_BYTES: usize = 64 * 1024;
+
+/// Bound on the best-effort final drain at shutdown.
+const SHUTDOWN_FLUSH_ROUNDS: usize = 100;
+
+/// Delivered-event channel capacity per connection (same bound as the
+/// threaded client).
+const EVENT_CHANNEL_CAP: usize = 4096;
+
+struct Register<F: FilterSemantics> {
+    stream: TcpStream,
+    addr: SocketAddr,
+    out: Arc<OutQueue>,
+    etx: Sender<F::Event>,
+    atx: Sender<u32>,
+    subs: Arc<Mutex<Vec<F>>>,
+    down: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+}
+
+/// A single-threaded reactor hosting any number of client connections.
+/// Create one with [`ClientReactor::new`] /
+/// [`with_config`](ClientReactor::with_config), then mint connections
+/// with [`connect`](ClientReactor::connect). Dropping the reactor flushes
+/// and stops every connection it hosts.
+pub struct ClientReactor<F: FilterSemantics> {
+    reg_tx: Sender<Register<F>>,
+    waker: PollWaker,
+    shutdown: Arc<AtomicBool>,
+    cfg: TcpConfig,
+    pool: FramePool,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl<F: FilterSemantics> std::fmt::Debug for ClientReactor<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ClientReactor { .. }")
+    }
+}
+
+impl<F> Default for ClientReactor<F>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F> ClientReactor<F>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    /// A reactor with the default [`TcpConfig`].
+    pub fn new() -> Self {
+        Self::with_config(TcpConfig::default())
+    }
+
+    /// A reactor with explicit transport tuning (shared by every
+    /// connection it hosts).
+    pub fn with_config(cfg: TcpConfig) -> Self {
+        let (reg_tx, reg_rx) = unbounded::<Register<F>>();
+        let waker = PollWaker::new();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = FramePool::new();
+        let thread = {
+            let waker = waker.clone();
+            let shutdown = shutdown.clone();
+            let pool = pool.clone();
+            // SPAWN-OK: the client reactor's single I/O thread — fixed count
+            // one, regardless of how many connections it hosts.
+            std::thread::spawn(move || {
+                run_client_reactor::<F>(cfg, reg_rx, waker, shutdown, pool);
+            })
+        };
+        ClientReactor {
+            reg_tx,
+            waker,
+            shutdown,
+            cfg,
+            pool,
+            thread: Some(thread),
+        }
+    }
+
+    /// Opens a connection to `broker` and hands it to the reactor
+    /// thread. The TCP connect and hello handshake happen synchronously
+    /// so immediate failures surface here; everything afterwards
+    /// (subscription replay on reconnect, heartbeats, backoff) is driven
+    /// by the reactor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcpError::Io`] when the initial connection fails.
+    pub fn connect(&self, broker: SocketAddr) -> Result<ReactorClient<F>, TcpError> {
+        let stream =
+            TcpStream::connect_timeout(&broker, self.cfg.connect_timeout).map_err(TcpError::Io)?;
+        stream.set_nodelay(true).ok();
+        let mut hs = stream.try_clone().map_err(TcpError::Io)?;
+        let hello: Message<F, F::Event> = Message::Hello { kind: 1 };
+        self.pool
+            .encode(&hello)
+            .write_to(&mut hs)
+            .map_err(TcpError::Io)?;
+
+        let out = OutQueue::new(self.cfg.queue_capacity);
+        let (etx, erx) = bounded::<F::Event>(EVENT_CHANNEL_CAP);
+        let (atx, arx) = unbounded::<u32>();
+        let subs: Arc<Mutex<Vec<F>>> = Arc::new(Mutex::new(Vec::new()));
+        let down = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let reg = Register {
+            stream,
+            addr: broker,
+            out: out.clone(),
+            etx,
+            atx,
+            subs: subs.clone(),
+            down: down.clone(),
+            stats: stats.clone(),
+        };
+        self.reg_tx.send(reg).map_err(|_| TcpError::Disconnected)?;
+        self.waker.wake();
+        Ok(ReactorClient {
+            out,
+            events: erx,
+            acks: arx,
+            subs,
+            down,
+            stats,
+            pool: self.pool.clone(),
+            overflow: self.cfg.overflow,
+            waker: self.waker.clone(),
+        })
+    }
+
+    /// Frame-pool counters for this reactor's outbound encode path.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.pool.stats()
+    }
+}
+
+impl<F: FilterSemantics> Drop for ClientReactor<F> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One client connection hosted by a [`ClientReactor`]: subscribe and
+/// publish over TCP, receive matching events. Reconnects automatically
+/// (replaying its subscriptions) when the broker connection is lost.
+/// Dropping the handle flushes queued frames and closes the connection.
+pub struct ReactorClient<F: FilterSemantics> {
+    out: Arc<OutQueue>,
+    events: Receiver<F::Event>,
+    acks: Receiver<u32>,
+    subs: Arc<Mutex<Vec<F>>>,
+    down: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    pool: FramePool,
+    overflow: OverflowPolicy,
+    waker: PollWaker,
+}
+
+impl<F: FilterSemantics> std::fmt::Debug for ReactorClient<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ReactorClient { .. }")
+    }
+}
+
+impl<F> ReactorClient<F>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    fn enqueue(&self, frame: SharedFrame) -> Result<(), TcpError> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(TcpError::Disconnected);
+        }
+        match self.overflow {
+            OverflowPolicy::Block => {
+                self.out.push_blocking(frame, &self.down)?;
+                self.waker.wake();
+                Ok(())
+            }
+            OverflowPolicy::DropNewest => {
+                if self.out.offer(frame) {
+                    self.waker.wake();
+                    Ok(())
+                } else if self.out.is_closed() {
+                    Err(TcpError::Disconnected)
+                } else {
+                    self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                    Err(TcpError::Backpressure)
+                }
+            }
+        }
+    }
+
+    /// Registers a subscription. The filter is also remembered for
+    /// replay after a reconnection.
+    ///
+    /// # Errors
+    ///
+    /// [`TcpError::Disconnected`] when the transport has given up;
+    /// [`TcpError::Backpressure`] under [`OverflowPolicy::DropNewest`]
+    /// with a full queue.
+    pub fn subscribe(&self, filter: F) -> Result<(), TcpError> {
+        let msg: Message<F, F::Event> = Message::Subscribe(filter.clone());
+        self.subs.lock().push(filter);
+        self.enqueue(self.pool.encode(&msg))
+    }
+
+    /// Registers a subscription and waits (up to `timeout`) for the
+    /// broker chain to acknowledge that it is installed — the readiness
+    /// handshake used by tests instead of sleeping.
+    ///
+    /// # Errors
+    ///
+    /// [`TcpError::Timeout`] when no ack arrives in time; otherwise as
+    /// [`subscribe`](Self::subscribe).
+    pub fn subscribe_acked(&self, filter: F, timeout: Duration) -> Result<(), TcpError> {
+        let crc = filter_crc(&filter);
+        self.subscribe(filter)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(TcpError::Timeout(timeout));
+            }
+            match self.acks.recv_timeout(left) {
+                Ok(c) if c == crc => return Ok(()),
+                Ok(_) => continue, // ack for an earlier subscription
+                Err(RecvTimeoutError::Timeout) => return Err(TcpError::Timeout(timeout)),
+                Err(RecvTimeoutError::Disconnected) => return Err(TcpError::Disconnected),
+            }
+        }
+    }
+
+    /// Removes a subscription (and stops replaying it on reconnect).
+    ///
+    /// # Errors
+    ///
+    /// As [`subscribe`](Self::subscribe).
+    pub fn unsubscribe(&self, filter: &F) -> Result<(), TcpError> {
+        self.subs.lock().retain(|f| f != filter);
+        let msg: Message<F, F::Event> = Message::Unsubscribe(filter.clone());
+        self.enqueue(self.pool.encode(&msg))
+    }
+
+    /// Publishes an event. Delivery is at-most-once across connection
+    /// loss: frames queued while disconnected are sent after reconnect,
+    /// but a frame lost inside a dying socket is not replayed.
+    ///
+    /// # Errors
+    ///
+    /// As [`subscribe`](Self::subscribe).
+    pub fn publish(&self, event: F::Event) -> Result<(), TcpError> {
+        let msg: Message<F, F::Event> = Message::Publish(event);
+        self.enqueue(self.pool.encode(&msg))
+    }
+
+    /// Waits up to `timeout` for the next delivered event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<F::Event> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Transport counters (reconnects, drops, heartbeats).
+    pub fn stats(&self) -> TcpStats {
+        self.stats.snapshot()
+    }
+
+    /// Frame-pool counters for the reactor's outbound encode path.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.pool.stats()
+    }
+}
+
+impl<F: FilterSemantics> Drop for ReactorClient<F> {
+    fn drop(&mut self) {
+        // Flush-then-close: the reactor drains what is queued, then
+        // finishes the connection.
+        self.out.close();
+        self.waker.wake();
+    }
+}
+
+/// The default TCP client: a [`ReactorClient`] bundled with a private
+/// single-connection [`ClientReactor`] — one OS thread per client
+/// (the threaded baseline costs three). Drop-in replacement for the
+/// threaded client's API.
+pub struct TcpClient<F: FilterSemantics> {
+    // Declaration order matters: the connection handle must drop (and
+    // close its queue) before the reactor joins its thread.
+    client: ReactorClient<F>,
+    #[allow(dead_code)]
+    reactor: ClientReactor<F>,
+}
+
+impl<F: FilterSemantics> std::fmt::Debug for TcpClient<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TcpClient { .. }")
+    }
+}
+
+impl<F> TcpClient<F>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    /// Connects with the default [`TcpConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the initial connection.
+    pub fn connect(broker: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_with(broker, TcpConfig::default()).map_err(|e| match e {
+            TcpError::Io(io) => io,
+            other => std::io::Error::other(other.to_string()),
+        })
+    }
+
+    /// Connects with explicit transport tuning. The initial connection
+    /// is established synchronously (so immediate failures surface
+    /// here); later losses are handled by background reconnection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcpError::Io`] when the initial connection fails.
+    pub fn connect_with(broker: SocketAddr, cfg: TcpConfig) -> Result<Self, TcpError> {
+        let reactor = ClientReactor::<F>::with_config(cfg);
+        let client = reactor.connect(broker)?;
+        Ok(TcpClient { client, reactor })
+    }
+
+    /// Registers a subscription (remembered for replay on reconnect).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorClient::subscribe`].
+    pub fn subscribe(&self, filter: F) -> Result<(), TcpError> {
+        self.client.subscribe(filter)
+    }
+
+    /// Registers a subscription and waits for the broker chain's ack.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorClient::subscribe_acked`].
+    pub fn subscribe_acked(&self, filter: F, timeout: Duration) -> Result<(), TcpError> {
+        self.client.subscribe_acked(filter, timeout)
+    }
+
+    /// Removes a subscription.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorClient::unsubscribe`].
+    pub fn unsubscribe(&self, filter: &F) -> Result<(), TcpError> {
+        self.client.unsubscribe(filter)
+    }
+
+    /// Publishes an event.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorClient::publish`].
+    pub fn publish(&self, event: F::Event) -> Result<(), TcpError> {
+        self.client.publish(event)
+    }
+
+    /// Waits up to `timeout` for the next delivered event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<F::Event> {
+        self.client.recv_timeout(timeout)
+    }
+
+    /// Transport counters (reconnects, drops, heartbeats).
+    pub fn stats(&self) -> TcpStats {
+        self.client.stats()
+    }
+
+    /// Frame-pool counters for the client's outbound encode path.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.client.pool_stats()
+    }
+}
+
+enum CState {
+    Connected(Conn),
+    Backoff { until: Instant, attempt: u32 },
+    Gone,
+}
+
+struct Slot<F: FilterSemantics> {
+    addr: SocketAddr,
+    out: Arc<OutQueue>,
+    etx: Sender<F::Event>,
+    atx: Sender<u32>,
+    subs: Arc<Mutex<Vec<F>>>,
+    down: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    state: CState,
+    hb_due: Instant,
+    last_heard: Instant,
+    jitter: u64,
+}
+
+fn backoff_delay(cfg: &TcpConfig, jitter: &mut u64, attempt: u32) -> Duration {
+    let base = cfg
+        .reconnect_initial
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+        .min(cfg.reconnect_max);
+    base + jitter_step(jitter, base)
+}
+
+fn run_client_reactor<F>(
+    cfg: TcpConfig,
+    reg_rx: Receiver<Register<F>>,
+    waker: PollWaker,
+    shutdown: Arc<AtomicBool>,
+    pool: FramePool,
+) where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    waker.attach_current_thread();
+    let hb_frame = pool.encode(&Message::<F, F::Event>::Heartbeat);
+    let mut slots: Vec<Slot<F>> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    let mut idle_streak: u32 = 0;
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            final_flush(&mut slots);
+            return;
+        }
+        while let Ok(reg) = reg_rx.try_recv() {
+            let now = Instant::now();
+            let jitter = cfg.jitter_seed ^ u64::from(reg.addr.port());
+            let state = match Conn::new(reg.stream, reg.out.clone()) {
+                Ok(conn) => CState::Connected(conn),
+                // Socket already unusable: fall straight into backoff.
+                Err(_) => CState::Backoff {
+                    until: now,
+                    attempt: 1,
+                },
+            };
+            slots.push(Slot {
+                addr: reg.addr,
+                out: reg.out,
+                etx: reg.etx,
+                atx: reg.atx,
+                subs: reg.subs,
+                down: reg.down,
+                stats: reg.stats,
+                state,
+                hb_due: now + cfg.heartbeat_interval,
+                last_heard: now,
+                jitter,
+            });
+            idle_streak = 0;
+        }
+
+        let mut progress = false;
+        for slot in &mut slots {
+            progress |= step_slot(slot, &cfg, &hb_frame, &pool, &mut scratch);
+        }
+        slots.retain(|s| !matches!(s.state, CState::Gone));
+
+        if progress || waker.take_pending() {
+            idle_streak = 0;
+            continue;
+        }
+        idle_streak = idle_streak.saturating_add(1).min(16);
+        let shift = idle_streak.saturating_sub(1).min(10);
+        let mut park = PARK_BASE
+            .saturating_mul(1u32 << shift)
+            .min(DEFAULT_MAX_PARK);
+        // Never park past the nearest timer (heartbeat or backoff
+        // deadline).
+        let now = Instant::now();
+        for slot in &slots {
+            let next = match slot.state {
+                CState::Connected(_) if !cfg.heartbeat_interval.is_zero() => {
+                    slot.hb_due.saturating_duration_since(now)
+                }
+                CState::Backoff { until, .. } => until.saturating_duration_since(now),
+                _ => continue,
+            };
+            park = park.min(next.max(Duration::from_micros(10)));
+        }
+        std::thread::park_timeout(park);
+        waker.take_pending();
+    }
+}
+
+/// Advances one connection's state machine. Returns whether any I/O
+/// progress happened.
+fn step_slot<F>(
+    slot: &mut Slot<F>,
+    cfg: &TcpConfig,
+    hb_frame: &SharedFrame,
+    pool: &FramePool,
+    scratch: &mut [u8],
+) -> bool
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    let hb_on = !cfg.heartbeat_interval.is_zero();
+    let now = Instant::now();
+    match &mut slot.state {
+        CState::Gone => false,
+        CState::Backoff { until, attempt: _ } => {
+            if slot.out.is_closed() {
+                // Handle dropped while disconnected: queued frames can
+                // never be sent.
+                let stranded = slot.out.len() as u64;
+                if stranded > 0 {
+                    slot.stats
+                        .dropped_frames
+                        .fetch_add(stranded, Ordering::Relaxed);
+                }
+                slot.state = CState::Gone;
+                return false;
+            }
+            if now < *until {
+                return false;
+            }
+            match TcpStream::connect_timeout(&slot.addr, cfg.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    match Conn::new(stream, slot.out.clone()) {
+                        Ok(mut conn) => {
+                            // Handshake rides the write batch: hello,
+                            // then every remembered subscription.
+                            let hello: Message<F, F::Event> = Message::Hello { kind: 1 };
+                            let mut preload = vec![pool.encode(&hello)];
+                            for f in slot.subs.lock().iter() {
+                                let m: Message<F, F::Event> = Message::Subscribe(f.clone());
+                                preload.push(pool.encode(&m));
+                            }
+                            conn.preload(preload);
+                            slot.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                            slot.last_heard = now;
+                            slot.hb_due = now + cfg.heartbeat_interval;
+                            slot.state = CState::Connected(conn);
+                            true
+                        }
+                        Err(_) => {
+                            fail_attempt(slot, cfg, now);
+                            false
+                        }
+                    }
+                }
+                Err(_) => {
+                    fail_attempt(slot, cfg, now);
+                    false
+                }
+            }
+        }
+        CState::Connected(conn) => {
+            if hb_on && now >= slot.hb_due {
+                conn.push_direct(hb_frame.clone());
+                slot.stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                slot.hb_due = now + cfg.heartbeat_interval;
+            }
+            let (wp, wstatus) = conn.pump_writes();
+            match wstatus {
+                ConnStatus::Dead => {
+                    disconnect(slot, cfg, now);
+                    return wp;
+                }
+                ConnStatus::Finished => {
+                    slot.state = CState::Gone;
+                    return wp;
+                }
+                ConnStatus::Open => {}
+            }
+            let etx = &slot.etx;
+            let atx = &slot.atx;
+            let (rp, rstatus) = conn.pump_reads::<F>(scratch, &mut |msg| match msg {
+                Message::Publish(e) => etx.send(e).is_ok(),
+                Message::SubAck { crc } => {
+                    let _ = atx.send(crc);
+                    true
+                }
+                _ => true, // heartbeats, hellos
+            });
+            if rp {
+                slot.last_heard = now;
+            }
+            if rstatus == ConnStatus::Dead {
+                disconnect(slot, cfg, now);
+            } else if hb_on
+                && now.duration_since(slot.last_heard)
+                    > cfg.heartbeat_interval * cfg.heartbeat_miss_limit.max(1)
+            {
+                // Broker silent past the miss limit: abandon the socket
+                // and reconnect rather than waiting for a TCP error.
+                disconnect(slot, cfg, now);
+            }
+            wp || rp
+        }
+    }
+}
+
+/// Connection died: count frames lost in the in-flight batch, then
+/// either finish (handle gone) or enter backoff. Queued frames survive
+/// for the next epoch.
+fn disconnect<F: FilterSemantics>(slot: &mut Slot<F>, cfg: &TcpConfig, now: Instant) {
+    if let CState::Connected(conn) = &slot.state {
+        let lost = conn.batched_unsent();
+        if lost > 0 {
+            slot.stats.dropped_frames.fetch_add(lost, Ordering::Relaxed);
+        }
+    }
+    if slot.out.is_closed() {
+        slot.state = CState::Gone;
+        return;
+    }
+    let delay = backoff_delay(cfg, &mut slot.jitter, 1);
+    slot.state = CState::Backoff {
+        until: now + delay,
+        attempt: 1,
+    };
+}
+
+/// A reconnect attempt failed: schedule the next one or give up.
+fn fail_attempt<F: FilterSemantics>(slot: &mut Slot<F>, cfg: &TcpConfig, now: Instant) {
+    let CState::Backoff { attempt, .. } = slot.state else {
+        return;
+    };
+    let next = attempt + 1;
+    if next > cfg.max_reconnect_attempts {
+        // Transport gives up: fail pending and future sends.
+        slot.down.store(true, Ordering::SeqCst);
+        slot.out.close();
+        let stranded = slot.out.len() as u64;
+        if stranded > 0 {
+            slot.stats
+                .dropped_frames
+                .fetch_add(stranded, Ordering::Relaxed);
+        }
+        slot.state = CState::Gone;
+        return;
+    }
+    let delay = backoff_delay(cfg, &mut slot.jitter, next);
+    slot.state = CState::Backoff {
+        until: now + delay,
+        attempt: next,
+    };
+}
+
+/// Best-effort bounded drain of every live connection at reactor
+/// shutdown.
+fn final_flush<F: FilterSemantics>(slots: &mut [Slot<F>]) {
+    for _ in 0..SHUTDOWN_FLUSH_ROUNDS {
+        let mut pending = false;
+        for slot in slots.iter_mut() {
+            if let CState::Connected(conn) = &mut slot.state {
+                let (_, status) = conn.pump_writes();
+                if status == ConnStatus::Open && conn.unsent() > 0 {
+                    pending = true;
+                }
+            }
+        }
+        if !pending {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

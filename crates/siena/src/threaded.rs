@@ -1,0 +1,928 @@
+//! The retained thread-per-connection TCP transport: the baseline the
+//! reactor (see [`crate::reactor`]) is measured against.
+//!
+//! This is the PR2/PR5 transport unchanged: every accepted connection
+//! gets a dedicated reader thread and a dedicated writer thread (2 OS
+//! threads + 2 stacks per peer), and every client gets a supervisor
+//! thread plus a per-epoch reader thread. That model is simple and
+//! latency-friendly at small fan-out but hits a hard wall at a few
+//! thousand connections — the motivation for the reactor rework. It is
+//! kept (a) as the comparison baseline for
+//! `BENCH_connections.json` and (b) as an intentionally boring
+//! reference implementation of the wire protocol semantics: the
+//! transport-level tests run identically against both.
+//!
+//! Everything protocol-visible — framing, hello handshake, subscribe
+//! acks chained through the parent, heartbeat eviction, reconnect with
+//! capped exponential backoff + deterministic jitter, bounded outbound
+//! queues with [`OverflowPolicy`], encode-once [`SharedFrame`] fan-out —
+//! is shared with the reactor transport; see `crate::tcp` for the
+//! config/stats types.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use crate::broker::{Action, Broker};
+use crate::error::TcpError;
+use crate::frame::{write_frames, Frame, FramePool, FramePoolStats, SharedFrame};
+use crate::index::IndexableFilter;
+use crate::semantics::FilterSemantics;
+use crate::table::Peer;
+use crate::tcp::{jitter_step, OverflowPolicy, StatsInner, TcpConfig, TcpStats};
+use crate::wire::{filter_crc, read_frame_into, Message, Wire};
+
+/// Enqueues without ever blocking; full or closed queues count a drop.
+/// The frame is an `Arc` clone — enqueueing never copies the bytes.
+fn offer(tx: &Sender<SharedFrame>, frame: SharedFrame, stats: &StatsInner) {
+    if tx.try_send(frame).is_err() {
+        stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Internal dispatcher input.
+enum Input<F: FilterSemantics> {
+    FromPeer(u32, Message<F, F::Event>),
+    PeerGone(u32),
+    NewPeer(u32, Sender<SharedFrame>),
+    Tick,
+    Shutdown,
+}
+
+/// Handle to a running thread-per-connection broker. Dropping the handle
+/// shuts it down.
+pub struct ThreadedBroker {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    pool: FramePool,
+    dispatcher_tx_shutdown: Box<dyn Fn() + Send + Sync>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadedBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedBroker")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ThreadedBroker {
+    /// The address the broker listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Transport counters (evictions, drops, heartbeats).
+    pub fn stats(&self) -> TcpStats {
+        self.stats.snapshot()
+    }
+
+    /// Frame-pool counters for the broker's outbound encode path. A
+    /// publish fanned out to N peers bumps `frames_encoded` by exactly
+    /// one — the instrumentation the encode-once tests assert on.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.pool.stats()
+    }
+
+    /// Requests shutdown and joins the worker threads.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        (self.dispatcher_tx_shutdown)();
+        // Poke the accept loop.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ThreadedBroker {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Frames drained per writer wakeup into one coalesced vectored write.
+/// Bounds both the `IoSlice` working set and how long a shutdown
+/// sentinel can sit behind queued traffic.
+const MAX_COALESCE: usize = 32;
+
+/// Blocks for the next frame, then opportunistically drains up to
+/// [`MAX_COALESCE`] already-queued frames into `batch` so one syscall
+/// covers all of them. Returns `false` when the queue closed or the
+/// shutdown sentinel arrived — frames collected before the sentinel are
+/// still in `batch` and must be written before stopping.
+fn drain_coalesce(rx: &Receiver<SharedFrame>, batch: &mut Vec<SharedFrame>) -> bool {
+    batch.clear();
+    let Ok(first) = rx.recv() else { return false };
+    if first.is_sentinel() {
+        return false;
+    }
+    batch.push(first);
+    while batch.len() < MAX_COALESCE {
+        match rx.try_recv() {
+            Ok(f) if f.is_sentinel() => return false,
+            Ok(f) => batch.push(f),
+            Err(_) => break,
+        }
+    }
+    true
+}
+
+fn spawn_writer(
+    stream: TcpStream,
+    rx: Receiver<SharedFrame>,
+    stats: Arc<StatsInner>,
+) -> JoinHandle<()> {
+    // SPAWN-OK: thread-per-connection baseline — one writer thread per peer
+    // is this module's documented (pre-reactor) design.
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let mut batch: Vec<SharedFrame> = Vec::with_capacity(MAX_COALESCE);
+        loop {
+            let keep_going = drain_coalesce(&rx, &mut batch);
+            if !batch.is_empty() && write_frames(&mut stream, &batch).is_err() {
+                stats
+                    .dropped_frames
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                break;
+            }
+            batch.clear(); // release the Arcs so buffers return to the pool
+            if !keep_going {
+                break;
+            }
+        }
+        let _ = stream.flush();
+    })
+}
+
+fn spawn_reader<F>(
+    stream: TcpStream,
+    peer_id: u32,
+    tx: Sender<Input<F>>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Duration,
+) -> JoinHandle<()>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send,
+{
+    // SPAWN-OK: thread-per-connection baseline — one reader thread per peer
+    // is this module's documented (pre-reactor) design.
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        stream.set_read_timeout(Some(read_timeout)).ok();
+        let mut frame = Vec::new(); // reused across frames: no per-read alloc
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match read_frame_into(&mut stream, &mut frame) {
+                Ok(()) => match Message::<F, F::Event>::from_bytes(&frame) {
+                    Ok(msg) => {
+                        if tx.send(Input::FromPeer(peer_id, msg)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break, // protocol violation: drop the peer
+                },
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = tx.send(Input::PeerGone(peer_id));
+    })
+}
+
+/// Spawns a thread-per-connection broker with the default [`TcpConfig`].
+///
+/// # Errors
+///
+/// Propagates socket errors (bind/connect failures).
+pub fn spawn_threaded_broker<F>(
+    listen: &str,
+    parent: Option<SocketAddr>,
+) -> std::io::Result<ThreadedBroker>
+where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    spawn_threaded_broker_with::<F>(listen, parent, TcpConfig::default()).map_err(|e| match e {
+        TcpError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    })
+}
+
+/// Spawns a thread-per-connection broker listening on `listen` (use port
+/// 0 for an ephemeral port), optionally connected upward to `parent`,
+/// with explicit transport tuning.
+///
+/// # Errors
+///
+/// Returns [`TcpError::Io`] on bind/connect failures.
+pub fn spawn_threaded_broker_with<F>(
+    listen: &str,
+    parent: Option<SocketAddr>,
+    cfg: TcpConfig,
+) -> Result<ThreadedBroker, TcpError>
+where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    let listener = TcpListener::bind(listen).map_err(TcpError::Io)?;
+    let addr = listener.local_addr().map_err(TcpError::Io)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(StatsInner::default());
+    let pool = FramePool::new();
+    let (tx, rx) = unbounded::<Input<F>>();
+    let mut threads = Vec::new();
+
+    // Parent link (peer id 0 is reserved for the parent).
+    const PARENT_ID: u32 = 0;
+    let mut parent_tx: Option<Sender<SharedFrame>> = None;
+    if let Some(paddr) = parent {
+        let stream =
+            TcpStream::connect_timeout(&paddr, cfg.connect_timeout).map_err(TcpError::Io)?;
+        stream.set_nodelay(true).ok();
+        stream.set_write_timeout(Some(cfg.write_timeout)).ok();
+        let (wtx, wrx) = bounded::<SharedFrame>(cfg.queue_capacity);
+        threads.push(spawn_writer(
+            stream.try_clone().map_err(TcpError::Io)?,
+            wrx,
+            stats.clone(),
+        ));
+        threads.push(spawn_reader::<F>(
+            stream,
+            PARENT_ID,
+            tx.clone(),
+            shutdown.clone(),
+            cfg.read_timeout,
+        ));
+        // Introduce ourselves as a broker.
+        let hello: Message<F, F::Event> = Message::Hello { kind: 0 };
+        let _ = wtx.send(pool.encode(&hello));
+        parent_tx = Some(wtx);
+    }
+
+    // Accept loop.
+    {
+        let tx = tx.clone();
+        let shutdown = shutdown.clone();
+        let stats = stats.clone();
+        // SPAWN-OK: baseline accept loop (one thread, plus 2/connection below).
+        threads.push(std::thread::spawn(move || {
+            let mut next_peer = 1u32;
+            let mut reader_threads = Vec::new();
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                stream.set_nodelay(true).ok();
+                stream.set_write_timeout(Some(cfg.write_timeout)).ok();
+                let peer_id = next_peer;
+                next_peer += 1;
+                let (wtx, wrx) = bounded::<SharedFrame>(cfg.queue_capacity);
+                if let Ok(ws) = stream.try_clone() {
+                    reader_threads.push(spawn_writer(ws, wrx, stats.clone()));
+                } else {
+                    continue;
+                }
+                let _ = tx.send(Input::NewPeer(peer_id, wtx));
+                reader_threads.push(spawn_reader::<F>(
+                    stream,
+                    peer_id,
+                    tx.clone(),
+                    shutdown.clone(),
+                    cfg.read_timeout,
+                ));
+            }
+            for t in reader_threads {
+                let _ = t.join();
+            }
+        }));
+    }
+
+    // Heartbeat ticker.
+    if !cfg.heartbeat_interval.is_zero() {
+        let tx = tx.clone();
+        let shutdown = shutdown.clone();
+        let interval = cfg.heartbeat_interval;
+        // SPAWN-OK: baseline heartbeat ticker thread (fixed count: one).
+        threads.push(std::thread::spawn(move || {
+            let step = interval.min(Duration::from_millis(50));
+            let mut since_tick = Duration::ZERO;
+            loop {
+                std::thread::sleep(step);
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                since_tick += step;
+                if since_tick >= interval {
+                    since_tick = Duration::ZERO;
+                    if tx.send(Input::Tick).is_err() {
+                        break;
+                    }
+                }
+            }
+        }));
+    }
+
+    // Dispatcher: owns the pure broker and the peer registry.
+    {
+        let is_root = parent.is_none();
+        let stats = stats.clone();
+        let pool = pool.clone();
+        // SPAWN-OK: baseline dispatcher thread (fixed count: one).
+        threads.push(std::thread::spawn(move || {
+            let mut broker: Broker<F> = Broker::new(is_root);
+            let mut writers: HashMap<u32, Sender<SharedFrame>> = HashMap::new();
+            let mut last_heard: HashMap<u32, Instant> = HashMap::new();
+            // Subscribe acks we owe peers once the parent confirms the
+            // forwarded filter (keyed by the filter's crc).
+            let mut pending_acks: HashMap<u32, Vec<u32>> = HashMap::new();
+            if let Some(ptx) = parent_tx {
+                writers.insert(PARENT_ID, ptx);
+            }
+            let send_to = |writers: &HashMap<u32, Sender<SharedFrame>>,
+                           peer: u32,
+                           msg: &Message<F, F::Event>| {
+                if let Some(w) = writers.get(&peer) {
+                    offer(w, pool.encode(msg), &stats);
+                }
+            };
+            let flush_acks = |writers: &HashMap<u32, Sender<SharedFrame>>,
+                              pending: &mut HashMap<u32, Vec<u32>>| {
+                for (crc, peers) in pending.drain() {
+                    for p in peers {
+                        if let Some(w) = writers.get(&p) {
+                            let ack: Message<F, F::Event> = Message::SubAck { crc };
+                            offer(w, pool.encode(&ack), &stats);
+                        }
+                    }
+                }
+            };
+            while let Ok(input) = rx.recv() {
+                match input {
+                    Input::Shutdown => break,
+                    Input::NewPeer(id, wtx) => {
+                        writers.insert(id, wtx);
+                        last_heard.insert(id, Instant::now());
+                    }
+                    Input::PeerGone(id) => {
+                        if id != PARENT_ID {
+                            broker.peer_down(Peer::Child(id));
+                        } else {
+                            // Without a parent, forwarded subscriptions can
+                            // never be confirmed; ack them locally so
+                            // clients don't hang (degraded mode).
+                            flush_acks(&writers, &mut pending_acks);
+                        }
+                        last_heard.remove(&id);
+                        if let Some(w) = writers.remove(&id) {
+                            let _ = w.send(Frame::sentinel());
+                        }
+                    }
+                    Input::Tick => {
+                        // Encoded once; each writer queue gets an Arc
+                        // clone, and the writer coalesces it into
+                        // whatever flush is already pending.
+                        let hb: Message<F, F::Event> = Message::Heartbeat;
+                        let frame = pool.encode(&hb);
+                        for w in writers.values() {
+                            offer(w, frame.clone(), &stats);
+                            stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let deadline = cfg.heartbeat_interval * cfg.heartbeat_miss_limit.max(1);
+                        let now = Instant::now();
+                        let dead: Vec<u32> = last_heard
+                            .iter()
+                            .filter(|&(&id, &seen)| {
+                                id != PARENT_ID && now.duration_since(seen) > deadline
+                            })
+                            .map(|(&id, _)| id)
+                            .collect();
+                        for id in dead {
+                            broker.peer_down(Peer::Child(id));
+                            last_heard.remove(&id);
+                            if let Some(w) = writers.remove(&id) {
+                                let _ = w.send(Frame::sentinel());
+                            }
+                            stats.evicted_peers.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Input::FromPeer(id, msg) => {
+                        last_heard.insert(id, Instant::now());
+                        let from = if id == PARENT_ID {
+                            Peer::Parent
+                        } else {
+                            Peer::Child(id)
+                        };
+                        let actions = match msg {
+                            Message::Hello { .. } | Message::Heartbeat => Vec::new(),
+                            Message::SubAck { crc } => {
+                                // Parent confirmed a forwarded filter:
+                                // release the acks we owe downstream.
+                                if id == PARENT_ID {
+                                    for p in pending_acks.remove(&crc).unwrap_or_default() {
+                                        send_to(&writers, p, &Message::SubAck { crc });
+                                    }
+                                }
+                                Vec::new()
+                            }
+                            Message::Subscribe(f) => {
+                                let crc = filter_crc(&f);
+                                let actions = broker.subscribe(from, f);
+                                let forwards_up = actions
+                                    .iter()
+                                    .any(|a| matches!(a, Action::ForwardSubscribe(_)))
+                                    && writers.contains_key(&PARENT_ID);
+                                if forwards_up {
+                                    pending_acks.entry(crc).or_default().push(id);
+                                } else {
+                                    send_to(&writers, id, &Message::SubAck { crc });
+                                }
+                                actions
+                            }
+                            Message::Unsubscribe(f) => broker.unsubscribe(from, &f),
+                            Message::Publish(e) => broker.publish(from, e),
+                        };
+                        // Encode-once fan-out: every `Deliver` produced
+                        // by one publish carries a clone of the same
+                        // event, so the Publish frame is serialized for
+                        // the first recipient only and the remaining
+                        // recipients get Arc clones of that frame.
+                        let mut deliver_frame: Option<SharedFrame> = None;
+                        for action in actions {
+                            match action {
+                                Action::ForwardSubscribe(f) => {
+                                    send_to(&writers, PARENT_ID, &Message::Subscribe(f));
+                                }
+                                Action::ForwardUnsubscribe(f) => {
+                                    send_to(&writers, PARENT_ID, &Message::Unsubscribe(f));
+                                }
+                                Action::Deliver(peer, e) => {
+                                    let target = match peer {
+                                        Peer::Parent => PARENT_ID,
+                                        Peer::Child(c) | Peer::Local(c) => c,
+                                    };
+                                    let frame = match &deliver_frame {
+                                        Some(f) => f.clone(),
+                                        None => {
+                                            let msg: Message<F, F::Event> = Message::Publish(e);
+                                            let f = pool.encode(&msg);
+                                            deliver_frame = Some(f.clone());
+                                            f
+                                        }
+                                    };
+                                    if let Some(w) = writers.get(&target) {
+                                        offer(w, frame, &stats);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Release writer threads.
+            for (_, w) in writers {
+                let _ = w.send(Frame::sentinel());
+            }
+        }));
+    }
+
+    let tx_for_shutdown = tx;
+    Ok(ThreadedBroker {
+        addr,
+        shutdown,
+        stats,
+        pool,
+        dispatcher_tx_shutdown: Box::new(move || {
+            let _ = tx_for_shutdown.send(Input::Shutdown);
+        }),
+        threads,
+    })
+}
+
+enum Cmd {
+    Frame(SharedFrame),
+    Shutdown,
+}
+
+/// A thread-per-connection client: subscribe and publish over TCP,
+/// receive matching events. Reconnects automatically (replaying its
+/// subscriptions) when the broker connection is lost. Costs a supervisor
+/// thread plus a per-epoch reader thread; the reactor-backed
+/// [`TcpClient`](crate::TcpClient) is the 1-thread default.
+pub struct ThreadedClient<F: FilterSemantics> {
+    cmd: Sender<Cmd>,
+    events: Receiver<F::Event>,
+    acks: Receiver<u32>,
+    subs: Arc<Mutex<Vec<F>>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    pool: FramePool,
+    overflow: OverflowPolicy,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<F: FilterSemantics> std::fmt::Debug for ThreadedClient<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ThreadedClient { .. }")
+    }
+}
+
+impl<F> ThreadedClient<F>
+where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    /// Connects with the default [`TcpConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the initial connection.
+    pub fn connect(broker: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_with(broker, TcpConfig::default()).map_err(|e| match e {
+            TcpError::Io(io) => io,
+            other => std::io::Error::other(other.to_string()),
+        })
+    }
+
+    /// Connects with explicit transport tuning. The initial connection is
+    /// established synchronously (so immediate failures surface here);
+    /// later losses are handled by background reconnection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcpError::Io`] when the initial connection fails.
+    pub fn connect_with(broker: SocketAddr, cfg: TcpConfig) -> Result<Self, TcpError> {
+        let stream =
+            TcpStream::connect_timeout(&broker, cfg.connect_timeout).map_err(TcpError::Io)?;
+        stream.set_nodelay(true).ok();
+        stream.set_write_timeout(Some(cfg.write_timeout)).ok();
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let pool = FramePool::new();
+        let subs: Arc<Mutex<Vec<F>>> = Arc::new(Mutex::new(Vec::new()));
+        let (cmd_tx, cmd_rx) = bounded::<Cmd>(cfg.queue_capacity);
+        let (etx, erx) = bounded::<F::Event>(4096);
+        let (atx, arx) = unbounded::<u32>();
+
+        let supervisor = {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            let subs = subs.clone();
+            let pool = pool.clone();
+            // SPAWN-OK: baseline client supervisor thread (fixed count: one,
+            // plus one reader per connection epoch inside `supervise`).
+            std::thread::spawn(move || {
+                supervise::<F>(
+                    broker, cfg, stream, cmd_rx, etx, atx, subs, shutdown, stats, pool,
+                );
+            })
+        };
+
+        Ok(ThreadedClient {
+            cmd: cmd_tx,
+            events: erx,
+            acks: arx,
+            subs,
+            shutdown,
+            stats,
+            pool,
+            overflow: cfg.overflow,
+            threads: vec![supervisor],
+        })
+    }
+
+    fn enqueue(&self, frame: SharedFrame) -> Result<(), TcpError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(TcpError::Disconnected);
+        }
+        match self.overflow {
+            OverflowPolicy::Block => self
+                .cmd
+                .send(Cmd::Frame(frame))
+                .map_err(|_| TcpError::Disconnected),
+            OverflowPolicy::DropNewest => match self.cmd.try_send(Cmd::Frame(frame)) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => {
+                    self.stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+                    Err(TcpError::Backpressure)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(TcpError::Disconnected),
+            },
+        }
+    }
+
+    /// Registers a subscription. The filter is also remembered for replay
+    /// after a reconnection.
+    ///
+    /// # Errors
+    ///
+    /// [`TcpError::Disconnected`] when the transport has given up;
+    /// [`TcpError::Backpressure`] under
+    /// [`OverflowPolicy::DropNewest`] with a full queue.
+    pub fn subscribe(&self, filter: F) -> Result<(), TcpError> {
+        let msg: Message<F, F::Event> = Message::Subscribe(filter.clone());
+        self.subs.lock().push(filter);
+        self.enqueue(self.pool.encode(&msg))
+    }
+
+    /// Registers a subscription and waits (up to `timeout`) for the
+    /// broker chain to acknowledge that it is installed — the readiness
+    /// handshake used by tests instead of sleeping.
+    ///
+    /// # Errors
+    ///
+    /// [`TcpError::Timeout`] when no ack arrives in time; otherwise as
+    /// [`subscribe`](Self::subscribe).
+    pub fn subscribe_acked(&self, filter: F, timeout: Duration) -> Result<(), TcpError> {
+        let crc = filter_crc(&filter);
+        self.subscribe(filter)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(TcpError::Timeout(timeout));
+            }
+            match self.acks.recv_timeout(left) {
+                Ok(c) if c == crc => return Ok(()),
+                Ok(_) => continue, // ack for an earlier subscription
+                Err(RecvTimeoutError::Timeout) => return Err(TcpError::Timeout(timeout)),
+                Err(RecvTimeoutError::Disconnected) => return Err(TcpError::Disconnected),
+            }
+        }
+    }
+
+    /// Removes a subscription (and stops replaying it on reconnect).
+    ///
+    /// # Errors
+    ///
+    /// As [`subscribe`](Self::subscribe).
+    pub fn unsubscribe(&self, filter: &F) -> Result<(), TcpError> {
+        self.subs.lock().retain(|f| f != filter);
+        let msg: Message<F, F::Event> = Message::Unsubscribe(filter.clone());
+        self.enqueue(self.pool.encode(&msg))
+    }
+
+    /// Publishes an event. Delivery is at-most-once across connection
+    /// loss: frames queued while disconnected are sent after reconnect,
+    /// but a frame lost inside a dying socket is not replayed.
+    ///
+    /// # Errors
+    ///
+    /// As [`subscribe`](Self::subscribe).
+    pub fn publish(&self, event: F::Event) -> Result<(), TcpError> {
+        let msg: Message<F, F::Event> = Message::Publish(event);
+        self.enqueue(self.pool.encode(&msg))
+    }
+
+    /// Waits up to `timeout` for the next delivered event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<F::Event> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Transport counters (reconnects, drops).
+    pub fn stats(&self) -> TcpStats {
+        self.stats.snapshot()
+    }
+
+    /// Frame-pool counters for the client's outbound encode path.
+    pub fn pool_stats(&self) -> FramePoolStats {
+        self.pool.stats()
+    }
+}
+
+/// The client connection supervisor: owns the socket across epochs,
+/// writes frames, sends heartbeats, and reconnects with capped
+/// exponential backoff + jitter, replaying subscriptions each time.
+#[allow(clippy::too_many_arguments)]
+fn supervise<F>(
+    addr: SocketAddr,
+    cfg: TcpConfig,
+    first: TcpStream,
+    cmd_rx: Receiver<Cmd>,
+    etx: Sender<F::Event>,
+    atx: Sender<u32>,
+    subs: Arc<Mutex<Vec<F>>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    pool: FramePool,
+) where
+    F: FilterSemantics + Wire + Send + 'static,
+    F::Event: Wire + Send + 'static,
+{
+    let mut jitter_state = cfg.jitter_seed ^ u64::from(addr.port());
+    let mut stream_opt = Some(first);
+    // Heartbeats never change: encode once for the client's lifetime.
+    let hb_frame = pool.encode(&Message::<F, F::Event>::Heartbeat);
+    let mut batch: Vec<SharedFrame> = Vec::with_capacity(MAX_COALESCE);
+    'epochs: loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // (Re)establish a connection.
+        let stream = match stream_opt.take() {
+            Some(s) => s,
+            None => {
+                let mut attempt = 0u32;
+                loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break 'epochs;
+                    }
+                    attempt += 1;
+                    if attempt > cfg.max_reconnect_attempts {
+                        shutdown.store(true, Ordering::SeqCst);
+                        break 'epochs;
+                    }
+                    let base = cfg
+                        .reconnect_initial
+                        .saturating_mul(1u32 << (attempt - 1).min(16))
+                        .min(cfg.reconnect_max);
+                    std::thread::sleep(base + jitter_step(&mut jitter_state, base));
+                    match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+                        Ok(s) => {
+                            s.set_nodelay(true).ok();
+                            s.set_write_timeout(Some(cfg.write_timeout)).ok();
+                            stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                            break s;
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            }
+        };
+
+        // Handshake: hello, then replay every remembered subscription.
+        let mut wstream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue, // socket already dead; reconnect
+        };
+        let hello: Message<F, F::Event> = Message::Hello { kind: 1 };
+        if pool.encode(&hello).write_to(&mut wstream).is_err() {
+            continue;
+        }
+        let replay: Vec<F> = subs.lock().clone();
+        let mut handshake_ok = true;
+        for f in replay {
+            let msg: Message<F, F::Event> = Message::Subscribe(f);
+            if pool.encode(&msg).write_to(&mut wstream).is_err() {
+                handshake_ok = false;
+                break;
+            }
+        }
+        if !handshake_ok {
+            continue;
+        }
+
+        // Reader for this connection epoch.
+        let epoch_alive = Arc::new(AtomicBool::new(true));
+        let reader = {
+            let epoch_alive = epoch_alive.clone();
+            let shutdown = shutdown.clone();
+            let etx = etx.clone();
+            let atx = atx.clone();
+            let mut rstream = stream;
+            let read_timeout = cfg.read_timeout;
+            // SPAWN-OK: baseline per-epoch reader thread (one live at a time).
+            std::thread::spawn(move || {
+                rstream.set_read_timeout(Some(read_timeout)).ok();
+                let mut frame = Vec::new(); // reused across frames
+                loop {
+                    if shutdown.load(Ordering::SeqCst) || !epoch_alive.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match read_frame_into(&mut rstream, &mut frame) {
+                        Ok(()) => match Message::<F, F::Event>::from_bytes(&frame) {
+                            Ok(Message::Publish(e)) => {
+                                if etx.send(e).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(Message::SubAck { crc }) => {
+                                let _ = atx.send(crc);
+                            }
+                            Ok(_) => {} // heartbeats, hellos
+                            Err(_) => break,
+                        },
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                epoch_alive.store(false, Ordering::SeqCst);
+            })
+        };
+
+        // Write loop for this epoch; idle gaps send heartbeats.
+        let tick = if cfg.heartbeat_interval.is_zero() {
+            Duration::from_millis(200)
+        } else {
+            cfg.heartbeat_interval
+        };
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                epoch_alive.store(false, Ordering::SeqCst);
+                let _ = reader.join();
+                break 'epochs;
+            }
+            if !epoch_alive.load(Ordering::SeqCst) {
+                break; // connection died; reconnect
+            }
+            match cmd_rx.recv_timeout(tick) {
+                Ok(Cmd::Shutdown) => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    epoch_alive.store(false, Ordering::SeqCst);
+                    let _ = reader.join();
+                    break 'epochs;
+                }
+                Ok(Cmd::Frame(frame)) => {
+                    // Coalesce everything already queued behind this
+                    // frame into one vectored write.
+                    batch.clear();
+                    batch.push(frame);
+                    let mut shutdown_after = false;
+                    while batch.len() < MAX_COALESCE {
+                        match cmd_rx.try_recv() {
+                            Ok(Cmd::Frame(f)) => batch.push(f),
+                            Ok(Cmd::Shutdown) => {
+                                shutdown_after = true;
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let wrote = write_frames(&mut wstream, &batch);
+                    if wrote.is_err() {
+                        stats
+                            .dropped_frames
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    }
+                    batch.clear();
+                    if shutdown_after {
+                        shutdown.store(true, Ordering::SeqCst);
+                        epoch_alive.store(false, Ordering::SeqCst);
+                        let _ = reader.join();
+                        break 'epochs;
+                    }
+                    if wrote.is_err() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if !cfg.heartbeat_interval.is_zero() {
+                        if hb_frame.write_to(&mut wstream).is_err() {
+                            break;
+                        }
+                        stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    epoch_alive.store(false, Ordering::SeqCst);
+                    let _ = reader.join();
+                    break 'epochs;
+                }
+            }
+        }
+        epoch_alive.store(false, Ordering::SeqCst);
+        let _ = reader.join();
+    }
+}
+
+impl<F: FilterSemantics> Drop for ThreadedClient<F> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.cmd.try_send(Cmd::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

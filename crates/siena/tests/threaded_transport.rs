@@ -1,0 +1,255 @@
+//! The tcp_transport suite run against the retained thread-per-
+//! connection baseline: both transports speak the same protocol and
+//! must satisfy identical protocol-visible assertions (routing, the
+//! parent-chained ack handshake, reconnection with subscription replay,
+//! heartbeat eviction, bounded-queue backpressure, encode-once
+//! fan-out). `tcp_transport.rs` runs the same assertions against the
+//! default reactor transport.
+
+use std::time::Duration;
+
+use psguard_model::{Constraint, Event, Filter, Op};
+use psguard_siena::{
+    spawn_threaded_broker, spawn_threaded_broker_with, OverflowPolicy, TcpConfig, TcpError,
+    ThreadedClient,
+};
+
+const ACK_WAIT: Duration = Duration::from_secs(5);
+
+#[test]
+fn single_broker_pubsub_roundtrip() {
+    let broker = spawn_threaded_broker::<Filter>("127.0.0.1:0", None).expect("spawn");
+    let sub: ThreadedClient<Filter> = ThreadedClient::connect(broker.addr()).expect("connect");
+    let publisher: ThreadedClient<Filter> =
+        ThreadedClient::connect(broker.addr()).expect("connect");
+
+    sub.subscribe_acked(
+        Filter::for_topic("t").with(Constraint::new("x", Op::Ge(10))),
+        ACK_WAIT,
+    )
+    .expect("acked");
+
+    let hit = Event::builder("t")
+        .attr("x", 42i64)
+        .payload(vec![1])
+        .build();
+    let miss = Event::builder("t").attr("x", 1i64).build();
+    publisher.publish(miss.clone()).expect("publish");
+    publisher.publish(hit.clone()).expect("publish");
+
+    let got = sub.recv_timeout(Duration::from_secs(5)).expect("delivery");
+    assert_eq!(got, hit);
+    assert!(sub.recv_timeout(Duration::from_millis(200)).is_none());
+    broker.shutdown();
+}
+
+#[test]
+fn two_level_tree_routes_through_root() {
+    let root = spawn_threaded_broker::<Filter>("127.0.0.1:0", None).expect("root");
+    let left = spawn_threaded_broker::<Filter>("127.0.0.1:0", Some(root.addr())).expect("left");
+    let right = spawn_threaded_broker::<Filter>("127.0.0.1:0", Some(root.addr())).expect("right");
+
+    let sub: ThreadedClient<Filter> = ThreadedClient::connect(left.addr()).expect("connect");
+    let publisher: ThreadedClient<Filter> = ThreadedClient::connect(right.addr()).expect("connect");
+
+    sub.subscribe_acked(Filter::for_topic("news"), ACK_WAIT)
+        .expect("acked across two levels");
+
+    let e = Event::builder("news").payload(b"flash".to_vec()).build();
+    publisher.publish(e.clone()).expect("publish");
+    let got = sub.recv_timeout(Duration::from_secs(5)).expect("delivery");
+    assert_eq!(got, e);
+
+    drop(sub);
+    drop(publisher);
+    left.shutdown();
+    right.shutdown();
+    root.shutdown();
+}
+
+#[test]
+fn unsubscribe_stops_replay_and_delivery() {
+    let broker = spawn_threaded_broker::<Filter>("127.0.0.1:0", None).expect("spawn");
+    let sub: ThreadedClient<Filter> = ThreadedClient::connect(broker.addr()).expect("connect");
+    let publisher: ThreadedClient<Filter> =
+        ThreadedClient::connect(broker.addr()).expect("connect");
+
+    let f = Filter::for_topic("t");
+    sub.subscribe_acked(f.clone(), ACK_WAIT).expect("acked");
+    publisher
+        .publish(Event::builder("t").payload(vec![1]).build())
+        .expect("publish");
+    assert!(sub.recv_timeout(Duration::from_secs(5)).is_some());
+
+    sub.unsubscribe(&f).expect("unsubscribe");
+    sub.subscribe_acked(Filter::for_topic("other"), ACK_WAIT)
+        .expect("acked");
+    publisher
+        .publish(Event::builder("t").payload(vec![2]).build())
+        .expect("publish");
+    assert!(
+        sub.recv_timeout(Duration::from_millis(300)).is_none(),
+        "unsubscribed topic must stop arriving"
+    );
+    broker.shutdown();
+}
+
+#[test]
+fn client_reconnects_and_replays_subscriptions() {
+    let cfg = TcpConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        read_timeout: Duration::from_millis(50),
+        reconnect_initial: Duration::from_millis(25),
+        reconnect_max: Duration::from_millis(100),
+        max_reconnect_attempts: 200,
+        ..TcpConfig::default()
+    };
+    let broker = spawn_threaded_broker_with::<Filter>("127.0.0.1:0", None, cfg).expect("spawn");
+    let addr = broker.addr();
+
+    let sub: ThreadedClient<Filter> = ThreadedClient::connect_with(addr, cfg).expect("connect");
+    sub.subscribe_acked(Filter::for_topic("t"), ACK_WAIT)
+        .expect("acked");
+
+    broker.shutdown();
+    let broker2 = spawn_threaded_broker_with::<Filter>(&addr.to_string(), None, cfg)
+        .expect("respawn on same port");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match sub.subscribe_acked(Filter::for_topic("t2"), Duration::from_millis(500)) {
+            Ok(()) => break,
+            Err(_) if std::time::Instant::now() < deadline => continue,
+            Err(e) => panic!("client never reconnected: {e}"),
+        }
+    }
+    assert!(sub.stats().reconnects >= 1, "{:?}", sub.stats());
+
+    let publisher: ThreadedClient<Filter> =
+        ThreadedClient::connect_with(addr, cfg).expect("connect");
+    let e = Event::builder("t").payload(vec![7]).build();
+    publisher.publish(e.clone()).expect("publish");
+    assert_eq!(
+        sub.recv_timeout(Duration::from_secs(5)),
+        Some(e),
+        "replayed subscription must deliver on the new broker"
+    );
+    broker2.shutdown();
+}
+
+#[test]
+fn silent_peer_is_evicted_after_missed_heartbeats() {
+    let cfg = TcpConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_miss_limit: 3,
+        read_timeout: Duration::from_millis(50),
+        ..TcpConfig::default()
+    };
+    let broker = spawn_threaded_broker_with::<Filter>("127.0.0.1:0", None, cfg).expect("spawn");
+
+    use psguard_siena::wire::{write_frame, Message, Wire};
+    let mut silent = std::net::TcpStream::connect(broker.addr()).expect("connect");
+    let hello: Message<Filter, Event> = Message::Hello { kind: 1 };
+    write_frame(&mut silent, &hello.to_bytes()).expect("hello");
+    let sub_msg: Message<Filter, Event> = Message::Subscribe(Filter::for_topic("t"));
+    write_frame(&mut silent, &sub_msg.to_bytes()).expect("subscribe");
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while broker.stats().evicted_peers == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no eviction after 10 s: {:?}",
+            broker.stats()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let sub: ThreadedClient<Filter> =
+        ThreadedClient::connect_with(broker.addr(), cfg).expect("connect");
+    let publisher: ThreadedClient<Filter> =
+        ThreadedClient::connect_with(broker.addr(), cfg).expect("connect");
+    sub.subscribe_acked(Filter::for_topic("t"), ACK_WAIT)
+        .expect("acked");
+    std::thread::sleep(Duration::from_millis(300));
+    let e = Event::builder("t").build();
+    publisher.publish(e.clone()).expect("publish");
+    assert_eq!(sub.recv_timeout(Duration::from_secs(5)), Some(e));
+    broker.shutdown();
+}
+
+#[test]
+fn drop_newest_backpressure_is_reported() {
+    let cfg = TcpConfig {
+        queue_capacity: 2,
+        overflow: OverflowPolicy::DropNewest,
+        heartbeat_interval: Duration::ZERO,
+        write_timeout: Duration::from_millis(200),
+        ..TcpConfig::default()
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let _keep = std::thread::spawn(move || {
+        let conn = listener.accept();
+        std::thread::sleep(Duration::from_secs(10));
+        drop(conn);
+    });
+
+    let client: ThreadedClient<Filter> = ThreadedClient::connect_with(addr, cfg).expect("connect");
+    let big = Event::builder("t").payload(vec![0u8; 512 * 1024]).build();
+    let mut saw_backpressure = false;
+    for _ in 0..64 {
+        match client.publish(big.clone()) {
+            Ok(()) => continue,
+            Err(TcpError::Backpressure) => {
+                saw_backpressure = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(saw_backpressure, "full bounded queue must report drops");
+    assert!(client.stats().dropped_frames >= 1);
+}
+
+#[test]
+fn fanout_serializes_event_exactly_once() {
+    let cfg = TcpConfig {
+        heartbeat_interval: Duration::ZERO,
+        ..TcpConfig::default()
+    };
+    let broker = spawn_threaded_broker_with::<Filter>("127.0.0.1:0", None, cfg).expect("spawn");
+
+    let subs: Vec<ThreadedClient<Filter>> = (0..3)
+        .map(|_| ThreadedClient::connect_with(broker.addr(), cfg).expect("connect"))
+        .collect();
+    for s in &subs {
+        s.subscribe_acked(Filter::for_topic("fan"), ACK_WAIT)
+            .expect("acked");
+    }
+    let publisher: ThreadedClient<Filter> =
+        ThreadedClient::connect_with(broker.addr(), cfg).expect("connect");
+    publisher
+        .subscribe_acked(Filter::for_topic("sync-only"), ACK_WAIT)
+        .expect("acked");
+
+    let broker_before = broker.pool_stats().frames_encoded;
+    let pub_before = publisher.pool_stats().frames_encoded;
+
+    let e = Event::builder("fan").payload(vec![42; 64]).build();
+    publisher.publish(e.clone()).expect("publish");
+    for s in &subs {
+        let got = s.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(got, e);
+    }
+
+    assert_eq!(
+        broker.pool_stats().frames_encoded - broker_before,
+        1,
+        "a publish fanned out to 3 peers must encode exactly once"
+    );
+    assert_eq!(publisher.pool_stats().frames_encoded - pub_before, 1);
+
+    drop(publisher);
+    drop(subs);
+    broker.shutdown();
+}

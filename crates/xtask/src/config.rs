@@ -122,14 +122,28 @@ pub const NONDETERMINISTIC_IDENTS: &[&str] = &[
 /// Files whose non-test code is the allocation-free dissemination hot
 /// path: per-message serialization there must go through the shared
 /// `FramePool` (encode once, fan out `Arc` clones), so per-call
-/// allocating conversions are banned. See DESIGN.md §14.
-pub const HOT_PATH_FILES: &[&str] = &["crates/siena/src/tcp.rs"];
+/// allocating conversions are banned. Entries ending in `/` cover the
+/// whole directory. See DESIGN.md §14.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/siena/src/tcp.rs",
+    "crates/siena/src/threaded.rs",
+    "crates/siena/src/reactor/",
+];
 
 /// Methods (called as `.name(`) that allocate a fresh buffer per call
 /// and therefore must not appear in hot-path files: `to_bytes` is the
 /// old one-copy-per-recipient serialization, `to_vec` the classic
 /// borrowed-slice detour.
 pub const HOT_PATH_ALLOC_METHODS: &[&str] = &["to_bytes", "to_vec"];
+
+/// Paths (workspace-relative; entries ending in `/` cover the whole
+/// directory) where `thread::spawn` is banned outside `// SPAWN-OK:`
+/// marked sites. The reactor transport's contract is a *fixed* thread
+/// count — worker pool, accept loop, dispatcher, client reactor — all
+/// sized at spawn time; an unmarked spawn is a regression back toward
+/// thread-per-connection. `threaded.rs` is deliberately out of scope:
+/// it is the retained thread-per-connection baseline.
+pub const SPAWN_SCOPE: &[&str] = &["crates/siena/src/tcp.rs", "crates/siena/src/reactor/"];
 
 /// Relative path of the panic allowlist file.
 pub const ALLOWLIST_PATH: &str = "crates/xtask/allowlist.txt";
@@ -147,9 +161,26 @@ pub fn determinism_scope_contains(rel: &str) -> bool {
     DETERMINISM_SCOPE.iter().any(|p| rel.starts_with(p))
 }
 
+/// Whether a path matches a scope list of exact files and `dir/` prefixes.
+fn file_or_dir_match(list: &[&str], rel: &str) -> bool {
+    list.iter().any(|p| {
+        if p.ends_with('/') {
+            rel.starts_with(p)
+        } else {
+            rel == *p
+        }
+    })
+}
+
 /// Whether a workspace-relative file path is a dissemination hot path.
 pub fn hot_path_contains(rel: &str) -> bool {
-    HOT_PATH_FILES.contains(&rel)
+    file_or_dir_match(HOT_PATH_FILES, rel)
+}
+
+/// Whether a workspace-relative file path is in the fixed-thread-count
+/// (spawn-ban) scope.
+pub fn spawn_scope_contains(rel: &str) -> bool {
+    file_or_dir_match(SPAWN_SCOPE, rel)
 }
 
 #[cfg(test)]
@@ -165,7 +196,12 @@ mod tests {
         assert!(determinism_scope_contains("crates/siena/src/fault.rs"));
         assert!(!determinism_scope_contains("crates/siena/src/tcp.rs"));
         assert!(hot_path_contains("crates/siena/src/tcp.rs"));
+        assert!(hot_path_contains("crates/siena/src/threaded.rs"));
+        assert!(hot_path_contains("crates/siena/src/reactor/broker.rs"));
         assert!(!hot_path_contains("crates/siena/src/wire.rs"));
+        assert!(spawn_scope_contains("crates/siena/src/reactor/client.rs"));
+        assert!(spawn_scope_contains("crates/siena/src/tcp.rs"));
+        assert!(!spawn_scope_contains("crates/siena/src/threaded.rs"));
     }
 
     #[test]

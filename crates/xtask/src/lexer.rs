@@ -47,6 +47,9 @@ pub struct LexedFile {
     /// `panic_ok_lines[n]` is true when line `n` carries a
     /// `// PANIC-OK: <justification>` comment.
     pub panic_ok_lines: Vec<bool>,
+    /// `spawn_ok_lines[n]` is true when line `n` carries a
+    /// `// SPAWN-OK: <justification>` comment.
+    pub spawn_ok_lines: Vec<bool>,
 }
 
 impl LexedFile {
@@ -62,6 +65,19 @@ impl LexedFile {
             .copied()
             .unwrap_or(false)
     }
+
+    /// Whether the given 1-based line, or one of the two lines above it,
+    /// carries a SPAWN-OK justification. The window exists because the
+    /// justification conventionally sits in a (possibly two-line)
+    /// comment immediately above the `spawn` call.
+    pub fn is_spawn_ok_near(&self, line: u32) -> bool {
+        (line.saturating_sub(2)..=line).any(|l| {
+            self.spawn_ok_lines
+                .get(l as usize)
+                .copied()
+                .unwrap_or(false)
+        })
+    }
 }
 
 /// Lexes a whole source file.
@@ -72,6 +88,7 @@ pub fn lex(source: &str) -> LexedFile {
         tokens: Vec::new(),
         test_lines: vec![false; line_count + 1],
         panic_ok_lines: vec![false; line_count + 1],
+        spawn_ok_lines: vec![false; line_count + 1],
     };
 
     let mut i = 0usize;
@@ -94,7 +111,7 @@ pub fn lex(source: &str) -> LexedFile {
             }
             c if c.is_whitespace() => i += 1,
             '/' if at(i + 1) == '/' => {
-                // Line comment; remember PANIC-OK markers.
+                // Line comment; remember PANIC-OK / SPAWN-OK markers.
                 let start = i;
                 while i < n && chars[i] != '\n' {
                     i += 1;
@@ -102,6 +119,11 @@ pub fn lex(source: &str) -> LexedFile {
                 let comment: String = chars[start..i].iter().collect();
                 if comment.contains("PANIC-OK:") {
                     if let Some(slot) = out.panic_ok_lines.get_mut(line as usize) {
+                        *slot = true;
+                    }
+                }
+                if comment.contains("SPAWN-OK:") {
+                    if let Some(slot) = out.spawn_ok_lines.get_mut(line as usize) {
                         *slot = true;
                     }
                 }
@@ -547,6 +569,17 @@ let real = value;
         let f = lex(src);
         assert!(f.is_panic_ok_line(1));
         assert!(!f.is_panic_ok_line(2));
+    }
+
+    #[test]
+    fn spawn_ok_marker_covers_a_short_window_below() {
+        let src = "// SPAWN-OK: fixed pool sized once\n// at startup, not per connection.\nstd::thread::spawn(f);\nstd::thread::spawn(g);\n";
+        let f = lex(src);
+        assert!(f.is_spawn_ok_near(3), "marker two lines above applies");
+        assert!(
+            !f.is_spawn_ok_near(4),
+            "a marker must not leak past its window"
+        );
     }
 
     #[test]

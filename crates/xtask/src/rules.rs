@@ -20,6 +20,11 @@ pub enum Rule {
     /// on a dissemination hot path that must encode through the
     /// `FramePool` instead.
     HotPathAlloc,
+    /// A `thread::spawn` inside the reactor transport without a
+    /// `// SPAWN-OK:` justification. The reactor's contract is a fixed
+    /// thread count decided at spawn time; an unmarked spawn is a
+    /// regression toward thread-per-connection.
+    ThreadPerConnection,
 }
 
 impl std::fmt::Display for Rule {
@@ -29,6 +34,7 @@ impl std::fmt::Display for Rule {
             Rule::PanicFreedom => f.write_str("panic-freedom"),
             Rule::SimDeterminism => f.write_str("sim-determinism"),
             Rule::HotPathAlloc => f.write_str("hot-path-alloc"),
+            Rule::ThreadPerConnection => f.write_str("thread-per-connection"),
         }
     }
 }
@@ -72,6 +78,9 @@ pub fn scan_file(rel_path: &str, lexed: &LexedFile) -> Vec<Finding> {
     }
     if config::hot_path_contains(rel_path) {
         hot_path_alloc(rel_path, lexed, &mut findings);
+    }
+    if config::spawn_scope_contains(rel_path) {
+        thread_per_connection(rel_path, lexed, &mut findings);
     }
     findings
 }
@@ -398,6 +407,36 @@ fn hot_path_alloc(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Thread-per-connection: a `spawn(` call on a non-test line of the
+/// reactor transport. The fixed sanctioned spawn sites (worker pool,
+/// accept loop, dispatcher, client reactor) carry a `// SPAWN-OK:`
+/// justification on or just above the call; those produce no finding.
+/// Anything else — typically a per-connection reader/writer creeping
+/// back in — is a hard violation.
+fn thread_per_connection(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        let line = t.line;
+        if lexed.is_test_line(line) {
+            continue;
+        }
+        if let Tok::Ident(m) = &t.tok {
+            if m == "spawn" && punct_at(lexed, i + 1) == Some('(') && !lexed.is_spawn_ok_near(line)
+            {
+                out.push(Finding {
+                    file: rel_path.to_owned(),
+                    line,
+                    rule: Rule::ThreadPerConnection,
+                    message: "spawn(..) in the fixed-thread reactor transport; host the \
+                              connection on the worker pool, or justify a fixed-count \
+                              thread with // SPAWN-OK: <why>"
+                        .to_owned(),
+                    allowlisted: false,
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +563,44 @@ mod tests {
         let f = scan(
             "crates/siena/src/tcp.rs",
             "fn f(s: &str) { s.to_owned(); to_vec(s); let to_bytes = 1; }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unmarked_spawn_in_reactor_flagged() {
+        let f = scan(
+            "crates/siena/src/reactor/worker.rs",
+            "fn accept(s: TcpStream) { std::thread::spawn(move || serve(s)); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::ThreadPerConnection);
+    }
+
+    #[test]
+    fn spawn_ok_marker_above_the_call_suppresses() {
+        let f = scan(
+            "crates/siena/src/reactor/broker.rs",
+            "// SPAWN-OK: fixed worker pool, sized once\n\
+             // at startup from the config.\n\
+             fn pool() { std::thread::spawn(worker); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn spawn_in_tests_and_lookalike_names_are_fine() {
+        let src = "fn start() { spawn_broker(addr); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { std::thread::spawn(|| {}); }\n}\n";
+        let f = scan("crates/siena/src/reactor/broker.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn spawn_in_threaded_baseline_is_out_of_scope() {
+        let f = scan(
+            "crates/siena/src/threaded.rs",
+            "fn reader(s: TcpStream) { std::thread::spawn(move || pump(s)); }\n",
         );
         assert!(f.is_empty(), "{f:?}");
     }

@@ -129,6 +129,40 @@ fn determinism_rule_only_applies_in_scope() {
     assert!(det.is_empty(), "{det:#?}");
 }
 
+#[test]
+fn thread_per_connection_catches_seeded_violations() {
+    let findings = scan("crates/siena/src/reactor/fixture.rs", "spawn_violation.rs");
+    let spawns: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ThreadPerConnection)
+        .collect();
+    // thread::spawn per connection + Builder::new().spawn.
+    assert_eq!(spawns.len(), 2, "{spawns:#?}");
+    assert!(spawns.iter().all(|f| !f.allowlisted));
+}
+
+#[test]
+fn thread_per_connection_passes_clean_snippet() {
+    let findings = scan("crates/siena/src/reactor/fixture.rs", "spawn_clean.rs");
+    let spawns: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ThreadPerConnection)
+        .collect();
+    assert!(spawns.is_empty(), "{spawns:#?}");
+}
+
+#[test]
+fn thread_per_connection_exempts_threaded_baseline() {
+    // threaded.rs is the retained thread-per-connection baseline; its
+    // spawns are the documented design, not a regression.
+    let findings = scan("crates/siena/src/threaded.rs", "spawn_violation.rs");
+    let spawns: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ThreadPerConnection)
+        .collect();
+    assert!(spawns.is_empty(), "{spawns:#?}");
+}
+
 /// Self-check: the live tree passes `psguard-xtask check`, which includes
 /// validating that every allowlist entry references a file that still
 /// exists and that budgets match the PANIC-OK counts exactly.

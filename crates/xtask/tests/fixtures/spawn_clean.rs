@@ -1,0 +1,34 @@
+//! Clean counterpart: the sanctioned spawn shapes inside the reactor
+//! transport — a justified fixed-count thread, a lookalike identifier,
+//! and a test-scoped spawn.
+
+/// A fixed-size pool decided once at startup is exactly what SPAWN-OK
+/// exists to sanction; the justification may span two comment lines.
+pub fn start_pool(workers: usize) {
+    for _ in 0..workers {
+        // SPAWN-OK: fixed worker pool — sized once from the config at
+        // spawn time, never per connection.
+        std::thread::spawn(worker);
+    }
+}
+
+/// `spawn_broker` merely *contains* the word: the rule matches whole
+/// identifiers, not substrings.
+pub fn boot(addr: &str) -> usize {
+    spawn_broker(addr)
+}
+
+fn spawn_broker(_addr: &str) -> usize {
+    0
+}
+
+fn worker() {}
+
+#[cfg(test)]
+mod tests {
+    /// Test helpers may spawn freely; only library paths are in scope.
+    #[test]
+    fn spawns_in_tests_are_fine() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded thread-per-connection violations: unmarked spawns inside the
+//! reactor transport — exactly the regression the rule exists to catch.
+
+use std::net::TcpStream;
+use std::thread;
+
+/// A per-connection reader thread: the classic thread-per-connection
+/// shape the reactor replaced. No SPAWN-OK justification → violation.
+pub fn serve_connection(stream: TcpStream) {
+    thread::spawn(move || pump(stream));
+}
+
+/// The Builder API spells it `.spawn(` but costs the same OS thread.
+pub fn serve_named(stream: TcpStream) -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("conn".into())
+        .spawn(move || pump(stream))
+        .map(|_| ())
+}
+
+fn pump(_stream: TcpStream) {}
