@@ -275,7 +275,8 @@ where
 }
 
 /// Offers a frame to a peer's queue, recording the drop on overflow and
-/// marking the peer's worker dirty on success.
+/// marking the peer's worker dirty on success. Returns whether the frame
+/// was actually queued.
 fn offer_to(
     writers: &HashMap<u32, Arc<OutQueue>>,
     peer: u32,
@@ -283,14 +284,15 @@ fn offer_to(
     stats: &StatsInner,
     dirty: &mut u64,
     nworkers: usize,
-) {
+) -> bool {
     if let Some(q) = writers.get(&peer) {
         if q.offer(frame) {
             *dirty |= 1u64 << (peer as usize % nworkers);
-        } else {
-            stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            return true;
         }
+        stats.dropped_frames.fetch_add(1, Ordering::Relaxed);
     }
+    false
 }
 
 /// Inputs drained per dispatcher pass before waking dirty workers —
@@ -376,6 +378,7 @@ fn run_dispatcher<F>(
                 &mut broker,
                 &mut writers,
                 &mut last_heard,
+                &handles,
                 &cfg,
                 &stats,
                 &pool,
@@ -412,6 +415,7 @@ fn tick<F>(
     broker: &mut Broker<F>,
     writers: &mut HashMap<u32, Arc<OutQueue>>,
     last_heard: &mut HashMap<u32, Instant>,
+    handles: &[WorkerHandle],
     cfg: &TcpConfig,
     stats: &StatsInner,
     pool: &FramePool,
@@ -426,8 +430,9 @@ fn tick<F>(
     let frame = pool.encode(&hb);
     let ids: Vec<u32> = writers.keys().copied().collect();
     for id in ids {
-        offer_to(writers, id, frame.clone(), stats, dirty, nworkers);
-        stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+        if offer_to(writers, id, frame.clone(), stats, dirty, nworkers) {
+            stats.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+        }
     }
     let deadline = cfg.heartbeat_interval * cfg.heartbeat_miss_limit.max(1);
     let now = Instant::now();
@@ -440,10 +445,16 @@ fn tick<F>(
         broker.peer_down(Peer::Child(id));
         last_heard.remove(&id);
         if let Some(q) = writers.remove(&id) {
-            // Close = flush-then-drop; the worker notices and finishes
-            // the connection.
             q.close();
-            *dirty |= 1u64 << (id as usize % nworkers);
+        }
+        // Hard close, not flush-then-close: an evicted peer already
+        // proved unresponsive, so a flush can never finish — the worker
+        // drops the socket immediately and counts unsent frames (the
+        // reactor's replacement for the threaded write_timeout
+        // backstop). Late frames the worker already decoded are ignored
+        // by the `FromPeer` ghost guard in `handle_input`.
+        if let Some(h) = handles.get(id as usize % nworkers) {
+            h.close(id);
         }
         stats.evicted_peers.fetch_add(1, Ordering::Relaxed);
     }
@@ -492,6 +503,13 @@ where
             }
         }
         Input::FromPeer(id, msg) => {
+            if !writers.contains_key(&id) {
+                // The peer was evicted (or is already gone) but the
+                // worker had decoded frames in flight. Processing them
+                // would resurrect `last_heard` and re-create broker
+                // subscription state with no writer — a ghost peer.
+                return true;
+            }
             last_heard.insert(id, Instant::now());
             let from = if id == PARENT_ID {
                 Peer::Parent

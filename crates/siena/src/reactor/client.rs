@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use super::conn::{Conn, ConnStatus, OutQueue};
@@ -623,8 +623,21 @@ where
             }
             let etx = &slot.etx;
             let atx = &slot.atx;
+            let stats = &slot.stats;
             let (rp, rstatus) = conn.pump_reads::<F>(scratch, &mut |msg| match msg {
-                Message::Publish(e) => etx.send(e).is_ok(),
+                // Never block the reactor thread on a consumer: one app
+                // thread that stops draining recv must not stall I/O,
+                // heartbeats, and reconnects for every other connection
+                // this reactor hosts. A full channel drops the delivery
+                // and counts it instead.
+                Message::Publish(e) => match etx.try_send(e) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(_)) => {
+                        stats.dropped_deliveries.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                    Err(TrySendError::Disconnected(_)) => false,
+                },
                 Message::SubAck { crc } => {
                     let _ = atx.send(crc);
                     true

@@ -34,6 +34,12 @@ const SHUTDOWN_FLUSH_ROUNDS: usize = 100;
 pub(crate) enum WorkerMsg {
     /// Take ownership of an accepted connection under the given token.
     Add(u32, TcpStream, Arc<OutQueue>),
+    /// Drop the connection immediately, counting unsent frames — the
+    /// eviction path. Flush-then-close (closing the `OutQueue`) can
+    /// never finish against a peer that stopped reading, so eviction
+    /// needs this hard close or the socket and its queued frames
+    /// linger forever.
+    Close(u32),
     /// Flush what you can and exit.
     Shutdown,
 }
@@ -50,6 +56,12 @@ impl WorkerHandle {
     /// Hands a connection to the worker and wakes it.
     pub(crate) fn add(&self, id: u32, stream: TcpStream, out: Arc<OutQueue>) {
         let _ = self.tx.send(WorkerMsg::Add(id, stream, out));
+        self.waker.wake();
+    }
+
+    /// Asks the worker to hard-close a connection (no flush), waking it.
+    pub(crate) fn close(&self, id: u32) {
+        let _ = self.tx.send(WorkerMsg::Close(id));
         self.waker.wake();
     }
 
@@ -87,6 +99,21 @@ pub(crate) fn run_broker_worker<F>(
                         let _ = dispatch_tx.send(Input::PeerGone(id));
                     }
                 },
+                Ok(WorkerMsg::Close(id)) => {
+                    // Dispatcher-initiated eviction: drop the socket now
+                    // (closing the fd) and count what never made the
+                    // wire. No PeerGone — the dispatcher already removed
+                    // its own state for this id.
+                    poller.deregister(id);
+                    if let Some(conn) = conns.remove(&id) {
+                        let unsent = conn.unsent();
+                        if unsent > 0 {
+                            stats
+                                .dropped_frames
+                                .fetch_add(unsent, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
                 Ok(WorkerMsg::Shutdown) => {
                     final_flush(&mut conns);
                     return;

@@ -127,6 +127,9 @@ pub struct TcpStats {
     pub evicted_peers: u64,
     /// Frames dropped by full bounded queues or failed writes.
     pub dropped_frames: u64,
+    /// Received events discarded because the application stopped
+    /// draining its delivery channel (client only).
+    pub dropped_deliveries: u64,
     /// Successful reconnections (client only).
     pub reconnects: u64,
     /// Heartbeat frames sent.
@@ -137,6 +140,7 @@ pub struct TcpStats {
 pub(crate) struct StatsInner {
     pub(crate) evicted_peers: AtomicU64,
     pub(crate) dropped_frames: AtomicU64,
+    pub(crate) dropped_deliveries: AtomicU64,
     pub(crate) reconnects: AtomicU64,
     pub(crate) heartbeats_sent: AtomicU64,
 }
@@ -146,6 +150,7 @@ impl StatsInner {
         TcpStats {
             evicted_peers: self.evicted_peers.load(Ordering::Relaxed),
             dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
+            dropped_deliveries: self.dropped_deliveries.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
         }

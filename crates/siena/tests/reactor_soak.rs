@@ -153,3 +153,57 @@ fn stalled_consumer_degrades_gracefully() {
     drop(reactor);
     broker.shutdown();
 }
+
+#[test]
+fn stalled_app_consumer_does_not_stall_client_reactor() {
+    // The client-side mirror of the broker test above: an application
+    // that stops draining recv on one connection must not block the
+    // reactor's I/O thread — other connections hosted by the same
+    // reactor keep receiving, and the stalled connection's overflow is
+    // counted as dropped deliveries rather than deadlocking a
+    // push_blocking publisher against a stuck reactor.
+    let cfg = TcpConfig {
+        heartbeat_interval: Duration::ZERO,
+        worker_threads: 1,
+        ..TcpConfig::default()
+    };
+    let broker = spawn_broker_with::<Filter>("127.0.0.1:0", None, cfg).expect("spawn");
+
+    // One reactor hosts all three connections, so a blocked reactor
+    // thread would starve the healthy subscriber and the publisher too.
+    let reactor: ClientReactor<Filter> = ClientReactor::with_config(cfg);
+    let stalled = reactor.connect(broker.addr()).expect("connect");
+    let healthy = reactor.connect(broker.addr()).expect("connect");
+    let publisher = reactor.connect(broker.addr()).expect("connect");
+    stalled
+        .subscribe_acked(Filter::for_topic("t"), ACK_WAIT)
+        .expect("acked");
+    healthy
+        .subscribe_acked(Filter::for_topic("t"), ACK_WAIT)
+        .expect("acked");
+
+    // More events than the per-connection delivery channel holds
+    // (4096): the stalled handle never calls recv, so its channel must
+    // fill and overflow without wedging anything else.
+    const EVENTS: usize = 4400;
+    let e = Event::builder("t").payload(vec![3u8; 16]).build();
+    for i in 0..EVENTS {
+        publisher.publish(e.clone()).expect("publish");
+        assert!(
+            healthy.recv_timeout(Duration::from_secs(10)) == Some(e.clone()),
+            "healthy connection starved at event {i}/{EVENTS} — reactor stalled on the stalled consumer"
+        );
+    }
+    let dropped = stalled.stats().dropped_deliveries;
+    assert!(
+        dropped > 0,
+        "stalled consumer's overflow must surface as dropped deliveries: {:?}",
+        stalled.stats()
+    );
+
+    drop(publisher);
+    drop(healthy);
+    drop(stalled);
+    drop(reactor);
+    broker.shutdown();
+}

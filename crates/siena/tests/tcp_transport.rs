@@ -182,6 +182,80 @@ fn silent_peer_is_evicted_after_missed_heartbeats() {
 }
 
 #[test]
+fn evicted_stalled_peer_is_hard_closed() {
+    // Eviction must actually release the socket even when the peer has
+    // stopped reading: a flush-then-close can never finish against a
+    // full kernel buffer, so the broker hard-closes instead. Observable
+    // from outside as EOF (or a reset, if data was still unread) on the
+    // evicted peer's socket within the eviction window.
+    use std::io::Read;
+    let cfg = TcpConfig {
+        heartbeat_interval: Duration::from_millis(50),
+        heartbeat_miss_limit: 3,
+        queue_capacity: 8,
+        ..TcpConfig::default()
+    };
+    let broker = spawn_broker_with::<Filter>("127.0.0.1:0", None, cfg).expect("spawn");
+
+    // The stalled peer: subscribes via raw socket, then neither reads
+    // nor writes again.
+    use psguard_siena::wire::{write_frame, Message, Wire};
+    let mut stalled = std::net::TcpStream::connect(broker.addr()).expect("connect");
+    let hello: Message<Filter, Event> = Message::Hello { kind: 1 };
+    write_frame(&mut stalled, &hello.to_bytes()).expect("hello");
+    let sub_msg: Message<Filter, Event> = Message::Subscribe(Filter::for_topic("t"));
+    write_frame(&mut stalled, &sub_msg.to_bytes()).expect("subscribe");
+
+    // Publish large events while waiting for the eviction so the
+    // peer's kernel buffer fills and its queue is non-empty at
+    // eviction time — the case a flush-then-close would hang on.
+    let publisher: TcpClient<Filter> =
+        TcpClient::connect_with(broker.addr(), cfg).expect("connect");
+    let e = Event::builder("t").payload(vec![0u8; 64 * 1024]).build();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while broker.stats().evicted_peers == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no eviction after 10 s: {:?}",
+            broker.stats()
+        );
+        publisher.publish(e.clone()).expect("publish");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The broker must drop the connection promptly; a socket still open
+    // past the deadline means the old flush-then-close leak is back.
+    stalled
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("set timeout");
+    let close_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 4096];
+    let closed = loop {
+        match stalled.read(&mut buf) {
+            Ok(0) => break true, // EOF: orderly close
+            Ok(_) => {}          // draining frames queued before the close
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if std::time::Instant::now() >= close_deadline {
+                    break false;
+                }
+            }
+            Err(_) => break true, // reset: hard close with unread data
+        }
+    };
+    assert!(
+        closed,
+        "evicted peer's socket must be hard-closed, not left to a flush that cannot finish"
+    );
+    drop(publisher);
+    broker.shutdown();
+}
+
+#[test]
 fn drop_newest_backpressure_is_reported() {
     let cfg = TcpConfig {
         queue_capacity: 2,
