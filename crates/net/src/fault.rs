@@ -50,6 +50,37 @@ impl LinkFaults {
     }
 }
 
+/// Probabilities for the disk-fault axis consumed by durable-log code:
+/// torn (partial) appends, short replay reads, and fsync failures. All
+/// draws come from the owning [`FaultPlan`]'s seeded RNG, so disk chaos
+/// is exactly as reproducible as link chaos.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaults {
+    /// Probability that an append is torn: only a strict prefix of the
+    /// record reaches the platter before the simulated crash.
+    pub torn_write_p: f64,
+    /// Probability that a replay read returns fewer bytes than asked
+    /// (the caller must treat the read as failed and retry).
+    pub short_read_p: f64,
+    /// Probability that an fsync reports failure (data loss risk — the
+    /// caller must treat the record as not durable).
+    pub fsync_fail_p: f64,
+}
+
+impl DiskFaults {
+    /// A perfectly reliable disk.
+    pub const NONE: DiskFaults = DiskFaults {
+        torn_write_p: 0.0,
+        short_read_p: 0.0,
+        fsync_fail_p: 0.0,
+    };
+
+    /// Whether every probability is zero (fast-path check).
+    pub fn is_none(&self) -> bool {
+        self.torn_write_p <= 0.0 && self.short_read_p <= 0.0 && self.fsync_fail_p <= 0.0
+    }
+}
+
 /// A half-open simulated-time interval `[from, until)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Window {
@@ -84,6 +115,12 @@ pub struct FaultStats {
     pub duplicated: u64,
     /// Transmissions swallowed by an active partition.
     pub partitioned: u64,
+    /// Appends torn mid-record by the disk axis.
+    pub torn_writes: u64,
+    /// Replay reads returned short by the disk axis.
+    pub short_reads: u64,
+    /// Fsyncs failed by the disk axis.
+    pub fsync_failures: u64,
 }
 
 /// The outcome of one transmission attempt: extra delays (on top of the
@@ -132,6 +169,7 @@ pub struct FaultPlan {
     links: HashMap<(u32, u32), LinkFaults>,
     partitions: Vec<(u32, u32, Window)>,
     crashes: Vec<(NodeId, Window)>,
+    disk: DiskFaults,
     rng: StdRng,
     stats: FaultStats,
 }
@@ -150,6 +188,7 @@ impl FaultPlan {
             links: HashMap::new(),
             partitions: Vec::new(),
             crashes: Vec::new(),
+            disk: DiskFaults::NONE,
             rng: StdRng::seed_from_u64(seed ^ 0xfa_17_5e_ed),
             stats: FaultStats::default(),
         }
@@ -165,6 +204,17 @@ impl FaultPlan {
     pub fn with_default_link_faults(mut self, faults: LinkFaults) -> Self {
         self.default_link = faults;
         self
+    }
+
+    /// Sets the disk-fault profile consulted by durable-log appenders.
+    pub fn with_disk_faults(mut self, disk: DiskFaults) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// The configured disk-fault profile.
+    pub fn disk_faults(&self) -> DiskFaults {
+        self.disk
     }
 
     /// Overrides the fault profile of the directed link `src → dst`.
@@ -265,6 +315,46 @@ impl FaultPlan {
         }
     }
 
+    /// Decides whether an append of `len` bytes is torn. `Some(n)` means
+    /// only the first `n` bytes (a strict prefix, possibly zero) reach
+    /// the disk before the simulated crash; `None` means the append
+    /// completes. Deterministic per plan seed.
+    pub fn disk_torn_write(&mut self, len: usize) -> Option<usize> {
+        if self.disk.torn_write_p <= 0.0 || len == 0 {
+            return None;
+        }
+        if !self.rng.gen_bool(self.disk.torn_write_p.clamp(0.0, 1.0)) {
+            return None;
+        }
+        self.stats.torn_writes += 1;
+        Some(self.rng.gen_range(0..len))
+    }
+
+    /// Decides whether the next replay read comes back short (the caller
+    /// treats the read as failed and retries later).
+    pub fn disk_short_read(&mut self) -> bool {
+        if self.disk.short_read_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.gen_bool(self.disk.short_read_p.clamp(0.0, 1.0));
+        if hit {
+            self.stats.short_reads += 1;
+        }
+        hit
+    }
+
+    /// Decides whether the next fsync reports failure.
+    pub fn disk_fsync_fails(&mut self) -> bool {
+        if self.disk.fsync_fail_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.gen_bool(self.disk.fsync_fail_p.clamp(0.0, 1.0));
+        if hit {
+            self.stats.fsync_failures += 1;
+        }
+        hit
+    }
+
     /// What the plan has done so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
@@ -356,6 +446,61 @@ mod tests {
         assert!(!plan.is_up(NodeId(4), 550));
         assert!(plan.is_up(NodeId(5), 150));
         assert_eq!(plan.crash_windows().len(), 2);
+    }
+
+    #[test]
+    fn disk_faults_are_seed_deterministic_and_counted() {
+        let run = |seed| {
+            let mut plan = FaultPlan::new(seed).with_disk_faults(DiskFaults {
+                torn_write_p: 0.3,
+                short_read_p: 0.3,
+                fsync_fail_p: 0.3,
+            });
+            let mut trace = Vec::new();
+            for _ in 0..100 {
+                trace.push((
+                    plan.disk_torn_write(64),
+                    plan.disk_short_read(),
+                    plan.disk_fsync_fails(),
+                ));
+            }
+            (trace, plan.stats())
+        };
+        let (t9, s9) = run(9);
+        assert_eq!((t9.clone(), s9), run(9));
+        assert_ne!(t9, run(10).0);
+        assert!(s9.torn_writes > 0 && s9.short_reads > 0 && s9.fsync_failures > 0);
+        assert_eq!(
+            s9.torn_writes,
+            t9.iter().filter(|t| t.0.is_some()).count() as u64
+        );
+    }
+
+    #[test]
+    fn torn_writes_are_strict_prefixes() {
+        let mut plan = FaultPlan::new(11).with_disk_faults(DiskFaults {
+            torn_write_p: 1.0,
+            short_read_p: 0.0,
+            fsync_fail_p: 0.0,
+        });
+        for len in [1usize, 2, 7, 4096] {
+            let torn = plan.disk_torn_write(len).expect("p=1.0 must tear");
+            assert!(torn < len, "torn prefix must be strict: {torn} vs {len}");
+        }
+        assert_eq!(plan.disk_torn_write(0), None, "empty append cannot tear");
+    }
+
+    #[test]
+    fn no_disk_faults_never_fire() {
+        let mut plan = FaultPlan::new(12);
+        assert!(plan.disk_faults().is_none());
+        for _ in 0..100 {
+            assert_eq!(plan.disk_torn_write(128), None);
+            assert!(!plan.disk_short_read());
+            assert!(!plan.disk_fsync_fails());
+        }
+        let s = plan.stats();
+        assert_eq!((s.torn_writes, s.short_reads, s.fsync_failures), (0, 0, 0));
     }
 
     #[test]

@@ -21,6 +21,6 @@ mod fault;
 mod sim;
 mod topology;
 
-pub use fault::{FaultPlan, FaultStats, LinkFaults, Transmit, Window};
+pub use fault::{DiskFaults, FaultPlan, FaultStats, LinkFaults, Transmit, Window};
 pub use sim::{Delivery, SimTime, Simulator};
 pub use topology::{Link, NodeId, Topology, TransitStubConfig};

@@ -54,6 +54,14 @@ pub struct RecoveryConfig {
     pub heartbeat_interval_us: u64,
     /// Missed intervals before a silent child broker is evicted.
     pub heartbeat_miss_limit: u32,
+    /// Model brokers as keeping a durable event log (the TCP transport's
+    /// `EventLog`): a crash no longer wipes the node's dedup window (at
+    /// restart it is re-seeded from the recovered log's high-water mark,
+    /// so post-restart duplicates are *counted*, not re-delivered), the
+    /// node's unacked outbound hops survive the window (replayed from
+    /// the log), and retries at a crashed sender wait out the outage
+    /// instead of burning their budget.
+    pub durable_log: bool,
 }
 
 impl RecoveryConfig {
@@ -68,6 +76,7 @@ impl RecoveryConfig {
             dedup_window: 4096,
             heartbeat_interval_us: 1_000_000,
             heartbeat_miss_limit: 3,
+            durable_log: false,
         }
     }
 
@@ -76,6 +85,15 @@ impl RecoveryConfig {
     pub fn no_heartbeats() -> Self {
         RecoveryConfig {
             heartbeat_interval_us: 0,
+            ..Self::overlay_default()
+        }
+    }
+
+    /// The overlay defaults with durable broker logs — crash windows
+    /// preserve dedup state and unacked outbound hops.
+    pub fn durable() -> Self {
+        RecoveryConfig {
+            durable_log: true,
             ..Self::overlay_default()
         }
     }
@@ -647,6 +665,23 @@ where
                     let Some(p) = pending.get_mut(&hop) else {
                         continue;
                     };
+                    if rec.durable_log && !plan.is_up(NodeId(p.src as u32), at) {
+                        // The sender is inside a crash window but its log
+                        // is durable: the hop resumes from the log after
+                        // restart instead of burning its retry budget
+                        // while the node is down.
+                        if at + rec.ack_timeout_us <= hb_horizon {
+                            sim.schedule_in(
+                                rec.ack_timeout_us,
+                                NodeId(p.src as u32),
+                                FMsg::Retry { hop },
+                            );
+                        } else {
+                            pending.remove(&hop);
+                            abandoned += 1;
+                        }
+                        continue;
+                    }
                     p.attempts += 1;
                     if p.attempts > rec.max_retries {
                         pending.remove(&hop);
@@ -711,10 +746,19 @@ where
                     }
                 }
                 FMsg::Crash => {
-                    // Sender-side reliability state at the crashed node is
-                    // gone; in-flight copies stay on the wire.
-                    pending.retain(|_, p| p.src != node);
-                    dedup[node].clear();
+                    if recovery.is_some_and(|r| r.durable_log) {
+                        // Durable log: the restart re-seeds the dedup
+                        // window from the recovered high-water mark and
+                        // replays unacked hops, so both survive the
+                        // window — post-restart duplicates get counted
+                        // (suppressed), never re-delivered.
+                    } else {
+                        // Sender-side reliability state at the crashed
+                        // node is gone; in-flight copies stay on the
+                        // wire.
+                        pending.retain(|_, p| p.src != node);
+                        dedup[node].clear();
+                    }
                     if node < total_brokers {
                         self.brokers[node] = Broker::new(node == 0);
                     }
@@ -911,6 +955,80 @@ mod tests {
     }
 
     #[test]
+    fn durable_log_crash_counts_duplicates_instead_of_redelivering() {
+        let events = workload();
+        let mut eng = mk_engine(2, 4);
+        for c in 0..4 {
+            eng.subscribe(c, Filter::for_topic("t"));
+        }
+        // Duplicating links plus a mid-run crash: without the durable
+        // log the restarted broker forgets its dedup window and would
+        // re-forward late copies; with it, they are suppressed.
+        let mut plan = FaultPlan::new(17).with_default_link_faults(LinkFaults {
+            drop_p: 0.1,
+            dup_p: 0.25,
+            jitter_us: 10_000,
+        });
+        plan.add_crash(NodeId(1), Window::new(300_000, 900_000));
+        let mut cfg = FaultConfig::with_recovery(plan);
+        cfg.recovery = Some(RecoveryConfig {
+            heartbeat_interval_us: 0,
+            durable_log: true,
+            ..RecoveryConfig::overlay_default()
+        });
+        cfg.record_deliveries = true;
+        let r = eng.run_faulty(&events, 40.0, 1.0, &CostModel::plain(), &mut cfg);
+        assert_eq!(r.delivered, r.published * 4, "exactly-once: {r:?}");
+        assert!(r.duplicates_suppressed > 0, "dups must be counted: {r:?}");
+        let mut seen = HashSet::new();
+        for d in &r.deliveries {
+            assert!(seen.insert((d.client, d.event_seq)), "duplicate {d:?}");
+        }
+    }
+
+    #[test]
+    fn durable_log_survives_outage_longer_than_retry_budget() {
+        let events = workload();
+        // A retry budget far shorter than the outage: only the durable
+        // log's wait-out-the-window behaviour can carry the crashed
+        // sender's unacked hops across it.
+        let short_budget = RecoveryConfig {
+            max_retries: 2,
+            ack_timeout_us: 50_000,
+            backoff_cap_us: 100_000,
+            heartbeat_interval_us: 0,
+            ..RecoveryConfig::overlay_default()
+        };
+        let run = |durable: bool| {
+            let mut eng = mk_engine(2, 4);
+            for c in 0..4 {
+                eng.subscribe(c, Filter::for_topic("t"));
+            }
+            let mut plan = FaultPlan::new(23).with_default_link_faults(LinkFaults {
+                drop_p: 0.4,
+                dup_p: 0.0,
+                jitter_us: 5_000,
+            });
+            plan.add_crash(NodeId(1), Window::new(200_000, 1_500_000));
+            let mut cfg = FaultConfig::with_recovery(plan);
+            cfg.recovery = Some(RecoveryConfig {
+                durable_log: durable,
+                ..short_budget
+            });
+            eng.run_faulty(&events, 30.0, 1.0, &CostModel::plain(), &mut cfg)
+        };
+        let flaky = run(false);
+        let durable = run(true);
+        // The non-durable crash silently discards the dead sender's
+        // unacked hops; the durable log carries them over the window, so
+        // for this seed it strictly recovers copies the baseline loses.
+        assert!(
+            durable.delivered > flaky.delivered,
+            "durable log must recover copies: {durable:?} vs {flaky:?}"
+        );
+    }
+
+    #[test]
     fn revocation_stops_future_deliveries() {
         let events = workload();
         let mut eng = mk_engine(6, 8);
@@ -954,9 +1072,8 @@ mod tests {
             ack_timeout_us: 100_000,
             max_retries: 2,
             backoff_cap_us: 200_000,
-            dedup_window: 4096,
             heartbeat_interval_us: 200_000,
-            heartbeat_miss_limit: 3,
+            ..RecoveryConfig::overlay_default()
         });
         cfg.record_deliveries = true;
         let r = eng.run_faulty(&events, 20.0, 3.0, &CostModel::plain(), &mut cfg);

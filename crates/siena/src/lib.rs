@@ -41,6 +41,7 @@ mod error;
 mod fault;
 mod frame;
 mod index;
+pub mod log;
 mod pipeline;
 pub mod reactor;
 mod semantics;
@@ -57,12 +58,16 @@ pub use fault::{
 };
 pub use frame::{write_frames, Frame, FramePool, FramePoolStats, FrameWriteCursor, SharedFrame};
 pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
+pub use log::{
+    Cursor, EventLog, LogConfig, LogError, LogStats, RecoveryReport, ReplayCursor, ResumeOutcome,
+};
 pub use pipeline::{BatchDeliveries, PipelineStats, ShardedPipeline};
 pub use reactor::{ClientReactor, PollWaker, Poller, ReactorClient, ScanPoller, MAX_WORKERS};
 pub use semantics::FilterSemantics;
 pub use table::{Peer, SubscriptionTable};
 pub use tcp::{
-    spawn_broker, spawn_broker_with, OverflowPolicy, TcpBroker, TcpClient, TcpConfig, TcpStats,
+    spawn_broker, spawn_broker_durable, spawn_broker_with, OverflowPolicy, TcpBroker, TcpClient,
+    TcpConfig, TcpStats,
 };
 pub use threaded::{
     spawn_threaded_broker, spawn_threaded_broker_with, ThreadedBroker, ThreadedClient,

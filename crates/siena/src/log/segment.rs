@@ -1,0 +1,196 @@
+//! Segment files: naming, headers, and the reopen-time repair scan.
+//!
+//! A log directory holds `seg-<base>.psl` files, each beginning with a
+//! fixed header (`PSLG`, format version, epoch, base seq) followed by
+//! records whose seqs run contiguously from `base`. The repair scan
+//! validates a segment byte-by-byte and reports the longest valid
+//! prefix, so a crash mid-append costs exactly the torn tail and
+//! nothing else.
+
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+use super::record::{
+    crc32, parse_body, parse_header, BODY_PREFIX_LEN, MAX_BODY_LEN, RECORD_HEADER_LEN,
+};
+use super::LogError;
+
+/// Magic bytes opening every segment file.
+pub(crate) const SEGMENT_MAGIC: [u8; 4] = *b"PSLG";
+
+/// On-disk format version.
+pub(crate) const SEGMENT_VERSION: u16 = 1;
+
+/// Bytes of the segment header: magic, version, epoch, base seq.
+pub(crate) const SEGMENT_HEADER_LEN: usize = 18;
+
+/// In-memory metadata for one on-disk segment.
+#[derive(Debug, Clone)]
+pub(crate) struct LogSegment {
+    /// Seq of the first record in the file.
+    pub(crate) base: u64,
+    /// Seq of the last valid record.
+    pub(crate) last_seq: u64,
+    /// Valid bytes (header + records); the file is truncated to this.
+    pub(crate) len: u64,
+    /// Path of the backing file.
+    pub(crate) path: PathBuf,
+}
+
+/// File name for the segment starting at `base`.
+pub(crate) fn file_name(base: u64) -> String {
+    format!("seg-{base:020}.psl")
+}
+
+/// Parses a `seg-<base>.psl` file name back to its base seq.
+pub(crate) fn parse_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".psl")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Serializes a segment header.
+pub(crate) fn encode_header(epoch: u32, base: u64) -> [u8; SEGMENT_HEADER_LEN] {
+    let mut h = [0u8; SEGMENT_HEADER_LEN];
+    h[..4].copy_from_slice(&SEGMENT_MAGIC);
+    h[4..6].copy_from_slice(&SEGMENT_VERSION.to_be_bytes());
+    h[6..10].copy_from_slice(&epoch.to_be_bytes());
+    h[10..18].copy_from_slice(&base.to_be_bytes());
+    h
+}
+
+/// Segment bases present in `dir`, sorted ascending.
+pub(crate) fn list_bases(dir: &Path) -> Result<Vec<u64>, LogError> {
+    let mut bases = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(base) = entry.file_name().to_str().and_then(parse_file_name) {
+            bases.push(base);
+        }
+    }
+    bases.sort_unstable();
+    Ok(bases)
+}
+
+/// Outcome of scanning (and repairing) one segment at reopen.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SegmentScan {
+    /// Epoch recorded in the header.
+    pub(crate) epoch: u32,
+    /// Seq of the last valid record.
+    pub(crate) last_seq: u64,
+    /// Valid length the file was truncated to.
+    pub(crate) len: u64,
+    /// Valid records found.
+    pub(crate) records: u64,
+    /// Bytes cut off the tail (torn or corrupt).
+    pub(crate) truncated_bytes: u64,
+}
+
+/// Validates the segment at `path`, truncating any torn or corrupt
+/// tail in place. Returns `Ok(None)` when the segment holds no valid
+/// record at all (the caller deletes the file). When `expect_epoch` is
+/// set, a header carrying a different epoch also yields `Ok(None)` —
+/// segments of mixed epochs cannot belong to one log.
+///
+/// The scan accepts a record only if its length is in bounds, its CRC
+/// matches, its epoch matches the header, and its seq continues the
+/// contiguous run — everything from the first violation onward is the
+/// torn tail.
+pub(crate) fn scan_and_repair(
+    path: &Path,
+    base: u64,
+    expect_epoch: Option<u32>,
+) -> Result<Option<SegmentScan>, LogError> {
+    let data = fs::read(path)?;
+    let Some(header) = data.get(..SEGMENT_HEADER_LEN) else {
+        return Ok(None); // crash before the header finished
+    };
+    if header[..4] != SEGMENT_MAGIC {
+        return Ok(None);
+    }
+    let version = u16::from_be_bytes([header[4], header[5]]);
+    if version != SEGMENT_VERSION {
+        return Ok(None);
+    }
+    let epoch = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+    let header_base = u64::from_be_bytes([
+        header[10], header[11], header[12], header[13], header[14], header[15], header[16],
+        header[17],
+    ]);
+    if header_base != base || expect_epoch.is_some_and(|e| e != epoch) {
+        return Ok(None);
+    }
+
+    let mut off = SEGMENT_HEADER_LEN;
+    let mut next = base;
+    let mut last_seq = None;
+    // Ends at the clean end of data or at a torn mid-header tail.
+    while let Some(h) = data.get(off..off + RECORD_HEADER_LEN) {
+        let mut harr = [0u8; RECORD_HEADER_LEN];
+        harr.copy_from_slice(h);
+        let (body_len, crc) = parse_header(harr);
+        if !(BODY_PREFIX_LEN..=MAX_BODY_LEN).contains(&body_len) {
+            break; // corrupt length
+        }
+        let body_start = off + RECORD_HEADER_LEN;
+        let Some(body) = data.get(body_start..body_start + body_len) else {
+            break; // torn mid-body
+        };
+        if crc32(body) != crc {
+            break;
+        }
+        let Some((rec_epoch, seq, _)) = parse_body(body) else {
+            break;
+        };
+        if rec_epoch != epoch || seq != next {
+            break;
+        }
+        last_seq = Some(seq);
+        next += 1;
+        off = body_start + body_len;
+    }
+
+    let Some(last_seq) = last_seq else {
+        return Ok(None); // header only / nothing valid: delete the file
+    };
+    let truncated_bytes = (data.len() - off) as u64;
+    if truncated_bytes > 0 {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(off as u64)?;
+        file.sync_data()?;
+    }
+    Ok(Some(SegmentScan {
+        epoch,
+        last_seq,
+        len: off as u64,
+        records: next - base,
+        truncated_bytes,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_and_sort_lexicographically() {
+        for base in [1u64, 9, 10, 4096, u64::MAX] {
+            assert_eq!(parse_file_name(&file_name(base)), Some(base));
+        }
+        assert!(file_name(9) < file_name(10), "zero padding keeps order");
+        assert_eq!(parse_file_name("seg-1.psl"), None, "unpadded rejected");
+        assert_eq!(parse_file_name("other.txt"), None);
+    }
+
+    #[test]
+    fn header_encodes_magic_version_epoch_base() {
+        let h = encode_header(3, 77);
+        assert_eq!(&h[..4], b"PSLG");
+        assert_eq!(u16::from_be_bytes([h[4], h[5]]), SEGMENT_VERSION);
+        assert_eq!(u32::from_be_bytes([h[6], h[7], h[8], h[9]]), 3);
+        assert_eq!(h[10..18], 77u64.to_be_bytes());
+    }
+}

@@ -17,7 +17,7 @@
 //! whose shards received frames (a 64-bit dirty mask), so an idle broker
 //! parks everywhere.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,6 +33,9 @@ use crate::broker::{Action, Broker};
 use crate::error::TcpError;
 use crate::frame::{FramePool, FramePoolStats, SharedFrame};
 use crate::index::IndexableFilter;
+use crate::log::{
+    Cursor, EventLog, LogConfig, LogError, RecoveryReport, ReplayCursor, ResumeOutcome,
+};
 use crate::semantics::FilterSemantics;
 use crate::table::Peer;
 use crate::tcp::{StatsInner, TcpConfig, TcpStats};
@@ -176,6 +179,49 @@ where
     F: IndexableFilter + Wire + Send + 'static,
     F::Event: Wire + Send + Eq,
 {
+    spawn_inner::<F>(listen, parent, cfg, None)
+}
+
+/// Spawns a reactor broker backed by a durable [`EventLog`]: every
+/// publish is appended (ciphertext-only — the log stores the encoded
+/// event bytes verbatim) before fan-out, subscriber deliveries carry a
+/// `(epoch, seq)` cursor stamp, and a reconnecting subscriber that
+/// presents its cursor via `CatchUp` has the gap replayed from the log
+/// without stalling live traffic.
+///
+/// Also returns the [`RecoveryReport`] from opening the log, so callers
+/// can observe crash repair (torn tails truncated, records recovered).
+///
+/// # Errors
+///
+/// Returns [`TcpError::Io`] on bind/connect failures or when the log
+/// directory cannot be opened or repaired.
+pub fn spawn_broker_durable<F>(
+    listen: &str,
+    parent: Option<SocketAddr>,
+    cfg: TcpConfig,
+    log_cfg: LogConfig,
+) -> Result<(TcpBroker, RecoveryReport), TcpError>
+where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    let (log, report) =
+        EventLog::open(log_cfg).map_err(|e| TcpError::Io(std::io::Error::other(e)))?;
+    let broker = spawn_inner::<F>(listen, parent, cfg, Some(log))?;
+    Ok((broker, report))
+}
+
+fn spawn_inner<F>(
+    listen: &str,
+    parent: Option<SocketAddr>,
+    cfg: TcpConfig,
+    dlog: Option<EventLog>,
+) -> Result<TcpBroker, TcpError>
+where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
     let listener = TcpListener::bind(listen).map_err(TcpError::Io)?;
     let addr = listener.local_addr().map_err(TcpError::Io)?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -256,7 +302,7 @@ where
         let handles = handles.clone();
         // SPAWN-OK: single dispatcher thread (fixed count: one).
         threads.push(std::thread::spawn(move || {
-            run_dispatcher::<F>(rx, parent_out, handles, cfg, is_root, stats, pool);
+            run_dispatcher::<F>(rx, parent_out, handles, cfg, is_root, stats, pool, dlog);
         }));
     }
 
@@ -299,7 +345,162 @@ fn offer_to(
 /// batches the wakeups under load without starving the tick clock.
 const DISPATCH_BATCH: usize = 128;
 
-#[allow(clippy::too_many_lines)]
+/// Dispatcher poll granularity while any replay has work left: short
+/// enough that a replay progresses briskly on an otherwise idle broker
+/// (each pass reads at most one `replay_budget` batch per replay), long
+/// enough that a fully backpressured replay doesn't spin.
+const REPLAY_STEP: Duration = Duration::from_millis(1);
+
+/// One in-flight catch-up replay toward a reconnected subscriber.
+struct Replay {
+    /// Peer id the replay streams to.
+    peer: u32,
+    /// Byte-level position in the log.
+    rcur: ReplayCursor,
+    /// Classification decided when the `CatchUp` arrived; upgraded to
+    /// `GapTruncatedByRetention` if compaction overtakes the replay.
+    outcome: ResumeOutcome,
+    /// Encoded `Stamped` frames awaiting queue space. Backpressure
+    /// keeps frames here — they are never dropped, unlike live fan-out.
+    pending: VecDeque<SharedFrame>,
+    /// The log reader has caught up to the high-water mark and the
+    /// closing `ReplayDone` sits at the back of `pending`.
+    done_reading: bool,
+}
+
+/// Dispatcher-side durable state: the open log, a reusable append
+/// buffer, which peers identified as clients (they get `Stamped`
+/// deliveries; broker peers keep plain `Publish`), and active replays.
+struct Durable {
+    log: EventLog,
+    buf: Vec<u8>,
+    client_peers: HashSet<u32>,
+    replays: Vec<Replay>,
+    scratch: Vec<(Cursor, Vec<u8>)>,
+}
+
+impl Durable {
+    fn new(log: EventLog) -> Self {
+        Durable {
+            log,
+            buf: Vec::new(),
+            client_peers: HashSet::new(),
+            replays: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Whether any replay still has reading or draining left to do.
+    fn has_replay_work(&self) -> bool {
+        !self.replays.is_empty()
+    }
+}
+
+/// Moves queued replay frames into the peer's bounded queue until it
+/// fills. A refused frame stays at the front of `pending` — replay
+/// backpressure retries, it never drops.
+fn drain_pending(
+    r: &mut Replay,
+    q: &Arc<OutQueue>,
+    stats: &StatsInner,
+    dirty: &mut u64,
+    nworkers: usize,
+) {
+    while let Some(f) = r.pending.front() {
+        if !q.offer(f.clone()) {
+            break;
+        }
+        r.pending.pop_front();
+        *dirty |= 1u64 << (r.peer as usize % nworkers);
+        stats.replayed_frames.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Advances every in-flight replay by at most one budgeted log read:
+/// drain what's queued, read the next batch, filter it against the
+/// peer's live subscriptions, queue the matches as `Stamped` frames,
+/// and close out with `ReplayDone` once the reader reaches the
+/// high-water mark. Bounded work per call — live fan-out never waits
+/// behind a long replay.
+fn pump_replays<F>(
+    d: &mut Durable,
+    broker: &Broker<F>,
+    writers: &HashMap<u32, Arc<OutQueue>>,
+    stats: &StatsInner,
+    pool: &FramePool,
+    dirty: &mut u64,
+    nworkers: usize,
+) where
+    F: IndexableFilter + Wire + Send + 'static,
+    F::Event: Wire + Send + Eq,
+{
+    let budget = d.log.replay_budget();
+    let Durable {
+        log,
+        replays,
+        scratch,
+        ..
+    } = d;
+    replays.retain_mut(|r| {
+        let Some(q) = writers.get(&r.peer) else {
+            return false; // peer evicted or disconnected: abandon
+        };
+        drain_pending(r, q, stats, dirty, nworkers);
+        if r.pending.is_empty() && !r.done_reading {
+            scratch.clear();
+            match log.replay_next(&mut r.rcur, budget, scratch) {
+                Ok(more) => {
+                    for (cursor, payload) in scratch.drain(..) {
+                        let Ok(event) = F::Event::from_bytes(&payload) else {
+                            continue; // undecodable record: skip it
+                        };
+                        let wanted = broker
+                            .table()
+                            .entries()
+                            .iter()
+                            .any(|(p, f)| *p == Peer::Child(r.peer) && f.matches(&event));
+                        if wanted {
+                            let m: Message<F, F::Event> = Message::Stamped { cursor, event };
+                            r.pending.push_back(pool.encode(&m));
+                        }
+                    }
+                    if !more {
+                        let outcome = if r.rcur.truncated() {
+                            ResumeOutcome::GapTruncatedByRetention
+                        } else {
+                            r.outcome
+                        };
+                        let done: Message<F, F::Event> = Message::ReplayDone {
+                            outcome: outcome.code(),
+                            cursor: log.high_water(),
+                        };
+                        r.pending.push_back(pool.encode(&done));
+                        r.done_reading = true;
+                    }
+                }
+                // Transient read fault: cursor unchanged, retry next pump.
+                Err(LogError::ShortRead) => {}
+                Err(_) => {
+                    // Hard log failure mid-replay: the rest of the gap is
+                    // unrecoverable, which to the subscriber is exactly a
+                    // truncated gap — report it as one so the application
+                    // knows continuity was lost.
+                    let done: Message<F, F::Event> = Message::ReplayDone {
+                        outcome: ResumeOutcome::GapTruncatedByRetention.code(),
+                        cursor: log.high_water(),
+                    };
+                    r.pending.push_back(pool.encode(&done));
+                    r.done_reading = true;
+                }
+            }
+            drain_pending(r, q, stats, dirty, nworkers);
+        }
+        // Complete once the closing ReplayDone has left the queue.
+        !(r.done_reading && r.pending.is_empty())
+    });
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_dispatcher<F>(
     rx: Receiver<Input<F>>,
     parent_out: Option<Arc<OutQueue>>,
@@ -308,11 +509,13 @@ fn run_dispatcher<F>(
     is_root: bool,
     stats: Arc<StatsInner>,
     pool: FramePool,
+    dlog: Option<EventLog>,
 ) where
     F: IndexableFilter + Wire + Send + 'static,
     F::Event: Wire + Send + Eq,
 {
     let nworkers = handles.len().max(1);
+    let mut durable = dlog.map(Durable::new);
     let mut broker: Broker<F> = Broker::new(is_root);
     let mut writers: HashMap<u32, Arc<OutQueue>> = HashMap::new();
     let mut last_heard: HashMap<u32, Instant> = HashMap::new();
@@ -340,11 +543,18 @@ fn run_dispatcher<F>(
         Duration::from_millis(200)
     };
     let mut last_tick = Instant::now();
+    let mut last_pump = Instant::now() - REPLAY_STEP;
     let mut dirty: u64 = 0;
 
     'run: loop {
         let mut budget = DISPATCH_BATCH;
-        match rx.recv_timeout(step) {
+        // While a replay is in flight, poll fast so the replay advances
+        // even with no live traffic; otherwise use the tick clock step.
+        let step_now = match &durable {
+            Some(d) if d.has_replay_work() => REPLAY_STEP.min(step),
+            _ => step,
+        };
+        match rx.recv_timeout(step_now) {
             Ok(first) => {
                 let mut next = Some(first);
                 while let Some(input) = next.take() {
@@ -354,6 +564,7 @@ fn run_dispatcher<F>(
                         &mut writers,
                         &mut last_heard,
                         &mut pending_acks,
+                        &mut durable,
                         &stats,
                         &pool,
                         &mut dirty,
@@ -370,6 +581,18 @@ fn run_dispatcher<F>(
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Replay progress rides the same loop as live dispatch, one
+        // bounded batch per REPLAY_STEP, so catch-up never stalls the
+        // fan-out: under live load the input batches come much faster
+        // than the step, and pumping on every one of them would tax the
+        // live path with a full replay budget per batch.
+        if let Some(d) = durable.as_mut() {
+            if d.has_replay_work() && last_pump.elapsed() >= REPLAY_STEP {
+                pump_replays(d, &broker, &writers, &stats, &pool, &mut dirty, nworkers);
+                last_pump = Instant::now();
+            }
         }
 
         if hb_on && last_tick.elapsed() >= cfg.heartbeat_interval {
@@ -468,6 +691,7 @@ fn handle_input<F>(
     writers: &mut HashMap<u32, Arc<OutQueue>>,
     last_heard: &mut HashMap<u32, Instant>,
     pending_acks: &mut HashMap<u32, Vec<u32>>,
+    durable: &mut Option<Durable>,
     stats: &StatsInner,
     pool: &FramePool,
     dirty: &mut u64,
@@ -501,6 +725,10 @@ where
             if let Some(q) = writers.remove(&id) {
                 q.close();
             }
+            if let Some(d) = durable.as_mut() {
+                d.client_peers.remove(&id);
+                d.replays.retain(|r| r.peer != id);
+            }
         }
         Input::FromPeer(id, msg) => {
             if !writers.contains_key(&id) {
@@ -516,8 +744,51 @@ where
             } else {
                 Peer::Child(id)
             };
+            // Cursor the current publish was logged at, if this broker
+            // is durable and the append succeeded; stamps the fan-out.
+            let mut publish_stamp: Option<Cursor> = None;
             let actions = match msg {
-                Message::Hello { .. } | Message::Heartbeat => Vec::new(),
+                Message::Hello { kind } => {
+                    if kind == 1 {
+                        // Subscriber connections get cursor-stamped
+                        // deliveries; broker links keep plain Publish.
+                        if let Some(d) = durable.as_mut() {
+                            d.client_peers.insert(id);
+                        }
+                    }
+                    Vec::new()
+                }
+                Message::Heartbeat => Vec::new(),
+                Message::CatchUp { cursor } => {
+                    match durable.as_mut() {
+                        Some(d) => {
+                            // Only subscribers catch up; a CatchUp also
+                            // implies the peer wants stamped delivery.
+                            d.client_peers.insert(id);
+                            let (outcome, rcur) = d.log.catch_up_from(cursor);
+                            d.replays.retain(|r| r.peer != id);
+                            d.replays.push(Replay {
+                                peer: id,
+                                rcur,
+                                outcome,
+                                pending: VecDeque::new(),
+                                done_reading: false,
+                            });
+                        }
+                        None => {
+                            // No log on this broker: nothing to replay,
+                            // tell the subscriber it starts fresh.
+                            let done: Message<F, F::Event> = Message::ReplayDone {
+                                outcome: ResumeOutcome::FreshStart.code(),
+                                cursor: Cursor::default(),
+                            };
+                            offer_to(writers, id, pool.encode(&done), stats, dirty, nworkers);
+                        }
+                    }
+                    Vec::new()
+                }
+                // Brokers never consume these; tolerate stray ones.
+                Message::ReplayDone { .. } | Message::Stamped { .. } => Vec::new(),
                 Message::SubAck { crc } => {
                     // Parent confirmed a forwarded filter: release the
                     // acks we owe downstream.
@@ -545,13 +816,31 @@ where
                     actions
                 }
                 Message::Unsubscribe(f) => broker.unsubscribe(from, &f),
-                Message::Publish(e) => broker.publish(from, e),
+                Message::Publish(e) => {
+                    // Durable brokers log before fan-out: the record is
+                    // the encoded event verbatim (already-sealed bytes —
+                    // the log never sees plaintext). On append failure
+                    // the event is still delivered live, unstamped.
+                    if let Some(d) = durable.as_mut() {
+                        d.buf.clear();
+                        e.encode(&mut d.buf);
+                        match d.log.append(&d.buf) {
+                            Ok(cursor) => publish_stamp = Some(cursor),
+                            Err(_) => {
+                                stats.log_append_failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    broker.publish(from, e)
+                }
             };
             // Encode-once fan-out: every `Deliver` produced by one
-            // publish carries a clone of the same event, so the Publish
-            // frame is serialized for the first recipient only and the
-            // remaining recipients get Arc clones of that frame.
+            // publish carries a clone of the same event, so each frame
+            // flavor (plain Publish for broker links, cursor-stamped for
+            // subscribers) is serialized for its first recipient only and
+            // the remaining recipients get Arc clones of that frame.
             let mut deliver_frame: Option<SharedFrame> = None;
+            let mut stamped_frame: Option<SharedFrame> = None;
             for action in actions {
                 match action {
                     Action::ForwardSubscribe(f) => {
@@ -567,16 +856,50 @@ where
                             Peer::Parent => PARENT_ID,
                             Peer::Child(c) | Peer::Local(c) => c,
                         };
-                        let frame = match &deliver_frame {
-                            Some(f) => f.clone(),
-                            None => {
-                                let m: Message<F, F::Event> = Message::Publish(e);
-                                let f = pool.encode(&m);
-                                deliver_frame = Some(f.clone());
-                                f
+                        let stamp = publish_stamp.filter(|_| {
+                            durable
+                                .as_ref()
+                                .is_some_and(|d| d.client_peers.contains(&target))
+                        });
+                        if let Some(cursor) = stamp {
+                            let frame = match &stamped_frame {
+                                Some(f) => f.clone(),
+                                None => {
+                                    let m: Message<F, F::Event> =
+                                        Message::Stamped { cursor, event: e };
+                                    let f = pool.encode(&m);
+                                    stamped_frame = Some(f.clone());
+                                    f
+                                }
+                            };
+                            // Replay interplay (single-threaded, so the
+                            // boundary is race-free): while the log reader
+                            // is still behind, the event reaches this peer
+                            // in order from the log; once the reader is
+                            // done but frames are still queued, line the
+                            // live frame up behind them to keep order.
+                            let replay = durable
+                                .as_mut()
+                                .and_then(|d| d.replays.iter_mut().find(|r| r.peer == target));
+                            match replay {
+                                Some(r) if r.done_reading => r.pending.push_back(frame),
+                                Some(_) => {} // the replay will read it from the log
+                                None => {
+                                    offer_to(writers, target, frame, stats, dirty, nworkers);
+                                }
                             }
-                        };
-                        offer_to(writers, target, frame, stats, dirty, nworkers);
+                        } else {
+                            let frame = match &deliver_frame {
+                                Some(f) => f.clone(),
+                                None => {
+                                    let m: Message<F, F::Event> = Message::Publish(e);
+                                    let f = pool.encode(&m);
+                                    deliver_frame = Some(f.clone());
+                                    f
+                                }
+                            };
+                            offer_to(writers, target, frame, stats, dirty, nworkers);
+                        }
                     }
                 }
             }

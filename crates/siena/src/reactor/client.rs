@@ -30,7 +30,9 @@ use parking_lot::Mutex;
 use super::conn::{Conn, ConnStatus, OutQueue};
 use super::poller::{PollWaker, DEFAULT_MAX_PARK, PARK_BASE};
 use crate::error::TcpError;
+use crate::fault::SeqDedup;
 use crate::frame::{FramePool, FramePoolStats, SharedFrame};
+use crate::log::{Cursor, ResumeOutcome};
 use crate::semantics::FilterSemantics;
 use crate::tcp::{jitter_step, OverflowPolicy, StatsInner, TcpConfig, TcpStats};
 use crate::wire::{filter_crc, Message, Wire};
@@ -45,12 +47,20 @@ const SHUTDOWN_FLUSH_ROUNDS: usize = 100;
 /// threaded client).
 const EVENT_CHANNEL_CAP: usize = 4096;
 
+/// Sequence numbers the client-side dedup window remembers. Bounds the
+/// replay/live overlap the exactly-once guarantee absorbs: a catch-up
+/// that re-covers more than this many already-delivered events can leak
+/// duplicates past the window.
+const DEDUP_WINDOW: usize = 4096;
+
 struct Register<F: FilterSemantics> {
     stream: TcpStream,
     addr: SocketAddr,
     out: Arc<OutQueue>,
     etx: Sender<F::Event>,
     atx: Sender<u32>,
+    rtx: Sender<ResumeOutcome>,
+    cursor: Arc<Mutex<Option<Cursor>>>,
     subs: Arc<Mutex<Vec<F>>>,
     down: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
@@ -133,6 +143,24 @@ where
     ///
     /// Returns [`TcpError::Io`] when the initial connection fails.
     pub fn connect(&self, broker: SocketAddr) -> Result<ReactorClient<F>, TcpError> {
+        self.connect_resuming(broker, None)
+    }
+
+    /// Like [`connect`](Self::connect), but seeds the connection with a
+    /// delivery cursor from a previous session. Against a durable broker
+    /// the client then resumes exactly-once delivery: subscribe, call
+    /// [`ReactorClient::catch_up`], and the broker replays the gap since
+    /// `resume_from` before live traffic continues. Reconnections after
+    /// connection loss present the current cursor automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcpError::Io`] when the initial connection fails.
+    pub fn connect_resuming(
+        &self,
+        broker: SocketAddr,
+        resume_from: Option<Cursor>,
+    ) -> Result<ReactorClient<F>, TcpError> {
         let stream =
             TcpStream::connect_timeout(&broker, self.cfg.connect_timeout).map_err(TcpError::Io)?;
         stream.set_nodelay(true).ok();
@@ -146,6 +174,8 @@ where
         let out = OutQueue::new(self.cfg.queue_capacity);
         let (etx, erx) = bounded::<F::Event>(EVENT_CHANNEL_CAP);
         let (atx, arx) = unbounded::<u32>();
+        let (rtx, rrx) = unbounded::<ResumeOutcome>();
+        let cursor: Arc<Mutex<Option<Cursor>>> = Arc::new(Mutex::new(resume_from));
         let subs: Arc<Mutex<Vec<F>>> = Arc::new(Mutex::new(Vec::new()));
         let down = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
@@ -155,6 +185,8 @@ where
             out: out.clone(),
             etx,
             atx,
+            rtx,
+            cursor: cursor.clone(),
             subs: subs.clone(),
             down: down.clone(),
             stats: stats.clone(),
@@ -165,6 +197,8 @@ where
             out,
             events: erx,
             acks: arx,
+            resume: rrx,
+            cursor,
             subs,
             down,
             stats,
@@ -198,6 +232,8 @@ pub struct ReactorClient<F: FilterSemantics> {
     out: Arc<OutQueue>,
     events: Receiver<F::Event>,
     acks: Receiver<u32>,
+    resume: Receiver<ResumeOutcome>,
+    cursor: Arc<Mutex<Option<Cursor>>>,
     subs: Arc<Mutex<Vec<F>>>,
     down: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
@@ -309,6 +345,37 @@ where
         self.events.recv_timeout(timeout).ok()
     }
 
+    /// Asks a durable broker to replay the gap since this client's
+    /// current cursor (everything, classified `FreshStart`, when there
+    /// is none yet). Call after registering subscriptions — replay is
+    /// filtered against them. The classification arrives via
+    /// [`recv_resume`](Self::recv_resume) once the replay completes;
+    /// reconnections after connection loss repeat this automatically.
+    ///
+    /// # Errors
+    ///
+    /// As [`subscribe`](Self::subscribe).
+    pub fn catch_up(&self) -> Result<(), TcpError> {
+        let cursor = (*self.cursor.lock()).unwrap_or_default();
+        let msg: Message<F, F::Event> = Message::CatchUp { cursor };
+        self.enqueue(self.pool.encode(&msg))
+    }
+
+    /// The last contiguously delivered `(epoch, seq)` cursor — persist
+    /// it and pass to [`ClientReactor::connect_resuming`] to survive a
+    /// process restart. `None` until the first stamped delivery.
+    pub fn cursor(&self) -> Option<Cursor> {
+        *self.cursor.lock()
+    }
+
+    /// Waits up to `timeout` for the next resume classification: how the
+    /// broker resolved this client's cursor after a catch-up request or
+    /// reconnection ([`ResumeOutcome::ContinuedAtCursor`], gap truncated
+    /// by retention, or fresh start).
+    pub fn recv_resume(&self, timeout: Duration) -> Option<ResumeOutcome> {
+        self.resume.recv_timeout(timeout).ok()
+    }
+
     /// Transport counters (reconnects, drops, heartbeats).
     pub fn stats(&self) -> TcpStats {
         self.stats.snapshot()
@@ -372,8 +439,22 @@ where
     ///
     /// Returns [`TcpError::Io`] when the initial connection fails.
     pub fn connect_with(broker: SocketAddr, cfg: TcpConfig) -> Result<Self, TcpError> {
+        Self::connect_resuming(broker, cfg, None)
+    }
+
+    /// Connects with a delivery cursor carried over from a previous
+    /// session — see [`ClientReactor::connect_resuming`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcpError::Io`] when the initial connection fails.
+    pub fn connect_resuming(
+        broker: SocketAddr,
+        cfg: TcpConfig,
+        resume_from: Option<Cursor>,
+    ) -> Result<Self, TcpError> {
         let reactor = ClientReactor::<F>::with_config(cfg);
-        let client = reactor.connect(broker)?;
+        let client = reactor.connect_resuming(broker, resume_from)?;
         Ok(TcpClient { client, reactor })
     }
 
@@ -418,6 +499,28 @@ where
         self.client.recv_timeout(timeout)
     }
 
+    /// Requests catch-up replay from a durable broker — see
+    /// [`ReactorClient::catch_up`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorClient::subscribe`].
+    pub fn catch_up(&self) -> Result<(), TcpError> {
+        self.client.catch_up()
+    }
+
+    /// The last contiguously delivered cursor — see
+    /// [`ReactorClient::cursor`].
+    pub fn cursor(&self) -> Option<Cursor> {
+        self.client.cursor()
+    }
+
+    /// Waits up to `timeout` for the next resume classification — see
+    /// [`ReactorClient::recv_resume`].
+    pub fn recv_resume(&self, timeout: Duration) -> Option<ResumeOutcome> {
+        self.client.recv_resume(timeout)
+    }
+
     /// Transport counters (reconnects, drops, heartbeats).
     pub fn stats(&self) -> TcpStats {
         self.client.stats()
@@ -440,6 +543,10 @@ struct Slot<F: FilterSemantics> {
     out: Arc<OutQueue>,
     etx: Sender<F::Event>,
     atx: Sender<u32>,
+    rtx: Sender<ResumeOutcome>,
+    cursor: Arc<Mutex<Option<Cursor>>>,
+    dedup: SeqDedup,
+    dedup_epoch: u32,
     subs: Arc<Mutex<Vec<F>>>,
     down: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
@@ -489,11 +596,16 @@ fn run_client_reactor<F>(
                     attempt: 1,
                 },
             };
+            let dedup_epoch = reg.cursor.lock().map_or(0, |c| c.epoch);
             slots.push(Slot {
                 addr: reg.addr,
                 out: reg.out,
                 etx: reg.etx,
                 atx: reg.atx,
+                rtx: reg.rtx,
+                cursor: reg.cursor,
+                dedup: SeqDedup::new(DEDUP_WINDOW),
+                dedup_epoch,
                 subs: reg.subs,
                 down: reg.down,
                 stats: reg.stats,
@@ -577,12 +689,27 @@ where
                     match Conn::new(stream, slot.out.clone()) {
                         Ok(mut conn) => {
                             // Handshake rides the write batch: hello,
-                            // then every remembered subscription.
+                            // then every remembered subscription, then —
+                            // with a cursor to resume from — a CatchUp.
+                            // Subscriptions must precede the CatchUp so
+                            // the broker's replay filters against them.
                             let hello: Message<F, F::Event> = Message::Hello { kind: 1 };
                             let mut preload = vec![pool.encode(&hello)];
                             for f in slot.subs.lock().iter() {
                                 let m: Message<F, F::Event> = Message::Subscribe(f.clone());
                                 preload.push(pool.encode(&m));
+                            }
+                            match *slot.cursor.lock() {
+                                Some(c) => {
+                                    let m: Message<F, F::Event> = Message::CatchUp { cursor: c };
+                                    preload.push(pool.encode(&m));
+                                }
+                                None => {
+                                    // No cursor yet: nothing to replay.
+                                    // Surface the reset instead of
+                                    // silently starting fresh.
+                                    let _ = slot.rtx.send(ResumeOutcome::FreshStart);
+                                }
                             }
                             conn.preload(preload);
                             slot.stats.reconnects.fetch_add(1, Ordering::Relaxed);
@@ -623,21 +750,72 @@ where
             }
             let etx = &slot.etx;
             let atx = &slot.atx;
+            let rtx = &slot.rtx;
             let stats = &slot.stats;
+            let cursor = &slot.cursor;
+            let dedup = &mut slot.dedup;
+            let dedup_epoch = &mut slot.dedup_epoch;
             let (rp, rstatus) = conn.pump_reads::<F>(scratch, &mut |msg| match msg {
                 // Never block the reactor thread on a consumer: one app
                 // thread that stops draining recv must not stall I/O,
                 // heartbeats, and reconnects for every other connection
                 // this reactor hosts. A full channel drops the delivery
                 // and counts it instead.
-                Message::Publish(e) => match etx.try_send(e) {
-                    Ok(()) => true,
-                    Err(TrySendError::Full(_)) => {
-                        stats.dropped_deliveries.fetch_add(1, Ordering::Relaxed);
+                Message::Publish(e) => deliver_event(etx, stats, e),
+                Message::Stamped { cursor: at, event } => {
+                    if at.epoch != *dedup_epoch {
+                        // New broker log epoch: the old window and
+                        // cursor describe a log that no longer exists.
+                        dedup.clear();
+                        *dedup_epoch = at.epoch;
+                        let mut cur = cursor.lock();
+                        if cur.is_none_or(|c| c.epoch != at.epoch) {
+                            *cur = None;
+                        }
+                    }
+                    let fresh = dedup.first_seen(at.seq);
+                    {
+                        // The cursor only ever advances contiguously:
+                        // a gap (dropped frame) freezes it so the next
+                        // catch-up replays from the last sure point,
+                        // and the dedup window absorbs the overlap.
+                        let mut cur = cursor.lock();
+                        match &mut *cur {
+                            Some(c) if c.epoch == at.epoch => {
+                                if at.seq == c.seq + 1 {
+                                    c.seq = at.seq;
+                                }
+                            }
+                            _ => *cur = Some(at),
+                        }
+                    }
+                    if fresh {
+                        deliver_event(etx, stats, event)
+                    } else {
+                        stats.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
                         true
                     }
-                    Err(TrySendError::Disconnected(_)) => false,
-                },
+                }
+                Message::ReplayDone {
+                    outcome,
+                    cursor: done,
+                } => {
+                    if done.epoch != *dedup_epoch {
+                        dedup.clear();
+                        *dedup_epoch = done.epoch;
+                    }
+                    {
+                        let mut cur = cursor.lock();
+                        match &*cur {
+                            Some(c) if c.epoch == done.epoch && done.seq <= c.seq => {}
+                            _ => *cur = Some(done),
+                        }
+                    }
+                    if let Some(oc) = ResumeOutcome::from_code(outcome) {
+                        let _ = rtx.send(oc);
+                    }
+                    true
+                }
                 Message::SubAck { crc } => {
                     let _ = atx.send(crc);
                     true
@@ -659,6 +837,19 @@ where
             }
             wp || rp
         }
+    }
+}
+
+/// Hands a received event to the application channel without ever
+/// blocking the reactor thread: a full channel drops and counts.
+fn deliver_event<E>(etx: &Sender<E>, stats: &StatsInner, event: E) -> bool {
+    match etx.try_send(event) {
+        Ok(()) => true,
+        Err(TrySendError::Full(_)) => {
+            stats.dropped_deliveries.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Err(TrySendError::Disconnected(_)) => false,
     }
 }
 

@@ -31,6 +31,6 @@ mod conn;
 mod poller;
 mod worker;
 
-pub use broker::{spawn_broker, spawn_broker_with, TcpBroker, MAX_WORKERS};
+pub use broker::{spawn_broker, spawn_broker_durable, spawn_broker_with, TcpBroker, MAX_WORKERS};
 pub use client::{ClientReactor, ReactorClient, TcpClient};
 pub use poller::{PollWaker, Poller, ScanPoller};

@@ -46,7 +46,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 // The default transport: reactor-backed broker and client.
-pub use crate::reactor::{spawn_broker, spawn_broker_with, TcpBroker, TcpClient};
+pub use crate::reactor::{
+    spawn_broker, spawn_broker_durable, spawn_broker_with, TcpBroker, TcpClient,
+};
 
 /// What to do when a bounded outbound queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +136,16 @@ pub struct TcpStats {
     pub reconnects: u64,
     /// Heartbeat frames sent.
     pub heartbeats_sent: u64,
+    /// Replayed (`Stamped`) frames a durable broker queued toward
+    /// catching-up subscribers (broker only).
+    pub replayed_frames: u64,
+    /// Publishes a durable broker could not append to its event log
+    /// (delivered live, unstamped, instead) (broker only).
+    pub log_append_failures: u64,
+    /// Stamped events suppressed by the client's replay/live dedup
+    /// window — the double-delivery the catch-up protocol absorbs
+    /// (client only).
+    pub duplicates_suppressed: u64,
 }
 
 #[derive(Debug, Default)]
@@ -143,6 +155,9 @@ pub(crate) struct StatsInner {
     pub(crate) dropped_deliveries: AtomicU64,
     pub(crate) reconnects: AtomicU64,
     pub(crate) heartbeats_sent: AtomicU64,
+    pub(crate) replayed_frames: AtomicU64,
+    pub(crate) log_append_failures: AtomicU64,
+    pub(crate) duplicates_suppressed: AtomicU64,
 }
 
 impl StatsInner {
@@ -153,6 +168,9 @@ impl StatsInner {
             dropped_deliveries: self.dropped_deliveries.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            log_append_failures: self.log_append_failures.load(Ordering::Relaxed),
+            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
         }
     }
 }

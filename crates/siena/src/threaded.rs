@@ -467,6 +467,12 @@ where
                             }
                             Message::Unsubscribe(f) => broker.unsubscribe(from, &f),
                             Message::Publish(e) => broker.publish(from, e),
+                            // The threaded baseline has no durable log;
+                            // catch-up traffic is ignored (a reactor
+                            // broker spawned durable handles these).
+                            Message::CatchUp { .. }
+                            | Message::ReplayDone { .. }
+                            | Message::Stamped { .. } => Vec::new(),
                         };
                         // Encode-once fan-out: every `Deliver` produced
                         // by one publish carries a clone of the same

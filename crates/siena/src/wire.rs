@@ -396,6 +396,19 @@ impl Wire for Event {
     }
 }
 
+impl Wire for crate::log::Cursor {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.seq.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(crate::log::Cursor {
+            epoch: u32::decode(input)?,
+            seq: u64::decode(input)?,
+        })
+    }
+}
+
 /// A pub-sub protocol message between two peers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message<F, E> {
@@ -420,6 +433,34 @@ pub enum Message<F, E> {
     SubAck {
         /// Checksum identifying the acknowledged filter.
         crc: u32,
+    },
+    /// A reconnecting subscriber presents the last `(epoch, seq)` it
+    /// applied; the broker replays the retained gap from its durable
+    /// log (sent after the subscription replay on reconnect).
+    CatchUp {
+        /// Last cursor the subscriber applied.
+        cursor: crate::log::Cursor,
+    },
+    /// Ends a replay: carries the resolved
+    /// [`ResumeOutcome`](crate::log::ResumeOutcome) code and the
+    /// broker's high-water cursor at replay end, which the subscriber
+    /// adopts as its floor.
+    ReplayDone {
+        /// [`ResumeOutcome`](crate::log::ResumeOutcome) wire code.
+        outcome: u8,
+        /// Broker high-water cursor when the replay finished.
+        cursor: crate::log::Cursor,
+    },
+    /// An event notification stamped with its durable log cursor —
+    /// what a durable broker sends to *client* peers (replay and live
+    /// alike), so the subscriber can dedup across the replay→live
+    /// boundary and persist its resume point. Broker↔broker traffic
+    /// stays [`Message::Publish`].
+    Stamped {
+        /// The event's durable log position.
+        cursor: crate::log::Cursor,
+        /// The event itself.
+        event: E,
     },
 }
 
@@ -459,6 +500,20 @@ impl<F: Wire, E: Wire> Wire for Message<F, E> {
                 buf.push(5);
                 crc.encode(buf);
             }
+            Message::CatchUp { cursor } => {
+                buf.push(6);
+                cursor.encode(buf);
+            }
+            Message::ReplayDone { outcome, cursor } => {
+                buf.push(7);
+                buf.push(*outcome);
+                cursor.encode(buf);
+            }
+            Message::Stamped { cursor, event } => {
+                buf.push(8);
+                cursor.encode(buf);
+                event.encode(buf);
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -476,6 +531,17 @@ impl<F: Wire, E: Wire> Wire for Message<F, E> {
             4 => Message::Heartbeat,
             5 => Message::SubAck {
                 crc: u32::decode(input)?,
+            },
+            6 => Message::CatchUp {
+                cursor: crate::log::Cursor::decode(input)?,
+            },
+            7 => Message::ReplayDone {
+                outcome: u8::decode(input)?,
+                cursor: crate::log::Cursor::decode(input)?,
+            },
+            8 => Message::Stamped {
+                cursor: crate::log::Cursor::decode(input)?,
+                event: E::decode(input)?,
             },
             t => return Err(WireError::BadTag(t)),
         })
@@ -643,6 +709,37 @@ mod tests {
         roundtrip(m);
         roundtrip(Message::<Filter, Event>::Heartbeat);
         roundtrip(Message::<Filter, Event>::SubAck { crc: 0xdead_beef });
+    }
+
+    #[test]
+    fn catchup_messages_roundtrip() {
+        use crate::log::Cursor;
+        roundtrip(Cursor {
+            epoch: 3,
+            seq: u64::MAX,
+        });
+        roundtrip(Message::<Filter, Event>::CatchUp {
+            cursor: Cursor { epoch: 1, seq: 42 },
+        });
+        roundtrip(Message::<Filter, Event>::ReplayDone {
+            outcome: 2,
+            cursor: Cursor { epoch: 9, seq: 0 },
+        });
+        roundtrip(Message::<Filter, Event>::Stamped {
+            cursor: Cursor { epoch: 1, seq: 7 },
+            event: Event::builder("t").payload(vec![1, 2, 3]).build(),
+        });
+        // A stamped frame carries the event encoding verbatim after the
+        // 12-byte cursor, so the log's opaque payload (an encoded event)
+        // decodes unchanged on the client.
+        let e = Event::builder("t").payload(vec![9; 10]).build();
+        let stamped: Message<Filter, Event> = Message::Stamped {
+            cursor: Cursor { epoch: 1, seq: 1 },
+            event: e.clone(),
+        };
+        let bytes = stamped.to_bytes();
+        let mut tail = &bytes[2 + 12..]; // magic + tag + cursor
+        assert_eq!(Event::decode(&mut tail).unwrap(), e);
     }
 
     #[test]

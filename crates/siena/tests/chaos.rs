@@ -143,6 +143,40 @@ fn broker_outage_delays_but_never_loses() {
 }
 
 #[test]
+fn durable_crash_and_restart_is_exactly_once_for_twenty_seeds() {
+    // Brokers modeled with durable event logs: a crash-and-restart keeps
+    // the dedup window (re-seeded from the recovered log's high-water
+    // mark) and the unacked outbound hops, so lossy links *plus* a
+    // mid-run broker outage still deliver exactly once — with the
+    // post-restart duplicates counted as suppressed, never re-delivered.
+    let events = workload();
+    let clients: Vec<u32> = (0..6).collect();
+    for seed in 0..20u64 {
+        let mut eng = engine(6, 6);
+        for &c in &clients {
+            eng.subscribe(c, Filter::for_topic("t"));
+        }
+        let victim = 1 + (seed % 5) as u32;
+        let from = 150_000 + 20_000 * seed;
+        let mut plan = FaultPlan::new(seed).with_default_link_faults(LinkFaults {
+            drop_p: 0.2,
+            dup_p: 0.1,
+            jitter_us: 10_000,
+        });
+        plan.add_crash(NodeId(victim), Window::new(from, from + 500_000));
+        let mut cfg = FaultConfig::with_recovery(plan);
+        cfg.recovery = Some(RecoveryConfig {
+            heartbeat_interval_us: 0,
+            ..RecoveryConfig::durable()
+        });
+        cfg.record_deliveries = true;
+        let r = eng.run_faulty(&events, 40.0, 1.0, &CostModel::plain(), &mut cfg);
+        assert_eq!(r.abandoned, 0, "seed {seed}: no hop may be abandoned");
+        assert_exactly_once(&r, &clients, &format!("durable crash seed {seed}"));
+    }
+}
+
+#[test]
 fn revocation_is_safe_under_faults() {
     let events = workload();
     let revoke_at = 400_000u64;
@@ -221,9 +255,8 @@ fn partitioned_child_is_evicted_and_heals() {
         ack_timeout_us: 100_000,
         max_retries: 2,
         backoff_cap_us: 200_000,
-        dedup_window: 4096,
         heartbeat_interval_us: 200_000,
-        heartbeat_miss_limit: 3,
+        ..RecoveryConfig::overlay_default()
     });
     cfg.record_deliveries = true;
     let r = eng.run_faulty(&events, 20.0, 3.0, &CostModel::plain(), &mut cfg);
@@ -319,6 +352,59 @@ proptest! {
             from_ms + len_ms,
             victim,
             r
+        );
+        let mut seen = HashSet::new();
+        for d in &r.deliveries {
+            prop_assert!(seen.insert((d.client, d.event_seq)), "duplicate {:?}", d);
+        }
+    }
+
+    /// Exactly-once under lossy links *and* a broker crash, with durable
+    /// logs: the combination the plain recovery machinery cannot promise
+    /// (a crash wipes the dead sender's retransmit state, so a copy that
+    /// was also dropped on the wire is gone). The durable log keeps the
+    /// hop and waits the outage out.
+    #[test]
+    fn exactly_once_under_lossy_crash_with_durable_log(
+        seed in 0u64..1_000_000,
+        drop_p in 0.0f64..0.25,
+        dup_p in 0.0f64..0.25,
+        victim in 1u32..6,
+        from_ms in 50u64..400,
+        len_ms in 50u64..600,
+        subs in 2u32..6,
+    ) {
+        let events = workload();
+        let clients: Vec<u32> = (0..subs).collect();
+        let mut eng = engine(6, subs);
+        for &c in &clients {
+            eng.subscribe(c, Filter::for_topic("t"));
+        }
+        let mut plan = FaultPlan::new(seed).with_default_link_faults(LinkFaults {
+            drop_p,
+            dup_p,
+            jitter_us: 10_000,
+        });
+        plan.add_crash(
+            NodeId(victim),
+            Window::new(from_ms * 1000, (from_ms + len_ms) * 1000),
+        );
+        let mut cfg = FaultConfig::with_recovery(plan);
+        cfg.recovery = Some(RecoveryConfig {
+            heartbeat_interval_us: 0,
+            ..RecoveryConfig::durable()
+        });
+        cfg.record_deliveries = true;
+        let r = eng.run_faulty(&events, 30.0, 1.0, &CostModel::plain(), &mut cfg);
+        prop_assert_eq!(r.abandoned, 0, "no hop may exhaust retries: {:?}", r);
+        prop_assert_eq!(
+            r.delivered,
+            r.published * clients.len() as u64,
+            "crash {}..{} of broker {} under {:?}",
+            from_ms,
+            from_ms + len_ms,
+            victim,
+            r.fault_stats
         );
         let mut seen = HashSet::new();
         for d in &r.deliveries {

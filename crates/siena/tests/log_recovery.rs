@@ -1,0 +1,351 @@
+//! Crash-recovery properties of the durable event log, driven through
+//! the public API: reopen after clean and torn shutdowns, retention
+//! classification, compaction racing an active replay, and seeded
+//! disk-fault plans (torn appends, failed fsyncs, short reads).
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use psguard_net::{DiskFaults, FaultPlan};
+use psguard_siena::{Cursor, EventLog, LogConfig, LogError, ResumeOutcome};
+
+/// A unique scratch directory under the system temp dir. Callers clean
+/// up with [`cleanup`]; a leaked dir from a failed test is harmless.
+fn tmp_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "psguard-logrec-{tag}-{}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn cleanup(dir: &PathBuf) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Drains every retained record as `(seq, payload)` pairs, retrying
+/// transient short reads.
+fn drain(log: &mut EventLog) -> Vec<(u64, Vec<u8>)> {
+    let mut cur = log.replay_cursor(0);
+    let mut out = Vec::new();
+    let mut collected = Vec::new();
+    let mut retries = 0;
+    loop {
+        out.clear();
+        match log.replay_next(&mut cur, 16, &mut out) {
+            Ok(more) => {
+                collected.extend(out.drain(..).map(|(c, p)| (c.seq, p)));
+                if !more {
+                    return collected;
+                }
+            }
+            Err(LogError::ShortRead) => {
+                retries += 1;
+                assert!(retries < 10_000, "short reads never stopped");
+            }
+            Err(e) => panic!("replay failed: {e}"),
+        }
+    }
+}
+
+#[test]
+fn empty_log_reopen_is_stable() {
+    let dir = tmp_dir("empty");
+    {
+        let (log, report) = EventLog::open(LogConfig::new(&dir)).expect("open");
+        assert_eq!(report.records, 0);
+        assert_eq!(report.high_water, Cursor { epoch: 1, seq: 0 });
+        assert_eq!(log.high_water().seq, 0);
+    }
+    let (log, report) = EventLog::open(LogConfig::new(&dir)).expect("reopen");
+    assert_eq!(report.records, 0);
+    assert_eq!(report.truncated_bytes, 0);
+    assert_eq!(log.epoch(), 1);
+    assert_eq!(log.high_water().seq, 0);
+    cleanup(&dir);
+}
+
+#[test]
+fn torn_final_record_is_truncated_on_reopen() {
+    let dir = tmp_dir("torn-tail");
+    {
+        let (mut log, _) = EventLog::open(LogConfig::new(&dir)).expect("open");
+        for i in 0..5u8 {
+            log.append(&[i; 16]).expect("append");
+        }
+        log.sync().expect("sync");
+    }
+    // Simulate a crash mid-append: garbage bytes (a partial record)
+    // land after the last valid record of the newest segment.
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    segs.sort();
+    let last = segs.last().expect("segment file").clone();
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&last)
+            .expect("open segment");
+        f.write_all(&[0xAB; 9]).expect("tear");
+    }
+
+    let (mut log, report) = EventLog::open(LogConfig::new(&dir)).expect("reopen");
+    assert_eq!(report.records, 5, "valid prefix survives");
+    assert_eq!(report.truncated_bytes, 9, "torn tail discarded");
+    assert_eq!(report.high_water.seq, 5);
+
+    let got = drain(&mut log);
+    assert_eq!(got.len(), 5);
+    for (i, (seq, payload)) in got.iter().enumerate() {
+        assert_eq!(*seq, i as u64 + 1);
+        assert_eq!(payload, &vec![i as u8; 16]);
+    }
+
+    // Appends resume exactly after the recovered high-water mark.
+    let c = log.append(b"after-repair").expect("append");
+    assert_eq!(c.seq, 6);
+    cleanup(&dir);
+}
+
+#[test]
+fn cursor_below_retention_floor_resolves_to_gap() {
+    let dir = tmp_dir("retention");
+    let cfg = LogConfig {
+        segment_max_bytes: 128,
+        max_segments: 2,
+        ..LogConfig::new(&dir)
+    };
+    let (mut log, _) = EventLog::open(cfg).expect("open");
+    for i in 0..60u64 {
+        log.append(&i.to_le_bytes()).expect("append");
+    }
+    let floor = log.floor_seq();
+    assert!(floor > 1, "retention must have evicted early segments");
+
+    // A cursor from before the floor: classified as a truncated gap,
+    // replay restarts at the floor.
+    let (outcome, mut cur) = log.catch_up_from(Cursor { epoch: 1, seq: 1 });
+    assert_eq!(outcome, ResumeOutcome::GapTruncatedByRetention);
+    assert_eq!(cur.next_seq(), floor);
+    let mut out = Vec::new();
+    let mut seqs = Vec::new();
+    loop {
+        out.clear();
+        let more = log.replay_next(&mut cur, 16, &mut out).expect("replay");
+        seqs.extend(out.iter().map(|(c, _)| c.seq));
+        if !more {
+            break;
+        }
+    }
+    assert_eq!(seqs.first().copied(), Some(floor));
+    assert_eq!(seqs.last().copied(), Some(60));
+    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "contiguous");
+
+    // A cursor at the high-water mark continues with nothing to do.
+    let (outcome, mut cur) = log.catch_up_from(log.high_water());
+    assert_eq!(outcome, ResumeOutcome::ContinuedAtCursor);
+    out.clear();
+    assert!(!log.replay_next(&mut cur, 16, &mut out).expect("replay"));
+    assert!(out.is_empty());
+
+    // A cursor from another epoch cannot resume at all.
+    let (outcome, _) = log.catch_up_from(Cursor { epoch: 9, seq: 3 });
+    assert_eq!(outcome, ResumeOutcome::FreshStart);
+    cleanup(&dir);
+}
+
+#[test]
+fn compaction_racing_replay_reseeks_and_completes() {
+    let dir = tmp_dir("race");
+    let cfg = LogConfig {
+        segment_max_bytes: 128,
+        max_segments: 2,
+        ..LogConfig::new(&dir)
+    };
+    let (mut log, _) = EventLog::open(cfg).expect("open");
+    for i in 0..40u64 {
+        log.append(&i.to_le_bytes()).expect("append");
+    }
+
+    let (outcome, mut cur) = log.catch_up_from(Cursor { epoch: 1, seq: 0 });
+    // Seq 1 is already gone by the time the replay starts.
+    assert_eq!(outcome, ResumeOutcomeExpect::initial(log.floor_seq()));
+    let mut out = Vec::new();
+    let mut seqs = Vec::new();
+    log.replay_next(&mut cur, 4, &mut out).expect("first pump");
+    seqs.extend(out.drain(..).map(|(c, _)| c.seq));
+
+    // Compaction races the replay: enough appends to evict the segment
+    // the cursor was parked in.
+    for i in 40..160u64 {
+        log.append(&i.to_le_bytes()).expect("append");
+    }
+    assert!(
+        log.floor_seq() > cur.next_seq(),
+        "eviction must overtake the replay position"
+    );
+
+    loop {
+        out.clear();
+        let more = log.replay_next(&mut cur, 8, &mut out).expect("pump");
+        seqs.extend(out.drain(..).map(|(c, _)| c.seq));
+        if !more {
+            break;
+        }
+    }
+    assert!(
+        cur.truncated(),
+        "cursor must report records lost to the race"
+    );
+    assert!(seqs.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+    let dups = seqs.len() != {
+        let mut s = seqs.clone();
+        s.dedup();
+        s.len()
+    };
+    assert!(!dups, "no record may be replayed twice");
+    assert_eq!(seqs.last().copied(), Some(log.high_water().seq));
+    cleanup(&dir);
+}
+
+/// Shim so the assertion above reads as intent: the initial outcome is
+/// `GapTruncatedByRetention` exactly when the floor already moved past
+/// seq 1, else `ContinuedAtCursor`.
+struct ResumeOutcomeExpect;
+impl ResumeOutcomeExpect {
+    fn initial(floor: u64) -> ResumeOutcome {
+        if floor > 1 {
+            ResumeOutcome::GapTruncatedByRetention
+        } else {
+            ResumeOutcome::ContinuedAtCursor
+        }
+    }
+}
+
+/// Appends under a seeded disk-fault plan until the log poisons (or the
+/// append budget runs out), then reopens cleanly and checks that the
+/// recovered log is exactly the durable prefix.
+fn crash_recovery_roundtrip(seed: u64, disk: DiskFaults, appends: usize, fsync_on: bool) {
+    let dir = tmp_dir(&format!("crash-{seed}"));
+    let cfg = LogConfig {
+        fsync_on_append: fsync_on,
+        ..LogConfig::new(&dir)
+    };
+    let plan = FaultPlan::new(seed).with_disk_faults(disk);
+    let (mut log, _) = EventLog::open_with_faults(cfg, plan).expect("open");
+
+    let mut ok = Vec::new();
+    let mut failed = false;
+    for i in 0..appends as u64 {
+        let payload = [seed.to_le_bytes(), i.to_le_bytes()].concat();
+        match log.append(&payload) {
+            Ok(c) => {
+                assert_eq!(c.seq, ok.len() as u64 + 1);
+                ok.push(payload);
+            }
+            Err(LogError::TornWrite | LogError::FsyncFailed) => {
+                failed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected append error: {e}"),
+        }
+    }
+    if failed {
+        // The first write failure poisons the log until reopen.
+        assert!(log.is_poisoned());
+        assert!(matches!(log.append(b"x"), Err(LogError::Poisoned)));
+    }
+    drop(log);
+
+    let (mut log, report) = EventLog::open(LogConfig::new(&dir)).expect("reopen");
+    // A torn append never survives; a failed fsync may (the bytes hit
+    // the file before the injected sync error). Either way the durable
+    // records are a contiguous prefix extension of the acknowledged set.
+    assert!(
+        report.records >= ok.len() as u64,
+        "acknowledged records lost: recovered {} < acked {}",
+        report.records,
+        ok.len()
+    );
+    assert!(
+        report.records <= ok.len() as u64 + 1,
+        "more than the one in-flight record appeared"
+    );
+    assert_eq!(report.high_water.seq, report.records);
+
+    let got = drain(&mut log);
+    assert_eq!(got.len() as u64, report.records);
+    for (i, payload) in ok.iter().enumerate() {
+        assert_eq!(got[i].0, i as u64 + 1);
+        assert_eq!(&got[i].1, payload, "payload mismatch at seq {}", i + 1);
+    }
+
+    // The recovered log accepts appends at the recovered high-water.
+    let c = log.append(b"post-recovery").expect("append after reopen");
+    assert_eq!(c.seq, report.high_water.seq + 1);
+    cleanup(&dir);
+}
+
+#[test]
+fn crash_mid_append_recovers_durable_prefix_across_twenty_plus_seeds() {
+    for seed in 0..24u64 {
+        let disk = DiskFaults {
+            torn_write_p: 0.08,
+            short_read_p: 0.0,
+            fsync_fail_p: 0.05,
+        };
+        crash_recovery_roundtrip(seed, disk, 200, true);
+    }
+}
+
+#[test]
+fn short_reads_during_replay_are_transient() {
+    let dir = tmp_dir("short-read");
+    let plan = FaultPlan::new(7).with_disk_faults(DiskFaults {
+        torn_write_p: 0.0,
+        short_read_p: 0.4,
+        fsync_fail_p: 0.0,
+    });
+    let (mut log, _) = EventLog::open_with_faults(LogConfig::new(&dir), plan).expect("open");
+    for i in 0..50u64 {
+        log.append(&i.to_le_bytes()).expect("append");
+    }
+    let got = drain(&mut log);
+    assert_eq!(got.len(), 50, "every record arrives despite short reads");
+    assert!(
+        log.stats().replayed_records >= 50,
+        "replay counter must track handed-out records"
+    );
+    cleanup(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded disk-fault plan — torn appends, failed fsyncs, any
+    /// append count, fsync on or off — recovers to exactly the durable
+    /// prefix with no acknowledged record lost.
+    #[test]
+    fn recovery_is_prefix_consistent_under_any_disk_plan(
+        seed in 0u64..10_000,
+        torn_p in 0.0f64..0.3,
+        fsync_p in 0.0f64..0.3,
+        appends in 10usize..120,
+        fsync_on in any::<bool>(),
+    ) {
+        let disk = DiskFaults {
+            torn_write_p: torn_p,
+            short_read_p: 0.0,
+            fsync_fail_p: fsync_p,
+        };
+        crash_recovery_roundtrip(seed, disk, appends, fsync_on);
+    }
+}

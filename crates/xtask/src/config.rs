@@ -145,6 +145,20 @@ pub const HOT_PATH_ALLOC_METHODS: &[&str] = &["to_bytes", "to_vec"];
 /// it is the retained thread-per-connection baseline.
 pub const SPAWN_SCOPE: &[&str] = &["crates/siena/src/tcp.rs", "crates/siena/src/reactor/"];
 
+/// Paths (workspace-relative; entries ending in `/` cover the whole
+/// directory) that must stay ciphertext-only at rest: the durable event
+/// log stores already-encoded opaque bytes, which is what makes it
+/// encrypted-at-rest for free under the honest-but-curious broker
+/// model. Naming the plaintext event model (or the wire codec) there
+/// means structured plaintext is being (de)serialized onto the disk
+/// path.
+pub const CIPHERTEXT_SCOPE: &[&str] = &["crates/siena/src/log/"];
+
+/// Identifiers banned inside the ciphertext-at-rest scope: the
+/// plaintext event/message model and its codec. `EventLog` is a single
+/// distinct identifier and does not match `Event`.
+pub const CIPHERTEXT_BANNED_IDENTS: &[&str] = &["Event", "Message", "Wire", "psguard_model"];
+
 /// Relative path of the panic allowlist file.
 pub const ALLOWLIST_PATH: &str = "crates/xtask/allowlist.txt";
 
@@ -183,6 +197,12 @@ pub fn spawn_scope_contains(rel: &str) -> bool {
     file_or_dir_match(SPAWN_SCOPE, rel)
 }
 
+/// Whether a workspace-relative file path must stay ciphertext-only at
+/// rest.
+pub fn ciphertext_scope_contains(rel: &str) -> bool {
+    file_or_dir_match(CIPHERTEXT_SCOPE, rel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +222,9 @@ mod tests {
         assert!(spawn_scope_contains("crates/siena/src/reactor/client.rs"));
         assert!(spawn_scope_contains("crates/siena/src/tcp.rs"));
         assert!(!spawn_scope_contains("crates/siena/src/threaded.rs"));
+        assert!(ciphertext_scope_contains("crates/siena/src/log/mod.rs"));
+        assert!(ciphertext_scope_contains("crates/siena/src/log/segment.rs"));
+        assert!(!ciphertext_scope_contains("crates/siena/src/wire.rs"));
     }
 
     #[test]

@@ -163,6 +163,45 @@ fn thread_per_connection_exempts_threaded_baseline() {
     assert!(spawns.is_empty(), "{spawns:#?}");
 }
 
+#[test]
+fn ciphertext_at_rest_catches_seeded_violations() {
+    let findings = scan("crates/siena/src/log/fixture.rs", "ciphertext_violation.rs");
+    let cipher: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::CiphertextAtRest)
+        .collect();
+    // use Event; use Message + Wire; Event::from_bytes; event.encode via
+    // Wire; Message arg + to_bytes framing — at least the five named
+    // identifier sites outside the test module.
+    assert!(cipher.len() >= 5, "{cipher:#?}");
+    assert!(cipher.iter().all(|f| !f.allowlisted));
+}
+
+#[test]
+fn ciphertext_at_rest_passes_opaque_byte_handling() {
+    let findings = scan("crates/siena/src/log/fixture.rs", "ciphertext_clean.rs");
+    let cipher: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::CiphertextAtRest)
+        .collect();
+    assert!(cipher.is_empty(), "{cipher:#?}");
+}
+
+#[test]
+fn ciphertext_at_rest_only_applies_to_the_log() {
+    // The dispatcher is exactly where events ARE decoded for replay
+    // matching; the rule must not leak outside `siena/src/log/`.
+    let findings = scan(
+        "crates/siena/src/reactor/broker.rs",
+        "ciphertext_violation.rs",
+    );
+    let cipher: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::CiphertextAtRest)
+        .collect();
+    assert!(cipher.is_empty(), "{cipher:#?}");
+}
+
 /// Self-check: the live tree passes `psguard-xtask check`, which includes
 /// validating that every allowlist entry references a file that still
 /// exists and that budgets match the PANIC-OK counts exactly.

@@ -1,0 +1,23 @@
+//! Clean counterpart: the durable log handles payloads as opaque
+//! already-encoded bytes only — the `Event` type never appears outside
+//! doc prose, so nothing structured touches the disk path.
+
+/// Appends one opaque payload, returning its record offset. The caller
+/// (the dispatcher) encoded the event; the log neither knows nor cares
+/// what the bytes mean — that is what keeps it encrypted-at-rest for
+/// free.
+pub fn append_opaque(segment: &mut Vec<u8>, payload: &[u8]) -> usize {
+    let at = segment.len();
+    segment.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    segment.extend_from_slice(payload);
+    at
+}
+
+/// Reads the opaque payload back out, still undecoded.
+pub fn read_opaque(segment: &[u8], at: usize) -> Option<&[u8]> {
+    let len_bytes = segment.get(at..at + 4)?;
+    let mut len = [0u8; 4];
+    len.copy_from_slice(len_bytes);
+    let len = u32::from_le_bytes(len) as usize;
+    segment.get(at + 4..at + 4 + len)
+}
