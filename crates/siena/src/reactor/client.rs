@@ -916,6 +916,8 @@ fn final_flush<F: FilterSemantics>(slots: &mut [Slot<F>]) {
         if !pending {
             return;
         }
+        // BLOCKING-OK: shutdown-only bounded drain; the event loop has
+        // already exited, so there is no reactor left to stall.
         std::thread::sleep(Duration::from_millis(1));
     }
 }

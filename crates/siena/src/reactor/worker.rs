@@ -191,6 +191,8 @@ fn final_flush(conns: &mut HashMap<u32, Conn>) {
         if !pending {
             return;
         }
+        // BLOCKING-OK: shutdown-only bounded drain; the event loop has
+        // already exited, so there is no reactor left to stall.
         std::thread::sleep(Duration::from_millis(1));
     }
 }

@@ -1,0 +1,136 @@
+//! Workspace call graph over the [`crate::symbols`] table.
+//!
+//! Edges come from the statement-level call expressions the parser
+//! recovered, resolved through the symbol table. Method calls resolve by
+//! bare name to every candidate — an over-approximation that is the
+//! right bias for reachability-style lints (see `symbols.rs`).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::symbols::{FnId, SymbolTable};
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Caller.
+    pub from: FnId,
+    /// Callee.
+    pub to: FnId,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing edges per fn, indexed by [`FnId`].
+    pub out: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Resolves every call expression in every function body.
+    pub fn build(table: &SymbolTable) -> Self {
+        let mut out = vec![Vec::new(); table.fns.len()];
+        for (from, node) in table.fns.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for stmt in &node.item.stmts {
+                for call in &stmt.calls {
+                    if call.is_macro {
+                        continue;
+                    }
+                    for to in table.resolve_call(&call.name, call.qual.as_deref(), &node.rel_path) {
+                        if to != from && seen.insert(to) {
+                            out[from].push(Edge {
+                                from,
+                                to,
+                                line: call.line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { out }
+    }
+
+    /// BFS from `roots`; returns, for each reachable fn, the edge that
+    /// first reached it (`None` for roots). Use [`CallGraph::path_to`]
+    /// to rebuild the chain.
+    pub fn reach_from(&self, roots: &[FnId]) -> Vec<Option<Option<Edge>>> {
+        let mut state: Vec<Option<Option<Edge>>> = vec![None; self.out.len()];
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if r < state.len() && state[r].is_none() {
+                state[r] = Some(None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &e in &self.out[f] {
+                if state[e.to].is_none() {
+                    state[e.to] = Some(Some(e));
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        state
+    }
+
+    /// Reconstructs the root→`target` call chain from a
+    /// [`CallGraph::reach_from`] result. Returns fn ids root-first.
+    pub fn path_to(state: &[Option<Option<Edge>>], target: FnId) -> Vec<FnId> {
+        let mut path = vec![target];
+        let mut cur = target;
+        let mut guard = 0;
+        while let Some(Some(e)) = state.get(cur).and_then(|s| s.as_ref()) {
+            cur = e.from;
+            path.push(cur);
+            guard += 1;
+            if guard > state.len() {
+                break;
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::symbols::SymbolTable;
+
+    fn graph(src: &str) -> (SymbolTable, CallGraph) {
+        let p = parse("crates/a/src/lib.rs", &lex(src));
+        let t = SymbolTable::build(&[p]);
+        let g = CallGraph::build(&t);
+        (t, g)
+    }
+
+    #[test]
+    fn edges_reachability_and_paths() {
+        let (t, g) = graph(
+            "fn entry() { middle(); }\nfn middle() { leaf(); }\nfn leaf() {}\nfn island() {}\n",
+        );
+        let entry = t.find_in_file("crates/a/src/lib.rs", "entry").unwrap();
+        let leaf = t.find_in_file("crates/a/src/lib.rs", "leaf").unwrap();
+        let island = t.find_in_file("crates/a/src/lib.rs", "island").unwrap();
+        let state = g.reach_from(&[entry]);
+        assert!(state[leaf].is_some());
+        assert!(state[island].is_none());
+        let path = CallGraph::path_to(&state, leaf);
+        let names: Vec<_> = path.iter().map(|&id| t.fns[id].item.name.clone()).collect();
+        assert_eq!(names, vec!["entry", "middle", "leaf"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let (t, g) = graph("impl Conn { fn flush(&self) {} }\nfn pump(c: &Conn) { c.flush(); }\n");
+        let pump = t.find_in_file("crates/a/src/lib.rs", "pump").unwrap();
+        let flush = t.find_in_file("crates/a/src/lib.rs", "flush").unwrap();
+        let state = g.reach_from(&[pump]);
+        assert!(state[flush].is_some());
+    }
+}

@@ -2,7 +2,12 @@
 //!
 //! Everything here is deliberately a compile-time constant: the point of
 //! the tool is that loosening an invariant is a reviewed code change, not
-//! an environment tweak. DESIGN.md §12 documents how to extend each list.
+//! an environment tweak. DESIGN.md §12 documents how to extend each list;
+//! §17 documents the taint-analysis source/sink/sanitizer tables.
+//!
+//! Path scopes for every rule family live in the one declarative
+//! [`SCOPED_RULES`] table; `tests` asserts each configured path exists on
+//! disk so a rename can't silently turn a rule into a no-op.
 
 /// Type names that hold raw key material ("tainted" types).
 ///
@@ -98,16 +103,6 @@ pub const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_e
 /// Macros that panic and are banned on library paths.
 pub const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable"];
 
-/// Path prefixes (workspace-relative, `/`-separated) that must stay
-/// deterministic: code reachable from the seeded simulator must not read
-/// wall clocks, sleep, or draw OS randomness. `siena/src/tcp.rs` is the
-/// real-transport boundary and is deliberately *not* in scope.
-pub const DETERMINISM_SCOPE: &[&str] = &[
-    "crates/net/src/",
-    "crates/routing/src/",
-    "crates/siena/src/fault.rs",
-];
-
 /// Identifiers banned inside the determinism scope.
 pub const NONDETERMINISTIC_IDENTS: &[&str] = &[
     "Instant",
@@ -119,48 +114,114 @@ pub const NONDETERMINISTIC_IDENTS: &[&str] = &[
     "getrandom",
 ];
 
-/// Files whose non-test code is the allocation-free dissemination hot
-/// path: per-message serialization there must go through the shared
-/// `FramePool` (encode once, fan out `Arc` clones), so per-call
-/// allocating conversions are banned. Entries ending in `/` cover the
-/// whole directory. See DESIGN.md §14.
-pub const HOT_PATH_FILES: &[&str] = &[
-    "crates/siena/src/tcp.rs",
-    "crates/siena/src/threaded.rs",
-    "crates/siena/src/reactor/",
-];
-
 /// Methods (called as `.name(`) that allocate a fresh buffer per call
 /// and therefore must not appear in hot-path files: `to_bytes` is the
 /// old one-copy-per-recipient serialization, `to_vec` the classic
 /// borrowed-slice detour.
 pub const HOT_PATH_ALLOC_METHODS: &[&str] = &["to_bytes", "to_vec"];
 
-/// Paths (workspace-relative; entries ending in `/` cover the whole
-/// directory) where `thread::spawn` is banned outside `// SPAWN-OK:`
-/// marked sites. The reactor transport's contract is a *fixed* thread
-/// count — worker pool, accept loop, dispatcher, client reactor — all
-/// sized at spawn time; an unmarked spawn is a regression back toward
-/// thread-per-connection. `threaded.rs` is deliberately out of scope:
-/// it is the retained thread-per-connection baseline.
-pub const SPAWN_SCOPE: &[&str] = &["crates/siena/src/tcp.rs", "crates/siena/src/reactor/"];
-
-/// Paths (workspace-relative; entries ending in `/` cover the whole
-/// directory) that must stay ciphertext-only at rest: the durable event
-/// log stores already-encoded opaque bytes, which is what makes it
-/// encrypted-at-rest for free under the honest-but-curious broker
-/// model. Naming the plaintext event model (or the wire codec) there
-/// means structured plaintext is being (de)serialized onto the disk
-/// path.
-pub const CIPHERTEXT_SCOPE: &[&str] = &["crates/siena/src/log/"];
-
 /// Identifiers banned inside the ciphertext-at-rest scope: the
 /// plaintext event/message model and its codec. `EventLog` is a single
-/// distinct identifier and does not match `Event`.
+/// distinct identifier and does not match `Event`. Enforced as the
+/// scope backstop of the taint pass (DESIGN.md §17).
 pub const CIPHERTEXT_BANNED_IDENTS: &[&str] = &["Event", "Message", "Wire", "psguard_model"];
 
-/// Relative path of the panic allowlist file.
-pub const ALLOWLIST_PATH: &str = "crates/xtask/allowlist.txt";
+// ---------------------------------------------------------------------
+// Declarative rule→scope table (all path-scoped rule families).
+// ---------------------------------------------------------------------
+
+/// A rule family's path scope. Entries are workspace-relative,
+/// `/`-separated; an entry ending in `/` covers the whole directory,
+/// anything else must match the file path exactly.
+#[derive(Debug)]
+pub struct ScopedRule {
+    /// Stable rule-family key (matches the `Rule` display name).
+    pub rule: &'static str,
+    /// Scope entries.
+    pub paths: &'static [&'static str],
+}
+
+/// Every path-scoped rule family in one place.
+///
+/// * `sim-determinism` — code reachable from the seeded simulator must
+///   not read wall clocks, sleep, or draw OS randomness.
+///   `siena/src/tcp.rs` is the real-transport boundary and is
+///   deliberately *not* in scope.
+/// * `hot-path-alloc` — the allocation-free dissemination hot path:
+///   per-message serialization goes through the shared `FramePool`
+///   (encode once, fan out `Arc` clones), so per-call allocating
+///   conversions are banned. See DESIGN.md §14.
+/// * `thread-per-connection` — the reactor transport's contract is a
+///   *fixed* thread count; an unmarked `thread::spawn` is a regression
+///   back toward thread-per-connection. `threaded.rs` is deliberately
+///   out of scope: it is the retained thread-per-connection baseline.
+/// * `ciphertext-at-rest` — the durable event log stores already-encoded
+///   opaque bytes; naming the plaintext model there means structured
+///   plaintext is being (de)serialized onto the disk path.
+/// * `taint-sink` — files whose raw I/O writes (`write_all` etc.) count
+///   as broker-visible sinks for the confidentiality taint pass.
+/// * `taint-format-sink` — files whose format macros count as
+///   broker-visible debug sinks (broker-side code only; client-side
+///   crates may legitimately format their own plaintext).
+/// * `reactor-blocking` / `channel-cycle` — files whose channel
+///   creations and blocking ops the reactor-safety pass tracks.
+pub const SCOPED_RULES: &[ScopedRule] = &[
+    ScopedRule {
+        rule: "sim-determinism",
+        paths: &[
+            "crates/net/src/",
+            "crates/routing/src/",
+            "crates/siena/src/fault.rs",
+        ],
+    },
+    ScopedRule {
+        rule: "hot-path-alloc",
+        paths: &[
+            "crates/siena/src/tcp.rs",
+            "crates/siena/src/threaded.rs",
+            "crates/siena/src/reactor/",
+        ],
+    },
+    ScopedRule {
+        rule: "thread-per-connection",
+        paths: &["crates/siena/src/tcp.rs", "crates/siena/src/reactor/"],
+    },
+    ScopedRule {
+        rule: "ciphertext-at-rest",
+        paths: &["crates/siena/src/log/"],
+    },
+    ScopedRule {
+        rule: "taint-sink",
+        paths: &[
+            "crates/siena/src/tcp.rs",
+            "crates/siena/src/wire.rs",
+            "crates/siena/src/threaded.rs",
+            "crates/siena/src/reactor/",
+            "crates/siena/src/log/",
+        ],
+    },
+    ScopedRule {
+        rule: "taint-format-sink",
+        paths: &["crates/siena/src/"],
+    },
+    ScopedRule {
+        rule: "reactor-blocking",
+        paths: &["crates/siena/src/reactor/"],
+    },
+    ScopedRule {
+        rule: "channel-cycle",
+        paths: &["crates/siena/src/reactor/"],
+    },
+];
+
+/// Whether `rel` falls in the named rule family's scope. Unknown rule
+/// keys match nothing.
+pub fn rule_scope_contains(rule: &str, rel: &str) -> bool {
+    SCOPED_RULES
+        .iter()
+        .filter(|s| s.rule == rule)
+        .any(|s| file_or_dir_match(s.paths, rel))
+}
 
 /// Whether a workspace-relative file path is in the panic-freedom scope.
 pub fn panic_scope_contains(rel: &str) -> bool {
@@ -172,7 +233,7 @@ pub fn panic_scope_contains(rel: &str) -> bool {
 
 /// Whether a workspace-relative file path is in the determinism scope.
 pub fn determinism_scope_contains(rel: &str) -> bool {
-    DETERMINISM_SCOPE.iter().any(|p| rel.starts_with(p))
+    rule_scope_contains("sim-determinism", rel)
 }
 
 /// Whether a path matches a scope list of exact files and `dir/` prefixes.
@@ -188,24 +249,105 @@ fn file_or_dir_match(list: &[&str], rel: &str) -> bool {
 
 /// Whether a workspace-relative file path is a dissemination hot path.
 pub fn hot_path_contains(rel: &str) -> bool {
-    file_or_dir_match(HOT_PATH_FILES, rel)
+    rule_scope_contains("hot-path-alloc", rel)
 }
 
 /// Whether a workspace-relative file path is in the fixed-thread-count
 /// (spawn-ban) scope.
 pub fn spawn_scope_contains(rel: &str) -> bool {
-    file_or_dir_match(SPAWN_SCOPE, rel)
+    rule_scope_contains("thread-per-connection", rel)
 }
 
 /// Whether a workspace-relative file path must stay ciphertext-only at
 /// rest.
 pub fn ciphertext_scope_contains(rel: &str) -> bool {
-    file_or_dir_match(CIPHERTEXT_SCOPE, rel)
+    rule_scope_contains("ciphertext-at-rest", rel)
 }
+
+// ---------------------------------------------------------------------
+// Confidentiality taint pass (DESIGN.md §17).
+// ---------------------------------------------------------------------
+
+/// Plaintext-bearing model types: a value of one of these types is a
+/// taint *source*. Restricted to the types that always carry plaintext
+/// content — `AttrValue`/`Constraint`/`Op` are deliberately excluded
+/// because `SecureEvent`/`SecureFilter` legitimately reuse them as
+/// opaque-payload containers; they still become tainted the moment they
+/// flow out of a tainted `Event`/`Filter`.
+pub const PLAINTEXT_SOURCE_TYPES: &[&str] = &["Event", "EventBuilder", "Filter", "Subscription"];
+
+/// Path roots under which a qualified mention of a source type still
+/// counts (`psguard_model::Event` yes, `F::Event` no — the latter is an
+/// associated type of a generic transport, already sealed by contract).
+pub const MODEL_PATH_ROOTS: &[&str] = &["psguard_model", "model"];
+
+/// Functions that launder taint: a value passed through one of these is
+/// sealed/encrypted and its result is broker-safe ciphertext.
+/// Name-matched, so any `publish` call sanitizes — an accepted
+/// approximation, reviewed in DESIGN.md §17.
+pub const SANITIZER_FNS: &[&str] = &["publish", "publish_batch", "from_filter", "encrypt_cbc"];
+
+/// Raw I/O methods that are broker-visible byte sinks *within the
+/// `taint-sink` scope* (sockets, the durable log).
+pub const RAW_SINK_METHODS: &[&str] = &["write_all", "write_vectored", "write"];
+
+/// Named seed sink functions: a tainted argument reaching one of these
+/// is a violation wherever the call appears.
+pub const SINK_FNS: &[&str] = &["write_frame", "write_frames"];
+
+/// Return-type identifiers considered incapable of carrying plaintext
+/// content. A function whose return type mentions *only* these never
+/// gets `returns_taint` from tail-expression inference (kills the
+/// `fn matches(&self, e: &Event) -> bool` class of false positives).
+/// `u8` is deliberately absent: `&[u8]` / `Vec<u8>` returns can be
+/// plaintext payload bytes.
+pub const SAFE_RETURN_IDENTS: &[&str] = &[
+    "bool", "usize", "isize", "u16", "u32", "u64", "u128", "i16", "i32", "i64", "f32", "f64",
+    "Ordering", "Duration",
+];
+
+/// Relative path of the panic allowlist file.
+pub const ALLOWLIST_PATH: &str = "crates/xtask/allowlist.txt";
+
+/// Relative path of the taint allowlist (shrink-only `TAINT-OK` budget,
+/// same format and reconciler as the panic allowlist). Kept empty: the
+/// workspace currently has no justified plaintext→sink paths.
+pub const TAINT_ALLOWLIST_PATH: &str = "crates/xtask/taint_allowlist.txt";
+
+// ---------------------------------------------------------------------
+// Reactor-safety pass (DESIGN.md §17).
+// ---------------------------------------------------------------------
+
+/// Entry points of the reactor's fixed threads: (file, fn name). Code
+/// reachable from these must not block (bounded-channel `send`, bare
+/// `recv`, `thread::sleep`) outside `// BLOCKING-OK:` marked sites —
+/// the PR 6 bug class, where one blocking send on the client I/O thread
+/// stalled every connection.
+pub const REACTOR_ENTRY_POINTS: &[(&str, &str)] = &[
+    ("crates/siena/src/reactor/broker.rs", "run_dispatcher"),
+    ("crates/siena/src/reactor/worker.rs", "run_broker_worker"),
+    ("crates/siena/src/reactor/client.rs", "run_client_reactor"),
+];
+
+// ---------------------------------------------------------------------
+// Workspace-lints inheritance rule.
+// ---------------------------------------------------------------------
+
+/// Crates allowed to override `[lints] workspace = true`, with the
+/// exact override they must carry instead. `crypto` needs
+/// `unsafe_code = "deny"` (not `forbid`) for the one zeroize volatile
+/// write; `bench` for the counting `GlobalAlloc` in the wire-throughput
+/// harness. `deny` still rejects unsafe everywhere except explicitly
+/// `#[allow]`-marked items.
+pub const LINTS_OVERRIDE_CRATES: &[(&str, &str)] = &[
+    ("crypto", "unsafe_code = \"deny\""),
+    ("bench", "unsafe_code = \"deny\""),
+];
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn scopes() {
@@ -225,6 +367,30 @@ mod tests {
         assert!(ciphertext_scope_contains("crates/siena/src/log/mod.rs"));
         assert!(ciphertext_scope_contains("crates/siena/src/log/segment.rs"));
         assert!(!ciphertext_scope_contains("crates/siena/src/wire.rs"));
+        assert!(rule_scope_contains(
+            "taint-sink",
+            "crates/siena/src/wire.rs"
+        ));
+        assert!(rule_scope_contains(
+            "taint-sink",
+            "crates/siena/src/log/segment.rs"
+        ));
+        assert!(!rule_scope_contains(
+            "taint-sink",
+            "crates/psguard/src/publisher.rs"
+        ));
+        assert!(rule_scope_contains(
+            "taint-format-sink",
+            "crates/siena/src/index.rs"
+        ));
+        assert!(!rule_scope_contains(
+            "taint-format-sink",
+            "crates/model/src/event.rs"
+        ));
+        assert!(!rule_scope_contains(
+            "no-such-rule",
+            "crates/siena/src/wire.rs"
+        ));
     }
 
     #[test]
@@ -233,5 +399,55 @@ mod tests {
         assert!(binding_is_tainted("session_secret"));
         assert!(!binding_is_tainted("key_count"));
         assert!(!binding_is_tainted("topic"));
+    }
+
+    /// Every configured path must exist on disk: a rename must not
+    /// silently turn a rule family into a no-op.
+    #[test]
+    fn configured_paths_exist() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf();
+        let mut checked = 0usize;
+        for scoped in SCOPED_RULES {
+            for p in scoped.paths {
+                let on_disk = root.join(p);
+                assert!(
+                    on_disk.exists(),
+                    "rule `{}` scope entry `{p}` does not exist on disk",
+                    scoped.rule
+                );
+                if p.ends_with('/') {
+                    assert!(on_disk.is_dir(), "`{p}` should be a directory");
+                } else {
+                    assert!(on_disk.is_file(), "`{p}` should be a file");
+                }
+                checked += 1;
+            }
+        }
+        for krate in PANIC_SCOPE_CRATES {
+            assert!(
+                root.join("crates").join(krate).join("src").is_dir(),
+                "panic-scope crate `{krate}` has no src/ on disk"
+            );
+            checked += 1;
+        }
+        for (file, _) in REACTOR_ENTRY_POINTS {
+            assert!(
+                root.join(file).is_file(),
+                "reactor entry-point file `{file}` does not exist on disk"
+            );
+            checked += 1;
+        }
+        for (krate, _) in LINTS_OVERRIDE_CRATES {
+            assert!(
+                root.join("crates").join(krate).join("Cargo.toml").is_file(),
+                "lints-override crate `{krate}` has no Cargo.toml on disk"
+            );
+            checked += 1;
+        }
+        assert!(checked > 15, "table unexpectedly small: {checked}");
     }
 }

@@ -50,6 +50,12 @@ pub struct LexedFile {
     /// `spawn_ok_lines[n]` is true when line `n` carries a
     /// `// SPAWN-OK: <justification>` comment.
     pub spawn_ok_lines: Vec<bool>,
+    /// `taint_ok_lines[n]` is true when line `n` carries a
+    /// `// TAINT-OK: <justification>` comment.
+    pub taint_ok_lines: Vec<bool>,
+    /// `blocking_ok_lines[n]` is true when line `n` carries a
+    /// `// BLOCKING-OK: <justification>` comment.
+    pub blocking_ok_lines: Vec<bool>,
 }
 
 impl LexedFile {
@@ -78,6 +84,29 @@ impl LexedFile {
                 .unwrap_or(false)
         })
     }
+
+    /// Whether the given 1-based line, or one of the two lines above it,
+    /// carries a TAINT-OK justification (same window convention as
+    /// SPAWN-OK: the comment sits on or just above the flagged call).
+    pub fn is_taint_ok_near(&self, line: u32) -> bool {
+        (line.saturating_sub(2)..=line).any(|l| {
+            self.taint_ok_lines
+                .get(l as usize)
+                .copied()
+                .unwrap_or(false)
+        })
+    }
+
+    /// Whether the given 1-based line, or one of the two lines above it,
+    /// carries a BLOCKING-OK justification.
+    pub fn is_blocking_ok_near(&self, line: u32) -> bool {
+        (line.saturating_sub(2)..=line).any(|l| {
+            self.blocking_ok_lines
+                .get(l as usize)
+                .copied()
+                .unwrap_or(false)
+        })
+    }
 }
 
 /// Lexes a whole source file.
@@ -89,6 +118,8 @@ pub fn lex(source: &str) -> LexedFile {
         test_lines: vec![false; line_count + 1],
         panic_ok_lines: vec![false; line_count + 1],
         spawn_ok_lines: vec![false; line_count + 1],
+        taint_ok_lines: vec![false; line_count + 1],
+        blocking_ok_lines: vec![false; line_count + 1],
     };
 
     let mut i = 0usize;
@@ -124,6 +155,16 @@ pub fn lex(source: &str) -> LexedFile {
                 }
                 if comment.contains("SPAWN-OK:") {
                     if let Some(slot) = out.spawn_ok_lines.get_mut(line as usize) {
+                        *slot = true;
+                    }
+                }
+                if comment.contains("TAINT-OK:") {
+                    if let Some(slot) = out.taint_ok_lines.get_mut(line as usize) {
+                        *slot = true;
+                    }
+                }
+                if comment.contains("BLOCKING-OK:") {
+                    if let Some(slot) = out.blocking_ok_lines.get_mut(line as usize) {
                         *slot = true;
                     }
                 }

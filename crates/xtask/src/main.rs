@@ -1,6 +1,6 @@
 //! CLI for the workspace static-analysis pass.
 //!
-//! Usage: `cargo run -p psguard-xtask -- check`
+//! Usage: `cargo run -p psguard-xtask -- check [--format json|text]`
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,26 +15,57 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("check") => check(),
+        Some("check") => {
+            let mut format = Format::Text;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--format" => match args.next().as_deref() {
+                        Some("json") => format = Format::Json,
+                        Some("text") => format = Format::Text,
+                        other => {
+                            eprintln!(
+                                "--format expects `json` or `text`, got `{}`",
+                                other.unwrap_or("<nothing>")
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown flag `{other}`; try `check [--format json|text]`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            check(format)
+        }
         Some(other) => {
             eprintln!("unknown subcommand `{other}`; try `check`");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p psguard-xtask -- check");
+            eprintln!("usage: cargo run -p psguard-xtask -- check [--format json|text]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn check() -> ExitCode {
+fn check(format: Format) -> ExitCode {
     let root = workspace_root();
     match psguard_xtask::run_check(&root) {
         Ok(report) => {
-            print!("{}", psguard_xtask::render(&report));
+            match format {
+                Format::Text => print!("{}", psguard_xtask::render(&report)),
+                Format::Json => print!("{}", psguard_xtask::render_json(&report)),
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,0 +1,150 @@
+//! Workspace-lints inheritance rule: every crate must inherit
+//! `[workspace.lints]` (which forbids `unsafe_code`), so a new crate
+//! can't silently opt out of the workspace's safety posture. The only
+//! sanctioned overrides are in [`config::LINTS_OVERRIDE_CRATES`] —
+//! crates that need `deny` instead of `forbid` for one audited
+//! `#[allow(unsafe_code)]` item each — and those must carry *exactly*
+//! the configured override.
+
+use std::path::Path;
+
+use crate::config;
+use crate::rules::{Finding, Rule};
+
+/// Checks every `crates/*/Cargo.toml` under `root`. `read` abstracts the
+/// filesystem so fixtures can inject manifests; production callers pass
+/// `std::fs::read_to_string` semantics via [`check_workspace`].
+pub fn check(crate_names: &[String], read: impl Fn(&str) -> Option<String>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for name in crate_names {
+        let rel = format!("crates/{name}/Cargo.toml");
+        let Some(text) = read(&rel) else {
+            findings.push(finding(
+                &rel,
+                format!("crate `{name}` has no readable Cargo.toml"),
+            ));
+            continue;
+        };
+        let override_required = config::LINTS_OVERRIDE_CRATES
+            .iter()
+            .find(|(c, _)| c == name)
+            .map(|(_, req)| *req);
+        match override_required {
+            None => {
+                if !has_workspace_lints(&text) {
+                    findings.push(finding(
+                        &rel,
+                        format!(
+                            "crate `{name}` does not inherit workspace lints; add \
+                             `[lints]` / `workspace = true` (unsafe code stays forbidden)"
+                        ),
+                    ));
+                }
+            }
+            Some(required) => {
+                if has_workspace_lints(&text) {
+                    // Inheriting is also acceptable (stricter than the
+                    // sanctioned override) — nothing to flag.
+                } else if !has_override(&text, required) {
+                    findings.push(finding(
+                        &rel,
+                        format!(
+                            "crate `{name}` must carry exactly `[lints.rust]` / `{required}` \
+                             (the sanctioned unsafe-audit override) or inherit workspace lints"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Disk-backed variant over the real workspace.
+pub fn check_workspace(root: &Path, crate_names: &[String]) -> Vec<Finding> {
+    check(crate_names, |rel| {
+        std::fs::read_to_string(root.join(rel)).ok()
+    })
+}
+
+fn finding(rel: &str, message: String) -> Finding {
+    Finding {
+        file: rel.to_owned(),
+        line: 1,
+        rule: Rule::LintsInheritance,
+        message,
+        allowlisted: false,
+    }
+}
+
+/// Whether the manifest has a `[lints]` table whose first entry is
+/// `workspace = true`.
+fn has_workspace_lints(text: &str) -> bool {
+    section_lines(text, "[lints]").any(|l| normalized(l) == "workspace=true")
+}
+
+fn has_override(text: &str, required: &str) -> bool {
+    let want = normalized(required);
+    section_lines(text, "[lints.rust]").any(|l| normalized(l) == want)
+}
+
+/// Lines belonging to the named TOML table (until the next `[` header).
+fn section_lines<'a>(text: &'a str, header: &'a str) -> impl Iterator<Item = &'a str> {
+    let mut in_section = false;
+    text.lines().filter(move |raw| {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_section = line == header;
+            return false;
+        }
+        in_section && !line.is_empty() && !line.starts_with('#')
+    })
+}
+
+fn normalized(line: &str) -> String {
+    line.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn inheriting_crate_is_clean_and_missing_section_flagged() {
+        let good = "[package]\nname = \"a\"\n\n[lints]\nworkspace = true\n";
+        let bad = "[package]\nname = \"a\"\n";
+        assert!(check(&names(&["model"]), |_| Some(good.into())).is_empty());
+        let f = check(&names(&["model"]), |_| Some(bad.into()));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::LintsInheritance);
+    }
+
+    #[test]
+    fn sanctioned_override_must_match_exactly() {
+        let exact = "[lints.rust]\nunsafe_code = \"deny\"\n";
+        let wrong = "[lints.rust]\nunsafe_code = \"allow\"\n";
+        assert!(check(&names(&["crypto"]), |_| Some(exact.into())).is_empty());
+        assert_eq!(check(&names(&["crypto"]), |_| Some(wrong.into())).len(), 1);
+    }
+
+    #[test]
+    fn override_crate_may_also_just_inherit() {
+        let inherit = "[lints]\nworkspace = true\n";
+        assert!(check(&names(&["bench"]), |_| Some(inherit.into())).is_empty());
+    }
+
+    #[test]
+    fn unreadable_manifest_flagged() {
+        assert_eq!(check(&names(&["ghost"]), |_| None).len(), 1);
+    }
+
+    #[test]
+    fn lints_header_in_other_section_does_not_count() {
+        let sneaky = "[dependencies]\nworkspace = true\n";
+        assert_eq!(check(&names(&["model"]), |_| Some(sneaky.into())).len(), 1);
+    }
+}

@@ -29,8 +29,26 @@ pub enum Rule {
     /// the durable log. The log stores already-encoded opaque bytes —
     /// that is what makes it encrypted-at-rest for free under the
     /// honest-but-curious broker; (de)serializing `Event` there puts
-    /// structured plaintext on the disk path.
+    /// structured plaintext on the disk path. Emitted by the taint
+    /// pass's scope backstop ([`crate::taint`]).
     CiphertextAtRest,
+    /// An interprocedural plaintext→sink flow found by the taint pass:
+    /// a plaintext model value originates (constructor or
+    /// plaintext-returning call) and reaches a broker-visible sink
+    /// (socket/frame write, log write, format macro) without passing a
+    /// sanitizer. See [`crate::taint`] and DESIGN.md §17.
+    ConfidentialityTaint,
+    /// A blocking operation (bounded-channel `send`, bare `recv`,
+    /// `thread::sleep`) reachable from a reactor entry point. See
+    /// [`crate::reactor_safety`].
+    ReactorBlocking,
+    /// Two reactor components with blocking bounded sends toward each
+    /// other — a deadlock candidate. See [`crate::reactor_safety`].
+    ChannelCycle,
+    /// A workspace crate that does not inherit `[workspace.lints]`
+    /// (and is not a sanctioned unsafe-audit override). See
+    /// [`crate::manifests`].
+    LintsInheritance,
 }
 
 impl std::fmt::Display for Rule {
@@ -42,6 +60,10 @@ impl std::fmt::Display for Rule {
             Rule::HotPathAlloc => f.write_str("hot-path-alloc"),
             Rule::ThreadPerConnection => f.write_str("thread-per-connection"),
             Rule::CiphertextAtRest => f.write_str("ciphertext-at-rest"),
+            Rule::ConfidentialityTaint => f.write_str("confidentiality-taint"),
+            Rule::ReactorBlocking => f.write_str("reactor-blocking"),
+            Rule::ChannelCycle => f.write_str("channel-cycle"),
+            Rule::LintsInheritance => f.write_str("lints-inheritance"),
         }
     }
 }
@@ -88,9 +110,6 @@ pub fn scan_file(rel_path: &str, lexed: &LexedFile) -> Vec<Finding> {
     }
     if config::spawn_scope_contains(rel_path) {
         thread_per_connection(rel_path, lexed, &mut findings);
-    }
-    if config::ciphertext_scope_contains(rel_path) {
-        ciphertext_at_rest(rel_path, lexed, &mut findings);
     }
     findings
 }
@@ -447,34 +466,6 @@ fn thread_per_connection(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Findin
     }
 }
 
-/// Ciphertext-at-rest: the durable log must treat payloads as opaque
-/// bytes. A reference to the plaintext event model or the wire codec on
-/// a non-test line of the log module means structured plaintext is
-/// being (de)serialized onto the disk path, breaking the free
-/// encrypted-at-rest property of storing already-encoded ciphertext.
-fn ciphertext_at_rest(rel_path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
-    for t in &lexed.tokens {
-        if lexed.is_test_line(t.line) {
-            continue;
-        }
-        if let Tok::Ident(name) = &t.tok {
-            if config::CIPHERTEXT_BANNED_IDENTS.contains(&name.as_str()) {
-                out.push(Finding {
-                    file: rel_path.to_owned(),
-                    line: t.line,
-                    rule: Rule::CiphertextAtRest,
-                    message: format!(
-                        "`{name}` inside the durable log: the log stores opaque \
-                         already-encoded bytes only; decode/encode events at the \
-                         dispatcher, never on the disk path"
-                    ),
-                    allowlisted: false,
-                });
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,39 +641,5 @@ mod tests {
             "fn lib(x: Option<u8>) { x.unwrap_or_else(|| 0); x.unwrap_or(1); }\n",
         );
         assert!(f.is_empty(), "{f:?}");
-    }
-
-    #[test]
-    fn event_in_log_module_is_flagged() {
-        let f = scan(
-            "crates/siena/src/log/mod.rs",
-            "use psguard_model::Event;\nfn bad(p: &[u8]) { let _ = Event::from_bytes(p); }\n",
-        );
-        let c: Vec<_> = f
-            .iter()
-            .filter(|x| x.rule == Rule::CiphertextAtRest)
-            .collect();
-        // psguard_model + Event in the use, Event at the call site.
-        assert_eq!(c.len(), 3, "{c:#?}");
-    }
-
-    #[test]
-    fn eventlog_and_opaque_bytes_are_not_flagged() {
-        let f = scan(
-            "crates/siena/src/log/mod.rs",
-            "pub struct EventLog { scratch: Vec<u8> }\n\
-             impl EventLog { fn append(&mut self, payload: &[u8]) { let _ = payload; } }\n\
-             #[cfg(test)]\nmod tests {\n  use psguard_model::Event;\n}\n",
-        );
-        assert!(f.iter().all(|x| x.rule != Rule::CiphertextAtRest), "{f:#?}");
-    }
-
-    #[test]
-    fn ciphertext_rule_stops_at_the_log_boundary() {
-        let f = scan(
-            "crates/siena/src/reactor/broker.rs",
-            "fn replay(p: &[u8]) { let _ = Event::from_bytes(p); }\n",
-        );
-        assert!(f.iter().all(|x| x.rule != Rule::CiphertextAtRest), "{f:#?}");
     }
 }

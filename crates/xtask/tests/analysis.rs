@@ -1,0 +1,125 @@
+//! Analysis-pipeline integration tests against the live workspace: the
+//! item parser must handle every production source file, the configured
+//! reactor entry points must resolve, and the taint self-check must be
+//! clean with an EMPTY `TAINT-OK` allowlist — plaintext confidentiality
+//! is proven, not budgeted.
+
+use std::path::{Path, PathBuf};
+
+use psguard_xtask::callgraph::CallGraph;
+use psguard_xtask::parser::{load, SourceFile};
+use psguard_xtask::symbols::SymbolTable;
+use psguard_xtask::{config, reactor_safety, taint};
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every production `.rs` file in the workspace, loaded through the
+/// lexer + parser as `run_check` would see it.
+fn load_workspace() -> Vec<SourceFile> {
+    let root = workspace_root();
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    let mut dirs: Vec<_> = std::fs::read_dir(&crates)
+        .unwrap_or_else(|e| panic!("{}: {e}", crates.display()))
+        .map(|e| e.unwrap().path())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths);
+        for path in paths {
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            files.push(load(&rel, &source));
+        }
+    }
+    files
+}
+
+#[test]
+fn parser_handles_every_workspace_file() {
+    let files = load_workspace();
+    assert!(files.len() > 50, "walker found too few files");
+    let gaps: Vec<String> = files
+        .iter()
+        .filter(|f| !f.parsed.fully_parsed())
+        .map(|f| {
+            format!(
+                "{}: parsed {} of {} fn items",
+                f.rel, f.parsed.fns_parsed, f.parsed.fn_keywords_seen
+            )
+        })
+        .collect();
+    assert!(gaps.is_empty(), "parser gaps:\n{}", gaps.join("\n"));
+    let total_fns: usize = files.iter().map(|f| f.parsed.fns.len()).sum();
+    assert!(total_fns > 500, "suspiciously few fn items: {total_fns}");
+}
+
+#[test]
+fn reactor_entry_points_resolve_in_live_workspace() {
+    let files = load_workspace();
+    let table = SymbolTable::build(files.iter().map(|f| &f.parsed));
+    for (rel, name) in config::REACTOR_ENTRY_POINTS {
+        assert!(
+            table.find_in_file(rel, name).is_some(),
+            "entry point `{name}` not found in {rel} — config rot"
+        );
+    }
+    // And the pass itself reports no missing-entry config-rot finding.
+    let graph = CallGraph::build(&table);
+    let findings = reactor_safety::run(&files, &table, &graph, config::REACTOR_ENTRY_POINTS);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn workspace_taint_self_check_is_clean_with_empty_allowlist() {
+    let files = load_workspace();
+    let table = SymbolTable::build(files.iter().map(|f| &f.parsed));
+    let report = taint::run(&files, &table);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    // The confidentiality claim must hold without budgeted exceptions:
+    // no TAINT-OK sites in the tree, no entries in the allowlist.
+    assert!(report.justified.is_empty(), "{:#?}", report.justified);
+    let allowlist = std::fs::read_to_string(workspace_root().join(config::TAINT_ALLOWLIST_PATH))
+        .expect("taint allowlist must exist");
+    let entries: Vec<&str> = allowlist
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    assert!(
+        entries.is_empty(),
+        "taint allowlist must stay empty: {entries:?}"
+    );
+}

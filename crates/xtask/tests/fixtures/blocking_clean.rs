@@ -1,0 +1,25 @@
+//! Clean counterpart: the reactor uses `try_send` with an overflow
+//! policy on the bounded channel, unbounded sends (which never block),
+//! and non-blocking receives. The one sleep is a justified
+//! shutdown-path drain.
+
+fn run_client_reactor() {
+    let (etx, erx) = bounded::<Event>(64);
+    let (utx, urx) = unbounded::<Stat>();
+    pump(&etx, &utx);
+    drain(&erx);
+    // BLOCKING-OK: bounded shutdown drain after the event loop exits.
+    std::thread::sleep(FLUSH_NAP);
+}
+
+fn pump(etx: &Sender<Event>, utx: &Sender<Stat>) {
+    if etx.try_send(next_event()).is_err() {
+        utx.send(overflow_stat()).ok();
+    }
+}
+
+fn drain(erx: &Receiver<Event>) {
+    while let Ok(ev) = erx.try_recv() {
+        handle(ev);
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded reactor-safety violation: the client reactor loop calls a
+//! helper that does a blocking `.send` on a bounded channel — exactly
+//! the back-pressure deadlock shape the readiness-driven design
+//! forbids on reactor threads.
+
+fn run_client_reactor() {
+    let (etx, erx) = bounded::<Event>(64);
+    pump(&etx);
+    drain(&erx);
+}
+
+fn pump(etx: &Sender<Event>) {
+    etx.send(next_event()).ok();
+}
+
+fn drain(erx: &Receiver<Event>) {
+    while let Ok(ev) = erx.try_recv() {
+        handle(ev);
+    }
+}

@@ -1,0 +1,29 @@
+//! Clean counterpart: one direction of the dispatcher<->worker pair
+//! uses `try_send` (drop-on-overflow), which breaks the wait-for
+//! cycle — a full queue can no longer make that side block.
+
+fn run_dispatcher() {
+    fwd_to_worker();
+    let m = drx.recv_timeout(TICK);
+    apply(m);
+}
+
+fn run_broker_worker() {
+    fwd_to_dispatcher();
+    let m = wrx.try_recv();
+    apply(m);
+}
+
+fn fwd_to_worker() {
+    wtx.send(job()).ok();
+}
+
+fn fwd_to_dispatcher() {
+    dtx.try_send(msg()).ok();
+}
+
+fn setup() {
+    let (wtx, wrx) = bounded::<Job>(4);
+    let (dtx, drx) = bounded::<Msg>(4);
+    wire(wtx, wrx, dtx, drx);
+}

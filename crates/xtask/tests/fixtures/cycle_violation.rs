@@ -1,0 +1,31 @@
+//! Seeded channel-cycle violation: the dispatcher and a worker forward
+//! to each other over bounded channels with blocking sends — if both
+//! queues fill, each side blocks sending while the other blocks too,
+//! and neither ever drains. The analyzer must name both channel
+//! creation sites.
+
+fn run_dispatcher() {
+    fwd_to_worker();
+    let m = drx.recv_timeout(TICK);
+    apply(m);
+}
+
+fn run_broker_worker() {
+    fwd_to_dispatcher();
+    let m = wrx.try_recv();
+    apply(m);
+}
+
+fn fwd_to_worker() {
+    wtx.send(job()).ok();
+}
+
+fn fwd_to_dispatcher() {
+    dtx.send(msg()).ok();
+}
+
+fn setup() {
+    let (wtx, wrx) = bounded::<Job>(4);
+    let (dtx, drx) = bounded::<Msg>(4);
+    wire(wtx, wrx, dtx, drx);
+}

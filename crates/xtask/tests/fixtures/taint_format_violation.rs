@@ -1,0 +1,13 @@
+//! Seeded confidentiality-taint violation: a plaintext filter reaches a
+//! Debug/format sink (broker-side log line) through an intermediate
+//! helper. Filters reveal subscriber interests, so broker-side code
+//! must not format them.
+
+fn diagnose() {
+    let filter = Filter::builder().field("sym").build();
+    dump(&filter);
+}
+
+fn dump(filter: &Filter) {
+    println!("routing state {filter:?}");
+}

@@ -1,0 +1,13 @@
+//! Seeded confidentiality-taint violation: a plaintext event reaches
+//! the durable log through an intermediate helper. Scanned as if it
+//! lived under `crates/siena/src/log/`, so the ciphertext-at-rest
+//! scope backstop fires too (the log must not even name the model).
+
+fn persist(log: &mut LogWriter) {
+    let event = Event::builder("audit").attr("who", 9).build();
+    append_plain(log, &event);
+}
+
+fn append_plain(log: &mut LogWriter, event: &Event) {
+    write_frame(log, event.as_bytes());
+}

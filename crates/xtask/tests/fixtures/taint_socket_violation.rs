@@ -1,0 +1,18 @@
+//! Seeded confidentiality-taint violation: a locally constructed
+//! plaintext event reaches a socket write through two intermediate
+//! helpers. The analyzer must report the FULL chain
+//! (build_and_ship -> forward -> emit -> write_all), not just the
+//! sink line.
+
+fn build_and_ship(w: &mut TcpStream) {
+    let event = Event::builder("alarm").attr("zone", 7).build();
+    forward(w, &event);
+}
+
+fn forward(w: &mut TcpStream, event: &Event) {
+    emit(w, event);
+}
+
+fn emit(w: &mut TcpStream, event: &Event) {
+    w.write_all(event.as_bytes()).ok();
+}
