@@ -1,7 +1,7 @@
 //! Analytical models, synthetic workload generation and statistics for
 //! the PSGuard evaluation.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * model-level functions ([`nakt_max_costs`], [`nakt_avg_costs`],
 //!   [`kdc_costs`], [`subscriber_costs`], [`cost_ratio_lower_bound`],
@@ -9,6 +9,9 @@
 //! * [`Workload`] — the §5.2 synthetic workload: 128 Zipf-popular topics
 //!   (32 plain / numeric / category / string), Gaussian subscription
 //!   ranges, 256-byte payloads;
+//! * [`ScenarioTrace`] — seeded adversarial workload scripts (flash
+//!   crowds, churn waves, revocation storms, publisher bursts) replayed
+//!   by the `e2e_scaling` macro-bench and the chaos suite;
 //! * [`summarize`] / [`percentile`] / [`TextTable`] — the statistics and
 //!   fixed-width rendering used by every `tableN`/`figN` harness binary.
 
@@ -18,6 +21,7 @@
 mod churn;
 mod models;
 mod samplers;
+mod scenarios;
 mod stats;
 mod workload;
 
@@ -27,5 +31,9 @@ pub use models::{
     ChurnModel, KdcCostRow, NaktCosts, SubscriberCostRow,
 };
 pub use samplers::{gaussian, gaussian_clamped, ZipfSampler};
+pub use scenarios::{
+    ChurnKind, ChurnOp, PublishOp, RevokeOp, ScenarioConfig, ScenarioKind, ScenarioTrace,
+    Subscription,
+};
 pub use stats::{percentile, summarize, Summary, TextTable};
 pub use workload::{CategoryTree, TopicKind, TopicSpec, Workload, WorkloadConfig};

@@ -1,0 +1,500 @@
+//! Million-subscriber end-to-end macro-bench: publisher encrypt →
+//! `ShardedPipeline` match → wire fan-out, under adversarial workloads.
+//!
+//! Three sections, all landing in `BENCH_e2e.json`:
+//!
+//! * **sizes** — the e2e trajectory over {10k, 100k, 1M} subscriptions:
+//!   each measured pass AES-CBC-encrypts the payload, PRF-tags the
+//!   topic, batches events through the sharded pipeline (the PR1/PR4
+//!   token fast paths: `RoutableTag` probes against prepared
+//!   `PrfContext`s), then encodes each delivered event once into a
+//!   pooled wire frame and charges its bytes per recipient.
+//! * **scenarios** — every [`ScenarioKind`] replayed end-to-end with
+//!   churn and revocations applied at their pinned positions.
+//! * **index_rework** — the arena `MatchIndex` against the frozen
+//!   pre-rework `LegacyMatchIndex` on identical tables, match-for-match
+//!   equality checked, with the ≥2x floor asserted at 1M entries.
+//!
+//! `--smoke` shrinks every axis to CI seconds and swaps the perf floors
+//! for the correctness floors (equality + positive rates) — perf floors
+//! on shared CI runners are noise, as pipeline_scaling learned.
+
+use std::time::Instant;
+
+use psguard_analysis::{ChurnKind, ScenarioConfig, ScenarioKind, ScenarioTrace};
+use psguard_bench::support::{assert_floor, measure, write_bench_json, Json};
+use psguard_crypto::{cbc_encrypt, kh, prf, Aes128, Token};
+use psguard_model::{Constraint, Event, Filter, IntRange, Op};
+use psguard_routing::{RoutableTag, SecureEvent, SecureFilter};
+use psguard_siena::{
+    BatchDeliveries, FramePool, LegacyMatchIndex, MatchIndex, Message, Peer, ShardedPipeline,
+};
+
+/// Distinct topics (Zipf ranks = live tokens probed per event).
+const TOPICS: usize = 256;
+/// Pipeline shards (recorded in the JSON; the box is single-core, so
+/// this measures the sharded code path, not parallel speedup).
+const SHARDS: usize = 4;
+/// Events per `publish_batch` call.
+const BATCH: usize = 256;
+/// Plaintext payload bytes per event (encrypted in the measured loop).
+const PAYLOAD: usize = 256;
+
+fn topic_token(t: u32) -> Token {
+    prf(b"e2e-master", format!("topic{t:03}").as_bytes())
+}
+
+fn secure_filter(topic: u32, lo: i64, hi: i64) -> SecureFilter {
+    SecureFilter {
+        token: topic_token(topic),
+        constraints: vec![Constraint::new(
+            "x",
+            Op::InRange(IntRange::new(lo, hi).expect("trace ranges are ordered")),
+        )],
+    }
+}
+
+/// The publisher: PRF topic tag, AES-CBC payload, encrypt-then-MAC.
+/// This is the per-event cost the e2e loop pays before routing.
+fn encrypt_event(
+    cipher: &Aes128,
+    tokens: &[Token],
+    topic: u32,
+    value: i64,
+    seq: u64,
+    plaintext: &[u8],
+) -> SecureEvent {
+    let mut nonce = [0u8; 16];
+    nonce[..8].copy_from_slice(&seq.to_le_bytes());
+    let iv = kh(b"e2e-iv", &nonce)[..16]
+        .try_into()
+        .expect("kh yields 20 bytes");
+    let ciphertext = cbc_encrypt(cipher, &iv, plaintext);
+    let mut mac_input = Vec::with_capacity(16 + ciphertext.len());
+    mac_input.extend_from_slice(&iv);
+    mac_input.extend_from_slice(&ciphertext);
+    let mac = kh(b"e2e-mac", &mac_input);
+    SecureEvent {
+        tag: RoutableTag::with_nonce(&tokens[topic as usize], nonce),
+        event: Event::builder("")
+            .attr("x", value)
+            .payload(ciphertext)
+            .build(),
+        iv,
+        epoch: 0,
+        mac,
+    }
+}
+
+/// One full e2e pass over the trace's publish stream: encrypt, match,
+/// wire-encode, charge bytes per recipient. Returns (deliveries, bytes).
+#[allow(clippy::too_many_arguments)]
+fn e2e_pass(
+    pipeline: &mut ShardedPipeline<SecureFilter>,
+    cipher: &Aes128,
+    tokens: &[Token],
+    trace: &ScenarioTrace,
+    plaintext: &[u8],
+    pool: &FramePool,
+    batch_buf: &mut Vec<SecureEvent>,
+    deliveries_buf: &mut BatchDeliveries,
+) -> (u64, u64) {
+    let mut delivered = 0u64;
+    let mut bytes = 0u64;
+    let mut seq = 0u64;
+    for chunk in trace.publishes.chunks(BATCH) {
+        batch_buf.clear();
+        for p in chunk {
+            batch_buf.push(encrypt_event(
+                cipher, tokens, p.topic, p.value, seq, plaintext,
+            ));
+            seq += 1;
+        }
+        pipeline.publish_batch_into(Peer::Parent, batch_buf, deliveries_buf);
+        for (i, peers) in deliveries_buf.iter().enumerate() {
+            if peers.is_empty() {
+                continue;
+            }
+            // Encode once, fan the shared frame out to every recipient.
+            let frame = pool.encode(&Message::<SecureFilter, SecureEvent>::Publish(
+                batch_buf[i].clone(),
+            ));
+            delivered += peers.len() as u64;
+            bytes += (frame.wire_bytes().len() * peers.len()) as u64;
+        }
+    }
+    (delivered, bytes)
+}
+
+struct SizeRow {
+    subscriptions: usize,
+    eps: f64,
+    iters: usize,
+    delivered_per_pass: u64,
+    wire_mb_per_pass: f64,
+    batch_work: u64,
+}
+
+/// The e2e trajectory cell at `n` subscriptions.
+fn run_size(n: usize, events: usize, min_ms: u128, tokens: &[Token]) -> SizeRow {
+    let cfg = ScenarioConfig {
+        kind: ScenarioKind::Steady,
+        topics: TOPICS,
+        zipf_s: 1.1,
+        subscribers: n as u32,
+        events,
+        value_range: 256,
+        sub_width: 96,
+        seed: 0x5e2e,
+    };
+    let trace = ScenarioTrace::generate(&cfg);
+
+    let mut pipeline: ShardedPipeline<SecureFilter> =
+        ShardedPipeline::with_capacity(true, SHARDS, n);
+    for s in &trace.initial {
+        pipeline.subscribe(Peer::Local(s.client), secure_filter(s.topic, s.lo, s.hi));
+    }
+
+    let cipher = Aes128::new(&[0x42; 16]);
+    let plaintext = vec![0xABu8; PAYLOAD];
+    let pool = FramePool::new();
+    let mut batch_buf = Vec::with_capacity(BATCH);
+    let mut deliveries_buf = BatchDeliveries::new();
+    let mut delivered = 0u64;
+    let mut bytes = 0u64;
+    let m = measure(1, 1, min_ms, |_| {
+        let (d, b) = e2e_pass(
+            &mut pipeline,
+            &cipher,
+            tokens,
+            &trace,
+            &plaintext,
+            &pool,
+            &mut batch_buf,
+            &mut deliveries_buf,
+        );
+        delivered = d;
+        bytes = b;
+    });
+    let eps = m.per_sec * trace.publishes.len() as f64;
+    let row = SizeRow {
+        subscriptions: n,
+        eps,
+        iters: m.iters,
+        delivered_per_pass: delivered,
+        wire_mb_per_pass: bytes as f64 / 1e6,
+        batch_work: pipeline.last_batch_work(),
+    };
+    println!(
+        "n={n:>8}  e2e {eps:>11.0} ev/s ({} passes)  fanout/pass {delivered}  wire {:.1} MB/pass",
+        m.iters, row.wire_mb_per_pass
+    );
+    row
+}
+
+struct ScenarioRow {
+    kind: ScenarioKind,
+    eps: f64,
+    delivered: u64,
+    churn_ops: usize,
+    revocations: usize,
+}
+
+/// Replays one scenario end-to-end, applying churn and revocations at
+/// their pinned positions in the publish stream. Returns the timed row;
+/// the replay runs twice (warm, then measured).
+fn run_scenario(kind: ScenarioKind, subs: u32, events: usize, tokens: &[Token]) -> ScenarioRow {
+    let cfg = ScenarioConfig {
+        kind,
+        topics: TOPICS,
+        zipf_s: 1.1,
+        subscribers: subs,
+        events,
+        value_range: 256,
+        sub_width: 96,
+        seed: 0xad0 + kind as u64,
+    };
+    let trace = ScenarioTrace::generate(&cfg);
+    let cipher = Aes128::new(&[0x42; 16]);
+    let plaintext = vec![0xABu8; PAYLOAD];
+    let pool = FramePool::new();
+
+    let mut timed = 0.0f64;
+    let mut delivered = 0u64;
+    for round in 0..2 {
+        // Fresh pipeline per round: churn and revocations mutate it.
+        let mut pipeline: ShardedPipeline<SecureFilter> =
+            ShardedPipeline::with_capacity(true, SHARDS, subs as usize);
+        let max_client = trace.max_client().map_or(0, |c| c + 1);
+        let mut live: Vec<Vec<SecureFilter>> = vec![Vec::new(); max_client as usize];
+        for s in &trace.initial {
+            let f = secure_filter(s.topic, s.lo, s.hi);
+            pipeline.subscribe(Peer::Local(s.client), f.clone());
+            live[s.client as usize].push(f);
+        }
+
+        let mut churn = trace.churn.iter().peekable();
+        let mut revs = trace.revocations.iter().peekable();
+        let mut batch_buf = Vec::with_capacity(BATCH);
+        let mut deliveries_buf = BatchDeliveries::new();
+        delivered = 0;
+        let start = Instant::now();
+        let mut seq = 0u64;
+        let mut at = 0usize;
+        for chunk in trace.publishes.chunks(BATCH) {
+            // Apply every operation pinned inside this batch window up
+            // front; batching quantizes "before event k" to the batch
+            // boundary, which is fine for a throughput bench.
+            while let Some(c) = churn.peek().filter(|c| c.at_event < at + chunk.len()) {
+                let f = secure_filter(c.sub.topic, c.sub.lo, c.sub.hi);
+                match c.kind {
+                    ChurnKind::Join => {
+                        pipeline.subscribe(Peer::Local(c.sub.client), f.clone());
+                        live[c.sub.client as usize].push(f);
+                    }
+                    ChurnKind::Leave => {
+                        pipeline.unsubscribe(Peer::Local(c.sub.client), &f);
+                        live[c.sub.client as usize].retain(|g| g != &f);
+                    }
+                }
+                churn.next();
+            }
+            while let Some(r) = revs.peek().filter(|r| r.at_event < at + chunk.len()) {
+                for f in live[r.client as usize].drain(..) {
+                    pipeline.unsubscribe(Peer::Local(r.client), &f);
+                }
+                revs.next();
+            }
+
+            batch_buf.clear();
+            for p in chunk {
+                batch_buf.push(encrypt_event(
+                    &cipher, tokens, p.topic, p.value, seq, &plaintext,
+                ));
+                seq += 1;
+            }
+            pipeline.publish_batch_into(Peer::Parent, &batch_buf, &mut deliveries_buf);
+            for (i, peers) in deliveries_buf.iter().enumerate() {
+                if !peers.is_empty() {
+                    let frame = pool.encode(&Message::<SecureFilter, SecureEvent>::Publish(
+                        batch_buf[i].clone(),
+                    ));
+                    std::hint::black_box(frame.wire_bytes().len());
+                    delivered += peers.len() as u64;
+                }
+            }
+            at += chunk.len();
+        }
+        if round == 1 {
+            timed = start.elapsed().as_secs_f64();
+        }
+    }
+
+    let eps = trace.publishes.len() as f64 / timed;
+    println!(
+        "scenario {:<16}  {eps:>10.0} ev/s  deliveries {delivered}  churn {}  revocations {}",
+        kind.name(),
+        trace.churn.len(),
+        trace.revocations.len()
+    );
+    ScenarioRow {
+        kind,
+        eps,
+        delivered,
+        churn_ops: trace.churn.len(),
+        revocations: trace.revocations.len(),
+    }
+}
+
+/// Plain-filter table mirroring matching_scaling's shape, for the
+/// arena-vs-legacy index comparison.
+fn index_filter(i: usize) -> (Peer, Filter) {
+    let lo = (i % 50) as i64;
+    let filter = Filter::for_topic(format!("topic{:03}", i % TOPICS)).with(Constraint::new(
+        "x",
+        Op::InRange(IntRange::new(lo, lo + 30).expect("valid range")),
+    ));
+    (Peer::Local(i as u32), filter)
+}
+
+fn index_events() -> Vec<Event> {
+    (0..TOPICS)
+        .map(|t| {
+            Event::builder(format!("topic{t:03}"))
+                .attr("x", (t % 60) as i64)
+                .build()
+        })
+        .collect()
+}
+
+struct IndexRow {
+    entries: usize,
+    arena_qps: f64,
+    arena_iters: usize,
+    legacy_qps: f64,
+    legacy_iters: usize,
+}
+
+/// Builds the same table into both index layouts, checks them
+/// match-for-match, and measures query throughput on each.
+fn run_index_rework(entries: usize, min_ms: u128) -> IndexRow {
+    let mut arena: MatchIndex<Filter> = MatchIndex::new();
+    arena.reserve(entries);
+    let mut legacy: LegacyMatchIndex<Filter> = LegacyMatchIndex::new();
+    for i in 0..entries {
+        let (peer, filter) = index_filter(i);
+        arena.insert(peer, filter.clone());
+        legacy.insert(peer, filter);
+    }
+    let evs = index_events();
+
+    // Correctness floor: identical matches on every probe event.
+    for e in &evs {
+        let mut a = arena.query(e);
+        let mut l = legacy.query(e);
+        a.sort_unstable();
+        l.sort_unstable();
+        assert_eq!(a, l, "arena and legacy disagree at {entries} entries");
+    }
+
+    let mut peers = Vec::new();
+    let a = measure(64, 256, min_ms, |i| {
+        arena.query_into(&evs[i % evs.len()], &mut peers);
+        std::hint::black_box(peers.len());
+    });
+    let l = measure(8, 32, min_ms, |i| {
+        legacy.query_into(&evs[i % evs.len()], &mut peers);
+        std::hint::black_box(peers.len());
+    });
+    println!(
+        "index n={entries:>8}  arena {:>11.0} q/s ({} iters)  legacy {:>11.0} q/s ({} iters)  speedup {:.2}x",
+        a.per_sec, a.iters, l.per_sec, l.iters, a.per_sec / l.per_sec
+    );
+    IndexRow {
+        entries,
+        arena_qps: a.per_sec,
+        arena_iters: a.iters,
+        legacy_qps: l.per_sec,
+        legacy_iters: l.iters,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, events, min_ms): (&[usize], usize, u128) = if smoke {
+        (&[1_000, 10_000], 512, 20)
+    } else {
+        (&[10_000, 100_000, 1_000_000], 2_048, 400)
+    };
+    let (scenario_subs, scenario_events) = if smoke { (500, 256) } else { (10_000, 4_096) };
+    let index_entries = if smoke { 10_000 } else { 1_000_000 };
+
+    let tokens: Vec<Token> = (0..TOPICS as u32).map(topic_token).collect();
+
+    let rows: Vec<SizeRow> = sizes
+        .iter()
+        .map(|&n| run_size(n, events, min_ms, &tokens))
+        .collect();
+
+    let scenarios: Vec<ScenarioRow> = ScenarioKind::ALL
+        .iter()
+        .map(|&k| run_scenario(k, scenario_subs, scenario_events, &tokens))
+        .collect();
+
+    let index = run_index_rework(index_entries, if smoke { 50 } else { 600 });
+    let index_speedup = index.arena_qps / index.legacy_qps;
+
+    let doc = Json::obj()
+        .field("bench", Json::str("e2e_scaling"))
+        .field("unit", Json::str("events_per_second"))
+        .field("smoke", Json::Bool(smoke))
+        .field("topics", Json::Int(TOPICS as u64))
+        .field("shards", Json::Int(SHARDS as u64))
+        .field("batch", Json::Int(BATCH as u64))
+        .field("payload_bytes", Json::Int(PAYLOAD as u64))
+        .field(
+            "sizes",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("subscriptions", Json::Int(r.subscriptions as u64))
+                            .field("e2e_eps", Json::f1(r.eps))
+                            .field("passes", Json::Int(r.iters as u64))
+                            .field("deliveries_per_pass", Json::Int(r.delivered_per_pass))
+                            .field("wire_mb_per_pass", Json::f2(r.wire_mb_per_pass))
+                            .field("batch_work", Json::Int(r.batch_work))
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "scenarios",
+            Json::Arr(
+                scenarios
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .field("scenario", Json::str(s.kind.name()))
+                            .field("subscriptions", Json::Int(scenario_subs as u64))
+                            .field("eps", Json::f1(s.eps))
+                            .field("deliveries", Json::Int(s.delivered))
+                            .field("churn_ops", Json::Int(s.churn_ops as u64))
+                            .field("revocations", Json::Int(s.revocations as u64))
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "index_rework",
+            Json::obj()
+                .field("entries", Json::Int(index.entries as u64))
+                .field("arena_qps", Json::f1(index.arena_qps))
+                .field("arena_iters", Json::Int(index.arena_iters as u64))
+                .field("legacy_qps", Json::f1(index.legacy_qps))
+                .field("legacy_iters", Json::Int(index.legacy_iters as u64))
+                .field("speedup", Json::f2(index_speedup)),
+        );
+    write_bench_json("BENCH_e2e.json", &doc);
+
+    // Correctness floors hold in both modes: the pipeline delivered
+    // something everywhere, and every scenario produced deliveries.
+    for r in &rows {
+        assert!(
+            r.eps.is_finite() && r.eps > 0.0 && r.delivered_per_pass > 0,
+            "size {} produced no throughput",
+            r.subscriptions
+        );
+    }
+    for s in &scenarios {
+        assert!(
+            s.eps.is_finite() && s.eps > 0.0 && s.delivered > 0,
+            "scenario {} produced no deliveries",
+            s.kind.name()
+        );
+    }
+    if smoke {
+        println!("smoke mode: perf floors skipped (correctness floors held)");
+        return;
+    }
+
+    // Perf floors (full mode, the acceptance gates):
+    // 1. the arena layout must be >= 2x the frozen pre-rework layout at
+    //    1M entries, measured in this very run;
+    assert_floor("arena vs legacy MatchIndex at 1M", index_speedup, 2.0);
+    // 2. scaling 10x subscribers (100k → 1M) may cost at most 15x in
+    //    e2e throughput — the trajectory stays sublinear in fanout.
+    let at_100k = rows
+        .iter()
+        .find(|r| r.subscriptions == 100_000)
+        .expect("100k row");
+    let at_1m = rows
+        .iter()
+        .find(|r| r.subscriptions == 1_000_000)
+        .expect("1M row");
+    assert_floor(
+        "e2e throughput 1M vs 100k/15",
+        at_1m.eps / (at_100k.eps / 15.0),
+        1.0,
+    );
+}

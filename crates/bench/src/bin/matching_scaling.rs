@@ -2,18 +2,18 @@
 //!
 //! Runs `SubscriptionTable::matching_peers` (the counting `MatchIndex`)
 //! and `matching_peers_linear` (the original O(n) reference) over tables
-//! of {100, 1k, 10k, 100k} subscriptions, reports events/second for
+//! of {100, 1k, 10k, 100k, 1M} subscriptions, reports events/second for
 //! both, and writes machine-readable results to `BENCH_matching.json`
-//! in the current directory.
+//! in the current directory. The arena-vs-legacy *layout* comparison at
+//! 1M lives in `e2e_scaling` (`index_rework` section); this bin tracks
+//! the indexed-vs-linear algorithmic gap.
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
+use psguard_bench::support::{measure, write_bench_json, Json};
 use psguard_model::{Constraint, Event, Filter, IntRange, Op};
 use psguard_siena::{Peer, SubscriptionTable};
 
 const TOPICS: usize = 64;
-const SIZES: [usize; 4] = [100, 1_000, 10_000, 100_000];
+const SIZES: [usize; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 
 fn build_table(subscriptions: usize) -> SubscriptionTable<Filter> {
     let mut table = SubscriptionTable::new();
@@ -38,26 +38,6 @@ fn events() -> Vec<Event> {
         .collect()
 }
 
-/// Events/second plus the iteration count actually sampled, over at
-/// least `min_iters` calls and 200 ms of wall time. The old 50 ms floor
-/// under-sampled the 100k-subscription case (a handful of linear scans
-/// per window), making BENCH numbers jitter run-to-run; 200 ms keeps
-/// every cell above a few dozen samples, and the iteration count lands
-/// in the JSON so a reader can judge each number's stability.
-fn measure(mut run: impl FnMut(usize), min_iters: usize) -> (f64, usize) {
-    // Warm-up.
-    for i in 0..min_iters.min(64) {
-        run(i);
-    }
-    let mut iters = 0usize;
-    let start = Instant::now();
-    while iters < min_iters || start.elapsed().as_millis() < 200 {
-        run(iters);
-        iters += 1;
-    }
-    (iters as f64 / start.elapsed().as_secs_f64(), iters)
-}
-
 struct Row {
     subscriptions: usize,
     indexed_eps: f64,
@@ -73,56 +53,61 @@ fn main() {
     for n in SIZES {
         let mut table = build_table(n);
 
-        let (indexed_eps, indexed_iters) = measure(
-            |i| {
-                std::hint::black_box(table.matching_peers(&evs[i % evs.len()]));
-            },
-            1_000,
-        );
+        // 200 ms of wall time per cell keeps even the largest tables
+        // above a few dozen samples (a 50 ms floor made the 100k cell
+        // jitter run-to-run); the iteration counts land in the JSON so
+        // a reader can judge each number's stability.
+        let indexed = measure(64, 1_000, 200, |i| {
+            std::hint::black_box(table.matching_peers(&evs[i % evs.len()]));
+        });
         let indexed_work = table.last_match_work();
 
         // The linear reference needs far fewer iterations at large n.
         let min_iters = (1_000_000 / n).max(8);
-        let (linear_eps, linear_iters) = measure(
-            |i| {
-                std::hint::black_box(table.matching_peers_linear(&evs[i % evs.len()]));
-            },
-            min_iters,
-        );
+        let linear = measure(min_iters.min(64), min_iters, 200, |i| {
+            std::hint::black_box(table.matching_peers_linear(&evs[i % evs.len()]));
+        });
 
         println!(
-            "n={n:>6}  indexed {indexed_eps:>12.0} ev/s ({indexed_iters} iters)  linear {linear_eps:>12.0} ev/s ({linear_iters} iters)  speedup {:>7.1}x  work/event {indexed_work}",
-            indexed_eps / linear_eps
+            "n={n:>7}  indexed {:>12.0} ev/s ({} iters)  linear {:>12.0} ev/s ({} iters)  speedup {:>7.1}x  work/event {indexed_work}",
+            indexed.per_sec,
+            indexed.iters,
+            linear.per_sec,
+            linear.iters,
+            indexed.per_sec / linear.per_sec
         );
         rows.push(Row {
             subscriptions: n,
-            indexed_eps,
-            indexed_iters,
-            linear_eps,
-            linear_iters,
+            indexed_eps: indexed.per_sec,
+            indexed_iters: indexed.iters,
+            linear_eps: linear.per_sec,
+            linear_iters: linear.iters,
             indexed_work,
         });
     }
 
-    let mut json = String::from("{\n  \"bench\": \"matching_scaling\",\n  \"unit\": \"events_per_second\",\n  \"sizes\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"subscriptions\": {}, \"indexed_eps\": {:.1}, \"indexed_iters\": {}, \"linear_eps\": {:.1}, \"linear_iters\": {}, \"speedup\": {:.2}, \"indexed_work_per_event\": {}, \"linear_work_per_event\": {}}}{}",
-            r.subscriptions,
-            r.indexed_eps,
-            r.indexed_iters,
-            r.linear_eps,
-            r.linear_iters,
-            r.indexed_eps / r.linear_eps,
-            r.indexed_work,
-            r.subscriptions,
-            if i + 1 < rows.len() { "," } else { "" }
+    let doc = Json::obj()
+        .field("bench", Json::str("matching_scaling"))
+        .field("unit", Json::str("events_per_second"))
+        .field(
+            "sizes",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("subscriptions", Json::Int(r.subscriptions as u64))
+                            .field("indexed_eps", Json::f1(r.indexed_eps))
+                            .field("indexed_iters", Json::Int(r.indexed_iters as u64))
+                            .field("linear_eps", Json::f1(r.linear_eps))
+                            .field("linear_iters", Json::Int(r.linear_iters as u64))
+                            .field("speedup", Json::f2(r.indexed_eps / r.linear_eps))
+                            .field("indexed_work_per_event", Json::Int(r.indexed_work))
+                            .field("linear_work_per_event", Json::Int(r.subscriptions as u64))
+                    })
+                    .collect(),
+            ),
         );
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_matching.json", &json).expect("write BENCH_matching.json");
-    println!("wrote BENCH_matching.json");
+    write_bench_json("BENCH_matching.json", &doc);
 
     let at_10k = rows
         .iter()
@@ -132,5 +117,14 @@ fn main() {
     assert!(
         speedup >= 5.0,
         "indexed path must be >= 5x the linear scan at 10k subscriptions, got {speedup:.1}x"
+    );
+    let at_1m = rows
+        .iter()
+        .find(|r| r.subscriptions == 1_000_000)
+        .expect("1M row");
+    let speedup_1m = at_1m.indexed_eps / at_1m.linear_eps;
+    assert!(
+        speedup_1m >= 50.0,
+        "indexed path must be >= 50x the linear scan at 1M subscriptions, got {speedup_1m:.1}x"
     );
 }

@@ -12,9 +12,7 @@
 //! current directory. Pass `--smoke` for a seconds-long CI variant that
 //! skips the throughput assertions.
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
+use psguard_bench::support::{assert_floor, measure, write_bench_json, Json, Measured};
 use psguard_crypto::{prf, prf_verify, PrfContext, Token};
 use psguard_model::{Constraint, Event, Op};
 use psguard_routing::{RoutableTag, SecureEvent, SecureFilter};
@@ -68,20 +66,14 @@ fn event_pool() -> Vec<SecureEvent> {
         .collect()
 }
 
-/// Events/second plus pool passes sampled: at least `min_passes` full
-/// passes over the pool and `min_ms` of wall time per cell.
-fn measure(mut run_pass: impl FnMut(), min_passes: usize, min_ms: u128) -> (f64, usize) {
-    run_pass(); // Warm-up.
-    let mut passes = 0usize;
-    let start = Instant::now();
-    while passes < min_passes || start.elapsed().as_millis() < min_ms {
-        run_pass();
-        passes += 1;
+/// Events/second over whole pool passes: at least `min_passes` passes
+/// and `min_ms` of wall time per cell (one warm-up pass first).
+fn measure_pool(min_passes: usize, min_ms: u128, mut run_pass: impl FnMut()) -> Measured {
+    let m = measure(1, min_passes, min_ms, |_| run_pass());
+    Measured {
+        per_sec: m.per_sec * POOL as f64,
+        iters: m.iters,
     }
-    (
-        (passes * POOL) as f64 / start.elapsed().as_secs_f64(),
-        passes,
-    )
 }
 
 struct ShardCell {
@@ -119,49 +111,47 @@ fn main() {
         for (peer, filter) in &subs {
             broker.subscribe(*peer, filter.clone());
         }
-        let (serial_eps, serial_passes) = measure(
-            || {
-                for e in &pool {
-                    std::hint::black_box(broker.publish(Peer::Parent, e.clone()));
-                }
-            },
-            min_passes,
-            min_ms,
-        );
+        let serial = measure_pool(min_passes, min_ms, || {
+            for e in &pool {
+                std::hint::black_box(broker.publish(Peer::Parent, e.clone()));
+            }
+        });
         drop(broker);
 
         let mut cells = Vec::new();
         for &shards in shard_counts {
-            let mut pipeline: ShardedPipeline<SecureFilter> = ShardedPipeline::new(true, shards);
+            let mut pipeline: ShardedPipeline<SecureFilter> =
+                ShardedPipeline::with_capacity(true, shards, n);
             for (peer, filter) in &subs {
                 pipeline.subscribe(*peer, filter.clone());
             }
-            let (eps, passes) = measure(
-                || {
-                    for batch in pool.chunks(BATCH) {
-                        std::hint::black_box(pipeline.publish_batch(Peer::Parent, batch));
-                    }
-                },
-                min_passes,
-                min_ms,
-            );
+            let m = measure_pool(min_passes, min_ms, || {
+                for batch in pool.chunks(BATCH) {
+                    std::hint::black_box(pipeline.publish_batch(Peer::Parent, batch));
+                }
+            });
             let batch_work = pipeline.last_batch_work();
             println!(
-                "n={n:>6}  shards={shards}  pipeline {eps:>12.0} ev/s ({passes} passes)  speedup {:>6.2}x",
-                eps / serial_eps
+                "n={n:>6}  shards={shards}  pipeline {:>12.0} ev/s ({} passes)  speedup {:>6.2}x",
+                m.per_sec,
+                m.iters,
+                m.per_sec / serial.per_sec
             );
             cells.push(ShardCell {
                 shards,
-                eps,
-                passes,
+                eps: m.per_sec,
+                passes: m.iters,
                 batch_work,
             });
         }
-        println!("n={n:>6}  serial   {serial_eps:>12.0} ev/s ({serial_passes} passes)");
+        println!(
+            "n={n:>6}  serial   {:>12.0} ev/s ({} passes)",
+            serial.per_sec, serial.iters
+        );
         rows.push(Row {
             subscriptions: n,
-            serial_eps,
-            serial_passes,
+            serial_eps: serial.per_sec,
+            serial_passes: serial.iters,
             cells,
         });
     }
@@ -178,66 +168,70 @@ fn main() {
             (nonce, tag)
         })
         .collect();
-    let scale = POOL as f64 / probes.len() as f64; // measure() reports in POOL units
-    let (oneshot_vps, oneshot_passes) = measure(
-        || {
-            for (nonce, tag) in &probes {
-                std::hint::black_box(prf_verify(&token, nonce, tag));
-            }
-        },
-        8,
-        min_ms,
-    );
-    let oneshot_vps = oneshot_vps / scale;
-    let (context_vps, context_passes) = measure(
-        || {
-            for (nonce, tag) in &probes {
-                std::hint::black_box(ctx.verify(nonce, tag));
-            }
-        },
-        8,
-        min_ms,
-    );
-    let context_vps = context_vps / scale;
+    let oneshot = measure(1, 8, min_ms, |_| {
+        for (nonce, tag) in &probes {
+            std::hint::black_box(prf_verify(&token, nonce, tag));
+        }
+    });
+    let oneshot_vps = oneshot.per_sec * probes.len() as f64;
+    let context = measure(1, 8, min_ms, |_| {
+        for (nonce, tag) in &probes {
+            std::hint::black_box(ctx.verify(nonce, tag));
+        }
+    });
+    let context_vps = context.per_sec * probes.len() as f64;
     let prf_speedup = context_vps / oneshot_vps;
     println!(
         "prf-verify  one-shot {oneshot_vps:>12.0} /s  context {context_vps:>12.0} /s  speedup {prf_speedup:.2}x"
     );
 
-    let mut json =
-        String::from("{\n  \"bench\": \"pipeline_scaling\",\n  \"unit\": \"events_per_second\",\n");
-    let _ = writeln!(
-        json,
-        "  \"topics\": {TOPICS}, \"pool\": {POOL}, \"batch\": {BATCH}, \"payload_bytes\": {PAYLOAD}, \"smoke\": {smoke},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"prf_context\": {{\"oneshot_vps\": {oneshot_vps:.1}, \"oneshot_passes\": {oneshot_passes}, \"context_vps\": {context_vps:.1}, \"context_passes\": {context_passes}, \"speedup\": {prf_speedup:.2}}},"
-    );
-    json.push_str("  \"sizes\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"subscriptions\": {}, \"serial_eps\": {:.1}, \"serial_passes\": {}, \"shards\": [",
-            r.subscriptions, r.serial_eps, r.serial_passes
+    let doc = Json::obj()
+        .field("bench", Json::str("pipeline_scaling"))
+        .field("unit", Json::str("events_per_second"))
+        .field("topics", Json::Int(TOPICS as u64))
+        .field("pool", Json::Int(POOL as u64))
+        .field("batch", Json::Int(BATCH as u64))
+        .field("payload_bytes", Json::Int(PAYLOAD as u64))
+        .field("smoke", Json::Bool(smoke))
+        .field(
+            "prf_context",
+            Json::obj()
+                .field("oneshot_vps", Json::f1(oneshot_vps))
+                .field("oneshot_passes", Json::Int(oneshot.iters as u64))
+                .field("context_vps", Json::f1(context_vps))
+                .field("context_passes", Json::Int(context.iters as u64))
+                .field("speedup", Json::f2(prf_speedup)),
+        )
+        .field(
+            "sizes",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("subscriptions", Json::Int(r.subscriptions as u64))
+                            .field("serial_eps", Json::f1(r.serial_eps))
+                            .field("serial_passes", Json::Int(r.serial_passes as u64))
+                            .field(
+                                "shards",
+                                Json::Arr(
+                                    r.cells
+                                        .iter()
+                                        .map(|c| {
+                                            Json::obj()
+                                                .field("shards", Json::Int(c.shards as u64))
+                                                .field("eps", Json::f1(c.eps))
+                                                .field("passes", Json::Int(c.passes as u64))
+                                                .field("speedup", Json::f2(c.eps / r.serial_eps))
+                                                .field("batch_work", Json::Int(c.batch_work))
+                                        })
+                                        .collect(),
+                                ),
+                            )
+                    })
+                    .collect(),
+            ),
         );
-        for (j, c) in r.cells.iter().enumerate() {
-            let _ = write!(
-                json,
-                "{{\"shards\": {}, \"eps\": {:.1}, \"passes\": {}, \"speedup\": {:.2}, \"batch_work\": {}}}{}",
-                c.shards,
-                c.eps,
-                c.passes,
-                c.eps / r.serial_eps,
-                c.batch_work,
-                if j + 1 < r.cells.len() { ", " } else { "" }
-            );
-        }
-        let _ = writeln!(json, "]}}{}", if i + 1 < rows.len() { "," } else { "" });
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
-    println!("wrote BENCH_pipeline.json");
+    write_bench_json("BENCH_pipeline.json", &doc);
 
     if smoke {
         println!("smoke mode: skipping throughput assertions");
@@ -255,13 +249,10 @@ fn main() {
         .iter()
         .map(|c| c.eps / at_100k.serial_eps)
         .fold(0.0f64, f64::max);
-    assert!(
-        speedup >= 3.0,
-        "pipeline at its best shard count must be >= 3x the serial broker \
-         at 100k subscriptions, got {speedup:.2}x"
+    assert_floor(
+        "pipeline (best shard count) vs serial broker at 100k",
+        speedup,
+        3.0,
     );
-    assert!(
-        prf_speedup >= 1.5,
-        "PrfContext must be >= 1.5x one-shot prf_verify, got {prf_speedup:.2}x"
-    );
+    assert_floor("PrfContext vs one-shot prf_verify", prf_speedup, 1.5);
 }

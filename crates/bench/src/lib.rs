@@ -262,3 +262,4 @@ mod tests {
 
 pub mod keymgmt;
 pub mod perf;
+pub mod support;

@@ -18,7 +18,7 @@
 //!   event instead of one per subscription.
 //! * **Distinct-predicate evaluation.** Within a bucket, syntactically
 //!   identical constraints are interned once. Numeric constraints are
-//!   laid out per attribute in a boundary list sorted by lower bound, so
+//!   laid out per attribute in a boundary range sorted by lower bound, so
 //!   a query inspects only the prefix whose lower bounds do not exceed
 //!   the event's value; equality constraints on strings/categories hash
 //!   directly to their predicate. Each satisfied predicate bumps a
@@ -31,12 +31,50 @@
 //!   (workload cycles, fan-in from several children) skips the PRF
 //!   entirely.
 //!
+//! # Data layout (the 1M-entry rework, DESIGN.md §18)
+//!
+//! At a million registrations the counting pass is memory-bound, not
+//! compute-bound, so the index is laid out for cache density rather
+//! than struct-per-concept clarity:
+//!
+//! * **Hot/cold entry split.** The per-entry state touched on every
+//!   counter bump — sequence, peer, required count, current count,
+//!   generation stamp — lives in one 32-byte [`HotEntry`] record, so a
+//!   bump touches exactly one cache line instead of three parallel
+//!   arrays plus a filter-sized struct. The filter itself and the
+//!   bookkeeping only insert/remove need ([`ColdEntry`]) live in a
+//!   separate arena that queries never read.
+//! * **Arena-backed predicate and entry-list storage.** Interned
+//!   predicates live in one global slab addressed by `u32` pid; the
+//!   entry-id lists hanging off predicates, buckets, and unconstrained
+//!   sets are chunked lists of 64-byte nodes ([`EntryChunk`]) in one
+//!   shared [`ChunkArena`] with a free list — no per-predicate `Vec`
+//!   headers, and freed storage is reused across subscription churn.
+//! * **Contiguous boundary arena.** Each attribute's sorted numeric
+//!   lower bounds occupy a range of one shared pair of parallel arrays
+//!   ([`BoundsArena`]), allocated in power-of-two size classes with
+//!   per-class free lists. The query-side prefix scan is a
+//!   `partition_point` over a dense `i64` slice.
+//! * **FxHash maps.** The key, memo, and predicate-interning maps use a
+//!   dependency-free FxHash-style multiply-xor hasher instead of
+//!   SipHash. These tables are keyed by interned tokens, topic strings,
+//!   and event nonces — internal values, not attacker-chosen
+//!   hash-flood vectors — so DoS-resistant hashing buys nothing here.
+//! * **Scratch sized once.** Counters live in the entry arena and all
+//!   per-query scratch is reused, so a steady-state query allocates
+//!   nothing and [`reserve`](MatchIndex::reserve) lets the sharded
+//!   pipeline size each shard's arenas once up front.
+//!
+//! The pre-rework layout is preserved verbatim as
+//! [`crate::LegacyMatchIndex`] so `e2e_scaling` can measure this rework
+//! against it at 1M entries and the property tests can cross-check both.
+//!
 //! The index reports its actual work per query ([`MatchStats`]), which
 //! the broker and the overlay engine use as the matching-cost input to
 //! the performance model — replacing the old `table.len()` proxy.
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::hash::Hash;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hash, Hasher};
 
 use psguard_model::{AttrName, AttrValue, Constraint, Op};
 
@@ -192,115 +230,531 @@ impl MatchStats {
     }
 }
 
-/// One interned predicate and the entries that require it.
-#[derive(Debug, Clone)]
-struct Pred {
-    constraint: Constraint,
-    /// Entries needing this predicate, with multiplicity (a filter that
-    /// repeats a constraint appears repeatedly, keeping its counter
-    /// target consistent).
-    entries: Vec<EntryId>,
+// ---------------------------------------------------------------------
+// FxHash: a dependency-free multiply-xor hasher for the hot maps.
+// ---------------------------------------------------------------------
+
+/// The FxHash multiplier (as used by Firefox/rustc).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A dependency-free FxHash-style hasher: a rotate-xor-multiply over
+/// 64-bit words, several times faster than SipHash on the short keys
+/// the index hashes (interned tokens, topic strings, event nonces).
+/// No hash-flood resistance — acceptable because every hashed value is
+/// internal (keys are interned at subscribe time under quota, nonces
+/// feed a bounded memo), never an attacker-chosen path into an
+/// unbounded table.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
 }
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[..8]);
+            self.add(u64::from_le_bytes(w));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            // Zero-pad the tail and fold in its length so "ab" and
+            // "ab\0" land differently.
+            let mut w = [0u8; 8];
+            w[..bytes.len()].copy_from_slice(bytes);
+            self.add(u64::from_le_bytes(w));
+            self.add(bytes.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`]; usable as the `S` parameter of the
+/// std hash containers.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub(crate) type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+// ---------------------------------------------------------------------
+// Chunked entry-id lists in one shared arena.
+// ---------------------------------------------------------------------
+
+/// Sentinel chunk id: "no chunk".
+const NIL: u32 = u32::MAX;
+
+/// Ids per chunk: 14 × 4 B of payload + len + next = one 64-byte node.
+const CHUNK_LEN: usize = 14;
+
+/// One cache-line node of a chunked entry-id list.
+#[derive(Debug, Clone)]
+struct EntryChunk {
+    ids: [EntryId; CHUNK_LEN],
+    len: u32,
+    next: u32,
+}
+
+impl EntryChunk {
+    fn empty() -> Self {
+        EntryChunk {
+            ids: [0; CHUNK_LEN],
+            len: 0,
+            next: NIL,
+        }
+    }
+}
+
+/// Handle to one chunked list: head/tail chunk ids plus the element
+/// count. `Copy`, so callers can lift it out of a containing struct,
+/// mutate it against the arena, and store it back without aliasing the
+/// arena borrow.
+#[derive(Debug, Clone, Copy)]
+struct ChunkList {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for ChunkList {
+    fn default() -> Self {
+        ChunkList {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+/// The shared chunk arena: every entry-id list in the index (per-bucket
+/// rosters, unconstrained sets, per-predicate entry lists) draws its
+/// 64-byte nodes from here, and freed nodes are recycled across
+/// subscription churn via `free`.
+#[derive(Debug, Clone, Default)]
+struct ChunkArena {
+    chunks: Vec<EntryChunk>,
+    free: Vec<u32>,
+}
+
+impl ChunkArena {
+    fn alloc(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.chunks[i as usize] = EntryChunk::empty();
+                i
+            }
+            None => {
+                self.chunks.push(EntryChunk::empty());
+                (self.chunks.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Appends `id` to `list`, linking a fresh chunk when the tail is
+    /// full.
+    fn push(&mut self, list: &mut ChunkList, id: EntryId) {
+        if list.tail != NIL {
+            let t = &mut self.chunks[list.tail as usize];
+            if (t.len as usize) < CHUNK_LEN {
+                t.ids[t.len as usize] = id;
+                t.len += 1;
+                list.len += 1;
+                return;
+            }
+        }
+        let nid = self.alloc();
+        {
+            let ch = &mut self.chunks[nid as usize];
+            ch.ids[0] = id;
+            ch.len = 1;
+        }
+        if list.tail == NIL {
+            list.head = nid;
+        } else {
+            self.chunks[list.tail as usize].next = nid;
+        }
+        list.tail = nid;
+        list.len += 1;
+    }
+
+    /// Removes one occurrence of `id` (swap-remove with the list's last
+    /// element; order is not preserved). Returns whether it was found.
+    fn remove(&mut self, list: &mut ChunkList, id: EntryId) -> bool {
+        let mut cur = list.head;
+        let mut prev_of_tail = NIL;
+        let mut found: Option<(u32, usize)> = None;
+        while cur != NIL {
+            let ch = &self.chunks[cur as usize];
+            if found.is_none() {
+                if let Some(slot) = ch.ids[..ch.len as usize].iter().position(|&x| x == id) {
+                    found = Some((cur, slot));
+                }
+            }
+            if ch.next == list.tail {
+                prev_of_tail = cur;
+            }
+            cur = ch.next;
+        }
+        let Some((cid, slot)) = found else {
+            return false;
+        };
+        let tail = list.tail;
+        let (last, last_slot) = {
+            let t = &mut self.chunks[tail as usize];
+            t.len -= 1;
+            (t.ids[t.len as usize], t.len as usize)
+        };
+        if !(cid == tail && slot == last_slot) {
+            self.chunks[cid as usize].ids[slot] = last;
+        }
+        if self.chunks[tail as usize].len == 0 {
+            self.free.push(tail);
+            if tail == list.head {
+                list.head = NIL;
+                list.tail = NIL;
+            } else {
+                self.chunks[prev_of_tail as usize].next = NIL;
+                list.tail = prev_of_tail;
+            }
+        }
+        list.len -= 1;
+        true
+    }
+
+    /// Calls `f` for every id in `list`.
+    #[inline]
+    fn for_each<G: FnMut(EntryId)>(&self, list: ChunkList, mut f: G) {
+        let mut cur = list.head;
+        while cur != NIL {
+            let ch = &self.chunks[cur as usize];
+            for &id in &ch.ids[..ch.len as usize] {
+                f(id);
+            }
+            cur = ch.next;
+        }
+    }
+
+    /// Whether `f` holds for any id in `list` (early exit).
+    fn any<G: FnMut(EntryId) -> bool>(&self, list: ChunkList, mut f: G) -> bool {
+        let mut cur = list.head;
+        while cur != NIL {
+            let ch = &self.chunks[cur as usize];
+            if ch.ids[..ch.len as usize].iter().any(|&id| f(id)) {
+                return true;
+            }
+            cur = ch.next;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contiguous sorted-boundary arena.
+// ---------------------------------------------------------------------
+
+/// Smallest boundary-range capacity; size classes are
+/// `BOUNDS_MIN_CAP << class`.
+const BOUNDS_MIN_CAP: u32 = 4;
+
+/// One attribute's slice of the boundary arena: `len` live pairs inside
+/// a `cap`-sized allocation at `start`. `cap == 0` means no allocation.
+#[derive(Debug, Clone, Copy, Default)]
+struct BoundsRange {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// All sorted numeric boundaries in the index, laid out as two parallel
+/// arrays (`lo`, `pid`) so the query-side prefix scan is a
+/// `partition_point` over a dense `i64` slice. Ranges are allocated in
+/// power-of-two size classes with per-class free lists, so churn reuses
+/// storage instead of fragmenting it.
+#[derive(Debug, Clone, Default)]
+struct BoundsArena {
+    lo: Vec<i64>,
+    pid: Vec<u32>,
+    /// `free[class]` holds start offsets of released ranges of capacity
+    /// `BOUNDS_MIN_CAP << class`.
+    free: Vec<Vec<u32>>,
+}
+
+impl BoundsArena {
+    fn class_of(cap: u32) -> usize {
+        debug_assert!(cap.is_power_of_two() && cap >= BOUNDS_MIN_CAP);
+        (cap / BOUNDS_MIN_CAP).trailing_zeros() as usize
+    }
+
+    fn alloc(&mut self, cap: u32) -> u32 {
+        let class = Self::class_of(cap);
+        if self.free.len() <= class {
+            self.free.resize_with(class + 1, Vec::new);
+        }
+        if let Some(start) = self.free[class].pop() {
+            return start;
+        }
+        let start = self.lo.len() as u32;
+        self.lo.resize(self.lo.len() + cap as usize, 0);
+        self.pid.resize(self.pid.len() + cap as usize, 0);
+        start
+    }
+
+    fn release(&mut self, r: BoundsRange) {
+        if r.cap == 0 {
+            return;
+        }
+        let class = Self::class_of(r.cap);
+        if self.free.len() <= class {
+            self.free.resize_with(class + 1, Vec::new);
+        }
+        self.free[class].push(r.start);
+    }
+
+    /// Inserts `(lo, pid)` keeping the range sorted by `lo`, migrating
+    /// to the next size class when full.
+    fn insert_sorted(&mut self, r: &mut BoundsRange, lo: i64, pid: u32) {
+        if r.len == r.cap {
+            let new_cap = if r.cap == 0 {
+                BOUNDS_MIN_CAP
+            } else {
+                r.cap * 2
+            };
+            let new_start = self.alloc(new_cap);
+            let (os, ns) = (r.start as usize, new_start as usize);
+            let n = r.len as usize;
+            self.lo.copy_within(os..os + n, ns);
+            self.pid.copy_within(os..os + n, ns);
+            self.release(*r);
+            r.start = new_start;
+            r.cap = new_cap;
+        }
+        let s = r.start as usize;
+        let n = r.len as usize;
+        let at = self.lo[s..s + n].partition_point(|&l| l < lo);
+        self.lo.copy_within(s + at..s + n, s + at + 1);
+        self.pid.copy_within(s + at..s + n, s + at + 1);
+        self.lo[s + at] = lo;
+        self.pid[s + at] = pid;
+        r.len += 1;
+    }
+
+    /// Removes `pid` from the range, preserving sort order; releases
+    /// the allocation when the range empties.
+    fn remove_pid(&mut self, r: &mut BoundsRange, pid: u32) {
+        let s = r.start as usize;
+        let n = r.len as usize;
+        let Some(i) = self.pid[s..s + n].iter().position(|&p| p == pid) else {
+            return;
+        };
+        self.lo.copy_within(s + i + 1..s + n, s + i);
+        self.pid.copy_within(s + i + 1..s + n, s + i);
+        r.len -= 1;
+        if r.len == 0 {
+            self.release(*r);
+            *r = BoundsRange::default();
+        }
+    }
+
+    /// The live `(lo, pid)` slices of a range.
+    #[inline]
+    fn slices(&self, r: BoundsRange) -> (&[i64], &[u32]) {
+        let s = r.start as usize;
+        let n = r.len as usize;
+        (&self.lo[s..s + n], &self.pid[s..s + n])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predicate arena.
+// ---------------------------------------------------------------------
+
+/// One interned predicate: its constraint plus the chunked list of
+/// entries that require it (with multiplicity — a filter repeating a
+/// constraint appears repeatedly, keeping its counter target
+/// consistent).
+#[derive(Debug, Clone)]
+struct PredSlot {
+    constraint: Constraint,
+    entries: ChunkList,
+}
+
+/// The index-global predicate/entry-list storage: interned predicates
+/// addressed by `u32` pid across all buckets, the shared chunk arena
+/// their entry lists live in, and the boundary arena. Grouped in one
+/// struct so bucket mutators can borrow it alongside `&mut Bucket`
+/// (disjoint-field split off [`MatchIndex`]).
+#[derive(Debug, Clone, Default)]
+struct PredStore {
+    preds: Vec<PredSlot>,
+    free_preds: Vec<u32>,
+    chunks: ChunkArena,
+    bounds: BoundsArena,
+}
+
+impl PredStore {
+    fn alloc_pred(&mut self, c: &Constraint) -> u32 {
+        let slot = PredSlot {
+            constraint: c.clone(),
+            entries: ChunkList::default(),
+        };
+        match self.free_preds.pop() {
+            Some(p) => {
+                self.preds[p as usize] = slot;
+                p
+            }
+            None => {
+                self.preds.push(slot);
+                (self.preds.len() - 1) as u32
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buckets.
+// ---------------------------------------------------------------------
 
 /// Per-attribute predicate layout inside one bucket.
 #[derive(Debug, Clone, Default)]
-struct AttrIndex {
-    /// Numeric predicates as `(lower bound, pred)` sorted by lower
-    /// bound (`i64::MIN` for unbounded-below). A query for value `v`
-    /// inspects only the prefix with `lo <= v`; inspected predicates are
-    /// re-checked with the real operator, so the sort is purely a sound
-    /// pruning structure.
-    numeric: Vec<(i64, u32)>,
+struct AttrSlot {
+    /// Numeric predicates: a sorted `(lower bound, pid)` range in the
+    /// shared [`BoundsArena`] (`i64::MIN` for unbounded-below). A query
+    /// for value `v` inspects only the prefix with `lo <= v`; inspected
+    /// predicates are re-checked with the real operator, so the sort is
+    /// purely a sound pruning structure.
+    bounds: BoundsRange,
     /// Non-numeric equality predicates, hashed by expected value.
-    eq: HashMap<AttrValue, Vec<u32>>,
+    eq: FxHashMap<AttrValue, Vec<u32>>,
     /// Everything else (prefix / suffix / category), evaluated one by
     /// one — still at most once per distinct predicate.
     other: Vec<u32>,
 }
 
-impl AttrIndex {
+impl AttrSlot {
     fn is_empty(&self) -> bool {
-        self.numeric.is_empty() && self.eq.is_empty() && self.other.is_empty()
+        self.bounds.len == 0 && self.eq.is_empty() && self.other.is_empty()
     }
 }
 
-/// All filters sharing one routing key.
+/// All filters sharing one routing key. Everything variable-sized hangs
+/// off the shared arenas; the bucket itself only stores list handles
+/// and the interning map into the global pid space.
 #[derive(Debug, Clone)]
 struct Bucket<K> {
     key: K,
-    /// Live entries (kept strictly in sync by insert/remove).
-    entry_ids: Vec<EntryId>,
+    /// All live entries (kept strictly in sync by insert/remove); also
+    /// the bucket-emptiness test via `entries.len`.
+    entries: ChunkList,
     /// Live entries with zero constraints: they match any event that
     /// reaches this bucket.
-    unconstrained: Vec<EntryId>,
-    attrs: Vec<(AttrName, AttrIndex)>,
-    preds: Vec<Pred>,
-    free_preds: Vec<u32>,
-    pred_of: HashMap<Constraint, u32>,
+    unconstrained: ChunkList,
+    attrs: Vec<(AttrName, AttrSlot)>,
+    /// Interned constraint → global pid in the [`PredStore`].
+    pred_of: FxHashMap<Constraint, u32>,
 }
 
 impl<K> Bucket<K> {
     fn new(key: K) -> Self {
         Bucket {
             key,
-            entry_ids: Vec::new(),
-            unconstrained: Vec::new(),
+            entries: ChunkList::default(),
+            unconstrained: ChunkList::default(),
             attrs: Vec::new(),
-            preds: Vec::new(),
-            free_preds: Vec::new(),
-            pred_of: HashMap::new(),
+            pred_of: FxHashMap::default(),
         }
     }
 
-    fn attr_index_mut(&mut self, name: &AttrName) -> &mut AttrIndex {
+    fn attr_slot_mut(&mut self, name: &AttrName) -> &mut AttrSlot {
         let pos = match self.attrs.iter().position(|(n, _)| n == name) {
             Some(pos) => pos,
             None => {
-                self.attrs.push((name.clone(), AttrIndex::default()));
+                self.attrs.push((name.clone(), AttrSlot::default()));
                 self.attrs.len() - 1
             }
         };
         &mut self.attrs[pos].1
     }
 
-    fn add_entry(&mut self, id: EntryId, constraints: &[Constraint]) {
-        self.entry_ids.push(id);
+    fn add_entry(&mut self, store: &mut PredStore, id: EntryId, constraints: &[Constraint]) {
+        let mut roster = self.entries;
+        store.chunks.push(&mut roster, id);
+        self.entries = roster;
         if constraints.is_empty() {
-            self.unconstrained.push(id);
+            let mut un = self.unconstrained;
+            store.chunks.push(&mut un, id);
+            self.unconstrained = un;
             return;
         }
         for c in constraints {
             let pid = match self.pred_of.get(c) {
                 Some(&p) => p,
-                None => self.intern_pred(c),
+                None => self.intern_pred(store, c),
             };
-            self.preds[pid as usize].entries.push(id);
+            let mut list = store.preds[pid as usize].entries;
+            store.chunks.push(&mut list, id);
+            store.preds[pid as usize].entries = list;
         }
     }
 
-    fn intern_pred(&mut self, c: &Constraint) -> u32 {
-        let pid = match self.free_preds.pop() {
-            Some(p) => {
-                self.preds[p as usize] = Pred {
-                    constraint: c.clone(),
-                    entries: Vec::new(),
-                };
-                p
-            }
-            None => {
-                self.preds.push(Pred {
-                    constraint: c.clone(),
-                    entries: Vec::new(),
-                });
-                (self.preds.len() - 1) as u32
-            }
-        };
+    fn intern_pred(&mut self, store: &mut PredStore, c: &Constraint) -> u32 {
+        let pid = store.alloc_pred(c);
         self.pred_of.insert(c.clone(), pid);
-        let slot = self.attr_index_mut(c.name());
+        let slot = self.attr_slot_mut(c.name());
         if let Some(iv) = c.interval() {
             let lo = iv.lo().unwrap_or(i64::MIN);
-            let at = slot.numeric.partition_point(|&(l, _)| l < lo);
-            slot.numeric.insert(at, (lo, pid));
+            store.bounds.insert_sorted(&mut slot.bounds, lo, pid);
         } else if let Op::Eq(v) = c.op() {
             slot.eq.entry(v.clone()).or_default().push(pid);
         } else {
@@ -309,39 +763,38 @@ impl<K> Bucket<K> {
         pid
     }
 
-    fn remove_entry(&mut self, id: EntryId, constraints: &[Constraint]) {
-        if let Some(pos) = self.entry_ids.iter().position(|&e| e == id) {
-            self.entry_ids.swap_remove(pos);
-        }
+    fn remove_entry(&mut self, store: &mut PredStore, id: EntryId, constraints: &[Constraint]) {
+        let mut roster = self.entries;
+        store.chunks.remove(&mut roster, id);
+        self.entries = roster;
         if constraints.is_empty() {
-            if let Some(pos) = self.unconstrained.iter().position(|&e| e == id) {
-                self.unconstrained.swap_remove(pos);
-            }
+            let mut un = self.unconstrained;
+            store.chunks.remove(&mut un, id);
+            self.unconstrained = un;
             return;
         }
         for c in constraints {
             let Some(&pid) = self.pred_of.get(c) else {
                 continue;
             };
-            let entries = &mut self.preds[pid as usize].entries;
-            if let Some(pos) = entries.iter().position(|&e| e == id) {
-                entries.swap_remove(pos);
-            }
-            if entries.is_empty() {
-                self.drop_pred(pid, c);
+            let mut list = store.preds[pid as usize].entries;
+            store.chunks.remove(&mut list, id);
+            store.preds[pid as usize].entries = list;
+            if list.len == 0 {
+                self.drop_pred(store, pid, c);
             }
         }
     }
 
-    fn drop_pred(&mut self, pid: u32, c: &Constraint) {
+    fn drop_pred(&mut self, store: &mut PredStore, pid: u32, c: &Constraint) {
         self.pred_of.remove(c);
-        self.free_preds.push(pid);
+        store.free_preds.push(pid);
         let Some(pos) = self.attrs.iter().position(|(n, _)| n == c.name()) else {
             return;
         };
         let slot = &mut self.attrs[pos].1;
         if c.interval().is_some() {
-            slot.numeric.retain(|&(_, p)| p != pid);
+            store.bounds.remove_pid(&mut slot.bounds, pid);
         } else if let Op::Eq(v) = c.op() {
             if let Some(pids) = slot.eq.get_mut(v) {
                 pids.retain(|&p| p != pid);
@@ -358,39 +811,61 @@ impl<K> Bucket<K> {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Entry<F> {
-    peer: Peer,
-    filter: F,
-    /// Global insertion sequence — queries report matches in first-seen
-    /// order so the fast path is observationally identical to the old
-    /// linear scan.
+// ---------------------------------------------------------------------
+// Entries: hot/cold split.
+// ---------------------------------------------------------------------
+
+/// The per-entry state the counting pass touches: one 32-byte record,
+/// so a counter bump costs one cache line. `count`/`stamp` are the
+/// generation-stamped counter (no per-query clearing); `seq`/`peer`
+/// ride along so a completed match emits its `(seq, peer)` pair without
+/// a second lookup.
+#[derive(Debug, Clone, Copy)]
+struct HotEntry {
     seq: u64,
-    bucket: u32,
+    peer: Peer,
     required: u32,
+    count: u32,
+    stamp: u32,
+}
+
+/// The per-entry state only insert/remove/covering scans need; queries
+/// never read it.
+#[derive(Debug, Clone)]
+struct ColdEntry<F> {
+    filter: F,
+    bucket: u32,
     live: bool,
 }
 
-/// Bounded FIFO memo of probe results keyed on per-event nonces.
+/// Probe-memo capacity: structural mutations clear the memo anyway, so
+/// on overflow the whole memo (map + slab) is dropped at once — it is a
+/// pure cache and rebuilding it costs one probe sweep per nonce.
 const PROBE_MEMO_CAP: usize = 1024;
 
 /// The counting-based subscription index. See the module docs for the
-/// algorithm; [`crate::SubscriptionTable`] owns one and keeps it
-/// coherent across insert / remove / covering checks.
+/// algorithm and data layout; [`crate::SubscriptionTable`] owns one and
+/// keeps it coherent across insert / remove / covering checks.
 #[derive(Debug, Clone)]
 pub struct MatchIndex<F: IndexableFilter> {
-    keys: HashMap<F::Key, u32>,
+    keys: FxHashMap<F::Key, u32>,
     buckets: Vec<Bucket<F::Key>>,
-    entries: Vec<Entry<F>>,
+    store: PredStore,
+    /// Hot per-entry records, indexed by [`EntryId`].
+    hot: Vec<HotEntry>,
+    /// Cold per-entry records, parallel to `hot`.
+    cold: Vec<ColdEntry<F>>,
     free_entries: Vec<EntryId>,
     live: usize,
     next_seq: u64,
-    /// Generation-stamped counters (no per-query clearing).
-    counts: Vec<u32>,
-    stamps: Vec<u64>,
-    generation: u64,
-    memo: HashMap<u128, Vec<u32>>,
-    memo_order: VecDeque<u128>,
+    /// Query generation for the stamped counters. `u32` so the stamp
+    /// fits the hot record; wraparound resets all stamps (one linear
+    /// sweep every 2^32 queries).
+    generation: u32,
+    /// Probe memo: event nonce → `(start, len)` range of bucket ids in
+    /// `memo_slab`.
+    memo: FxHashMap<u128, (u32, u32)>,
+    memo_slab: Vec<u32>,
     last_stats: MatchStats,
     /// Whether buckets carry prepared probe contexts
     /// ([`IndexableFilter::probe_context`]).
@@ -398,34 +873,36 @@ pub struct MatchIndex<F: IndexableFilter> {
     /// Per-bucket prepared probe context (parallel to `buckets`); `None`
     /// when unprepared or the family has no context.
     probe_ctxs: Vec<Option<F::ProbeContext>>,
-    /// Matched entry ids of the query in flight, reused across queries.
-    matched_scratch: Vec<EntryId>,
+    /// `(seq, peer)` pairs of the query in flight, reused across
+    /// queries. Carrying the pair (not the entry id) means the final
+    /// sort-by-seq and the dedup pass never touch the entry arrays.
+    matched_scratch: Vec<(u64, Peer)>,
     /// Candidate bucket ids of the query in flight, reused across queries.
     cand_scratch: Vec<u32>,
     /// Peer-dedup set, reused across queries.
-    seen_scratch: HashSet<Peer>,
+    seen_scratch: FxHashSet<Peer>,
 }
 
 impl<F: IndexableFilter> Default for MatchIndex<F> {
     fn default() -> Self {
         MatchIndex {
-            keys: HashMap::new(),
+            keys: FxHashMap::default(),
             buckets: Vec::new(),
-            entries: Vec::new(),
+            store: PredStore::default(),
+            hot: Vec::new(),
+            cold: Vec::new(),
             free_entries: Vec::new(),
             live: 0,
             next_seq: 0,
-            counts: Vec::new(),
-            stamps: Vec::new(),
             generation: 0,
-            memo: HashMap::new(),
-            memo_order: VecDeque::new(),
+            memo: FxHashMap::default(),
+            memo_slab: Vec::new(),
             last_stats: MatchStats::default(),
             prepared: false,
             probe_ctxs: Vec::new(),
             matched_scratch: Vec::new(),
             cand_scratch: Vec::new(),
-            seen_scratch: HashSet::new(),
+            seen_scratch: FxHashSet::default(),
         }
     }
 }
@@ -468,6 +945,15 @@ impl<F: IndexableFilter> MatchIndex<F> {
         self.last_stats
     }
 
+    /// Pre-sizes the entry arenas for `additional` further
+    /// registrations. The sharded pipeline calls this once per shard at
+    /// construction so the hot counter array is laid out contiguously
+    /// up front and a bulk subscribe never reallocates it.
+    pub fn reserve(&mut self, additional: usize) {
+        self.hot.reserve(additional);
+        self.cold.reserve(additional);
+    }
+
     /// Registers `filter` for `peer`; returns the entry id to pass to
     /// [`remove`](Self::remove).
     pub fn insert(&mut self, peer: Peer, filter: F) -> EntryId {
@@ -501,32 +987,36 @@ impl<F: IndexableFilter> MatchIndex<F> {
         };
         let required = filter.indexed_constraints().len() as u32;
         self.next_seq = self.next_seq.max(seq.saturating_add(1));
-        let entry = Entry {
-            peer,
-            filter,
+        let id = match self.free_entries.pop() {
+            Some(id) => id,
+            None => self.hot.len() as EntryId,
+        };
+        {
+            // Register constraints straight off the borrowed filter —
+            // no constraint-list copy on the insert path.
+            let MatchIndex { buckets, store, .. } = self;
+            buckets[bid as usize].add_entry(store, id, filter.indexed_constraints());
+        }
+        let h = HotEntry {
             seq,
-            bucket: bid,
+            peer,
             required,
+            count: 0,
+            stamp: 0,
+        };
+        let c = ColdEntry {
+            filter,
+            bucket: bid,
             live: true,
         };
-        let id = match self.free_entries.pop() {
-            Some(id) => {
-                self.entries[id as usize] = entry;
-                id
-            }
-            None => {
-                self.entries.push(entry);
-                self.counts.push(0);
-                self.stamps.push(0);
-                (self.entries.len() - 1) as EntryId
-            }
-        };
+        if (id as usize) == self.hot.len() {
+            self.hot.push(h);
+            self.cold.push(c);
+        } else {
+            self.hot[id as usize] = h;
+            self.cold[id as usize] = c;
+        }
         self.live += 1;
-        let constraints = self.entries[id as usize]
-            .filter
-            .indexed_constraints()
-            .to_vec();
-        self.buckets[bid as usize].add_entry(id, &constraints);
         id
     }
 
@@ -534,12 +1024,20 @@ impl<F: IndexableFilter> MatchIndex<F> {
     /// [`insert`](Self::insert).
     pub fn remove(&mut self, id: EntryId) {
         let idx = id as usize;
-        assert!(self.entries[idx].live, "double remove of entry {id}");
+        assert!(self.cold[idx].live, "double remove of entry {id}");
         self.invalidate_memo();
-        let bid = self.entries[idx].bucket;
-        let constraints = self.entries[idx].filter.indexed_constraints().to_vec();
-        self.buckets[bid as usize].remove_entry(id, &constraints);
-        self.entries[idx].live = false;
+        let bid = self.cold[idx].bucket;
+        {
+            let MatchIndex {
+                buckets,
+                store,
+                cold,
+                ..
+            } = self;
+            let constraints = cold[idx].filter.indexed_constraints();
+            buckets[bid as usize].remove_entry(store, id, constraints);
+        }
+        self.cold[idx].live = false;
         self.free_entries.push(id);
         self.live -= 1;
     }
@@ -550,10 +1048,12 @@ impl<F: IndexableFilter> MatchIndex<F> {
         let Some(&bid) = self.keys.get(&filter.routing_key()) else {
             return false;
         };
-        self.buckets[bid as usize].entry_ids.iter().any(|&id| {
-            let e = &self.entries[id as usize];
-            e.peer == peer && e.filter == *filter
-        })
+        self.store
+            .chunks
+            .any(self.buckets[bid as usize].entries, |id| {
+                let idx = id as usize;
+                self.hot[idx].peer == peer && self.cold[idx].filter == *filter
+            })
     }
 
     /// Whether any live filter covers `filter`. Only buckets named by
@@ -561,10 +1061,11 @@ impl<F: IndexableFilter> MatchIndex<F> {
     pub fn covered_by_any(&self, filter: &F) -> bool {
         filter.covering_candidate_keys().iter().any(|key| {
             self.keys.get(key).is_some_and(|&bid| {
-                self.buckets[bid as usize]
-                    .entry_ids
-                    .iter()
-                    .any(|&id| self.entries[id as usize].filter.covers(filter))
+                self.store
+                    .chunks
+                    .any(self.buckets[bid as usize].entries, |id| {
+                        self.cold[id as usize].filter.covers(filter)
+                    })
             })
         })
     }
@@ -587,8 +1088,7 @@ impl<F: IndexableFilter> MatchIndex<F> {
         self.run_match(event);
         let mut seen = std::mem::take(&mut self.seen_scratch);
         seen.clear();
-        for &id in &self.matched_scratch {
-            let peer = self.entries[id as usize].peer;
+        for &(_, peer) in &self.matched_scratch {
             if seen.insert(peer) {
                 peers.push(peer);
             }
@@ -605,16 +1105,30 @@ impl<F: IndexableFilter> MatchIndex<F> {
     pub fn query_matches_into(&mut self, event: &F::Event, out: &mut Vec<(u64, Peer)>) {
         out.clear();
         self.run_match(event);
-        for &id in &self.matched_scratch {
-            let e = &self.entries[id as usize];
-            out.push((e.seq, e.peer));
-        }
+        out.extend_from_slice(&self.matched_scratch);
+    }
+
+    /// Test hook: forces the query generation so the u32 stamp
+    /// wraparound path is reachable without 2^32 queries.
+    #[doc(hidden)]
+    pub fn set_generation_for_tests(&mut self, generation: u32) {
+        self.generation = generation;
     }
 
     /// The shared matching pass: fills `matched_scratch` with matched
-    /// entry ids sorted by registration sequence and records the stats.
+    /// `(seq, peer)` pairs sorted by registration sequence and records
+    /// the stats.
     fn run_match(&mut self, event: &F::Event) {
-        self.generation += 1;
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wraparound: without this sweep an entry last bumped
+            // 2^32 queries ago would alias the fresh generation and keep
+            // its stale counter.
+            for h in &mut self.hot {
+                h.stamp = 0;
+            }
+            self.generation = 1;
+        }
         let mut stats = MatchStats::default();
         let mut matched = std::mem::take(&mut self.matched_scratch);
         let mut cands = std::mem::take(&mut self.cand_scratch);
@@ -627,7 +1141,7 @@ impl<F: IndexableFilter> MatchIndex<F> {
                     let Some(&b) = self.keys.get(k) else {
                         continue;
                     };
-                    if !self.buckets[b as usize].entry_ids.is_empty() {
+                    if self.buckets[b as usize].entries.len > 0 {
                         stats.key_probes += 1;
                         cands.push(b);
                     }
@@ -636,11 +1150,28 @@ impl<F: IndexableFilter> MatchIndex<F> {
             KeyQuery::Probe => self.probe_buckets(event, &mut stats, &mut cands),
         }
 
-        for &bid in &cands {
-            self.match_bucket(bid, event, &mut stats, &mut matched);
+        let generation = self.generation;
+        {
+            let MatchIndex {
+                buckets,
+                store,
+                hot,
+                ..
+            } = self;
+            for &bid in &cands {
+                match_bucket::<F>(
+                    &buckets[bid as usize],
+                    store,
+                    hot,
+                    generation,
+                    event,
+                    &mut stats,
+                    &mut matched,
+                );
+            }
         }
 
-        matched.sort_unstable_by_key(|&id| self.entries[id as usize].seq);
+        matched.sort_unstable_by_key(|&(seq, _)| seq);
         self.matched_scratch = matched;
         self.cand_scratch = cands;
         self.last_stats = stats;
@@ -651,15 +1182,15 @@ impl<F: IndexableFilter> MatchIndex<F> {
     fn probe_buckets(&mut self, event: &F::Event, stats: &mut MatchStats, out: &mut Vec<u32>) {
         let memo_key = F::probe_memo_key(event);
         if let Some(k) = memo_key {
-            if let Some(bids) = self.memo.get(&k) {
+            if let Some(&(s, n)) = self.memo.get(&k) {
                 stats.memo_hits += 1;
-                out.extend_from_slice(bids);
+                out.extend_from_slice(&self.memo_slab[s as usize..(s + n) as usize]);
                 return;
             }
         }
         let start = out.len();
         for (bid, bucket) in self.buckets.iter().enumerate() {
-            if bucket.entry_ids.is_empty() {
+            if bucket.entries.len == 0 {
                 continue;
             }
             stats.key_probes += 1;
@@ -672,84 +1203,16 @@ impl<F: IndexableFilter> MatchIndex<F> {
             }
         }
         if let Some(k) = memo_key {
-            if self.memo_order.len() >= PROBE_MEMO_CAP {
-                if let Some(old) = self.memo_order.pop_front() {
-                    self.memo.remove(&old);
-                }
+            if self.memo.len() >= PROBE_MEMO_CAP {
+                // The memo is a pure cache: dropping it wholesale costs
+                // one probe sweep per re-seen nonce and keeps the slab
+                // bounded without FIFO bookkeeping.
+                self.memo.clear();
+                self.memo_slab.clear();
             }
-            self.memo.insert(k, out[start..].to_vec());
-            self.memo_order.push_back(k);
-        }
-    }
-
-    /// The counting pass over one bucket.
-    fn match_bucket(
-        &mut self,
-        bid: u32,
-        event: &F::Event,
-        stats: &mut MatchStats,
-        matched: &mut Vec<EntryId>,
-    ) {
-        let bucket = &self.buckets[bid as usize];
-        let entries = &self.entries;
-        let counts = &mut self.counts;
-        let stamps = &mut self.stamps;
-        let generation = self.generation;
-
-        matched.extend_from_slice(&bucket.unconstrained);
-
-        let mut bump = |id: EntryId| {
-            let idx = id as usize;
-            if stamps[idx] != generation {
-                stamps[idx] = generation;
-                counts[idx] = 0;
-            }
-            counts[idx] += 1;
-            if counts[idx] == entries[idx].required {
-                matched.push(id);
-            }
-        };
-
-        for (name, slot) in &bucket.attrs {
-            let Some(value) = F::event_attr(event, name) else {
-                continue;
-            };
-            match value {
-                AttrValue::Int(v) => {
-                    // Prefix of predicates whose lower bound admits `v`;
-                    // the real operator re-check keeps exotic operators
-                    // (and `Lt(i64::MIN)`-style empty ranges) faithful.
-                    let end = slot.numeric.partition_point(|&(lo, _)| lo <= *v);
-                    for &(_, pid) in &slot.numeric[..end] {
-                        stats.predicate_evals += 1;
-                        let pred = &bucket.preds[pid as usize];
-                        if pred.constraint.matches_value(value) {
-                            for &id in &pred.entries {
-                                bump(id);
-                            }
-                        }
-                    }
-                }
-                _ => {
-                    if let Some(pids) = slot.eq.get(value) {
-                        for &pid in pids {
-                            stats.predicate_evals += 1;
-                            for &id in &bucket.preds[pid as usize].entries {
-                                bump(id);
-                            }
-                        }
-                    }
-                    for &pid in &slot.other {
-                        stats.predicate_evals += 1;
-                        let pred = &bucket.preds[pid as usize];
-                        if pred.constraint.matches_value(value) {
-                            for &id in &pred.entries {
-                                bump(id);
-                            }
-                        }
-                    }
-                }
-            }
+            let s = self.memo_slab.len() as u32;
+            self.memo_slab.extend_from_slice(&out[start..]);
+            self.memo.insert(k, (s, (out.len() - start) as u32));
         }
     }
 
@@ -757,7 +1220,76 @@ impl<F: IndexableFilter> MatchIndex<F> {
     /// token bucket could match an already-memoized nonce).
     fn invalidate_memo(&mut self) {
         self.memo.clear();
-        self.memo_order.clear();
+        self.memo_slab.clear();
+    }
+}
+
+/// The counting pass over one bucket. A free function (not a method) so
+/// the caller can split-borrow: `bucket`/`store` shared, `hot` counters
+/// mutable.
+fn match_bucket<F: IndexableFilter>(
+    bucket: &Bucket<F::Key>,
+    store: &PredStore,
+    hot: &mut [HotEntry],
+    generation: u32,
+    event: &F::Event,
+    stats: &mut MatchStats,
+    matched: &mut Vec<(u64, Peer)>,
+) {
+    store.chunks.for_each(bucket.unconstrained, |id| {
+        let h = &hot[id as usize];
+        matched.push((h.seq, h.peer));
+    });
+
+    let mut bump = |id: EntryId| {
+        let h = &mut hot[id as usize];
+        if h.stamp != generation {
+            h.stamp = generation;
+            h.count = 0;
+        }
+        h.count += 1;
+        if h.count == h.required {
+            matched.push((h.seq, h.peer));
+        }
+    };
+
+    for (name, slot) in &bucket.attrs {
+        let Some(value) = F::event_attr(event, name) else {
+            continue;
+        };
+        match value {
+            AttrValue::Int(v) => {
+                // Prefix of predicates whose lower bound admits `v`;
+                // the real operator re-check keeps exotic operators
+                // (and `Lt(i64::MIN)`-style empty ranges) faithful.
+                let (los, pids) = store.bounds.slices(slot.bounds);
+                let end = los.partition_point(|&lo| lo <= *v);
+                for &pid in &pids[..end] {
+                    stats.predicate_evals += 1;
+                    let pred = &store.preds[pid as usize];
+                    if pred.constraint.matches_value(value) {
+                        store.chunks.for_each(pred.entries, &mut bump);
+                    }
+                }
+            }
+            _ => {
+                if let Some(pids) = slot.eq.get(value) {
+                    for &pid in pids {
+                        stats.predicate_evals += 1;
+                        store
+                            .chunks
+                            .for_each(store.preds[pid as usize].entries, &mut bump);
+                    }
+                }
+                for &pid in &slot.other {
+                    stats.predicate_evals += 1;
+                    let pred = &store.preds[pid as usize];
+                    if pred.constraint.matches_value(value) {
+                        store.chunks.for_each(pred.entries, &mut bump);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -924,5 +1456,110 @@ mod tests {
             .attr("sym", "GOOD")
             .build();
         assert_eq!(idx.query(&ev2), vec![Peer::Child(3)]);
+    }
+
+    #[test]
+    fn stamp_wraparound_resets_counters() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        // Two-constraint filter: a stale partial count (1 of 2) left
+        // from before the wrap must not survive into the wrapped
+        // generation and fake a match.
+        let two = Filter::for_topic("t")
+            .with(Constraint::new("x", Op::Ge(10)))
+            .with(Constraint::new("y", Op::Ge(10)));
+        idx.insert(Peer::Child(1), two);
+        // Partial match: only `x` satisfied, counter parks at 1.
+        let partial = Event::builder("t").attr("x", 50i64).build();
+        assert!(idx.query(&partial).is_empty());
+        // Jump the generation to the wrap point; the next query sweeps
+        // stamps and restarts at generation 1 — which old stamps must
+        // not alias.
+        idx.set_generation_for_tests(u32::MAX);
+        assert!(idx.query(&partial).is_empty(), "stale count must not leak");
+        let full = Event::builder("t")
+            .attr("x", 50i64)
+            .attr("y", 50i64)
+            .build();
+        assert_eq!(idx.query(&full), vec![Peer::Child(1)]);
+    }
+
+    #[test]
+    fn wraparound_spanning_churn_stays_correct() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        let mut ids = Vec::new();
+        for i in 0..40u32 {
+            ids.push(idx.insert(Peer::Child(i), f("t", (i as i64) * 10)));
+        }
+        idx.set_generation_for_tests(u32::MAX - 3);
+        for round in 0..8i64 {
+            let got = idx.query(&e("t", 195 + round - round)); // x = 195
+            assert_eq!(got.len(), 20, "round {round}");
+        }
+        // Remove half across the wrap, re-query.
+        for id in ids.drain(..20) {
+            idx.remove(id);
+        }
+        assert_eq!(idx.query(&e("t", 195)).len(), 0);
+        assert_eq!(idx.query(&e("t", 395)).len(), 20);
+    }
+
+    #[test]
+    fn boundary_arena_grows_and_reuses_ranges() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        // 64 distinct bounds on one attribute force several size-class
+        // migrations of the bucket's boundary range.
+        let mut ids = Vec::new();
+        for i in 0..64i64 {
+            ids.push(idx.insert(Peer::Child(i as u32), f("t", i)));
+        }
+        assert_eq!(idx.query(&e("t", 31)).len(), 32);
+        // Remove all; the range must release cleanly.
+        for id in ids.drain(..) {
+            idx.remove(id);
+        }
+        assert!(idx.query(&e("t", 31)).is_empty());
+        // Refill: released ranges are reused, matching still exact.
+        for i in 0..64i64 {
+            ids.push(idx.insert(Peer::Child(i as u32), f("t", i)));
+        }
+        assert_eq!(idx.query(&e("t", 31)).len(), 32);
+        assert_eq!(idx.query(&e("t", 0)).len(), 1);
+    }
+
+    #[test]
+    fn chunked_entry_lists_survive_heavy_shared_predicate_churn() {
+        let mut idx: MatchIndex<Filter> = MatchIndex::new();
+        // 100 entries share one interned predicate → a 8-chunk list;
+        // removal from the middle exercises swap-remove across chunks
+        // and tail reclamation.
+        let mut ids = Vec::new();
+        for i in 0..100u32 {
+            ids.push(idx.insert(Peer::Child(i), f("t", 10)));
+        }
+        assert_eq!(idx.query(&e("t", 15)).len(), 100);
+        for id in ids.iter().skip(1).step_by(2) {
+            idx.remove(*id);
+        }
+        assert_eq!(idx.query(&e("t", 15)).len(), 50);
+        for id in ids.iter().skip(1).step_by(2) {
+            idx.insert(Peer::Child(*id + 1000), f("t", 10));
+        }
+        assert_eq!(idx.query(&e("t", 15)).len(), 100);
+    }
+
+    #[test]
+    fn fx_hasher_spreads_and_is_deterministic() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        let mut s1 = FxHasher::default();
+        s1.write(b"topic-a");
+        let mut s2 = FxHasher::default();
+        s2.write(b"topic-b");
+        assert_ne!(s1.finish(), s2.finish());
     }
 }

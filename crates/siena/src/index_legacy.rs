@@ -1,0 +1,598 @@
+//! The pre-arena matching index, kept as a measured baseline.
+//!
+//! This is the PR1-era [`MatchIndex`](crate::MatchIndex) layout verbatim:
+//! per-bucket `Vec` sprawl (`preds`, `pred_of: HashMap<Constraint, u32>`,
+//! per-attribute boundary `Vec`s), SipHash maps, a filter-sized entry
+//! struct read on every counter bump, and `u64` generation stamps in
+//! arrays separate from the counters. The reworked index in
+//! [`crate::index`] replaces all of that with arena-backed storage and a
+//! hot/cold entry split; this module exists so the `e2e_scaling` bench
+//! can measure the rework against the exact pre-rework data layout at
+//! 1M entries (BENCH_e2e.json `index_rework` section) and so the
+//! property tests have a second, structurally independent oracle.
+//!
+//! Do not grow this module: it is frozen at the old layout on purpose.
+//! Algorithmic semantics (counting matches, first-seen order, probe
+//! memo, covering scans) are identical to [`crate::MatchIndex`], which
+//! `tests/match_index_props.rs` pins by running both against the linear
+//! scan.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use psguard_model::{AttrName, AttrValue, Constraint, Op};
+
+use crate::index::{EntryId, IndexableFilter, KeyQuery, MatchStats};
+use crate::table::Peer;
+
+/// One interned predicate and the entries that require it.
+#[derive(Debug, Clone)]
+struct Pred {
+    constraint: Constraint,
+    /// Entries needing this predicate, with multiplicity (a filter that
+    /// repeats a constraint appears repeatedly, keeping its counter
+    /// target consistent).
+    entries: Vec<EntryId>,
+}
+
+/// Per-attribute predicate layout inside one bucket.
+#[derive(Debug, Clone, Default)]
+struct AttrIndex {
+    /// Numeric predicates as `(lower bound, pred)` sorted by lower
+    /// bound (`i64::MIN` for unbounded-below).
+    numeric: Vec<(i64, u32)>,
+    /// Non-numeric equality predicates, hashed by expected value.
+    eq: HashMap<AttrValue, Vec<u32>>,
+    /// Everything else (prefix / suffix / category), evaluated one by
+    /// one — still at most once per distinct predicate.
+    other: Vec<u32>,
+}
+
+impl AttrIndex {
+    fn is_empty(&self) -> bool {
+        self.numeric.is_empty() && self.eq.is_empty() && self.other.is_empty()
+    }
+}
+
+/// All filters sharing one routing key.
+#[derive(Debug, Clone)]
+struct Bucket<K> {
+    key: K,
+    /// Live entries (kept strictly in sync by insert/remove).
+    entry_ids: Vec<EntryId>,
+    /// Live entries with zero constraints: they match any event that
+    /// reaches this bucket.
+    unconstrained: Vec<EntryId>,
+    attrs: Vec<(AttrName, AttrIndex)>,
+    preds: Vec<Pred>,
+    free_preds: Vec<u32>,
+    pred_of: HashMap<Constraint, u32>,
+}
+
+impl<K> Bucket<K> {
+    fn new(key: K) -> Self {
+        Bucket {
+            key,
+            entry_ids: Vec::new(),
+            unconstrained: Vec::new(),
+            attrs: Vec::new(),
+            preds: Vec::new(),
+            free_preds: Vec::new(),
+            pred_of: HashMap::new(),
+        }
+    }
+
+    fn attr_index_mut(&mut self, name: &AttrName) -> &mut AttrIndex {
+        let pos = match self.attrs.iter().position(|(n, _)| n == name) {
+            Some(pos) => pos,
+            None => {
+                self.attrs.push((name.clone(), AttrIndex::default()));
+                self.attrs.len() - 1
+            }
+        };
+        &mut self.attrs[pos].1
+    }
+
+    fn add_entry(&mut self, id: EntryId, constraints: &[Constraint]) {
+        self.entry_ids.push(id);
+        if constraints.is_empty() {
+            self.unconstrained.push(id);
+            return;
+        }
+        for c in constraints {
+            let pid = match self.pred_of.get(c) {
+                Some(&p) => p,
+                None => self.intern_pred(c),
+            };
+            self.preds[pid as usize].entries.push(id);
+        }
+    }
+
+    fn intern_pred(&mut self, c: &Constraint) -> u32 {
+        let pid = match self.free_preds.pop() {
+            Some(p) => {
+                self.preds[p as usize] = Pred {
+                    constraint: c.clone(),
+                    entries: Vec::new(),
+                };
+                p
+            }
+            None => {
+                self.preds.push(Pred {
+                    constraint: c.clone(),
+                    entries: Vec::new(),
+                });
+                (self.preds.len() - 1) as u32
+            }
+        };
+        self.pred_of.insert(c.clone(), pid);
+        let slot = self.attr_index_mut(c.name());
+        if let Some(iv) = c.interval() {
+            let lo = iv.lo().unwrap_or(i64::MIN);
+            let at = slot.numeric.partition_point(|&(l, _)| l < lo);
+            slot.numeric.insert(at, (lo, pid));
+        } else if let Op::Eq(v) = c.op() {
+            slot.eq.entry(v.clone()).or_default().push(pid);
+        } else {
+            slot.other.push(pid);
+        }
+        pid
+    }
+
+    fn remove_entry(&mut self, id: EntryId, constraints: &[Constraint]) {
+        if let Some(pos) = self.entry_ids.iter().position(|&e| e == id) {
+            self.entry_ids.swap_remove(pos);
+        }
+        if constraints.is_empty() {
+            if let Some(pos) = self.unconstrained.iter().position(|&e| e == id) {
+                self.unconstrained.swap_remove(pos);
+            }
+            return;
+        }
+        for c in constraints {
+            let Some(&pid) = self.pred_of.get(c) else {
+                continue;
+            };
+            let entries = &mut self.preds[pid as usize].entries;
+            if let Some(pos) = entries.iter().position(|&e| e == id) {
+                entries.swap_remove(pos);
+            }
+            if entries.is_empty() {
+                self.drop_pred(pid, c);
+            }
+        }
+    }
+
+    fn drop_pred(&mut self, pid: u32, c: &Constraint) {
+        self.pred_of.remove(c);
+        self.free_preds.push(pid);
+        let Some(pos) = self.attrs.iter().position(|(n, _)| n == c.name()) else {
+            return;
+        };
+        let slot = &mut self.attrs[pos].1;
+        if c.interval().is_some() {
+            slot.numeric.retain(|&(_, p)| p != pid);
+        } else if let Op::Eq(v) = c.op() {
+            if let Some(pids) = slot.eq.get_mut(v) {
+                pids.retain(|&p| p != pid);
+                if pids.is_empty() {
+                    slot.eq.remove(v);
+                }
+            }
+        } else {
+            slot.other.retain(|&p| p != pid);
+        }
+        if slot.is_empty() {
+            self.attrs.swap_remove(pos);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<F> {
+    peer: Peer,
+    filter: F,
+    /// Global insertion sequence — queries report matches in first-seen
+    /// order so the fast path is observationally identical to the old
+    /// linear scan.
+    seq: u64,
+    bucket: u32,
+    required: u32,
+    live: bool,
+}
+
+/// Bounded FIFO memo of probe results keyed on per-event nonces.
+const PROBE_MEMO_CAP: usize = 1024;
+
+/// The pre-rework counting index (see the module docs). API mirrors
+/// [`crate::MatchIndex`] so benches and tests can drive both
+/// interchangeably.
+#[derive(Debug, Clone)]
+pub struct LegacyMatchIndex<F: IndexableFilter> {
+    keys: HashMap<F::Key, u32>,
+    buckets: Vec<Bucket<F::Key>>,
+    entries: Vec<Entry<F>>,
+    free_entries: Vec<EntryId>,
+    live: usize,
+    next_seq: u64,
+    /// Generation-stamped counters (no per-query clearing).
+    counts: Vec<u32>,
+    stamps: Vec<u64>,
+    generation: u64,
+    memo: HashMap<u128, Vec<u32>>,
+    memo_order: VecDeque<u128>,
+    last_stats: MatchStats,
+    /// Whether buckets carry prepared probe contexts
+    /// ([`IndexableFilter::probe_context`]).
+    prepared: bool,
+    /// Per-bucket prepared probe context (parallel to `buckets`); `None`
+    /// when unprepared or the family has no context.
+    probe_ctxs: Vec<Option<F::ProbeContext>>,
+    /// Matched entry ids of the query in flight, reused across queries.
+    matched_scratch: Vec<EntryId>,
+    /// Candidate bucket ids of the query in flight, reused across queries.
+    cand_scratch: Vec<u32>,
+    /// Peer-dedup set, reused across queries.
+    seen_scratch: HashSet<Peer>,
+}
+
+impl<F: IndexableFilter> Default for LegacyMatchIndex<F> {
+    fn default() -> Self {
+        LegacyMatchIndex {
+            keys: HashMap::new(),
+            buckets: Vec::new(),
+            entries: Vec::new(),
+            free_entries: Vec::new(),
+            live: 0,
+            next_seq: 0,
+            counts: Vec::new(),
+            stamps: Vec::new(),
+            generation: 0,
+            memo: HashMap::new(),
+            memo_order: VecDeque::new(),
+            last_stats: MatchStats::default(),
+            prepared: false,
+            probe_ctxs: Vec::new(),
+            matched_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            seen_scratch: HashSet::new(),
+        }
+    }
+}
+
+impl<F: IndexableFilter> LegacyMatchIndex<F> {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty index that builds a reusable probe context per bucket.
+    pub fn with_prepared_probes() -> Self {
+        LegacyMatchIndex {
+            prepared: true,
+            ..Self::default()
+        }
+    }
+
+    /// Live registrations.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no registration is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Distinct routing keys ever interned.
+    pub fn distinct_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Work performed by the most recent [`query`](Self::query).
+    pub fn last_stats(&self) -> MatchStats {
+        self.last_stats
+    }
+
+    /// Registers `filter` for `peer`; returns the entry id to pass to
+    /// [`remove`](Self::remove).
+    pub fn insert(&mut self, peer: Peer, filter: F) -> EntryId {
+        let seq = self.next_seq;
+        self.insert_with_seq(peer, filter, seq)
+    }
+
+    /// Registers `filter` for `peer` under a caller-assigned sequence
+    /// number (see [`crate::MatchIndex::insert_with_seq`]).
+    pub fn insert_with_seq(&mut self, peer: Peer, filter: F, seq: u64) -> EntryId {
+        self.invalidate_memo();
+        let key = filter.routing_key();
+        let bid = match self.keys.get(&key) {
+            Some(&b) => b,
+            None => {
+                let b = self.buckets.len() as u32;
+                self.probe_ctxs.push(if self.prepared {
+                    F::probe_context(&key)
+                } else {
+                    None
+                });
+                self.buckets.push(Bucket::new(key.clone()));
+                self.keys.insert(key, b);
+                b
+            }
+        };
+        let required = filter.indexed_constraints().len() as u32;
+        self.next_seq = self.next_seq.max(seq.saturating_add(1));
+        let entry = Entry {
+            peer,
+            filter,
+            seq,
+            bucket: bid,
+            required,
+            live: true,
+        };
+        let id = match self.free_entries.pop() {
+            Some(id) => {
+                self.entries[id as usize] = entry;
+                id
+            }
+            None => {
+                self.entries.push(entry);
+                self.counts.push(0);
+                self.stamps.push(0);
+                (self.entries.len() - 1) as EntryId
+            }
+        };
+        self.live += 1;
+        let constraints = self.entries[id as usize]
+            .filter
+            .indexed_constraints()
+            .to_vec();
+        self.buckets[bid as usize].add_entry(id, &constraints);
+        id
+    }
+
+    /// Unregisters an entry previously returned by
+    /// [`insert`](Self::insert).
+    pub fn remove(&mut self, id: EntryId) {
+        let idx = id as usize;
+        assert!(self.entries[idx].live, "double remove of entry {id}");
+        self.invalidate_memo();
+        let bid = self.entries[idx].bucket;
+        let constraints = self.entries[idx].filter.indexed_constraints().to_vec();
+        self.buckets[bid as usize].remove_entry(id, &constraints);
+        self.entries[idx].live = false;
+        self.free_entries.push(id);
+        self.live -= 1;
+    }
+
+    /// Whether an identical `(peer, filter)` registration is live.
+    pub fn contains(&self, peer: Peer, filter: &F) -> bool {
+        let Some(&bid) = self.keys.get(&filter.routing_key()) else {
+            return false;
+        };
+        self.buckets[bid as usize].entry_ids.iter().any(|&id| {
+            let e = &self.entries[id as usize];
+            e.peer == peer && e.filter == *filter
+        })
+    }
+
+    /// Whether any live filter covers `filter`.
+    pub fn covered_by_any(&self, filter: &F) -> bool {
+        filter.covering_candidate_keys().iter().any(|key| {
+            self.keys.get(key).is_some_and(|&bid| {
+                self.buckets[bid as usize]
+                    .entry_ids
+                    .iter()
+                    .any(|&id| self.entries[id as usize].filter.covers(filter))
+            })
+        })
+    }
+
+    /// The distinct peers whose filters match `event`, in first-seen
+    /// registration order.
+    pub fn query(&mut self, event: &F::Event) -> Vec<Peer> {
+        let mut peers = Vec::new();
+        self.query_into(event, &mut peers);
+        peers
+    }
+
+    /// [`query`](Self::query) into a caller-provided buffer.
+    pub fn query_into(&mut self, event: &F::Event, peers: &mut Vec<Peer>) {
+        peers.clear();
+        self.run_match(event);
+        let mut seen = std::mem::take(&mut self.seen_scratch);
+        seen.clear();
+        for &id in &self.matched_scratch {
+            let peer = self.entries[id as usize].peer;
+            if seen.insert(peer) {
+                peers.push(peer);
+            }
+        }
+        self.seen_scratch = seen;
+    }
+
+    /// Raw matches for `event` as `(seq, peer)` pairs sorted by
+    /// registration sequence, **without** peer dedup.
+    pub fn query_matches_into(&mut self, event: &F::Event, out: &mut Vec<(u64, Peer)>) {
+        out.clear();
+        self.run_match(event);
+        for &id in &self.matched_scratch {
+            let e = &self.entries[id as usize];
+            out.push((e.seq, e.peer));
+        }
+    }
+
+    /// The shared matching pass: fills `matched_scratch` with matched
+    /// entry ids sorted by registration sequence and records the stats.
+    fn run_match(&mut self, event: &F::Event) {
+        self.generation += 1;
+        let mut stats = MatchStats::default();
+        let mut matched = std::mem::take(&mut self.matched_scratch);
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        matched.clear();
+        cands.clear();
+
+        match F::candidate_keys(event) {
+            KeyQuery::Direct(keys) => {
+                for k in &keys {
+                    let Some(&b) = self.keys.get(k) else {
+                        continue;
+                    };
+                    if !self.buckets[b as usize].entry_ids.is_empty() {
+                        stats.key_probes += 1;
+                        cands.push(b);
+                    }
+                }
+            }
+            KeyQuery::Probe => self.probe_buckets(event, &mut stats, &mut cands),
+        }
+
+        for &bid in &cands {
+            self.match_bucket(bid, event, &mut stats, &mut matched);
+        }
+
+        matched.sort_unstable_by_key(|&id| self.entries[id as usize].seq);
+        self.matched_scratch = matched;
+        self.cand_scratch = cands;
+        self.last_stats = stats;
+    }
+
+    /// Probe mode: one key test per live bucket, memoized per event
+    /// nonce. Matching bucket ids are appended to `out`.
+    fn probe_buckets(&mut self, event: &F::Event, stats: &mut MatchStats, out: &mut Vec<u32>) {
+        let memo_key = F::probe_memo_key(event);
+        if let Some(k) = memo_key {
+            if let Some(bids) = self.memo.get(&k) {
+                stats.memo_hits += 1;
+                out.extend_from_slice(bids);
+                return;
+            }
+        }
+        let start = out.len();
+        for (bid, bucket) in self.buckets.iter().enumerate() {
+            if bucket.entry_ids.is_empty() {
+                continue;
+            }
+            stats.key_probes += 1;
+            let hit = match self.probe_ctxs.get(bid).and_then(Option::as_ref) {
+                Some(ctx) => F::context_matches(ctx, event),
+                None => F::key_matches(&bucket.key, event),
+            };
+            if hit {
+                out.push(bid as u32);
+            }
+        }
+        if let Some(k) = memo_key {
+            if self.memo_order.len() >= PROBE_MEMO_CAP {
+                if let Some(old) = self.memo_order.pop_front() {
+                    self.memo.remove(&old);
+                }
+            }
+            self.memo.insert(k, out[start..].to_vec());
+            self.memo_order.push_back(k);
+        }
+    }
+
+    /// The counting pass over one bucket.
+    fn match_bucket(
+        &mut self,
+        bid: u32,
+        event: &F::Event,
+        stats: &mut MatchStats,
+        matched: &mut Vec<EntryId>,
+    ) {
+        let bucket = &self.buckets[bid as usize];
+        let entries = &self.entries;
+        let counts = &mut self.counts;
+        let stamps = &mut self.stamps;
+        let generation = self.generation;
+
+        matched.extend_from_slice(&bucket.unconstrained);
+
+        let mut bump = |id: EntryId| {
+            let idx = id as usize;
+            if stamps[idx] != generation {
+                stamps[idx] = generation;
+                counts[idx] = 0;
+            }
+            counts[idx] += 1;
+            if counts[idx] == entries[idx].required {
+                matched.push(id);
+            }
+        };
+
+        for (name, slot) in &bucket.attrs {
+            let Some(value) = F::event_attr(event, name) else {
+                continue;
+            };
+            match value {
+                AttrValue::Int(v) => {
+                    // Prefix of predicates whose lower bound admits `v`;
+                    // the real operator re-check keeps exotic operators
+                    // (and `Lt(i64::MIN)`-style empty ranges) faithful.
+                    let end = slot.numeric.partition_point(|&(lo, _)| lo <= *v);
+                    for &(_, pid) in &slot.numeric[..end] {
+                        stats.predicate_evals += 1;
+                        let pred = &bucket.preds[pid as usize];
+                        if pred.constraint.matches_value(value) {
+                            for &id in &pred.entries {
+                                bump(id);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(pids) = slot.eq.get(value) {
+                        for &pid in pids {
+                            stats.predicate_evals += 1;
+                            for &id in &bucket.preds[pid as usize].entries {
+                                bump(id);
+                            }
+                        }
+                    }
+                    for &pid in &slot.other {
+                        stats.predicate_evals += 1;
+                        let pred = &bucket.preds[pid as usize];
+                        if pred.constraint.matches_value(value) {
+                            for &id in &pred.entries {
+                                bump(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structural mutations invalidate memoized probe results (a new
+    /// token bucket could match an already-memoized nonce).
+    fn invalidate_memo(&mut self) {
+        self.memo.clear();
+        self.memo_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psguard_model::{Event, Filter, Op};
+
+    fn f(topic: &str, min: i64) -> Filter {
+        Filter::for_topic(topic).with(Constraint::new("x", Op::Ge(min)))
+    }
+
+    fn e(topic: &str, x: i64) -> Event {
+        Event::builder(topic).attr("x", x).build()
+    }
+
+    #[test]
+    fn legacy_matches_and_removes() {
+        let mut idx: LegacyMatchIndex<Filter> = LegacyMatchIndex::new();
+        let a = idx.insert(Peer::Child(1), f("a", 10));
+        idx.insert(Peer::Child(2), f("a", 50));
+        assert_eq!(idx.query(&e("a", 60)), vec![Peer::Child(1), Peer::Child(2)]);
+        idx.remove(a);
+        assert_eq!(idx.query(&e("a", 60)), vec![Peer::Child(2)]);
+        let stats = idx.last_stats();
+        assert_eq!(stats.key_probes, 1);
+    }
+}

@@ -41,6 +41,7 @@ mod error;
 mod fault;
 mod frame;
 mod index;
+mod index_legacy;
 pub mod log;
 mod pipeline;
 pub mod reactor;
@@ -58,6 +59,7 @@ pub use fault::{
 };
 pub use frame::{write_frames, Frame, FramePool, FramePoolStats, FrameWriteCursor, SharedFrame};
 pub use index::{EntryId, IndexableFilter, KeyQuery, MatchIndex, MatchStats};
+pub use index_legacy::LegacyMatchIndex;
 pub use log::{
     Cursor, EventLog, LogConfig, LogError, LogStats, RecoveryReport, ReplayCursor, ResumeOutcome,
 };

@@ -48,6 +48,7 @@ use record::{
 };
 use segment::{
     encode_header, file_name, list_bases, scan_and_repair, LogSegment, SEGMENT_HEADER_LEN,
+    SPARSE_INDEX_EVERY,
 };
 
 /// Configuration for one [`EventLog`] directory.
@@ -337,6 +338,7 @@ impl EventLog {
                         last_seq: scan.last_seq,
                         len: scan.len,
                         path,
+                        index: scan.index,
                     });
                 }
             }
@@ -479,6 +481,10 @@ impl EventLog {
         }
 
         if let Some(seg) = self.segments.last_mut() {
+            if (seq - seg.base).is_multiple_of(SPARSE_INDEX_EVERY) {
+                // `seg.len` is still the record's start offset here.
+                seg.index.push((seq, seg.len));
+            }
             seg.len += rec_len;
             seg.last_seq = seq;
         }
@@ -526,6 +532,7 @@ impl EventLog {
             last_seq: base - 1, // zero records yet
             len: SEGMENT_HEADER_LEN as u64,
             path,
+            index: Vec::new(),
         });
         self.active = Some(file);
         self.stats.segments_created += 1;
@@ -623,8 +630,10 @@ impl EventLog {
     }
 
     /// Re-positions `cur` after a compaction (or on first use): clamps
-    /// to the retention floor and scans record headers to the byte
-    /// offset of `next_seq`.
+    /// to the retention floor, binary-searches the segment's sparse
+    /// seq→offset index for the sampled record at or before the target,
+    /// and scans at most [`SPARSE_INDEX_EVERY`] record headers forward
+    /// from there — instead of scanning from the segment base.
     fn reseek(&self, cur: &mut ReplayCursor) -> Result<(), LogError> {
         let floor = self.floor_seq();
         if cur.next_seq < floor {
@@ -643,11 +652,16 @@ impl EventLog {
             cur.offset = SEGMENT_HEADER_LEN as u64;
             return Ok(());
         };
+        // Start at the closest sampled record at or before the target;
+        // an exact hit makes the forward scan a no-op.
+        let (mut seq, mut off) = match seg.index.binary_search_by_key(&cur.next_seq, |&(s, _)| s) {
+            Ok(i) => seg.index[i],
+            Err(0) => (seg.base, SEGMENT_HEADER_LEN as u64),
+            Err(i) => seg.index[i - 1],
+        };
         let file = File::open(&seg.path)?;
         let mut reader = BufReader::with_capacity(16 << 10, file);
-        reader.seek(SeekFrom::Start(SEGMENT_HEADER_LEN as u64))?;
-        let mut off = SEGMENT_HEADER_LEN as u64;
-        let mut seq = seg.base;
+        reader.seek(SeekFrom::Start(off))?;
         while seq < cur.next_seq {
             let mut h = [0u8; RECORD_HEADER_LEN];
             reader.read_exact(&mut h)?;
@@ -907,6 +921,73 @@ mod tests {
         }
         assert!(retries > 0, "p=0.5 must fire at least once");
         assert_eq!(out.len(), 10, "retries converge to full replay");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Reference seek: the pre-index algorithm, scanning record headers
+    /// from the segment base.
+    fn seek_by_scan(log: &EventLog, target: u64) -> (u64, u64) {
+        let seg = log
+            .segments
+            .iter()
+            .rev()
+            .find(|s| s.base <= target && target <= s.last_seq)
+            .expect("target in range");
+        let data = fs::read(&seg.path).unwrap();
+        let mut off = SEGMENT_HEADER_LEN;
+        let mut seq = seg.base;
+        while seq < target {
+            let mut h = [0u8; RECORD_HEADER_LEN];
+            h.copy_from_slice(&data[off..off + RECORD_HEADER_LEN]);
+            let (body_len, _) = parse_header(h);
+            off += RECORD_HEADER_LEN + body_len;
+            seq += 1;
+        }
+        (seg.base, off as u64)
+    }
+
+    #[test]
+    fn sparse_index_seek_equals_scan() {
+        let dir = tmp("sparseseek");
+        let mut cfg = LogConfig::new(&dir);
+        cfg.segment_max_bytes = 8 << 10; // several segments, >32 recs each
+        let (mut log, _) = EventLog::open(cfg.clone()).unwrap();
+        // Variable-length payloads so record offsets are non-uniform.
+        for i in 1..=300u64 {
+            let mut p = payload(i);
+            p.resize(40 + (i as usize * 13) % 90, 0xAB);
+            log.append(&p).unwrap();
+        }
+        assert!(log.segments.len() > 1, "need multiple segments");
+        assert!(
+            log.segments.iter().all(|s| !s.index.is_empty()),
+            "every segment samples its sparse index"
+        );
+        for target in 1..=300u64 {
+            let mut cur = log.replay_cursor(target);
+            log.reseek(&mut cur).unwrap();
+            let (base, off) = seek_by_scan(&log, target);
+            assert_eq!((cur.seg_base, cur.offset), (base, off), "seq {target}");
+            // And the seek actually replays the right record first.
+            let mut out = Vec::new();
+            log.replay_next(&mut cur, 1, &mut out).unwrap();
+            assert_eq!(out[0].0.seq, target);
+        }
+
+        // Recovery rebuilds the identical sparse index from disk.
+        let before: Vec<_> = log
+            .segments
+            .iter()
+            .map(|s| (s.base, s.index.clone()))
+            .collect();
+        drop(log);
+        let (log, _) = EventLog::open(cfg).unwrap();
+        let after: Vec<_> = log
+            .segments
+            .iter()
+            .map(|s| (s.base, s.index.clone()))
+            .collect();
+        assert_eq!(before, after, "scan_and_repair rebuilds the same index");
         let _ = fs::remove_dir_all(&dir);
     }
 

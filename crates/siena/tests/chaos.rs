@@ -412,3 +412,177 @@ proptest! {
         }
     }
 }
+
+/// 7. **Scenario matrix** — every adversarial workload shape from the
+///    macro-bench generator ([`ScenarioTrace`]) replayed through the
+///    overlay under a seeded lossy/duplicating fault plan, with a
+///    per-client oracle derived from the trace itself:
+///
+/// * a client never revoked must receive exactly the matching events,
+///   each exactly once;
+/// * a revoked client (churn leaves map to revocations — the engine has
+///   no mid-run unsubscribe — and joins are installed up front) must
+///   see no event sent at or after its revocation instant, no
+///   duplicates, and only events its filter matches.
+#[test]
+fn scenario_matrix_exactly_once_under_faults() {
+    use psguard_analysis::{ChurnKind, ScenarioConfig, ScenarioKind, ScenarioTrace};
+
+    const RATE: f64 = 40.0;
+    const INTERARRIVAL_US: u64 = 25_000; // 1e6 / RATE
+
+    for (i, kind) in ScenarioKind::ALL.into_iter().enumerate() {
+        let cfg = ScenarioConfig {
+            kind,
+            topics: 4,
+            zipf_s: 1.1,
+            subscribers: 8,
+            events: 24,
+            value_range: 64,
+            sub_width: 48,
+            seed: 0xC0DE + i as u64,
+        };
+        let trace = ScenarioTrace::generate(&cfg);
+        let label = kind.name();
+
+        // One engine event per publish op; duration sized so the fixed-
+        // interval publisher emits the stream exactly once (seq == index).
+        let events: Vec<Event> = trace
+            .publishes
+            .iter()
+            .map(|p| {
+                Event::builder(format!("s{}", p.topic))
+                    .attr("x", p.value)
+                    .build()
+            })
+            .collect();
+        let duration_s = events.len() as f64 / RATE;
+
+        // Subscriptions: initial plus every Join (installed up front —
+        // the engine has no mid-run subscribe, so a joiner is simply
+        // subscribed for the whole run and the oracle expects every
+        // matching event for it). A Leave maps to a revocation only if
+        // the subscription never rejoins afterward (a leave/rejoin pair
+        // collapses to "subscribed throughout"); trace revocations map
+        // directly.
+        let mut subs: Vec<(u32, u32, i64, i64)> = trace
+            .initial
+            .iter()
+            .map(|s| (s.client, s.topic, s.lo, s.hi))
+            .collect();
+        let mut revoked_at: Vec<(u32, u64)> = Vec::new();
+        for c in &trace.churn {
+            match c.kind {
+                ChurnKind::Join => subs.push((c.sub.client, c.sub.topic, c.sub.lo, c.sub.hi)),
+                ChurnKind::Leave => {
+                    let rejoins = trace.churn.iter().any(|j| {
+                        j.kind == ChurnKind::Join && j.sub == c.sub && j.at_event >= c.at_event
+                    });
+                    if !rejoins {
+                        revoked_at.push((c.sub.client, c.at_event as u64 * INTERARRIVAL_US));
+                    }
+                }
+            }
+        }
+        for r in &trace.revocations {
+            revoked_at.push((r.client, r.at_event as u64 * INTERARRIVAL_US));
+        }
+        // Keep only each client's earliest revocation.
+        revoked_at.sort_by_key(|&(c, t)| (c, t));
+        revoked_at.dedup_by_key(|&mut (c, _)| c);
+        let revoke_of = |client: u32| -> Option<u64> {
+            revoked_at
+                .iter()
+                .find(|&&(c, _)| c == client)
+                .map(|&(_, t)| t)
+        };
+
+        let n_clients = trace.max_client().map(|c| c + 1).unwrap_or(0);
+        let mut eng = engine(6, n_clients);
+        let mut installed: HashSet<(u32, u32, i64, i64)> = HashSet::new();
+        for &(client, topic, lo, hi) in &subs {
+            if installed.insert((client, topic, lo, hi)) {
+                eng.subscribe(
+                    client,
+                    Filter::for_topic(format!("s{topic}")).with(psguard_model::Constraint::new(
+                        "x",
+                        psguard_model::Op::InRange(
+                            psguard_model::IntRange::new(lo, hi).expect("trace ranges ordered"),
+                        ),
+                    )),
+                );
+            }
+        }
+
+        let plan = FaultPlan::new(0xFA + i as u64).with_default_link_faults(LinkFaults {
+            drop_p: 0.15,
+            dup_p: 0.1,
+            jitter_us: 10_000,
+        });
+        let mut fc = FaultConfig::with_recovery(plan);
+        fc.recovery = Some(RecoveryConfig::no_heartbeats());
+        fc.revocations = revoked_at
+            .iter()
+            .map(|&(client, at_us)| Revocation { client, at_us })
+            .collect();
+        fc.record_deliveries = true;
+        let r = eng.run_faulty(&events, RATE, duration_s, &CostModel::plain(), &mut fc);
+        assert_eq!(
+            r.published,
+            trace.publishes.len() as u64,
+            "{label}: one engine publication per trace op"
+        );
+
+        // Oracle: which (client, seq) pairs must arrive, straight from
+        // the trace.
+        let matches = |client: u32, seq: usize| -> bool {
+            let p = &trace.publishes[seq];
+            installed
+                .iter()
+                .any(|&(c, t, lo, hi)| c == client && t == p.topic && (lo..=hi).contains(&p.value))
+        };
+        let mut seen = HashSet::new();
+        for d in &r.deliveries {
+            assert!(
+                seen.insert((d.client, d.event_seq)),
+                "{label}: duplicate delivery of seq {} to client {}",
+                d.event_seq,
+                d.client
+            );
+            assert!(
+                matches(d.client, d.event_seq as usize),
+                "{label}: client {} got non-matching seq {}",
+                d.client,
+                d.event_seq
+            );
+            if let Some(t) = revoke_of(d.client) {
+                assert!(
+                    d.sent_at < t,
+                    "{label}: revoked client {} got seq {} sent at {} >= {t}",
+                    d.client,
+                    d.event_seq,
+                    d.sent_at
+                );
+            }
+        }
+        let mut expected = 0u64;
+        for client in 0..n_clients {
+            if revoke_of(client).is_some() {
+                continue; // checked above: no post-revocation, no dups
+            }
+            for seq in 0..trace.publishes.len() {
+                if matches(client, seq) {
+                    expected += 1;
+                    assert!(
+                        seen.contains(&(client, seq as u64)),
+                        "{label}: client {client} missed seq {seq}"
+                    );
+                }
+            }
+        }
+        assert!(
+            expected > 0,
+            "{label}: degenerate oracle (no expected deliveries)"
+        );
+    }
+}

@@ -150,7 +150,11 @@ pub struct ScopedRule {
 /// * `hot-path-alloc` — the allocation-free dissemination hot path:
 ///   per-message serialization goes through the shared `FramePool`
 ///   (encode once, fan out `Arc` clones), so per-call allocating
-///   conversions are banned. See DESIGN.md §14.
+///   conversions are banned. See DESIGN.md §14. The arena `MatchIndex`
+///   and the sharded pipeline (DESIGN.md §18) are in scope too: a
+///   steady-state query must reuse its scratch, not re-collect.
+///   `index_legacy.rs` is deliberately *out* of scope — it is the
+///   frozen pre-rework layout kept as the measured baseline.
 /// * `thread-per-connection` — the reactor transport's contract is a
 ///   *fixed* thread count; an unmarked `thread::spawn` is a regression
 ///   back toward thread-per-connection. `threaded.rs` is deliberately
@@ -180,6 +184,8 @@ pub const SCOPED_RULES: &[ScopedRule] = &[
             "crates/siena/src/tcp.rs",
             "crates/siena/src/threaded.rs",
             "crates/siena/src/reactor/",
+            "crates/siena/src/index.rs",
+            "crates/siena/src/pipeline.rs",
         ],
     },
     ScopedRule {
@@ -360,6 +366,9 @@ mod tests {
         assert!(hot_path_contains("crates/siena/src/tcp.rs"));
         assert!(hot_path_contains("crates/siena/src/threaded.rs"));
         assert!(hot_path_contains("crates/siena/src/reactor/broker.rs"));
+        assert!(hot_path_contains("crates/siena/src/index.rs"));
+        assert!(hot_path_contains("crates/siena/src/pipeline.rs"));
+        assert!(!hot_path_contains("crates/siena/src/index_legacy.rs"));
         assert!(!hot_path_contains("crates/siena/src/wire.rs"));
         assert!(spawn_scope_contains("crates/siena/src/reactor/client.rs"));
         assert!(spawn_scope_contains("crates/siena/src/tcp.rs"));
