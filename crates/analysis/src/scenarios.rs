@@ -273,9 +273,15 @@ impl ScenarioTrace {
                     // Spread over a short window so revocations interleave
                     // with publishes instead of landing as one batch.
                     let jitter = rng.gen_range(0..(n / 8).max(1));
+                    // Widen before multiplying: k * subscribers overflows
+                    // u32 once subscribers·(subscribers/4) exceeds 2^32
+                    // (~131k subscribers), which used to wrap most revoked
+                    // ids into a tiny duplicated range at the 1M scale.
+                    let client =
+                        u64::from(k) * u64::from(cfg.subscribers.max(1)) / u64::from(storm);
                     revocations.push(RevokeOp {
                         at_event: (at + jitter).min(n),
-                        client: k * cfg.subscribers.max(1) / storm,
+                        client: client as u32,
                     });
                 }
                 revocations.sort_by_key(|r| (r.at_event, r.client));
@@ -441,6 +447,33 @@ mod tests {
             }
         }
         assert!(bursts >= 2, "200 events at <=32/run must span >=3 bursts");
+    }
+
+    #[test]
+    fn revocation_storm_survives_large_populations() {
+        // Regression: `k * subscribers` overflowed u32 above ~131k
+        // subscribers (debug panic, silent wrap in release), collapsing
+        // most revoked ids into a small duplicated range.
+        let cfg = ScenarioConfig {
+            kind: ScenarioKind::RevocationStorm,
+            topics: 4,
+            zipf_s: 1.1,
+            subscribers: 200_000,
+            events: 16,
+            value_range: 64,
+            sub_width: 16,
+            seed: 1,
+        };
+        let trace = ScenarioTrace::generate(&cfg);
+        let n = trace.revocations.len();
+        assert_eq!(n, 50_000);
+        let mut clients: Vec<u32> = trace.revocations.iter().map(|r| r.client).collect();
+        clients.sort_unstable();
+        clients.dedup();
+        assert_eq!(clients.len(), n, "revoked clients must be distinct");
+        assert!(clients.iter().all(|&c| c < cfg.subscribers));
+        // The storm spans the whole id space, not a wrapped prefix.
+        assert!(*clients.last().unwrap() > cfg.subscribers / 2);
     }
 
     #[test]

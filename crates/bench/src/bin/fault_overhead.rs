@@ -6,9 +6,9 @@
 //! lossy-with-recovery run for context. Results go to `BENCH_fault.json`
 //! in the current directory.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use psguard_bench::support::{write_bench_json, Json};
 use psguard_model::{Event, Filter};
 use psguard_net::{FaultPlan, LinkFaults};
 use psguard_siena::{CostModel, Engine, EngineConfig, FaultConfig, RecoveryConfig};
@@ -101,26 +101,45 @@ fn main() {
         lossy.duplicates_suppressed
     );
 
-    let mut json = String::from("{\n  \"bench\": \"fault_overhead\",\n");
-    let _ = writeln!(
-        json,
-        "  \"config\": {{\"brokers\": {BROKERS}, \"subscribers\": {SUBSCRIBERS}, \"rate_eps\": {RATE_EPS}, \"duration_s\": {DURATION_S}, \"repeats\": {REPEATS}}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"zero_fault\": {{\"run_ms_median\": {plain:.3}, \"run_faulty_ms_median\": {faulty:.3}, \"overhead_pct\": {overhead_pct:.3}, \"delivered\": {faulty_delivered}}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"lossy_with_recovery\": {{\"drop_p\": 0.2, \"dup_p\": 0.05, \"delivery_fraction\": {:.5}, \"retransmissions\": {}, \"duplicates_suppressed\": {}, \"abandoned\": {}, \"run_ms\": {lossy_ms:.3}}}",
-        lossy.delivery_fraction(expected),
-        lossy.retransmissions,
-        lossy.duplicates_suppressed,
-        lossy.abandoned
-    );
-    json.push_str("}\n");
-    std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
-    println!("wrote BENCH_fault.json");
+    // Same keys the hand-rolled encoder emitted, now through the shared
+    // support builder (one JSON writer for every BENCH artifact).
+    let doc = Json::obj()
+        .field("bench", Json::str("fault_overhead"))
+        .field(
+            "config",
+            Json::obj()
+                .field("brokers", Json::Int(BROKERS as u64))
+                .field("subscribers", Json::Int(SUBSCRIBERS as u64))
+                .field("rate_eps", Json::Float(RATE_EPS, 0))
+                .field("duration_s", Json::Float(DURATION_S, 0))
+                .field("repeats", Json::Int(REPEATS as u64)),
+        )
+        .field(
+            "zero_fault",
+            Json::obj()
+                .field("run_ms_median", Json::Float(plain, 3))
+                .field("run_faulty_ms_median", Json::Float(faulty, 3))
+                .field("overhead_pct", Json::Float(overhead_pct, 3))
+                .field("delivered", Json::Int(faulty_delivered)),
+        )
+        .field(
+            "lossy_with_recovery",
+            Json::obj()
+                .field("drop_p", Json::Float(0.2, 1))
+                .field("dup_p", Json::Float(0.05, 2))
+                .field(
+                    "delivery_fraction",
+                    Json::Float(lossy.delivery_fraction(expected), 5),
+                )
+                .field("retransmissions", Json::Int(lossy.retransmissions))
+                .field(
+                    "duplicates_suppressed",
+                    Json::Int(lossy.duplicates_suppressed),
+                )
+                .field("abandoned", Json::Int(lossy.abandoned))
+                .field("run_ms", Json::Float(lossy_ms, 3)),
+        );
+    write_bench_json("BENCH_fault.json", &doc);
 
     assert!(
         overhead_pct <= 5.0,

@@ -86,6 +86,14 @@ impl DeriveKey {
         Ok(Self(arr))
     }
 
+    /// Wraps a full-length hash output as a key — the infallible
+    /// counterpart of [`DeriveKey::from_raw`] for derivation loops that
+    /// already hold a `[u8; DERIVE_KEY_LEN]` digest (e.g. the batched LKH
+    /// refresh threading a [`crate::PrfContext`] through a key tree).
+    pub fn from_hash(raw: [u8; DERIVE_KEY_LEN]) -> Self {
+        Self(raw)
+    }
+
     /// The keyed hash `KH`: derives a sub-hierarchy root from this key.
     pub fn kh(&self, label: &[u8]) -> DeriveKey {
         DeriveKey(hmac_sha1(&self.0, label))

@@ -1,0 +1,298 @@
+//! Batched LKH key-tree updates (ROADMAP item 3).
+//!
+//! The naive rekey path refreshes the full root path of every departed
+//! or joined leaf, one membership change at a time — a 10k-leave storm
+//! at depth 20 refreshes ~200k nodes even though the bursts' root paths
+//! overlap heavily near the top of the tree. Following Chan et al.
+//! ("Approximation Algorithms for Key Management in Secure Multicast"),
+//! a batched update marks the ancestors of *all* changed leaves dirty
+//! and refreshes each dirty node exactly once, bottom-up: the burst
+//! costs the **union** of the affected paths, not their sum.
+//!
+//! Two pieces live here:
+//!
+//! * [`NodeKeys`] — the materialized key arena for one [`crate::LkhTree`]:
+//!   a heap-ordered array of node keys plus the per-height keys of empty
+//!   subtrees. Every internal key is derived as `PRF(left ‖ right)` with
+//!   one reusable [`PrfContext`] (pad-absorbed HMAC states, PR4), so a
+//!   refresh storm amortizes HMAC setup: two SHA-1 compressions per node
+//!   instead of four. Because each key is a pure function of its
+//!   subtree's leaf contents, the batched and naive paths provably end
+//!   on identical trees — the property test in `tests/batch_props.rs`
+//!   drives both through seeded churn and compares every key.
+//! * [`RekeyBatch`] — the per-epoch queue of membership changes inside
+//!   [`crate::SubscriberGroupManager`]: joins and leaves accumulate here
+//!   and are replayed in order at the epoch flush, where each touched
+//!   segment tree settles with a single dirty-union refresh.
+
+use std::collections::BTreeSet;
+
+use psguard_crypto::{DeriveKey, PrfContext, DERIVE_KEY_LEN};
+use psguard_model::IntRange;
+
+/// The materialized node-key arena backing one LKH tree.
+///
+/// Nodes use heap indexing over a capacity `cap` (a power of two): the
+/// root is index 1, children of `v` are `2v`/`2v+1`, and leaf slot `i`
+/// lives at `cap + i`. Keys of empty subtrees collapse to one
+/// precomputed key per height (`E_0 = KH(seed, "lkh-empty")`,
+/// `E_{h+1} = PRF(E_h ‖ E_h)`), so a sparsely filled tree never stores
+/// or recomputes them per node.
+#[derive(Clone)]
+pub struct NodeKeys {
+    /// Heap-ordered node keys, `2 * cap` entries (index 0 unused).
+    keys: Vec<DeriveKey>,
+    /// Key of an all-empty subtree, indexed by subtree height.
+    empty: Vec<DeriveKey>,
+    /// Reusable derivation PRF, keyed once per tree (`KH(seed, "lkh-mix")`).
+    mix: PrfContext,
+}
+
+// Redacting Debug: the arena holds every live node key (the root IS the
+// group key); print shape only.
+impl std::fmt::Debug for NodeKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeKeys")
+            .field("nodes", &self.keys.len())
+            .field("empty_heights", &self.empty.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeKeys {
+    /// An empty arena for a tree rooted at `seed`.
+    pub(crate) fn new(seed: &DeriveKey) -> Self {
+        let mix = PrfContext::new(seed.kh(b"lkh-mix").as_bytes());
+        NodeKeys {
+            keys: Vec::new(),
+            empty: vec![seed.kh(b"lkh-empty")],
+            mix,
+        }
+    }
+
+    /// Parent key from two child keys: `PRF_mix(left ‖ right)`.
+    fn combine(&self, left: &DeriveKey, right: &DeriveKey) -> DeriveKey {
+        let mut buf = [0u8; 2 * DERIVE_KEY_LEN];
+        buf[..DERIVE_KEY_LEN].copy_from_slice(left.as_bytes());
+        buf[DERIVE_KEY_LEN..].copy_from_slice(right.as_bytes());
+        DeriveKey::from_hash(*self.mix.prf(&buf).as_bytes())
+    }
+
+    /// Extends the empty-subtree key table up to `height`.
+    fn ensure_empty_heights(&mut self, height: usize) {
+        while self.empty.len() <= height {
+            let top = self.combine(
+                &self.empty[self.empty.len() - 1],
+                &self.empty[self.empty.len() - 1],
+            );
+            self.empty.push(top);
+        }
+    }
+
+    /// Reallocates the arena from `old_cap` to `new_cap` leaf slots,
+    /// relocating the first `leaf_count` leaf keys. Internal entries are
+    /// left as fillers — the caller schedules a full rebuild.
+    pub(crate) fn grow(&mut self, old_cap: usize, new_cap: usize, leaf_count: usize) {
+        let filler = self.empty[0].clone();
+        let mut keys = vec![filler; 2 * new_cap];
+        keys[new_cap..new_cap + leaf_count]
+            .clone_from_slice(&self.keys[old_cap..old_cap + leaf_count]);
+        self.keys = keys;
+        self.ensure_empty_heights(new_cap.trailing_zeros() as usize);
+    }
+
+    /// Drops the arena (the explicit empty-tree transition). Key wiping
+    /// happens in each `DeriveKey`'s drop.
+    pub(crate) fn reset(&mut self) {
+        self.keys = Vec::new();
+    }
+
+    /// Installs a freshly derived leaf key for `slot`.
+    pub(crate) fn set_leaf(&mut self, cap: usize, slot: usize, key: DeriveKey) {
+        self.keys[cap + slot] = key;
+    }
+
+    /// Moves the leaf key at `from` into `to` (the swap-remove fill).
+    pub(crate) fn move_leaf(&mut self, cap: usize, from: usize, to: usize) {
+        self.keys[cap + to] = self.keys[cap + from].clone();
+    }
+
+    /// Overwrites a vacated leaf slot so stale key material does not
+    /// linger in the arena.
+    pub(crate) fn clear_leaf(&mut self, cap: usize, slot: usize) {
+        self.keys[cap + slot] = self.empty[0].clone();
+    }
+
+    /// The key stored at heap index `node`.
+    pub(crate) fn key(&self, node: usize) -> &DeriveKey {
+        &self.keys[node]
+    }
+
+    /// Recomputes internal `node` from its children, consulting `occ` so
+    /// empty subtrees read their height key instead of stored state.
+    /// Returns the number of occupied children — the encryptions needed
+    /// to deliver the refreshed key (one per child subtree that holds
+    /// members).
+    pub(crate) fn refresh_internal(&mut self, node: usize, cap: usize, occ: &[u32]) -> u64 {
+        let total_height = cap.trailing_zeros();
+        let mut fanout = 0u64;
+        let mut child_key = |this: &Self, v: usize| {
+            if occ[v] == 0 {
+                this.empty[(total_height - v.ilog2()) as usize].clone()
+            } else {
+                fanout += 1;
+                this.keys[v].clone()
+            }
+        };
+        let left = child_key(self, 2 * node);
+        let right = child_key(self, 2 * node + 1);
+        self.keys[node] = self.combine(&left, &right);
+        fanout
+    }
+}
+
+/// One queued membership change awaiting the epoch flush.
+#[derive(Clone)]
+pub(crate) enum QueuedOp {
+    /// A (re-)subscription: applied as a full join at flush time.
+    Join {
+        /// The joining subscriber.
+        subscriber: u64,
+        /// Its subscribed range.
+        range: IntRange,
+    },
+    /// A lazy revocation: applied as an eviction at flush time.
+    Leave {
+        /// The departing subscriber.
+        subscriber: u64,
+    },
+}
+
+impl QueuedOp {
+    fn subscriber(&self) -> u64 {
+        match self {
+            QueuedOp::Join { subscriber, .. } | QueuedOp::Leave { subscriber } => *subscriber,
+        }
+    }
+}
+
+/// The per-epoch batch of pending membership changes inside
+/// [`crate::SubscriberGroupManager`].
+///
+/// Joins and leaves accumulate here in arrival order and are replayed
+/// at the epoch flush, where every touched segment settles with one
+/// dirty-union refresh instead of a per-change rekey. The queue holds
+/// subscription ranges — confidential routing state under the paper's
+/// threat model — so its `Debug` prints counts only and the type sits
+/// on the psguard-xtask secret-hygiene taint list.
+#[derive(Clone, Default)]
+pub struct RekeyBatch {
+    ops: Vec<QueuedOp>,
+    departed: BTreeSet<u64>,
+}
+
+// Redacting Debug: queued ops carry subscription ranges (confidential
+// filter state); print counts only.
+impl std::fmt::Debug for RekeyBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RekeyBatch")
+            .field("ops", &self.ops.len())
+            .field("departed", &self.departed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RekeyBatch {
+    /// Number of queued membership changes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no pending changes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub(crate) fn push_join(&mut self, subscriber: u64, range: IntRange) {
+        self.ops.push(QueuedOp::Join { subscriber, range });
+    }
+
+    pub(crate) fn push_leave(&mut self, subscriber: u64) {
+        self.ops.push(QueuedOp::Leave { subscriber });
+        self.departed.insert(subscriber);
+    }
+
+    /// Whether `subscriber` has a queued (not yet flushed) leave.
+    pub(crate) fn is_departed(&self, subscriber: u64) -> bool {
+        self.departed.contains(&subscriber)
+    }
+
+    /// Drops every queued op for `subscriber` (an eager join or eviction
+    /// supersedes whatever was pending).
+    pub(crate) fn cancel(&mut self, subscriber: u64) {
+        self.ops.retain(|op| op.subscriber() != subscriber);
+        self.departed.remove(&subscriber);
+    }
+
+    /// Drops only a queued leave for `subscriber` (a flush-time rejoin
+    /// keeps earlier queued joins intact).
+    pub(crate) fn cancel_leave(&mut self, subscriber: u64) {
+        self.ops
+            .retain(|op| !matches!(op, QueuedOp::Leave { subscriber: s } if *s == subscriber));
+        self.departed.remove(&subscriber);
+    }
+
+    /// Takes the queued ops for replay, leaving the batch empty.
+    pub(crate) fn take_ops(&mut self) -> Vec<QueuedOp> {
+        self.departed.clear();
+        std::mem::take(&mut self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_subtree_keys_are_height_indexed() {
+        let seed = DeriveKey::from_bytes(b"arena");
+        let mut a = NodeKeys::new(&seed);
+        a.ensure_empty_heights(3);
+        // E_{h+1} = PRF(E_h ‖ E_h), all distinct.
+        for h in 0..3 {
+            let e = a.empty[h].clone();
+            let expect = a.combine(&e, &e);
+            assert_eq!(a.empty[h + 1], expect);
+            assert_ne!(a.empty[h], a.empty[h + 1]);
+        }
+    }
+
+    #[test]
+    fn batch_queue_cancels_and_drains() {
+        let mut b = RekeyBatch::default();
+        let r = IntRange::new(0, 9).unwrap();
+        b.push_join(1, r);
+        b.push_leave(2);
+        b.push_leave(1);
+        assert_eq!(b.len(), 3);
+        assert!(b.is_departed(1) && b.is_departed(2));
+        b.cancel_leave(1);
+        assert!(!b.is_departed(1));
+        assert_eq!(b.len(), 2, "join(1) survives, leave(1) dropped");
+        b.cancel(1);
+        assert_eq!(b.len(), 1, "only leave(2) remains");
+        let ops = b.take_ops();
+        assert_eq!(ops.len(), 1);
+        assert!(b.is_empty() && !b.is_departed(2));
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let seed = DeriveKey::from_bytes(b"arena");
+        let arena = NodeKeys::new(&seed);
+        let s = format!("{arena:?}");
+        assert!(s.contains("NodeKeys") && !s.contains("keys:"));
+        let batch = RekeyBatch::default();
+        assert!(format!("{batch:?}").contains("RekeyBatch"));
+    }
+}

@@ -10,7 +10,11 @@
 //! * [`SubscriberGroupManager`] — elementary-interval groups over a numeric
 //!   range, with join/leave/epoch-rekey cost accounting;
 //! * [`LkhTree`] — Logical Key Hierarchy rekeying (`O(log n)` messages), an
-//!   optional optimization ([`RekeyStrategy::Lkh`]);
+//!   optional optimization ([`RekeyStrategy::Lkh`]), materialized as a
+//!   one-way key tree with staged membership changes;
+//! * [`RekeyBatch`] — the per-epoch queue behind batched rekeying: a
+//!   revocation storm settles as one dirty-path-union update per segment
+//!   at the epoch flush instead of a rekey per departure (ROADMAP item 3);
 //! * [`RekeyReport`] — the message/key/encryption counts reported in the
 //!   paper's figures.
 //!
@@ -37,10 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod lkh;
 mod manager;
 mod report;
 
+pub use batch::RekeyBatch;
 pub use lkh::LkhTree;
 pub use manager::{RekeyStrategy, SubscriberGroupManager, SubscriberId};
 pub use report::RekeyReport;

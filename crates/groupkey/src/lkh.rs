@@ -6,16 +6,39 @@
 //! `O(log n)` messages instead of `O(n)`. The subscriber-group baseline can
 //! run with or without LKH ([`crate::RekeyStrategy`]), which is one of the
 //! ablations in the bench harness.
+//!
+//! The tree is fully materialized (every node key lives in a
+//! [`crate::batch::NodeKeys`] arena) and every key is a *pure function of
+//! the leaf array*: leaf keys derive from the seed and member id, and each
+//! internal key is `PRF(left ‖ right)`. That purity is what makes batched
+//! rekeying auditable — replaying the same membership changes one at a
+//! time ([`LkhTree::join`]/[`LkhTree::leave`]) or staging them all and
+//! flushing once ([`LkhTree::stage_join`]/[`LkhTree::stage_leave`] +
+//! [`LkhTree::flush`]) provably lands on the identical tree, with the
+//! batch paying only the union of the dirty root paths.
+//!
+//! Forward/backward secrecy: a departed member's slot is vacated (or
+//! refilled by the moved tail member's leaf key, which the leaver never
+//! held), so every refreshed ancestor derives from keys outside the
+//! leaver's possession; a newcomer's leaf only enters keys derived *after*
+//! its join, so earlier traffic keys are not reachable from its path.
+
+use std::collections::{BTreeSet, HashMap};
 
 use psguard_crypto::DeriveKey;
 
+use crate::batch::NodeKeys;
 use crate::report::RekeyReport;
 
 /// A binary LKH tree over a dynamic member set.
 ///
-/// Members are identified by opaque `u64` ids. The tree is maintained as a
-/// vector of leaves plus per-level node keys; removal swaps in the last
-/// leaf (standard compact-array technique), so the tree stays balanced.
+/// Members are identified by opaque `u64` ids and occupy leaf slots in
+/// join order; removal swaps in the last leaf (standard compact-array
+/// technique), so the occupied slots stay contiguous. The slot capacity
+/// is the high-water `next_power_of_two` of the member count — it never
+/// shrinks while members remain, so a revocation storm refreshes paths
+/// of a stable depth instead of rebuilding the tree, and it resets only
+/// on the explicit empty-tree transition.
 ///
 /// # Example
 ///
@@ -34,19 +57,38 @@ use crate::report::RekeyReport;
 pub struct LkhTree {
     seed: DeriveKey,
     version: u64,
+    /// Member ids by leaf slot (slots `0..len` occupied).
     leaves: Vec<u64>,
-    group_key: DeriveKey,
+    /// Member id → leaf slot (O(1) membership for storm-sized groups).
+    slot_of: HashMap<u64, usize>,
+    /// Per-node subtree occupancy, heap-indexed like the arena.
+    occ: Vec<u32>,
+    nodes: NodeKeys,
+    /// Leaf-slot capacity: 0 when empty, else a power of two.
+    cap: usize,
+    /// Group-key sentinel for the empty tree.
+    empty_group: DeriveKey,
+    /// Staged-but-unflushed dirty leaf slots.
+    dirty: BTreeSet<usize>,
+    /// A capacity grow relocated the arena: refresh every occupied node.
+    rebuild: bool,
+    staged_joins: u64,
+    /// Path keys owed to staged joiners, charged at stage time (the
+    /// capacity the naive per-op path would have charged; any later
+    /// in-batch depth growth reaches them via the rebuild broadcast).
+    staged_newcomer_keys: u64,
 }
 
-// Redacting Debug: both the seed and the live group key are secrets;
-// `DeriveKey`'s Debug prints fingerprints only.
+// Redacting Debug: the seed and every arena node are secrets; print
+// shape and staging state only (`DeriveKey`'s Debug prints fingerprints).
 impl std::fmt::Debug for LkhTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LkhTree")
             .field("version", &self.version)
             .field("members", &self.leaves.len())
-            .field("group_key", &self.group_key)
-            .finish()
+            .field("cap", &self.cap)
+            .field("staged", &self.dirty.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -54,12 +96,21 @@ impl LkhTree {
     /// Creates an empty tree with a deterministic key seed.
     pub fn new(seed: &[u8]) -> Self {
         let seed = DeriveKey::from_bytes(seed);
-        let group_key = seed.kh(b"v0");
+        let empty_group = seed.kh(b"empty-group");
+        let nodes = NodeKeys::new(&seed);
         LkhTree {
             seed,
             version: 0,
             leaves: Vec::new(),
-            group_key,
+            slot_of: HashMap::new(),
+            occ: Vec::new(),
+            nodes,
+            cap: 0,
+            empty_group,
+            dirty: BTreeSet::new(),
+            rebuild: false,
+            staged_joins: 0,
+            staged_newcomer_keys: 0,
         }
     }
 
@@ -75,21 +126,37 @@ impl LkhTree {
 
     /// Whether `member` belongs to the group.
     pub fn contains(&self, member: u64) -> bool {
-        self.leaves.contains(&member)
+        self.slot_of.contains_key(&member)
     }
 
-    /// The current group (data-encryption) key.
+    /// Member ids in leaf-slot order.
+    pub fn members(&self) -> &[u64] {
+        &self.leaves
+    }
+
+    /// The current group (data-encryption) key: the root of the arena,
+    /// or a seed-bound sentinel while the group is empty. Meaningful at
+    /// flush boundaries — staged-but-unflushed changes are not yet
+    /// reflected.
     pub fn group_key(&self) -> &DeriveKey {
-        &self.group_key
+        if self.leaves.is_empty() {
+            &self.empty_group
+        } else {
+            self.nodes.key(1)
+        }
     }
 
-    /// Depth of the (conceptually complete) tree for the current size.
+    /// Depth of the materialized tree (leaf slots at `2^depth`).
     pub fn depth(&self) -> u32 {
-        let n = self.leaves.len().max(1) as u64;
-        64 - (n - 1).leading_zeros()
+        if self.cap == 0 {
+            0
+        } else {
+            self.cap.trailing_zeros()
+        }
     }
 
-    /// Number of node keys the server stores: `2n − 1` for `n` members.
+    /// Number of node keys the server stores: `2n − 1` for `n` members
+    /// (empty subtrees collapse to per-height keys and are not counted).
     pub fn server_key_count(&self) -> u64 {
         match self.leaves.len() as u64 {
             0 => 0,
@@ -97,51 +164,207 @@ impl LkhTree {
         }
     }
 
-    /// Number of keys one member holds: its root path, `⌈log2 n⌉ + 1`.
+    /// Number of keys one member holds: its root path, `depth + 1`.
     pub fn member_key_count(&self) -> u64 {
         self.depth() as u64 + 1
     }
 
-    fn ratchet(&mut self) {
-        self.version += 1;
-        self.group_key = self.seed.kh(format!("v{}", self.version).as_bytes());
+    /// The root-path keys `member` holds, leaf first, or `None` when it
+    /// is not in the group. Staged changes must be flushed first for the
+    /// path to be current.
+    pub fn member_keys(&self, member: u64) -> Option<Vec<DeriveKey>> {
+        let &slot = self.slot_of.get(&member)?;
+        let mut v = self.cap + slot;
+        let mut keys = vec![self.nodes.key(v).clone()];
+        while v > 1 {
+            v /= 2;
+            keys.push(self.nodes.key(v).clone());
+        }
+        Some(keys)
     }
 
-    /// Adds a member, ratcheting every key on its root path (backward
-    /// secrecy: the newcomer cannot read earlier traffic).
+    /// Whether staged membership changes await a [`LkhTree::flush`].
+    pub fn has_pending(&self) -> bool {
+        !self.dirty.is_empty() || self.rebuild
+    }
+
+    /// Joins staged since the last flush (the pending newcomer count).
+    pub(crate) fn staged_joins(&self) -> u64 {
+        self.staged_joins
+    }
+
+    fn leaf_key(&self, member: u64) -> DeriveKey {
+        let mut label = [0u8; 13];
+        label[..5].copy_from_slice(b"leaf:");
+        label[5..].copy_from_slice(&member.to_be_bytes());
+        self.seed.kh(&label)
+    }
+
+    fn ensure_cap(&mut self, need: usize) {
+        if need <= self.cap {
+            return;
+        }
+        let new_cap = need.next_power_of_two();
+        self.nodes.grow(self.cap, new_cap, self.leaves.len());
+        self.cap = new_cap;
+        let mut occ = vec![0u32; 2 * new_cap];
+        for i in 0..self.leaves.len() {
+            occ[new_cap + i] = 1;
+        }
+        for v in (1..new_cap).rev() {
+            occ[v] = occ[2 * v] + occ[2 * v + 1];
+        }
+        self.occ = occ;
+        self.rebuild = true;
+    }
+
+    fn occ_path(&mut self, slot: usize, delta: i32) {
+        let mut v = self.cap + slot;
+        loop {
+            self.occ[v] = self.occ[v].wrapping_add_signed(delta);
+            if v == 1 {
+                break;
+            }
+            v /= 2;
+        }
+    }
+
+    /// Stages a join without refreshing any internal key: the member
+    /// takes the next leaf slot and its ancestors are marked dirty.
+    /// Returns `false` (a no-op) when the member is already present.
+    pub fn stage_join(&mut self, member: u64) -> bool {
+        if self.slot_of.contains_key(&member) {
+            return false;
+        }
+        let slot = self.leaves.len();
+        self.ensure_cap(slot + 1);
+        self.leaves.push(member);
+        self.slot_of.insert(member, slot);
+        let key = self.leaf_key(member);
+        self.nodes.set_leaf(self.cap, slot, key);
+        self.occ_path(slot, 1);
+        self.dirty.insert(slot);
+        self.staged_joins += 1;
+        self.staged_newcomer_keys += self.member_key_count();
+        true
+    }
+
+    /// Stages a leave without refreshing any internal key: the vacated
+    /// slot is refilled by the tail leaf (swap-remove), and both touched
+    /// slots' ancestors are marked dirty. Returns `false` when the
+    /// member is not in the group.
+    pub fn stage_leave(&mut self, member: u64) -> bool {
+        let Some(idx) = self.slot_of.remove(&member) else {
+            return false;
+        };
+        let last = self.leaves.len() - 1;
+        if idx != last {
+            let moved = self.leaves[last];
+            self.leaves.swap_remove(idx);
+            self.slot_of.insert(moved, idx);
+            self.nodes.move_leaf(self.cap, last, idx);
+            self.dirty.insert(idx);
+        } else {
+            self.leaves.pop();
+        }
+        self.nodes.clear_leaf(self.cap, last);
+        self.occ_path(last, -1);
+        self.dirty.insert(last);
+        true
+    }
+
+    /// Settles all staged changes with one minimal update: the dirty
+    /// leaf slots' ancestor paths are unioned and every node in the
+    /// union is refreshed exactly once, bottom-up, through the arena's
+    /// reusable PRF context. The report charges the union — for a burst
+    /// of `b` leaves at depth `d` that is `|∪ paths|` node refreshes
+    /// instead of the naive `b·d` (Chan et al.).
     ///
-    /// Rekey cost: the path has `depth` node keys; each new node key is
-    /// delivered encrypted under its two children (2 encryptions/messages
-    /// per node), and the newcomer receives its full path.
-    pub fn join(&mut self, member: u64) -> RekeyReport {
-        if self.contains(member) {
+    /// Leaving the last member is the explicit empty-tree transition:
+    /// the arena and capacity reset and the group key reverts to the
+    /// seed-bound empty sentinel.
+    pub fn flush(&mut self) -> RekeyReport {
+        if self.dirty.is_empty() && !self.rebuild {
             return RekeyReport::default();
         }
-        self.leaves.push(member);
-        self.ratchet();
-        let d = self.depth() as u64;
-        RekeyReport {
-            messages_to_members: 2 * d,
-            keys_to_newcomer: d + 1,
-            keys_generated: d + 1,
-            encryptions: 2 * d + (d + 1),
+        self.version += 1;
+        if self.leaves.is_empty() {
+            self.cap = 0;
+            self.occ = Vec::new();
+            self.nodes.reset();
+            self.dirty.clear();
+            self.rebuild = false;
+            self.staged_joins = 0;
+            self.staged_newcomer_keys = 0;
+            return RekeyReport::default();
+        }
+        let mut report = RekeyReport {
+            // Joiner leaf keys were derived at stage time; charge them here.
+            keys_generated: self.staged_joins,
+            ..RekeyReport::default()
+        };
+        let mut internal: BTreeSet<usize> = BTreeSet::new();
+        if self.rebuild {
+            for v in 1..self.cap {
+                if self.occ[v] > 0 {
+                    internal.insert(v);
+                }
+            }
+        } else {
+            for &slot in &self.dirty {
+                let mut v = (self.cap + slot) / 2;
+                while v >= 1 {
+                    if !internal.insert(v) {
+                        break;
+                    }
+                    if v == 1 {
+                        break;
+                    }
+                    v /= 2;
+                }
+            }
+        }
+        // Descending heap order is deepest-first: children refresh
+        // before the parents that absorb their new keys.
+        for &v in internal.iter().rev() {
+            let fanout = self.nodes.refresh_internal(v, self.cap, &self.occ);
+            report.keys_generated += 1;
+            report.messages_to_members += fanout;
+            report.encryptions += fanout;
+        }
+        let newcomer_keys = self.staged_newcomer_keys;
+        report.keys_to_newcomer += newcomer_keys;
+        report.encryptions += newcomer_keys;
+        self.dirty.clear();
+        self.rebuild = false;
+        self.staged_joins = 0;
+        self.staged_newcomer_keys = 0;
+        report
+    }
+
+    /// Adds a member and immediately refreshes its root path (backward
+    /// secrecy: the newcomer cannot read earlier traffic). This is the
+    /// naive per-change path: equivalent to [`LkhTree::stage_join`]
+    /// followed by [`LkhTree::flush`] — including any other staged
+    /// changes, which flush along with it.
+    pub fn join(&mut self, member: u64) -> RekeyReport {
+        if self.stage_join(member) {
+            self.flush()
+        } else {
+            RekeyReport::default()
         }
     }
 
-    /// Removes a member, ratcheting its root path (forward secrecy: the
-    /// leaver cannot read later traffic). Returns `None` when the member
-    /// was not in the group.
+    /// Removes a member and immediately refreshes the affected paths
+    /// (forward secrecy: the leaver cannot read later traffic). Returns
+    /// `None` when the member was not in the group. Like
+    /// [`LkhTree::join`], this flushes any other staged changes too.
     pub fn leave(&mut self, member: u64) -> Option<RekeyReport> {
-        let idx = self.leaves.iter().position(|&m| m == member)?;
-        self.leaves.swap_remove(idx);
-        self.ratchet();
-        let d = self.depth() as u64;
-        Some(RekeyReport {
-            messages_to_members: 2 * d,
-            keys_to_newcomer: 0,
-            keys_generated: d + 1,
-            encryptions: 2 * d,
-        })
+        if self.stage_leave(member) {
+            Some(self.flush())
+        } else {
+            None
+        }
     }
 }
 
@@ -208,5 +431,70 @@ mod tests {
         let tree = LkhTree::new(b"s");
         assert!(tree.is_empty());
         assert_eq!(tree.server_key_count(), 0);
+    }
+
+    #[test]
+    fn last_member_leave_is_explicit_empty_transition() {
+        // The satellite fix: leaving the final member must not strand a
+        // degenerate one-leaf arena. The tree resets to the same state
+        // as a fresh one and can be repopulated.
+        let mut tree = LkhTree::new(b"s");
+        let fresh_key = tree.group_key().clone();
+        tree.join(7);
+        let populated = tree.group_key().clone();
+        assert_ne!(populated, fresh_key);
+        let r = tree.leave(7).expect("member present");
+        assert_eq!(r.total_messages(), 0, "no members left to message");
+        assert!(tree.is_empty());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.server_key_count(), 0);
+        assert_eq!(tree.group_key(), &fresh_key, "empty sentinel restored");
+        // Repopulating deterministically reproduces the same tree.
+        tree.join(7);
+        assert_eq!(tree.group_key(), &populated);
+    }
+
+    #[test]
+    fn member_path_has_depth_plus_one_keys() {
+        let mut tree = LkhTree::new(b"s");
+        for m in 0..8 {
+            tree.join(m);
+        }
+        let path = tree.member_keys(3).expect("member present");
+        assert_eq!(path.len() as u64, tree.member_key_count());
+        assert_eq!(path.last(), Some(tree.group_key()));
+        assert!(tree.member_keys(99).is_none());
+    }
+
+    #[test]
+    fn staged_ops_flush_once() {
+        let mut naive = LkhTree::new(b"s");
+        let mut batched = LkhTree::new(b"s");
+        for m in 0..64 {
+            naive.join(m);
+            batched.join(m);
+        }
+        let mut naive_total = RekeyReport::default();
+        for m in 40..56 {
+            if let Some(r) = naive.leave(m) {
+                naive_total.merge(&r);
+            }
+        }
+        for m in 40..56 {
+            assert!(batched.stage_leave(m));
+        }
+        assert!(batched.has_pending());
+        let batched_total = batched.flush();
+        assert!(!batched.has_pending());
+        // Identical trees, strictly cheaper batch.
+        assert_eq!(naive.group_key(), batched.group_key());
+        assert_eq!(naive.members(), batched.members());
+        assert!(
+            batched_total.total_messages() < naive_total.total_messages(),
+            "batched={} naive={}",
+            batched_total.total_messages(),
+            naive_total.total_messages()
+        );
+        assert!(batched_total.keys_generated < naive_total.keys_generated);
     }
 }

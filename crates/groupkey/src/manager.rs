@@ -7,12 +7,24 @@
 //! §3.2.1: S1 on (20,30) and S2 on (25,40) yield G1 = {S1}, G2 = {S1,S2},
 //! G3 = {S2}). Every join splits segments and forces key updates to every
 //! member of every affected group — the cost PSGuard eliminates.
+//!
+//! Membership changes can be applied eagerly ([`SubscriberGroupManager::join`],
+//! [`SubscriberGroupManager::leave_immediate`]) or queued in the per-epoch
+//! [`RekeyBatch`] ([`SubscriberGroupManager::queue_join`],
+//! [`SubscriberGroupManager::leave_lazy`]) and settled at the epoch flush.
+//! [`SubscriberGroupManager::epoch_rekey`] settles the whole batch with one
+//! dirty-path-union LKH update per touched segment;
+//! [`SubscriberGroupManager::epoch_rekey_naive`] replays the identical
+//! structural changes but rekeys after every single change — the retained
+//! baseline the `rekey_storm` bench and the batched-equivalence proptest
+//! measure against.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use psguard_crypto::DeriveKey;
 use psguard_model::IntRange;
 
+use crate::batch::{QueuedOp, RekeyBatch};
 use crate::lkh::LkhTree;
 use crate::report::RekeyReport;
 
@@ -27,6 +39,14 @@ pub enum RekeyStrategy {
 
 /// A subscriber identifier.
 pub type SubscriberId = u64;
+
+/// When a membership change's rekey cost is settled: after every
+/// operation (the naive baseline) or once per batch flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushMode {
+    PerOp,
+    Batched,
+}
 
 #[derive(Clone)]
 struct Segment {
@@ -81,7 +101,7 @@ pub struct SubscriberGroupManager {
     master: DeriveKey,
     counter: u64,
     subs: BTreeMap<SubscriberId, IntRange>,
-    departed: BTreeSet<SubscriberId>,
+    pending: RekeyBatch,
     segments: Vec<Segment>,
 }
 
@@ -94,7 +114,7 @@ impl std::fmt::Debug for SubscriberGroupManager {
             .field("strategy", &self.strategy)
             .field("master", &self.master)
             .field("subscribers", &self.subs.len())
-            .field("departed", &self.departed.len())
+            .field("pending", &self.pending)
             .field("segments", &self.segments)
             .finish()
     }
@@ -109,7 +129,7 @@ impl SubscriberGroupManager {
             master: DeriveKey::from_bytes(seed),
             counter: 0,
             subs: BTreeMap::new(),
-            departed: BTreeSet::new(),
+            pending: RekeyBatch::default(),
             segments: Vec::new(),
         }
     }
@@ -122,6 +142,11 @@ impl SubscriberGroupManager {
     /// Number of elementary segments (groups).
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Number of membership changes queued for the next epoch flush.
+    pub fn pending_changes(&self) -> usize {
+        self.pending.len()
     }
 
     /// Keys the server must store (all group keys; LKH trees count their
@@ -174,6 +199,22 @@ impl SubscriberGroupManager {
             .map(|seg| seg.tree.group_key())
     }
 
+    /// The root-path keys subscriber `s` holds across all its segments
+    /// (leaf-first per segment, segments in range order) — the full key
+    /// state the equivalence proptests compare between the batched and
+    /// naive rekey paths.
+    pub fn subscriber_keys(&self, s: SubscriberId) -> Vec<DeriveKey> {
+        let mut keys = Vec::new();
+        for seg in &self.segments {
+            if seg.members.contains(&s) {
+                if let Some(path) = seg.tree.member_keys(s) {
+                    keys.extend(path);
+                }
+            }
+        }
+        keys
+    }
+
     /// Whether subscriber `s` can decrypt an event carrying value `v`.
     pub fn can_decrypt(&self, s: SubscriberId, v: i64) -> bool {
         self.segments
@@ -186,23 +227,27 @@ impl SubscriberGroupManager {
         Segment::new(&self.master, self.counter, range)
     }
 
-    /// Rekeys one segment after a membership change, costing per strategy.
-    fn rekey_cost(&self, seg: &Segment) -> RekeyReport {
-        let n = seg.members.len() as u64;
-        match self.strategy {
-            RekeyStrategy::Direct => RekeyReport {
-                messages_to_members: n,
-                keys_to_newcomer: 0,
-                keys_generated: 1,
-                encryptions: n,
-            },
-            RekeyStrategy::Lkh => {
-                let d = seg.tree.depth() as u64;
+    /// Settles a segment's staged tree changes, costing per strategy.
+    /// `newcomers` is the count of genuinely new subscribers among the
+    /// staged joins (segment splits re-stage existing members, which are
+    /// not newcomers under Direct accounting).
+    fn settle(strategy: RekeyStrategy, seg: &mut Segment, newcomers: u64) -> RekeyReport {
+        if !seg.tree.has_pending() {
+            return RekeyReport::default();
+        }
+        match strategy {
+            RekeyStrategy::Lkh => seg.tree.flush(),
+            RekeyStrategy::Direct => {
+                // The tree still settles (keys must stay consistent for
+                // decryption probes); the *charged* cost is the direct
+                // model: one fresh group key, unicast to every member.
+                let _ = seg.tree.flush();
+                let n = seg.members.len() as u64;
                 RekeyReport {
-                    messages_to_members: 2 * d,
-                    keys_to_newcomer: 0,
-                    keys_generated: d + 1,
-                    encryptions: 2 * d,
+                    messages_to_members: n.saturating_sub(newcomers),
+                    keys_to_newcomer: newcomers,
+                    keys_generated: 1,
+                    encryptions: n,
                 }
             }
         }
@@ -212,7 +257,7 @@ impl SubscriberGroupManager {
     /// Both halves keep the member set; both must be rekeyed (members can
     /// otherwise decrypt across the split), which the returned report
     /// charges.
-    fn split_at(&mut self, boundary: i64) -> RekeyReport {
+    fn split_at(&mut self, boundary: i64, mode: FlushMode) -> RekeyReport {
         let mut report = RekeyReport::default();
         let mut i = 0;
         while i < self.segments.len() {
@@ -231,13 +276,15 @@ impl SubscriberGroupManager {
                 let mut left = self.fresh_segment(left_r);
                 let mut right = self.fresh_segment(right_r);
                 for &m in &members {
-                    left.tree.join(m);
-                    right.tree.join(m);
+                    left.tree.stage_join(m);
+                    right.tree.stage_join(m);
                 }
                 left.members = members.clone();
                 right.members = members;
-                report.merge(&self.rekey_cost(&left));
-                report.merge(&self.rekey_cost(&right));
+                if mode == FlushMode::PerOp {
+                    report.merge(&Self::settle(self.strategy, &mut left, 0));
+                    report.merge(&Self::settle(self.strategy, &mut right, 0));
+                }
                 report.keys_generated += 2;
                 self.segments.splice(i..=i, [left, right]);
                 i += 2;
@@ -248,47 +295,37 @@ impl SubscriberGroupManager {
         report
     }
 
-    /// A subscriber joins with a range (replacing any previous
-    /// subscription it held). Returns the full rekey cost: the paper's
-    /// `3·NS_overlap`-message phenomenon emerges from segment splitting
-    /// plus per-segment rekeys plus key delivery to the newcomer.
-    pub fn join(&mut self, s: SubscriberId, range: IntRange) -> RekeyReport {
-        let mut replace_cost = RekeyReport::default();
-        if self.subs.contains_key(&s) || self.departed.contains(&s) {
+    /// The join body shared by the eager path and the batch replay.
+    fn apply_join(&mut self, s: SubscriberId, range: IntRange, mode: FlushMode) -> RekeyReport {
+        let mut report = RekeyReport::default();
+        if self.subs.contains_key(&s) || self.pending.is_departed(s) {
             // Re-subscription (possibly after a lazy leave): evict the old
             // range first so membership reflects exactly the latest
             // subscription.
-            replace_cost = self.leave_immediate(s);
+            report.merge(&self.apply_leave(s, mode));
         }
         let Some(range) = range.clamp_to(&self.range) else {
-            return replace_cost;
+            return report;
         };
         self.subs.insert(s, range);
-        self.departed.remove(&s);
+        self.pending.cancel_leave(s);
 
-        let mut report = replace_cost;
-        report.merge(&self.split_at(range.lo()));
-        report.merge(&self.split_at(range.hi() + 1));
+        report.merge(&self.split_at(range.lo(), mode));
+        report.merge(&self.split_at(range.hi() + 1, mode));
 
         // Walk segments inside the range, adding the newcomer; collect gaps.
         let mut covered: Vec<IntRange> = Vec::new();
-        let mut rekeys = RekeyReport::default();
         for i in 0..self.segments.len() {
             let seg_range = self.segments[i].range;
             if range.covers(&seg_range) {
                 self.segments[i].members.insert(s);
-                self.segments[i].tree.join(s);
-                let cost = self.rekey_cost(&self.segments[i]);
-                rekeys.merge(&cost);
-                // The newcomer receives this segment's (new) key.
-                rekeys.keys_to_newcomer += match self.strategy {
-                    RekeyStrategy::Direct => 1,
-                    RekeyStrategy::Lkh => self.segments[i].tree.member_key_count(),
-                };
+                self.segments[i].tree.stage_join(s);
+                if mode == FlushMode::PerOp {
+                    report.merge(&Self::settle(self.strategy, &mut self.segments[i], 1));
+                }
                 covered.push(seg_range);
             }
         }
-        report.merge(&rekeys);
 
         // Create singleton segments for the uncovered gaps.
         covered.sort_by_key(|r| r.lo());
@@ -307,57 +344,123 @@ impl SubscriberGroupManager {
         for gap in gaps {
             let mut seg = self.fresh_segment(gap);
             seg.members.insert(s);
-            seg.tree.join(s);
+            seg.tree.stage_join(s);
             report.keys_generated += 1;
-            report.keys_to_newcomer += 1;
+            if mode == FlushMode::PerOp {
+                report.merge(&Self::settle(self.strategy, &mut seg, 1));
+            }
             self.segments.push(seg);
         }
         self.segments.sort_by_key(|seg| seg.range.lo());
         report
     }
 
-    /// Marks a subscriber as departed (lazy revocation: actual rekeying is
-    /// deferred to [`SubscriberGroupManager::epoch_rekey`]).
-    pub fn leave_lazy(&mut self, s: SubscriberId) {
-        if self.subs.remove(&s).is_some() {
-            self.departed.insert(s);
-        }
-    }
-
-    /// Immediately evicts a subscriber, rekeying every group it belonged
-    /// to (eager revocation).
-    pub fn leave_immediate(&mut self, s: SubscriberId) -> RekeyReport {
+    /// The eviction body shared by the eager path and the batch replay.
+    fn apply_leave(&mut self, s: SubscriberId, mode: FlushMode) -> RekeyReport {
         self.subs.remove(&s);
-        self.departed.remove(&s);
+        self.pending.cancel(s);
         let mut report = RekeyReport::default();
         for i in 0..self.segments.len() {
             if self.segments[i].members.remove(&s) {
-                self.segments[i].tree.leave(s);
-                let cost = self.rekey_cost(&self.segments[i]);
-                report.merge(&cost);
-            }
-        }
-        self.segments.retain(|seg| !seg.members.is_empty());
-        report
-    }
-
-    /// Epoch-boundary rekey (lazy revocation): departed members are purged
-    /// and every group they touched is rekeyed.
-    pub fn epoch_rekey(&mut self) -> RekeyReport {
-        let departed: Vec<SubscriberId> = self.departed.iter().copied().collect();
-        self.departed.clear();
-        let mut report = RekeyReport::default();
-        for s in departed {
-            for i in 0..self.segments.len() {
-                if self.segments[i].members.remove(&s) {
-                    self.segments[i].tree.leave(s);
-                    let cost = self.rekey_cost(&self.segments[i]);
-                    report.merge(&cost);
+                self.segments[i].tree.stage_leave(s);
+                if mode == FlushMode::PerOp {
+                    report.merge(&Self::settle(self.strategy, &mut self.segments[i], 0));
                 }
             }
         }
         self.segments.retain(|seg| !seg.members.is_empty());
         report
+    }
+
+    /// A subscriber joins with a range (replacing any previous
+    /// subscription it held). Returns the full rekey cost: the paper's
+    /// `3·NS_overlap`-message phenomenon emerges from segment splitting
+    /// plus per-segment rekeys plus key delivery to the newcomer.
+    pub fn join(&mut self, s: SubscriberId, range: IntRange) -> RekeyReport {
+        self.apply_join(s, range, FlushMode::PerOp)
+    }
+
+    /// Queues a join for the next epoch flush instead of applying it
+    /// eagerly: the subscriber gains no decryption ability until the
+    /// epoch boundary settles the batch (backward secrecy holds over the
+    /// whole window). Queued ops replay in arrival order at the flush.
+    pub fn queue_join(&mut self, s: SubscriberId, range: IntRange) {
+        self.pending.push_join(s, range);
+    }
+
+    /// Marks a subscriber as departed (lazy revocation: the subscriber
+    /// keeps decrypting until [`SubscriberGroupManager::epoch_rekey`]
+    /// settles the pending batch).
+    pub fn leave_lazy(&mut self, s: SubscriberId) {
+        if self.subs.remove(&s).is_some() {
+            self.pending.push_leave(s);
+        }
+    }
+
+    /// Immediately evicts a subscriber, rekeying every group it belonged
+    /// to (eager revocation). Any ops it had queued are cancelled.
+    pub fn leave_immediate(&mut self, s: SubscriberId) -> RekeyReport {
+        self.apply_leave(s, FlushMode::PerOp)
+    }
+
+    /// Replays the pending batch, settling rekey costs per `mode`.
+    fn flush_pending(&mut self, mode: FlushMode) -> RekeyReport {
+        let ops = self.pending.take_ops();
+        let mut report = RekeyReport::default();
+        for op in ops {
+            match op {
+                QueuedOp::Join { subscriber, range } => {
+                    report.merge(&self.apply_join(subscriber, range, mode));
+                }
+                QueuedOp::Leave { subscriber } => {
+                    report.merge(&self.apply_leave(subscriber, mode));
+                }
+            }
+        }
+        if mode == FlushMode::Batched {
+            for i in 0..self.segments.len() {
+                if self.segments[i].tree.has_pending() {
+                    // Direct accounting still needs the newcomer count;
+                    // under Lkh the tree's own flush report carries it.
+                    let newcomers = self.segments[i].tree.staged_joins();
+                    report.merge(&Self::settle(
+                        self.strategy,
+                        &mut self.segments[i],
+                        newcomers,
+                    ));
+                }
+            }
+        }
+        report
+    }
+
+    /// Epoch-boundary rekey: the pending batch (lazy leaves and queued
+    /// joins) is replayed structurally, then every touched segment
+    /// settles with **one** dirty-path-union LKH update — a revocation
+    /// storm costs the union of the affected root paths instead of a
+    /// full rekey per departure.
+    pub fn epoch_rekey(&mut self) -> RekeyReport {
+        self.flush_pending(FlushMode::Batched)
+    }
+
+    /// The retained naive baseline: replays the identical pending batch
+    /// but rekeys after every single membership change, like the
+    /// pre-batching epoch flush did. Structurally it lands on the exact
+    /// same trees as [`SubscriberGroupManager::epoch_rekey`] (every key
+    /// is a pure function of the leaf layout), which the equivalence
+    /// proptest checks; only the cost differs.
+    pub fn epoch_rekey_naive(&mut self) -> RekeyReport {
+        self.flush_pending(FlushMode::PerOp)
+    }
+
+    /// Epoch-boundary rekey fused with key-space rotation: the manager's
+    /// master seed advances to `new_seed` (so segments created from now
+    /// on derive from the new epoch's key space) and the pending batch
+    /// settles in the same call — membership flush and rotation are
+    /// atomic with respect to every key handed out afterwards.
+    pub fn epoch_rekey_rotating(&mut self, new_seed: &[u8]) -> RekeyReport {
+        self.master = DeriveKey::from_bytes(new_seed);
+        self.flush_pending(FlushMode::Batched)
     }
 }
 
@@ -463,6 +566,70 @@ mod tests {
         assert!(m.can_decrypt(1, 5));
         // Second epoch rekey is a no-op.
         assert_eq!(m.epoch_rekey().total_messages(), 0);
+    }
+
+    #[test]
+    fn queued_join_defers_access_until_epoch() {
+        let mut m = mgr();
+        m.queue_join(3, IntRange::new(10, 19).unwrap());
+        assert_eq!(m.pending_changes(), 1);
+        // Backward secrecy over the window: no access before the flush.
+        assert!(!m.can_decrypt(3, 15));
+        assert_eq!(m.subscriber_count(), 0);
+        let r = m.epoch_rekey();
+        assert!(r.keys_to_newcomer > 0);
+        assert_eq!(m.pending_changes(), 0);
+        assert!(m.can_decrypt(3, 15));
+        assert_eq!(m.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn eager_rejoin_cancels_queued_leave() {
+        let mut m = mgr();
+        m.join(1, IntRange::new(0, 9).unwrap());
+        m.leave_lazy(1);
+        assert_eq!(m.pending_changes(), 1);
+        m.join(1, IntRange::new(20, 29).unwrap());
+        // The queued leave is gone: the epoch flush must not revoke the
+        // fresh subscription.
+        assert_eq!(m.pending_changes(), 0);
+        m.epoch_rekey();
+        assert!(m.can_decrypt(1, 25));
+        assert!(!m.can_decrypt(1, 5), "old range was evicted");
+    }
+
+    #[test]
+    fn batched_epoch_flush_settles_each_segment_once() {
+        let range = IntRange::new(0, 99).unwrap();
+        let mut naive = SubscriberGroupManager::new(range, RekeyStrategy::Lkh, b"x");
+        let mut batched = SubscriberGroupManager::new(range, RekeyStrategy::Lkh, b"x");
+        for s in 0..64 {
+            naive.join(s, IntRange::new(10, 90).unwrap());
+            batched.join(s, IntRange::new(10, 90).unwrap());
+        }
+        for s in 20..40 {
+            naive.leave_lazy(s);
+            batched.leave_lazy(s);
+        }
+        let rn = naive.epoch_rekey_naive();
+        let rb = batched.epoch_rekey();
+        // Identical resulting key state, strictly fewer messages batched.
+        for s in 0..64u64 {
+            assert_eq!(
+                naive.subscriber_keys(s),
+                batched.subscriber_keys(s),
+                "s={s}"
+            );
+        }
+        for v in [10, 42, 90] {
+            assert_eq!(naive.group_key_for_value(v), batched.group_key_for_value(v));
+        }
+        assert!(
+            rb.total_messages() < rn.total_messages(),
+            "batched={} naive={}",
+            rb.total_messages(),
+            rn.total_messages()
+        );
     }
 
     #[test]

@@ -26,6 +26,28 @@ impl RekeyReport {
         self.total_messages() * 32
     }
 
+    /// Sums a collection of reports — the batch/bench aggregation helper
+    /// (callers previously hand-summed the four counters).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use psguard_groupkey::RekeyReport;
+    ///
+    /// let per_op = vec![RekeyReport::default(); 3];
+    /// assert_eq!(RekeyReport::aggregate(&per_op).total_messages(), 0);
+    /// ```
+    pub fn aggregate<'a, I>(reports: I) -> RekeyReport
+    where
+        I: IntoIterator<Item = &'a RekeyReport>,
+    {
+        let mut total = RekeyReport::default();
+        for r in reports {
+            total.merge(r);
+        }
+        total
+    }
+
     /// Merges another report into this one.
     pub fn merge(&mut self, other: &RekeyReport) {
         self.messages_to_members += other.messages_to_members;

@@ -1,0 +1,127 @@
+//! Equivalence proptests for batched rekeying: driving the batched and
+//! the retained naive per-change paths through identical seeded churn
+//! must land on identical key trees (same group keys, same member key
+//! sets), with the batch never paying more messages than the naive sum.
+//!
+//! This is the auditable core of ROADMAP item 3: every LKH node key is
+//! a pure function of the leaf layout, so replaying the same structural
+//! changes — one flush per change vs one flush per batch — cannot
+//! diverge. The tests check it end-to-end rather than by construction.
+
+use proptest::prelude::*;
+use psguard_groupkey::{LkhTree, RekeyReport, RekeyStrategy, SubscriberGroupManager};
+use psguard_model::IntRange;
+
+proptest! {
+    /// Tree-level equivalence: the same join/leave interleaving applied
+    /// per-op (join/leave, flushing each time) and staged (stage_* + one
+    /// flush) produces identical trees, and the single batched flush
+    /// costs no more than the per-op total.
+    #[test]
+    fn batched_tree_matches_naive_per_op(
+        warm in prop::collection::vec(0u64..64, 0..24),
+        ops in prop::collection::vec((any::<bool>(), 0u64..64), 1..48),
+    ) {
+        let mut naive = LkhTree::new(b"batch-prop");
+        let mut batched = LkhTree::new(b"batch-prop");
+        for &m in &warm {
+            naive.join(m);
+            batched.join(m);
+        }
+        let mut naive_total = RekeyReport::default();
+        let mut effective = 0u32;
+        for &(join, id) in &ops {
+            if join {
+                let r_n = naive.join(id);
+                let staged = batched.stage_join(id);
+                prop_assert_eq!(staged, r_n.keys_generated > 0);
+                naive_total.merge(&r_n);
+                effective += u32::from(staged);
+            } else {
+                let r_n = naive.leave(id);
+                let staged = batched.stage_leave(id);
+                prop_assert_eq!(staged, r_n.is_some());
+                if let Some(r) = r_n {
+                    naive_total.merge(&r);
+                }
+                effective += u32::from(staged);
+            }
+        }
+        let batched_total = batched.flush();
+        if effective == 0 {
+            prop_assert_eq!(batched_total.total_messages(), 0);
+        }
+        // Identical trees: same root, same slot layout, same member paths.
+        prop_assert_eq!(naive.group_key(), batched.group_key());
+        prop_assert_eq!(naive.members(), batched.members());
+        for &m in naive.members() {
+            prop_assert_eq!(naive.member_keys(m), batched.member_keys(m), "member {}", m);
+        }
+        // The batch pays the union of paths; naive pays the sum.
+        prop_assert!(
+            batched_total.total_messages() <= naive_total.total_messages(),
+            "batched {} > naive {}",
+            batched_total.total_messages(),
+            naive_total.total_messages()
+        );
+        prop_assert!(batched_total.keys_generated <= naive_total.keys_generated);
+        prop_assert!(batched_total.encryptions <= naive_total.encryptions);
+    }
+
+    /// Manager-level equivalence: identical eager joins plus identical
+    /// queued churn, settled via `epoch_rekey` (batched) on one manager
+    /// and `epoch_rekey_naive` (per-change) on its twin, produce the
+    /// same group keys for every value and the same key paths for every
+    /// subscriber — and the batched flush sends no more messages.
+    #[test]
+    fn batched_manager_matches_naive_flush(
+        joins in prop::collection::vec((0u64..24, 0i64..56, 1i64..24), 1..24),
+        churn in prop::collection::vec((0u8..3, 0u64..24, 0i64..56, 1i64..24), 0..24),
+        probes in prop::collection::vec(0i64..64, 8),
+    ) {
+        let range = IntRange::new(0, 63).expect("valid");
+        let mut naive = SubscriberGroupManager::new(range, RekeyStrategy::Lkh, b"twin");
+        let mut batched = SubscriberGroupManager::new(range, RekeyStrategy::Lkh, b"twin");
+        for &(s, lo, w) in &joins {
+            let r = IntRange::new(lo, (lo + w).min(63)).expect("valid");
+            naive.join(s, r);
+            batched.join(s, r);
+        }
+        for &(op, s, lo, w) in &churn {
+            match op {
+                0 => {
+                    naive.leave_lazy(s);
+                    batched.leave_lazy(s);
+                }
+                _ => {
+                    let r = IntRange::new(lo, (lo + w).min(63)).expect("valid");
+                    naive.queue_join(s, r);
+                    batched.queue_join(s, r);
+                }
+            }
+        }
+        prop_assert_eq!(naive.pending_changes(), batched.pending_changes());
+        let rn = naive.epoch_rekey_naive();
+        let rb = batched.epoch_rekey();
+        prop_assert_eq!(naive.segment_count(), batched.segment_count());
+        prop_assert_eq!(naive.subscriber_count(), batched.subscriber_count());
+        for v in &probes {
+            prop_assert_eq!(naive.group_key_for_value(*v), batched.group_key_for_value(*v), "v={}", v);
+        }
+        for s in 0..24u64 {
+            prop_assert_eq!(naive.subscriber_keys(s), batched.subscriber_keys(s), "s={}", s);
+            for v in &probes {
+                prop_assert_eq!(naive.can_decrypt(s, *v), batched.can_decrypt(s, *v));
+            }
+        }
+        prop_assert!(
+            rb.messages_to_members <= rn.messages_to_members,
+            "batched {} > naive {}",
+            rb.messages_to_members,
+            rn.messages_to_members
+        );
+        // A second flush on either side is a no-op.
+        prop_assert_eq!(naive.epoch_rekey_naive().total_messages(), 0);
+        prop_assert_eq!(batched.epoch_rekey().total_messages(), 0);
+    }
+}

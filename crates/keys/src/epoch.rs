@@ -109,6 +109,91 @@ impl EpochSchedule {
     }
 }
 
+/// A per-topic batching window for group-key membership changes.
+///
+/// The subscriber-group baseline used to rekey on every membership
+/// change. With batching (ROADMAP item 3) changes queue until the
+/// topic's next epoch boundary — or until a pending-change high-water
+/// mark forces an early flush — and then settle as **one**
+/// dirty-path-union LKH update, atomic with the epoch's key-space
+/// rotation (see [`crate::GroupRekeyCoordinator`]).
+///
+/// # Example
+///
+/// ```
+/// use psguard_keys::{EpochSchedule, RekeyWindow};
+///
+/// let mut w = RekeyWindow::new(EpochSchedule::new(1000), "trades", 0, 64);
+/// w.note(3);
+/// assert_eq!(w.pending(), 3);
+/// assert!(!w.due(1)); // neither boundary nor high-water mark reached
+/// assert!(w.due(5000)); // epoch boundary passed
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RekeyWindow {
+    schedule: EpochSchedule,
+    topic: String,
+    epoch: EpochId,
+    max_pending: usize,
+    pending: usize,
+}
+
+impl RekeyWindow {
+    /// Opens a window for `topic` at instant `now_ms`. `max_pending` is
+    /// the high-water mark that forces a flush before the boundary
+    /// (clamped to at least 1).
+    pub fn new(schedule: EpochSchedule, topic: &str, now_ms: u64, max_pending: usize) -> Self {
+        let epoch = schedule.epoch_at(topic, now_ms);
+        RekeyWindow {
+            schedule,
+            topic: topic.to_owned(),
+            epoch,
+            max_pending: max_pending.max(1),
+            pending: 0,
+        }
+    }
+
+    /// The topic this window batches changes for.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// The epoch the current batch will settle into.
+    pub fn epoch(&self) -> EpochId {
+        self.epoch
+    }
+
+    /// Membership changes queued since the last flush.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Records `changes` queued membership operations.
+    pub fn note(&mut self, changes: usize) {
+        self.pending = self.pending.saturating_add(changes);
+    }
+
+    /// Whether the batch must flush now: the topic's epoch boundary has
+    /// passed, or the pending count reached the high-water mark.
+    pub fn due(&self, now_ms: u64) -> bool {
+        self.pending >= self.max_pending || self.schedule.epoch_at(&self.topic, now_ms) > self.epoch
+    }
+
+    /// Advances to the epoch the flushed batch settles into and clears
+    /// the pending counter. An early (high-water) flush still ratchets
+    /// forward so the rotated key space is fresh.
+    pub fn advance(&mut self, now_ms: u64) -> EpochId {
+        let clock = self.schedule.epoch_at(&self.topic, now_ms);
+        self.epoch = if clock > self.epoch {
+            clock
+        } else {
+            self.epoch.next()
+        };
+        self.pending = 0;
+        self.epoch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +249,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_length_rejected() {
         EpochSchedule::new(0);
+    }
+
+    #[test]
+    fn window_due_on_boundary_or_high_water() {
+        let sched = EpochSchedule::new(1000);
+        let off = sched.offset_for("t");
+        let start = 1000 - off; // exactly a boundary for "t"
+        let mut w = RekeyWindow::new(sched, "t", start, 4);
+        assert_eq!(w.pending(), 0);
+        assert!(!w.due(start));
+        assert!(!w.due(start + 999));
+        // Boundary passed → due regardless of the pending count.
+        assert!(w.due(start + 1000));
+        // High-water mark → due before the boundary.
+        w.note(4);
+        assert!(w.due(start));
+    }
+
+    #[test]
+    fn window_advance_always_ratchets() {
+        let sched = EpochSchedule::new(1000);
+        let mut w = RekeyWindow::new(sched, "t", 0, 2);
+        let e0 = w.epoch();
+        w.note(2);
+        // Early flush (clock still inside the epoch): still moves ahead.
+        let e1 = w.advance(0);
+        assert_eq!(e1, e0.next());
+        assert_eq!(w.pending(), 0);
+        // Boundary flush jumps to the wall-clock epoch.
+        let e2 = w.advance(10_000);
+        assert!(e2 > e1);
     }
 }

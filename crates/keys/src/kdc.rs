@@ -147,6 +147,21 @@ impl Kdc {
         prf(self.master.as_bytes(), format!("token:{topic}").as_bytes())
     }
 
+    /// The per-epoch seed for a topic's subscriber-**group** key tree —
+    /// the master the LKH baseline's
+    /// [`psguard_groupkey::SubscriberGroupManager`] derives from.
+    ///
+    /// Rotating this seed at the epoch flush (see
+    /// [`crate::GroupRekeyCoordinator`]) makes the batched membership
+    /// settle atomic with the key-space ratchet, and keeps the KDC
+    /// stateless: the seed is a pure function of `(master, topic,
+    /// epoch)`, so replicas agree without coordination.
+    pub fn group_seed(&self, topic: &str, epoch: EpochId, ops: &mut OpCounter) -> DeriveKey {
+        ops.add_kh(1);
+        self.master
+            .kh(format!("groupseed:{topic}:{}", epoch.0).as_bytes())
+    }
+
     /// Issues a grant for one conjunctive filter, valid for `epoch`.
     ///
     /// Constraints on attributes absent from the schema are routable-only:
@@ -589,6 +604,18 @@ mod tests {
     fn routing_tokens_distinct_per_topic() {
         let k = kdc();
         assert_ne!(k.routing_token("a"), k.routing_token("b"));
+    }
+
+    #[test]
+    fn group_seeds_ratchet_and_replicate() {
+        let mut ops = OpCounter::new();
+        let k = kdc();
+        let s0 = k.group_seed("w", EpochId(0), &mut ops);
+        let s1 = k.group_seed("w", EpochId(1), &mut ops);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, k.group_seed("v", EpochId(0), &mut ops));
+        // Stateless: a replica derives the identical seed.
+        assert_eq!(s0, k.replicate().group_seed("w", EpochId(0), &mut ops));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   one epoch;
 //! * [`KeyCache`] — the derived-key LRU cache of §3.2.3 (Figure 11);
 //! * [`EpochSchedule`] — per-topic epoch scheduling and lazy revocation;
+//! * [`RekeyWindow`] / [`GroupRekeyCoordinator`] — epoch-batched group
+//!   rekeying for the subscriber-group baseline (membership changes
+//!   queue per window and settle as one batched LKH update, atomic with
+//!   key-space rotation);
 //! * [`OpCounter`] — hash-operation accounting behind Tables 1–2.
 //!
 //! # End-to-end example
@@ -69,12 +73,13 @@ mod kdc;
 mod kdc_cache;
 mod ktid;
 mod nakt;
+mod rekey;
 mod schema;
 mod spaces;
 
 pub use cache::{CacheStats, KeyCache};
 pub use cost::OpCounter;
-pub use epoch::{EpochId, EpochSchedule};
+pub use epoch::{EpochId, EpochSchedule, RekeyWindow};
 pub use grant::{
     combine_master, combine_parts, event_key_addresses, mac_key, part_from_topic_key, AuthKey,
     ConstraintGrant, EventKeyAddress, EventKeyError, Grant, KeyScope,
@@ -83,5 +88,6 @@ pub use kdc::{Kdc, KdcError, TopicScope};
 pub use kdc_cache::{CachedKdc, GrantCacheStats};
 pub use ktid::Ktid;
 pub use nakt::{Nakt, NaktError, NaktKeySpace};
+pub use rekey::GroupRekeyCoordinator;
 pub use schema::{AttrSpec, Schema, SchemaBuilder};
 pub use spaces::{CategoryKeySpace, ChainDirection, StringKeySpace};

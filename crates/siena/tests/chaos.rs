@@ -413,6 +413,189 @@ proptest! {
     }
 }
 
+/// 8. **Batched rekeying under faults** — the revocation-storm scenario
+///    replayed through the overlay under a lossy/duplicating fault plan,
+///    while the same revocations drive twin subscriber-group managers:
+///    one rekeying per change (naive), one settling the storm as a
+///    single batched epoch flush (ROADMAP item 3). Invariants:
+///
+/// * the overlay's revocation safety holds unchanged — no event sent at
+///   or after a client's revocation instant reaches it, and surviving
+///   clients keep exactly-once delivery;
+/// * after the batched flush, every group key a revoked client's range
+///   touched has rotated (forward secrecy survives batching);
+/// * the batched and naive twins land on bit-identical key state, and
+///   the batch never costs more rekey messages than the per-change sum.
+#[test]
+fn batched_revocation_storm_holds_invariants_under_faults() {
+    use psguard_analysis::{ScenarioConfig, ScenarioKind, ScenarioTrace};
+    use psguard_groupkey::{RekeyStrategy, SubscriberGroupManager};
+    use psguard_model::IntRange;
+
+    const RATE: f64 = 40.0;
+    const INTERARRIVAL_US: u64 = 25_000;
+
+    let cfg = ScenarioConfig {
+        kind: ScenarioKind::RevocationStorm,
+        topics: 4,
+        zipf_s: 1.1,
+        subscribers: 16,
+        events: 24,
+        value_range: 64,
+        sub_width: 48,
+        seed: 0xBA7C,
+    };
+    let trace = ScenarioTrace::generate(&cfg);
+    assert!(!trace.revocations.is_empty(), "storm must revoke someone");
+    let mut revoked_at: Vec<(u32, u64)> = trace
+        .revocations
+        .iter()
+        .map(|r| (r.client, r.at_event as u64 * INTERARRIVAL_US))
+        .collect();
+    revoked_at.sort_by_key(|&(c, t)| (c, t));
+    revoked_at.dedup_by_key(|&mut (c, _)| c);
+
+    // Overlay half: the trace replayed under faults with the storm's
+    // revocations — the engine-level invariant from PR2's suite.
+    let events: Vec<Event> = trace
+        .publishes
+        .iter()
+        .map(|p| {
+            Event::builder(format!("s{}", p.topic))
+                .attr("x", p.value)
+                .build()
+        })
+        .collect();
+    let mut eng = engine(6, cfg.subscribers);
+    for s in &trace.initial {
+        eng.subscribe(
+            s.client,
+            Filter::for_topic(format!("s{}", s.topic)).with(psguard_model::Constraint::new(
+                "x",
+                psguard_model::Op::InRange(
+                    psguard_model::IntRange::new(s.lo, s.hi).expect("trace ranges ordered"),
+                ),
+            )),
+        );
+    }
+    let plan = FaultPlan::new(0xBA7C).with_default_link_faults(LinkFaults {
+        drop_p: 0.15,
+        dup_p: 0.1,
+        jitter_us: 10_000,
+    });
+    let mut fc = FaultConfig::with_recovery(plan);
+    fc.recovery = Some(RecoveryConfig::no_heartbeats());
+    fc.revocations = revoked_at
+        .iter()
+        .map(|&(client, at_us)| Revocation { client, at_us })
+        .collect();
+    fc.record_deliveries = true;
+    let r = eng.run_faulty(
+        &events,
+        RATE,
+        events.len() as f64 / RATE,
+        &CostModel::plain(),
+        &mut fc,
+    );
+    let revoke_of = |client: u32| -> Option<u64> {
+        revoked_at
+            .iter()
+            .find(|&&(c, _)| c == client)
+            .map(|&(_, t)| t)
+    };
+    let mut seen = HashSet::new();
+    for d in &r.deliveries {
+        assert!(
+            seen.insert((d.client, d.event_seq)),
+            "duplicate delivery of seq {} to client {}",
+            d.event_seq,
+            d.client
+        );
+        if let Some(t) = revoke_of(d.client) {
+            assert!(
+                d.sent_at < t,
+                "revoked client {} got seq {} sent at {} >= {t}",
+                d.client,
+                d.event_seq,
+                d.sent_at
+            );
+        }
+    }
+
+    // Key half: the same membership and storm through twin group
+    // managers — per-change rekeying vs one batched epoch flush.
+    let group_range = IntRange::new(0, cfg.value_range - 1).expect("valid");
+    let mut naive = SubscriberGroupManager::new(group_range, RekeyStrategy::Lkh, b"chaos-twin");
+    let mut batched = SubscriberGroupManager::new(group_range, RekeyStrategy::Lkh, b"chaos-twin");
+    for s in &trace.initial {
+        let sub_range = IntRange::new(s.lo, s.hi).expect("trace ranges ordered");
+        naive.join(s.client as u64, sub_range);
+        batched.join(s.client as u64, sub_range);
+    }
+    for &(client, _) in &revoked_at {
+        naive.leave_lazy(client as u64);
+        batched.leave_lazy(client as u64);
+    }
+    // Forward secrecy oracle: every key a revoked range touches must
+    // change at the flush.
+    let touched: Vec<i64> = (group_range.lo()..=group_range.hi())
+        .filter(|v| {
+            trace
+                .initial
+                .iter()
+                .any(|s| revoke_of(s.client).is_some() && (s.lo..=s.hi).contains(v))
+        })
+        .collect();
+    assert!(!touched.is_empty(), "degenerate storm: no covered values");
+    let pre: Vec<_> = touched
+        .iter()
+        .map(|&v| batched.group_key_for_value(v).cloned())
+        .collect();
+
+    let rn = naive.epoch_rekey_naive();
+    let rb = batched.epoch_rekey();
+
+    for (i, &v) in touched.iter().enumerate() {
+        let post = batched.group_key_for_value(v);
+        assert!(
+            post != pre[i].as_ref(),
+            "group key for value {v} did not rotate at the batched flush"
+        );
+    }
+    for &(client, _) in &revoked_at {
+        assert!(
+            !batched.can_decrypt(client as u64, touched[0]),
+            "revoked client {client} still decrypts"
+        );
+        assert!(batched.subscriber_keys(client as u64).is_empty());
+    }
+    for s in &trace.initial {
+        if revoke_of(s.client).is_none() {
+            assert!(
+                batched.can_decrypt(s.client as u64, (s.lo + s.hi) / 2),
+                "survivor {} lost access after the batched flush",
+                s.client
+            );
+        }
+    }
+    // Twins agree bit-for-bit; the batch is never costlier.
+    for v in group_range.lo()..=group_range.hi() {
+        assert_eq!(naive.group_key_for_value(v), batched.group_key_for_value(v));
+    }
+    for c in 0..cfg.subscribers {
+        assert_eq!(
+            naive.subscriber_keys(c as u64),
+            batched.subscriber_keys(c as u64)
+        );
+    }
+    assert!(
+        rb.messages_to_members <= rn.messages_to_members,
+        "batched flush ({}) costlier than naive ({})",
+        rb.messages_to_members,
+        rn.messages_to_members
+    );
+}
+
 /// 7. **Scenario matrix** — every adversarial workload shape from the
 ///    macro-bench generator ([`ScenarioTrace`]) replayed through the
 ///    overlay under a seeded lossy/duplicating fault plan, with a

@@ -41,6 +41,13 @@ pub const TAINTED_TYPES: &[&str] = &[
     "LkhTree",
     "Segment",
     "SubscriberGroupManager",
+    // groupkey batching: the node-key arena holds every internal LKH
+    // key, and the pending batch names departed subscribers (whose ids
+    // leak membership if logged alongside key state).
+    "NodeKeys",
+    "RekeyBatch",
+    // keys: the epoch-batched coordinator owns a full group manager.
+    "GroupRekeyCoordinator",
 ];
 
 /// Binding names that denote key material. A format string interpolating

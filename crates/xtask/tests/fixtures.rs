@@ -101,6 +101,28 @@ fn secret_hygiene_accepts_redacted_crypto_contexts() {
 }
 
 #[test]
+fn secret_hygiene_covers_batched_rekey_types() {
+    let findings = scan("crates/groupkey/src/fixture.rs", "batch_violation.rs");
+    let secret: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SecretHygiene)
+        .collect();
+    // derive(Debug) on NodeKeys, derive(Serialize) on RekeyBatch,
+    // Display on GroupRekeyCoordinator, {arena:?} interpolation.
+    assert!(secret.len() >= 4, "{secret:#?}");
+}
+
+#[test]
+fn secret_hygiene_accepts_redacted_batched_rekey_types() {
+    let findings = scan("crates/groupkey/src/fixture.rs", "batch_clean.rs");
+    let secret: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::SecretHygiene)
+        .collect();
+    assert!(secret.is_empty(), "{secret:#?}");
+}
+
+#[test]
 fn panic_freedom_catches_seeded_violations() {
     let findings = scan("crates/keys/src/fixture.rs", "panic_violation.rs");
     let panics: Vec<_> = findings

@@ -1,0 +1,30 @@
+// Fixture: the sanctioned batched-rekey idioms — manual redacting
+// Debug on the node-key arena and the pending batch, counts-only
+// logging. Never compiled — scanned as text by tests/fixtures.rs.
+
+#[derive(Clone)]
+pub struct NodeKeys {
+    keys: Vec<DeriveKey>,
+}
+
+impl std::fmt::Debug for NodeKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeKeys").finish_non_exhaustive()
+    }
+}
+
+#[derive(Clone, Default)]
+pub struct RekeyBatch {
+    departed: BTreeSet<u64>,
+}
+
+impl std::fmt::Debug for RekeyBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RekeyBatch").finish_non_exhaustive()
+    }
+}
+
+// Counts are not key material: batch sizes may be logged freely.
+fn log_flush(pending: usize, refreshed: usize) {
+    println!("flushed {pending} ops, {refreshed} nodes refreshed");
+}

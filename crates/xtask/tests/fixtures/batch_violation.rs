@@ -1,0 +1,22 @@
+// Fixture: secret-hygiene violations on the batched-rekey types. Never
+// compiled — scanned as text by tests/fixtures.rs.
+
+#[derive(Debug, Clone)]
+pub struct NodeKeys {
+    keys: Vec<DeriveKey>,
+}
+
+#[derive(Clone, Serialize)]
+pub struct RekeyBatch {
+    departed: BTreeSet<u64>,
+}
+
+impl std::fmt::Display for GroupRekeyCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("coordinator")
+    }
+}
+
+fn log_refresh(node_key: &DeriveKey) {
+    println!("refreshed node key: {node_key:?}");
+}
